@@ -1,0 +1,66 @@
+// E7 — Paper Section 4 timing analysis: "the critical path is the same for
+// each device and in each case passes through 6 [LUTs]. The delay at each
+// LUT is slightly greater with Virtex technology ... this speed-up is not
+// achieved by a more efficient placement and routing process but [is due] to
+// the technological advantage Virtex II offers over Virtex."
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "crc/parallel_crc.hpp"
+#include "netlist/circuits/control_circuits.hpp"
+#include "netlist/circuits/crc_circuit.hpp"
+#include "netlist/circuits/escape_circuits.hpp"
+#include "netlist/circuits/p5_circuit.hpp"
+#include "netlist/device.hpp"
+#include "netlist/lut_mapper.hpp"
+
+int main() {
+  using namespace p5::netlist;
+  p5::bench::banner("E7 / bench_critical_path — LUT-level depth and per-device fmax",
+                    "Section 4: 6-LUT critical path; Virtex-II faster purely per-LUT");
+
+  p5::bench::paper_says("critical path ~6 LUT levels on both families; the Virtex-II "
+                        "speed-up comes from smaller per-level delay, not from layout.");
+
+  std::printf("\nper-module critical depth (32-bit P5):\n");
+  std::printf("  %-28s %8s\n", "module", "depth");
+  struct Row {
+    const char* name;
+    Netlist nl;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"escape_generate_32", circuits::make_escape_generate_circuit(4)});
+  rows.push_back({"escape_detect_32", circuits::make_escape_detect_circuit(4)});
+  rows.push_back({"crc_unit32x32", circuits::make_crc_unit_circuit(p5::crc::kFcs32, 4)});
+  rows.push_back({"flag_delineator_32", circuits::make_flag_delineator_circuit(4)});
+  rows.push_back({"tx_control_32", circuits::make_tx_control_circuit(4)});
+  std::size_t depth = 0;
+  for (auto& r : rows) {
+    const MapResult m = map_to_luts(r.nl);
+    depth = std::max(depth, m.depth);
+    std::printf("  %-28s %8zu\n", r.name, m.depth);
+  }
+
+  const AreaReport r32 = circuits::p5_system_report(4);
+  const AreaReport r8 = circuits::p5_system_report(1);
+  std::printf("\nsystem critical path: 32-bit = %zu LUT levels, 8-bit = %zu LUT levels "
+              "(paper: ~6)\n",
+              r32.critical_depth(), r8.critical_depth());
+
+  std::printf("\nfmax at the 32-bit system depth (%zu levels):\n", r32.critical_depth());
+  std::printf("  %-12s %12s %12s\n", "device", "pre-layout", "post-layout");
+  for (const Device& d : all_devices()) {
+    std::printf("  %-12s %9.1f MHz %9.1f MHz\n", d.name.c_str(),
+                d.fmax_mhz(r32.critical_depth(), false), d.fmax_mhz(r32.critical_depth(), true));
+  }
+
+  // The paper's observation: same depth on both families, speed-up from the
+  // per-LUT delay alone.
+  const double virtex = xcv600_4().fmax_mhz(r32.critical_depth(), true);
+  const double virtex2 = xc2v1000_6().fmax_mhz(r32.critical_depth(), true);
+  std::printf("\nVirtex-II / Virtex speed-up at identical depth: %.2fx\n", virtex2 / virtex);
+  const double required = required_clock_mhz(2.5, 32);
+  std::printf("2.5 Gbps requires %.3f MHz: Virtex %s, Virtex-II %s\n", required,
+              virtex >= required ? "meets" : "misses", virtex2 >= required ? "meets" : "misses");
+  return 0;
+}

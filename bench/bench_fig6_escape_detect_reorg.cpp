@@ -1,0 +1,64 @@
+// E5 — Paper Figure 6: "Escape Detect Data Organisation Problem".
+//
+// The inverse scenario: a received word [7D 5E ..] collapses to one octet
+// fewer ("there are suddenly only 3 bytes and there is effectively a bubble
+// appearing on the channel. Therefore 1 byte of the next set of incoming
+// bytes must be inserted into this bubble.") This bench replays it through
+// the cycle-accurate 32-bit Escape Detect unit.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "p5/escape_detect.hpp"
+#include "rtl/simulator.hpp"
+
+using namespace p5;
+using namespace p5::core;
+
+int main() {
+  bench::banner("E5 / bench_fig6_escape_detect_reorg — byte-sorter compaction trace",
+                "Figure 6: Escape Detect data organisation problem");
+  bench::paper_says(
+      "input word [7d 5e a1 a2] collapses to 3 octets [7e a1 a2]; the bubble is filled "
+      "by the first octet of the next incoming word.");
+
+  rtl::Fifo<rtl::Word> in("in", 8);
+  rtl::Fifo<rtl::Word> out("out", 2);
+  EscapeDetect det("det", 4, in, out);
+  rtl::Simulator sim;
+  sim.add(det);
+  sim.add_channel(in);
+  sim.add_channel(out);
+
+  const std::vector<Bytes> words = {
+      {0x7D, 0x5E, 0xA1, 0xA2}, {0xB1, 0xB2, 0xB3, 0xB4}, {0xC1, 0xC2, 0xC3, 0xC4},
+      {0xD1, 0xD2, 0xD3, 0xD4},
+  };
+
+  // Pre-load the input channel so the trace shows the unit's own pacing,
+  // not the testbench's.
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    rtl::Word w = rtl::Word::of(words[i]);
+    w.sof = i == 0;
+    w.eof = i + 1 == words.size();
+    in.push(w);
+  }
+  in.commit();
+
+  std::printf("\ncycle | input pending | queue occ | output word\n");
+  std::printf("------+---------------+-----------+----------------------\n");
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const std::size_t pending = in.size();
+    sim.step();
+    std::string out_str = "-";
+    while (out.can_pop()) out_str = out.pop().to_string();
+    std::string in_str = std::to_string(pending) + " words";
+    std::printf("%5d | %-13s | %6zu/8  | %s\n", cycle, in_str.c_str(),
+                det.queue_occupancy(), out_str.c_str());
+  }
+
+  std::printf("\nescapes removed: %llu\n",
+              static_cast<unsigned long long>(det.escapes_removed()));
+  std::printf("first output word is [7e a1 a2 b1] — the restored flag octet plus the bubble\n"
+              "filled from the following word, exactly the Figure 6 reorganisation.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E9 — google-benchmark micro-benchmarks of the software substrates: CRC
+// engines (bitwise / table / parallel matrix), octet stuffing, the SONET
+// scramblers and framer, the cycle-accurate model's step rate, and the
+// gate-level netlist simulator. These document the simulation cost of the
+// reproduction itself (simulated-seconds-per-wall-second), not paper claims.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crc/crc_reference.hpp"
+#include "crc/crc_table.hpp"
+#include "crc/parallel_crc.hpp"
+#include "hdlc/stuffing.hpp"
+#include "net/traffic.hpp"
+#include "netlist/circuits/escape_circuits.hpp"
+#include "p5/p5.hpp"
+#include "sonet/scrambler.hpp"
+#include "sonet/spe.hpp"
+
+namespace {
+
+using namespace p5;
+
+const Bytes& sample_data() {
+  static const Bytes data = Xoshiro256(42).bytes(64 * 1024);
+  return data;
+}
+
+void BM_CrcBitwise(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(crc::bitwise_crc(crc::kFcs32, sample_data()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * sample_data().size()));
+}
+BENCHMARK(BM_CrcBitwise);
+
+void BM_CrcTable(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(crc::fcs32().crc(sample_data()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * sample_data().size()));
+}
+BENCHMARK(BM_CrcTable);
+
+void BM_CrcParallelMatrix(benchmark::State& state) {
+  const crc::ParallelCrc pc(crc::kFcs32, static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(pc.crc(sample_data()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * sample_data().size()));
+}
+BENCHMARK(BM_CrcParallelMatrix)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_Stuff(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(hdlc::stuff(sample_data()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * sample_data().size()));
+}
+BENCHMARK(BM_Stuff);
+
+void BM_Destuff(benchmark::State& state) {
+  const Bytes wire = hdlc::stuff(sample_data());
+  for (auto _ : state) benchmark::DoNotOptimize(hdlc::destuff(wire));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * wire.size()));
+}
+BENCHMARK(BM_Destuff);
+
+void BM_Scrambler43(benchmark::State& state) {
+  sonet::SelfSyncScrambler43 scr;
+  for (auto _ : state) benchmark::DoNotOptimize(scr.scramble(sample_data()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * sample_data().size()));
+}
+BENCHMARK(BM_Scrambler43);
+
+void BM_SonetFrameBuild(benchmark::State& state) {
+  Xoshiro256 rng(7);
+  sonet::SonetFramer framer(sonet::kSts3c, [&rng](std::size_t n) { return rng.bytes(n); });
+  for (auto _ : state) benchmark::DoNotOptimize(framer.next_frame());
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * sonet::kSts3c.frame_bytes()));
+}
+BENCHMARK(BM_SonetFrameBuild);
+
+void BM_P5LoopbackCycleRate(benchmark::State& state) {
+  core::P5Config cfg;
+  cfg.lanes = static_cast<unsigned>(state.range(0));
+  core::P5 dev(cfg);
+  dev.set_rx_sink([](core::RxDelivery) {});
+  net::TrafficGenerator gen(net::TrafficSpec{});
+  u64 simulated_cycles = 0;
+  for (auto _ : state) {
+    if (dev.tx_control().pending() < 4) dev.submit_datagram(0x0021, gen.next_datagram());
+    const u64 before = dev.cycle();
+    dev.phy_push_rx(dev.phy_pull_tx(cfg.lanes));
+    simulated_cycles += dev.cycle() - before;
+  }
+  state.counters["sim_cycles/s"] =
+      benchmark::Counter(static_cast<double>(simulated_cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_P5LoopbackCycleRate)->Arg(1)->Arg(4);
+
+void BM_NetlistSimEscapeGenerate32(benchmark::State& state) {
+  const netlist::Netlist nl = netlist::circuits::make_escape_generate_circuit(4);
+  netlist::Netlist::Sim sim(nl);
+  Xoshiro256 rng(9);
+  u64 cycles = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) sim.set_input(i, rng.chance(0.5));
+    sim.eval();
+    sim.clock();
+    ++cycles;
+  }
+  state.counters["gate_evals/s"] = benchmark::Counter(
+      static_cast<double>(cycles * nl.size()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetlistSimEscapeGenerate32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// E2 — Paper Table 2: "P5 32-bit Implementation", pre/post-layout synthesis
+// on XCV600-4 and XC2V1000-6, plus the paper's headline area claim:
+// "the 32-bit version ... is approximately 11 times bigger" than the 8-bit
+// system, driven by the byte-sorter decision logic.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "netlist/circuits/p5_circuit.hpp"
+#include "netlist/device.hpp"
+
+int main() {
+  using namespace p5::netlist;
+  p5::bench::banner("E2 / bench_table2_p5_32bit — full 32-bit P5 synthesis model",
+                    "Table 2: P5 32-bit implementation on XCV600-4 and XC2V1000-6");
+
+  p5::bench::paper_says(
+      "32-bit P5 ~11x the 8-bit system (not 4x); ~25% of an XC2V1000; meets "
+      "78.125 MHz (2.5 Gbps) on Virtex-II but not on Virtex.");
+
+  const AreaReport r32 = circuits::p5_system_report(4);
+  const AreaReport r8 = circuits::p5_system_report(1);
+
+  std::printf("\n%s\n", r32.module_table().c_str());
+  std::printf("%s\n", r32.device_table({xcv600_4(), xc2v1000_6()}).c_str());
+
+  const double lut_ratio =
+      static_cast<double>(r32.total_luts()) / static_cast<double>(r8.total_luts());
+  const double ff_ratio =
+      static_cast<double>(r32.total_ffs()) / static_cast<double>(r8.total_ffs());
+  std::printf("32-bit vs 8-bit system area ratio: %.1fx LUTs, %.1fx FFs (naive scaling: 4x)\n",
+              lut_ratio, ff_ratio);
+
+  const double required = required_clock_mhz(2.5, 32);
+  std::printf("required clock for 2.5 Gbps over 32 bits: %.3f MHz\n", required);
+  for (const Device& d : {xcv600_4(), xc2v1000_6()}) {
+    const double post = d.fmax_mhz(r32.critical_depth(), true);
+    std::printf("  %-12s post-layout %6.1f MHz -> %s\n", d.name.c_str(), post,
+                post >= required ? "MEETS 2.5 Gbps" : "misses 2.5 Gbps");
+  }
+  std::printf("XC2V1000 LUT utilisation: %.0f%% (paper: ~25%%, leaving room for a MicroBlaze)\n",
+              xc2v1000_6().lut_utilisation(r32.total_luts()));
+  return 0;
+}

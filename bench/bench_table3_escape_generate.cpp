@@ -1,0 +1,41 @@
+// E3 — Paper Table 3: "Escape Generator Implementation" — the 32-bit and
+// 8-bit Escape Generate modules synthesised alone to an XC2V40-6.
+// Paper numbers: 32-bit = 492 LUTs (96%) / 168 FFs (32%);
+//                 8-bit =  22 LUTs (4%)  /   6 FFs (~1%);
+//                ratios ~25x LUTs / ~28x FFs.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "netlist/circuits/escape_circuits.hpp"
+#include "netlist/circuits/p5_circuit.hpp"
+#include "netlist/device.hpp"
+#include "netlist/lut_mapper.hpp"
+
+int main() {
+  using namespace p5::netlist;
+  p5::bench::banner("E3 / bench_table3_escape_generate — Escape Generate module alone",
+                    "Table 3: Escape Generator on XC2V40-6");
+
+  p5::bench::paper_says(
+      "32-bit: 492 LUTs (96% of XC2V40), 168 FFs (32%); 8-bit: 22 LUTs, 6 FFs. "
+      "The 32-bit module needs ~25x the combinational logic and ~28x the FFs.");
+
+  const MapResult m32 = map_to_luts(circuits::make_escape_generate_circuit(4));
+  const MapResult m8 = map_to_luts(circuits::make_escape_generate_circuit(1));
+  const Device& dev = xc2v40_6();
+
+  std::printf("\n  %-28s %10s %12s %8s\n", "module", "LUTs (util)", "FFs (util)", "depth");
+  std::printf("  %-28s %6zu (%3.0f%%) %6zu (%3.0f%%) %6zu\n", "escape_generate 32-bit",
+              m32.luts, dev.lut_utilisation(m32.luts), m32.ffs, dev.ff_utilisation(m32.ffs),
+              m32.depth);
+  std::printf("  %-28s %6zu (%3.0f%%) %6zu (%3.0f%%) %6zu\n", "escape_generate 8-bit", m8.luts,
+              dev.lut_utilisation(m8.luts), m8.ffs, dev.ff_utilisation(m8.ffs), m8.depth);
+
+  std::printf("\n32-bit/8-bit ratios: %.1fx LUTs (paper ~25x), %.1fx FFs (paper ~28x)\n",
+              static_cast<double>(m32.luts) / static_cast<double>(m8.luts),
+              static_cast<double>(m32.ffs) / static_cast<double>(m8.ffs));
+  std::printf("combinational-heavy check: 32-bit LUTs/FFs = %.1f "
+              "(paper: most LUTs used, <1/3 of FFs)\n",
+              static_cast<double>(m32.luts) / static_cast<double>(m32.ffs));
+  return 0;
+}

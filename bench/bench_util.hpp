@@ -1,0 +1,102 @@
+// Shared helpers for the experiment benches: paper-vs-measured banner
+// formatting and the standard workload drive for the cycle-accurate model.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "hdlc/accm.hpp"
+#include "p5/p5.hpp"
+
+namespace p5::bench {
+
+inline void banner(const char* experiment, const char* paper_artifact) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("==============================================================================\n");
+}
+
+inline void paper_says(const char* claim) { std::printf("paper:    %s\n", claim); }
+inline void we_measure(const std::string& s) { std::printf("measured: %s\n", s.c_str()); }
+
+/// Payload generator at a controlled escape density (fraction of octets that
+/// are 0x7E/0x7D and therefore double on the wire).
+inline Bytes density_payload(std::size_t len, double density, u64 seed) {
+  Xoshiro256 rng(seed);
+  Bytes p;
+  p.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (density >= 1.0 || (density > 0.0 && rng.chance(density))) {
+      p.push_back(rng.chance(0.5) ? hdlc::kFlag : hdlc::kEscape);
+    } else {
+      u8 b = rng.byte();
+      while (b == hdlc::kFlag || b == hdlc::kEscape) b = rng.byte();
+      p.push_back(b);
+    }
+  }
+  return p;
+}
+
+struct ThroughputResult {
+  u64 cycles = 0;
+  u64 payload_octets = 0;
+  u64 wire_octets = 0;
+  double backpressure_frac = 0.0;
+  std::size_t peak_queue = 0;
+
+  [[nodiscard]] double payload_bytes_per_cycle() const {
+    return cycles ? static_cast<double>(payload_octets) / static_cast<double>(cycles) : 0.0;
+  }
+  [[nodiscard]] double payload_gbps(double clock_mhz) const {
+    return payload_bytes_per_cycle() * 8.0 * clock_mhz / 1000.0;
+  }
+};
+
+/// Full-device TX measurement: submit datagrams, pull the line at exactly
+/// `lanes` octets per cycle until everything has left, count cycles.
+inline ThroughputResult measure_tx_throughput(unsigned lanes, double density,
+                                              std::size_t datagrams = 20,
+                                              std::size_t dgram_len = 1500) {
+  core::P5Config cfg;
+  cfg.lanes = lanes;
+  core::P5 dev(cfg);
+
+  u64 payload = 0;
+  for (std::size_t i = 0; i < datagrams; ++i) {
+    Bytes p = density_payload(dgram_len, density, 1000 + i);
+    payload += p.size() + 4 /*hdr*/ + cfg.fcs_bytes();
+    dev.submit_datagram(0x0021, p);
+  }
+
+  ThroughputResult r;
+  // Pull until the transmitter is drained: frame data has been seen, the
+  // shared-memory queue is empty, and the line has gone back to flag fill.
+  u64 flag_run = 0;
+  bool seen_data = false;
+  while (!(seen_data && flag_run >= 64 && dev.tx_control().pending() == 0)) {
+    const Bytes chunk = dev.phy_pull_tx(lanes);
+    for (const u8 b : chunk) {
+      ++r.wire_octets;
+      if (b == hdlc::kFlag) {
+        ++flag_run;
+      } else {
+        flag_run = 0;
+        seen_data = true;
+      }
+    }
+  }
+  r.cycles = dev.cycle();
+  r.payload_octets = payload;
+  const auto& gen = dev.escape_generate();
+  r.peak_queue = gen.peak_queue_occupancy();
+  r.backpressure_frac = gen.stats().cycles
+                            ? static_cast<double>(gen.backpressure_cycles()) /
+                                  static_cast<double>(gen.stats().cycles)
+                            : 0.0;
+  return r;
+}
+
+}  // namespace p5::bench

@@ -1,0 +1,76 @@
+// Hardware export: dump every P5 block as synthesisable structural Verilog
+// plus a VCD waveform of the cycle model under load — the artefacts you
+// would hand to an FPGA flow (Yosys/Vivado) and a waveform viewer (GTKWave)
+// to take this reproduction back onto real silicon.
+//
+//   build/examples/hardware_export [output_dir]   (default ./p5_export)
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "crc/crc_spec.hpp"
+#include "netlist/circuits/control_circuits.hpp"
+#include "netlist/circuits/crc_circuit.hpp"
+#include "netlist/circuits/escape_circuits.hpp"
+#include "netlist/circuits/oam_circuit.hpp"
+#include "netlist/lut_mapper.hpp"
+#include "netlist/verilog.hpp"
+#include "p5/p5.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p5;
+  namespace fs = std::filesystem;
+
+  const fs::path dir = argc > 1 ? argv[1] : "p5_export";
+  fs::create_directories(dir);
+
+  // ---- Verilog for every block, both widths ----
+  std::vector<netlist::Netlist> blocks;
+  for (const unsigned lanes : {1u, 4u}) {
+    blocks.push_back(netlist::circuits::make_escape_generate_circuit(lanes));
+    blocks.push_back(netlist::circuits::make_escape_detect_circuit(lanes));
+    blocks.push_back(netlist::circuits::make_crc_unit_circuit(crc::kFcs32, lanes));
+    blocks.push_back(netlist::circuits::make_tx_control_circuit(lanes));
+    blocks.push_back(netlist::circuits::make_rx_control_circuit(lanes));
+    blocks.push_back(netlist::circuits::make_flag_inserter_circuit(lanes));
+    blocks.push_back(netlist::circuits::make_flag_delineator_circuit(lanes));
+  }
+  blocks.push_back(netlist::circuits::make_oam_circuit(32));
+
+  std::printf("%-28s %10s %8s %8s  %s\n", "block", "verilog B", "LUTs", "FFs", "file");
+  for (const auto& nl : blocks) {
+    const std::string v = netlist::to_verilog(nl);
+    const fs::path file = dir / (nl.name() + ".v");
+    std::ofstream(file) << v;
+    const auto m = netlist::map_to_luts(nl);
+    std::printf("%-28s %10zu %8zu %8zu  %s\n", nl.name().c_str(), v.size(), m.luts, m.ffs,
+                file.string().c_str());
+  }
+
+  // ---- VCD waveform of the 32-bit device swallowing an escape-dense burst ----
+  core::P5Config cfg;
+  cfg.lanes = 4;
+  core::P5 dev(cfg);
+  rtl::VcdWriter vcd("p5_32bit", 1000.0 / cfg.clock_mhz);
+  dev.attach_trace(&vcd);
+  dev.set_rx_sink([](core::RxDelivery) {});
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 6; ++i) {
+    Bytes p = rng.bytes(200);
+    for (int k = 0; k < 40; ++k) p[rng.below(p.size())] = 0x7E;  // escape-dense
+    dev.submit_datagram(0x0021, p);
+  }
+  for (int k = 0; k < 600; ++k) dev.phy_push_rx(dev.phy_pull_tx(4));
+  dev.drain_rx(100);
+
+  const fs::path wave = dir / "p5_32bit.vcd";
+  if (!vcd.write_file(wave.string())) {
+    std::printf("failed to write %s\n", wave.string().c_str());
+    return 1;
+  }
+  std::printf("\nwaveform: %s (%zu signals, open with gtkwave)\n", wave.string().c_str(),
+              vcd.signal_count());
+  return 0;
+}

@@ -1,0 +1,79 @@
+// MAPOS-style multi-access over SONET (RFC 2171) — the reason the paper
+// makes the PPP Address field programmable: "this implementation allows
+// this field to be programmable so that it is compatible with MAPOS
+// systems."
+//
+// One transmitting P5 plays a MAPOS frame switch port, addressing frames to
+// individual stations by rewriting its Address register through the OAM
+// (exactly what a host CPU would do per-destination). Three receiving P5s
+// with distinct programmed addresses share the same wire; each station's
+// address filter accepts only its own frames.
+//
+//   build/examples/mapos_lan
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "p5/p5.hpp"
+
+int main() {
+  using namespace p5;
+  using core::OamReg;
+
+  constexpr u8 kStationAddr[3] = {0x04, 0x08, 0x0C};  // MAPOS unicast addresses
+
+  // The switch-port transmitter.
+  core::P5Config tx_cfg;
+  tx_cfg.lanes = 4;
+  core::P5 tx(tx_cfg);
+
+  // Three stations on the shared medium.
+  std::vector<std::unique_ptr<core::P5>> stations;
+  std::vector<std::vector<Bytes>> inbox(3);
+  for (int s = 0; s < 3; ++s) {
+    core::P5Config cfg;
+    cfg.lanes = 4;
+    cfg.address = kStationAddr[s];
+    stations.push_back(std::make_unique<core::P5>(cfg));
+    stations[s]->set_rx_sink(
+        [&inbox, s](core::RxDelivery d) { inbox[s].push_back(std::move(d.payload)); });
+  }
+
+  std::printf("MAPOS LAN: 1 switch port, 3 stations (addresses 0x04, 0x08, 0x0c)\n\n");
+
+  // Send two datagrams to each station, reprogramming the TX address
+  // register between bursts via the OAM — and draining the pipeline before
+  // each reprogram, since the Address register applies to whole frames.
+  for (int s = 0; s < 3; ++s) {
+    const u32 config_word = static_cast<u32>(kStationAddr[s]) | (0x03u << 8) | (1u << 16);
+    tx.oam().write(static_cast<u32>(OamReg::kConfig), config_word);
+    std::printf("switch: OAM CONFIG <= 0x%06x (address 0x%02x)\n", config_word, kStationAddr[s]);
+
+    for (int n = 0; n < 2; ++n) {
+      Bytes payload{static_cast<u8>('A' + s), static_cast<u8>('0' + n)};
+      payload.resize(40, static_cast<u8>(s * 16 + n));
+      tx.submit_datagram(0x0021, payload);
+    }
+    // Broadcast the octet stream to every station (shared medium).
+    for (int k = 0; k < 200; ++k) {
+      const Bytes chunk = tx.phy_pull_tx(4);
+      for (auto& st : stations) st->phy_push_rx(chunk);
+    }
+  }
+  for (auto& st : stations) st->drain_rx(200);
+
+  std::printf("\ndelivery matrix:\n");
+  bool ok = true;
+  for (int s = 0; s < 3; ++s) {
+    const auto& ctr = stations[s]->rx_control().counters();
+    std::printf("  station 0x%02x: delivered %zu, filtered %llu (expect 2 delivered, 4 filtered)\n",
+                kStationAddr[s], inbox[s].size(),
+                static_cast<unsigned long long>(ctr.addr_filtered));
+    ok = ok && inbox[s].size() == 2 && ctr.addr_filtered == 4;
+    for (const Bytes& p : inbox[s])
+      std::printf("    got \"%c%c...\" (%zu octets)\n", p[0], p[1], p.size());
+  }
+  std::printf("\n%s\n", ok ? "OK: the programmable address field gives MAPOS-style unicast."
+                           : "FAIL: address filtering misbehaved");
+  return ok ? 0 : 1;
+}

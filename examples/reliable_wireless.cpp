@@ -1,0 +1,112 @@
+// PPP Reliable Transmission (RFC 1663) over a noisy link — the paper's
+// Control-field scenario: "PPP may be configured via the LCP to use sequence
+// numbers and acknowledgements ... of particular use in noisy environments
+// such as wireless networks."
+//
+// Two numbered-mode ARQ machines run *through the P5 datapath*: every
+// I/RR/REJ frame travels the full pipeline (header with sequenced Control
+// octet -> CRC-32 -> escape generate -> flags -> a high-BER line -> flag
+// delineation -> escape detect -> CRC check). Frames the line corrupts are
+// FCS-discarded by the P5 and recovered by T1/REJ retransmission, so the
+// application sees a lossless in-order stream.
+//
+//   build/examples/reliable_wireless [ber]   (default 4e-5 — harsh)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "p5/p5.hpp"
+#include "ppp/reliable.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p5;
+  const double ber = argc > 1 ? std::atof(argv[1]) : 4e-5;
+
+  core::P5Config cfg;
+  cfg.lanes = 4;
+  core::P5 left(cfg), right(cfg);
+
+  // A crude radio: bytes from each transmitter get bit errors at `ber`.
+  Xoshiro256 noise(99);
+  auto irradiate = [&](Bytes b) {
+    for (u8& octet : b)
+      for (int bit = 0; bit < 8; ++bit)
+        if (noise.chance(ber)) octet ^= static_cast<u8>(1 << bit);
+    return b;
+  };
+
+  // Numbered-mode machines, wired through the P5 devices.
+  ppp::ReliableConfig rc;
+  rc.window = 4;
+  std::vector<Bytes> left_rx, right_rx;
+  ppp::ReliableLink lr(
+      rc,
+      [&](u8 control, BytesView payload) {
+        core::TxRequest req;
+        req.protocol = 0x0021;
+        req.control = control;
+        req.payload.assign(payload.begin(), payload.end());
+        left.submit_frame(std::move(req));
+      },
+      [&](BytesView p) { left_rx.emplace_back(p.begin(), p.end()); });
+  ppp::ReliableLink rl(
+      rc,
+      [&](u8 control, BytesView payload) {
+        core::TxRequest req;
+        req.protocol = 0x0021;
+        req.control = control;
+        req.payload.assign(payload.begin(), payload.end());
+        right.submit_frame(std::move(req));
+      },
+      [&](BytesView p) { right_rx.emplace_back(p.begin(), p.end()); });
+
+  left.set_rx_sink([&](core::RxDelivery d) { lr.on_frame(d.control, d.payload); });
+  right.set_rx_sink([&](core::RxDelivery d) { rl.on_frame(d.control, d.payload); });
+
+  // 40 payloads each way.
+  std::vector<Bytes> sent_lr, sent_rl;
+  Xoshiro256 gen(5);
+  for (int i = 0; i < 40; ++i) {
+    Bytes a = gen.bytes(gen.range(20, 300));
+    Bytes b = gen.bytes(gen.range(20, 300));
+    sent_lr.push_back(a);
+    sent_rl.push_back(b);
+    lr.send(std::move(a));
+    rl.send(std::move(b));
+  }
+
+  // Drive both radios until everything is through (or hopeless).
+  for (int round = 0; round < 30000; ++round) {
+    right.phy_push_rx(irradiate(left.phy_pull_tx(4)));
+    left.phy_push_rx(irradiate(right.phy_pull_tx(4)));
+    if (round % 250 == 249) {  // ~ a T1 period in line time
+      lr.tick();
+      rl.tick();
+    }
+    if (right_rx.size() == sent_lr.size() && left_rx.size() == sent_rl.size() &&
+        lr.unacked() == 0 && rl.unacked() == 0)
+      break;
+  }
+
+  std::printf("numbered-mode PPP over a BER %.1e line\n\n", ber);
+  auto report = [](const char* name, const ppp::ReliableLink& l, const core::P5& dev) {
+    std::printf("%s: sent %llu, retransmitted %llu, delivered %llu, dup-dropped %llu, "
+                "REJs %llu | line FCS drops %llu\n",
+                name, static_cast<unsigned long long>(l.stats().data_sent),
+                static_cast<unsigned long long>(l.stats().retransmissions),
+                static_cast<unsigned long long>(l.stats().delivered),
+                static_cast<unsigned long long>(l.stats().duplicates),
+                static_cast<unsigned long long>(l.stats().rejs_sent),
+                static_cast<unsigned long long>(dev.rx_crc().bad_frames()));
+  };
+  report("left ", lr, left);
+  report("right", rl, right);
+
+  if (lr.failed() || rl.failed())
+    std::printf("link declared failed after N2 retransmissions\n");
+  const bool ok = right_rx == sent_lr && left_rx == sent_rl;
+  std::printf("\n%s\n", ok ? "OK: lossless, in-order delivery over a lossy line."
+                           : "FAIL: stream corrupted or incomplete");
+  return ok ? 0 : 1;
+}

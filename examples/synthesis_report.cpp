@@ -1,0 +1,42 @@
+// Synthesis explorer: regenerate the paper's area/speed methodology for any
+// datapath width — useful for sizing a P5 variant before committing to a
+// device, the way Section 4 of the paper sizes the 8- and 32-bit builds.
+//
+//   build/examples/synthesis_report [width_bits ...]   (default: 8 16 32 64)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "netlist/circuits/p5_circuit.hpp"
+#include "netlist/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p5::netlist;
+
+  std::vector<unsigned> widths;
+  for (int i = 1; i < argc; ++i) widths.push_back(static_cast<unsigned>(std::atoi(argv[i])));
+  if (widths.empty()) widths = {8, 16, 32, 64};
+
+  for (const unsigned bits : widths) {
+    if (bits % 8 || bits == 0 || bits > 64) {
+      std::printf("skipping invalid width %u (need a multiple of 8, <= 64)\n", bits);
+      continue;
+    }
+    const AreaReport report = circuits::p5_system_report(bits / 8);
+    std::printf("%s\n", report.module_table().c_str());
+    std::printf("%s", report.device_table(all_devices()).c_str());
+
+    // Which devices can actually carry this width at its natural line rate?
+    const double gbps = 0.078125 * bits;  // 78.125 MHz clock
+    const double required = required_clock_mhz(gbps, bits);
+    std::printf("  line rate at 78.125 MHz: %.3f Gbps (needs %.3f MHz)\n", gbps, required);
+    for (const Device& d : all_devices()) {
+      const bool fits = report.total_luts() <= d.luts && report.total_ffs() <= d.ffs;
+      const bool fast = d.fmax_mhz(report.critical_depth(), true) >= required;
+      std::printf("    %-12s %s\n", d.name.c_str(),
+                  !fits ? "does not fit" : (fast ? "fits and meets timing" : "fits, misses timing"));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Contract-check macros in the spirit of the C++ Core Guidelines Expects/Ensures.
+// Violations throw (never UB) so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace p5 {
+
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " + file + ":" +
+                          std::to_string(line));
+}
+
+}  // namespace p5
+
+#define P5_EXPECTS(cond) \
+  ((cond) ? static_cast<void>(0) : ::p5::contract_fail("precondition", #cond, __FILE__, __LINE__))
+#define P5_ENSURES(cond) \
+  ((cond) ? static_cast<void>(0) : ::p5::contract_fail("postcondition", #cond, __FILE__, __LINE__))
+#define P5_ASSERT(cond) \
+  ((cond) ? static_cast<void>(0) : ::p5::contract_fail("invariant", #cond, __FILE__, __LINE__))

@@ -1,0 +1,52 @@
+#include "common/hexdump.hpp"
+
+#include <cctype>
+
+namespace p5 {
+
+namespace {
+constexpr char kHex[] = "0123456789abcdef";
+void push_hex(std::string& s, u8 b) {
+  s.push_back(kHex[b >> 4]);
+  s.push_back(kHex[b & 0xF]);
+}
+}  // namespace
+
+std::string hex_line(BytesView data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = (max_bytes == 0) ? data.size() : std::min(max_bytes, data.size());
+  out.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) out.push_back(' ');
+    push_hex(out, data[i]);
+  }
+  if (n < data.size()) out += " ...";
+  return out;
+}
+
+std::string hex_dump(BytesView data, std::size_t bytes_per_line) {
+  std::string out;
+  for (std::size_t off = 0; off < data.size(); off += bytes_per_line) {
+    // offset column
+    for (int shift = 12; shift >= 0; shift -= 4) out.push_back(kHex[(off >> shift) & 0xF]);
+    out += "  ";
+    const std::size_t n = std::min(bytes_per_line, data.size() - off);
+    for (std::size_t i = 0; i < bytes_per_line; ++i) {
+      if (i < n) {
+        push_hex(out, data[off + i]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+    }
+    out += " |";
+    for (std::size_t i = 0; i < n; ++i) {
+      const u8 b = data[off + i];
+      out.push_back(std::isprint(b) ? static_cast<char>(b) : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+}  // namespace p5

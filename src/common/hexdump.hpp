@@ -1,0 +1,16 @@
+// Human-readable byte dumps for examples, traces and failure messages.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace p5 {
+
+/// "7e ff 03 00 21 ..." single-line dump, capped at max_bytes (0 = no cap).
+[[nodiscard]] std::string hex_line(BytesView data, std::size_t max_bytes = 0);
+
+/// Classic offset + hex + ASCII multi-line dump.
+[[nodiscard]] std::string hex_dump(BytesView data, std::size_t bytes_per_line = 16);
+
+}  // namespace p5

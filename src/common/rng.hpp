@@ -1,0 +1,76 @@
+// Deterministic, seedable PRNG (xoshiro256**) used by workload generators,
+// error-injection models and property tests. Deterministic seeds make every
+// experiment in EXPERIMENTS.md exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace p5 {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(u64 seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the four lanes of state.
+    u64 x = seed;
+    for (auto& lane : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  u64 next() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 means the full 64-bit range.
+  u64 below(u64 bound) {
+    if (bound == 0) return next();
+    // Rejection-free Lemire-style reduction is overkill here; modulo bias is
+    // negligible for the bounds used by workloads (<2^32).
+    return next() % bound;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+  u8 byte() { return static_cast<u8>(next() >> 56); }
+
+  /// true with probability p (p in [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  Bytes bytes(std::size_t n) {
+    Bytes out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(byte());
+    return out;
+  }
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  using result_type = u64;
+  static constexpr u64 min() { return 0; }
+  static constexpr u64 max() { return ~0ull; }
+  u64 operator()() { return next(); }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 s_[4]{};
+};
+
+}  // namespace p5

@@ -1,0 +1,54 @@
+// Fundamental fixed-width integer aliases and byte-container helpers shared by
+// every p5 library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace p5 {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// Octet stream as moved between protocol layers.
+using Bytes = std::vector<u8>;
+using BytesView = std::span<const u8>;
+
+/// Append a span of bytes to a vector.
+inline void append(Bytes& dst, BytesView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+/// Little-endian / big-endian scalar packing used by frame codecs.
+inline void put_be16(Bytes& b, u16 v) {
+  b.push_back(static_cast<u8>(v >> 8));
+  b.push_back(static_cast<u8>(v));
+}
+inline void put_be32(Bytes& b, u32 v) {
+  b.push_back(static_cast<u8>(v >> 24));
+  b.push_back(static_cast<u8>(v >> 16));
+  b.push_back(static_cast<u8>(v >> 8));
+  b.push_back(static_cast<u8>(v));
+}
+inline void put_le32(Bytes& b, u32 v) {
+  b.push_back(static_cast<u8>(v));
+  b.push_back(static_cast<u8>(v >> 8));
+  b.push_back(static_cast<u8>(v >> 16));
+  b.push_back(static_cast<u8>(v >> 24));
+}
+[[nodiscard]] inline u16 get_be16(BytesView b, std::size_t off) {
+  return static_cast<u16>((b[off] << 8) | b[off + 1]);
+}
+[[nodiscard]] inline u32 get_be32(BytesView b, std::size_t off) {
+  return (static_cast<u32>(b[off]) << 24) | (static_cast<u32>(b[off + 1]) << 16) |
+         (static_cast<u32>(b[off + 2]) << 8) | static_cast<u32>(b[off + 3]);
+}
+[[nodiscard]] inline u32 get_le32(BytesView b, std::size_t off) {
+  return static_cast<u32>(b[off]) | (static_cast<u32>(b[off + 1]) << 8) |
+         (static_cast<u32>(b[off + 2]) << 16) | (static_cast<u32>(b[off + 3]) << 24);
+}
+
+}  // namespace p5

@@ -1,0 +1,39 @@
+// Golden-model CRC: the straightforward bit-serial implementation every other
+// CRC engine in this repository is verified against.
+#pragma once
+
+#include "common/types.hpp"
+#include "crc/crc_spec.hpp"
+
+namespace p5::crc {
+
+/// Advance the raw shift register by one data byte, LSB first.
+[[nodiscard]] constexpr u32 bitwise_step(const CrcSpec& spec, u32 state, u8 byte) {
+  state ^= byte;
+  for (int bit = 0; bit < 8; ++bit) {
+    const bool feedback = state & 1u;
+    state >>= 1;
+    if (feedback) state ^= spec.poly;
+  }
+  return state & spec.mask();
+}
+
+/// Raw register value after feeding `data` starting from `state`
+/// (no init / xorout applied — the composable primitive).
+[[nodiscard]] inline u32 bitwise_update(const CrcSpec& spec, u32 state, BytesView data) {
+  for (const u8 b : data) state = bitwise_step(spec, state, b);
+  return state;
+}
+
+/// Complete checksum of a buffer (init + update + xorout).
+[[nodiscard]] inline u32 bitwise_crc(const CrcSpec& spec, BytesView data) {
+  return bitwise_update(spec, spec.init, data) ^ spec.xorout;
+}
+
+/// RFC 1662-style check: run data *including* the received FCS field through
+/// the register; a good frame leaves the spec's residue.
+[[nodiscard]] inline bool bitwise_check(const CrcSpec& spec, BytesView data_with_fcs) {
+  return bitwise_update(spec, spec.init, data_with_fcs) == spec.residue;
+}
+
+}  // namespace p5::crc

@@ -1,0 +1,32 @@
+// CRC parameterisation for the two checks PPP/HDLC uses (RFC 1662 appendix):
+//   FCS-16: CRC-16/X.25  (reflected poly 0x8408, init/xorout 0xFFFF)
+//   FCS-32: CRC-32/IEEE  (reflected poly 0xEDB88320, init/xorout 0xFFFFFFFF)
+//
+// Both are *reflected* CRCs: bits are shifted LSB-first, matching HDLC's
+// least-significant-bit-first serial transmission order.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace p5::crc {
+
+struct CrcSpec {
+  unsigned width;  ///< 16 or 32 (any width up to 32 is supported)
+  u32 poly;        ///< reflected polynomial
+  u32 init;        ///< initial shift-register value
+  u32 xorout;      ///< final complement
+  u32 residue;     ///< magic value of the register after passing a good frame
+                   ///< (data + transmitted FCS) through the checker, pre-xorout
+
+  [[nodiscard]] constexpr u32 mask() const {
+    return width == 32 ? 0xFFFFFFFFu : ((u32{1} << width) - 1u);
+  }
+};
+
+/// FCS-16 per RFC 1662: "good FCS" register residue is 0xF0B8.
+inline constexpr CrcSpec kFcs16{16, 0x8408u, 0xFFFFu, 0xFFFFu, 0xF0B8u};
+
+/// FCS-32 per RFC 1662 / IEEE 802.3: residue 0xDEBB20E3.
+inline constexpr CrcSpec kFcs32{32, 0xEDB88320u, 0xFFFFFFFFu, 0xFFFFFFFFu, 0xDEBB20E3u};
+
+}  // namespace p5::crc

@@ -1,0 +1,15 @@
+#include "crc/crc_table.hpp"
+
+namespace p5::crc {
+
+const TableCrc& fcs16() {
+  static const TableCrc t(kFcs16);
+  return t;
+}
+
+const TableCrc& fcs32() {
+  static const TableCrc t(kFcs32);
+  return t;
+}
+
+}  // namespace p5::crc

@@ -1,0 +1,43 @@
+// Table-driven byte-at-a-time CRC: the conventional software implementation,
+// used as the fast path by the protocol-layer code (src/hdlc, src/ppp) and as
+// an independent cross-check of the bitwise reference.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+#include "crc/crc_reference.hpp"
+#include "crc/crc_spec.hpp"
+
+namespace p5::crc {
+
+class TableCrc {
+ public:
+  explicit constexpr TableCrc(const CrcSpec& spec) : spec_(spec) {
+    for (u32 b = 0; b < 256; ++b) table_[b] = bitwise_step(spec, 0, static_cast<u8>(b));
+  }
+
+  [[nodiscard]] const CrcSpec& spec() const { return spec_; }
+
+  [[nodiscard]] u32 update(u32 state, BytesView data) const {
+    for (const u8 b : data)
+      state = (state >> 8) ^ table_[(state ^ b) & 0xFFu];
+    return state & spec_.mask();
+  }
+
+  [[nodiscard]] u32 crc(BytesView data) const { return update(spec_.init, data) ^ spec_.xorout; }
+
+  [[nodiscard]] bool check(BytesView data_with_fcs) const {
+    return update(spec_.init, data_with_fcs) == spec_.residue;
+  }
+
+ private:
+  CrcSpec spec_;
+  std::array<u32, 256> table_{};
+};
+
+/// Process-wide instances for the two PPP checks.
+[[nodiscard]] const TableCrc& fcs16();
+[[nodiscard]] const TableCrc& fcs32();
+
+}  // namespace p5::crc

@@ -1,0 +1,21 @@
+#include "crc/gf2.hpp"
+
+namespace p5::crc {
+
+std::size_t Gf2Matrix::rank() const {
+  std::vector<Gf2Vec> rows = data_;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows.size(); ++col) {
+    // find pivot
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && !rows[pivot].get(col)) ++pivot;
+    if (pivot == rows.size()) continue;
+    std::swap(rows[rank], rows[pivot]);
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      if (r != rank && rows[r].get(col)) rows[r] ^= rows[rank];
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace p5::crc

@@ -1,0 +1,164 @@
+// Dense linear algebra over GF(2), sized for CRC state-transition matrices
+// (tens to a few hundred columns). Rows are packed into 64-bit words.
+//
+// This is the mathematical core of the paper's parallel CRC unit: the W-bit
+// parallel CRC is a GF(2) linear map from (state, data-block) to next state,
+// and each matrix row is exactly the XOR tree synthesised in hardware.
+#pragma once
+
+#include <bit>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace p5::crc {
+
+/// Dynamic bit vector over GF(2).
+class Gf2Vec {
+ public:
+  Gf2Vec() = default;
+  explicit Gf2Vec(std::size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  /// Unit vector e_i of the given length.
+  static Gf2Vec unit(std::size_t bits, std::size_t i) {
+    Gf2Vec v(bits);
+    v.set(i, true);
+    return v;
+  }
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    P5_EXPECTS(i < bits_);
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+  void set(std::size_t i, bool v) {
+    P5_EXPECTS(i < bits_);
+    const u64 mask = u64{1} << (i % 64);
+    if (v)
+      words_[i / 64] |= mask;
+    else
+      words_[i / 64] &= ~mask;
+  }
+
+  Gf2Vec& operator^=(const Gf2Vec& o) {
+    P5_EXPECTS(bits_ == o.bits_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= o.words_[w];
+    return *this;
+  }
+
+  /// parity(this AND other) — the GF(2) inner product.
+  [[nodiscard]] bool dot(const Gf2Vec& o) const {
+    P5_EXPECTS(bits_ == o.bits_);
+    u64 acc = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) acc ^= words_[w] & o.words_[w];
+    return (std::popcount(acc) & 1) != 0;
+  }
+
+  [[nodiscard]] std::size_t popcount() const {
+    std::size_t n = 0;
+    for (const u64 w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (const u64 w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool operator==(const Gf2Vec&) const = default;
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<u64> words_;
+};
+
+/// Dense GF(2) matrix (rows x cols).
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+  Gf2Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows, Gf2Vec(cols)) {}
+
+  static Gf2Matrix identity(std::size_t n) {
+    Gf2Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m.data_[i].set(i, true);
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] const Gf2Vec& row(std::size_t r) const {
+    P5_EXPECTS(r < rows_);
+    return data_[r];
+  }
+  Gf2Vec& row(std::size_t r) {
+    P5_EXPECTS(r < rows_);
+    return data_[r];
+  }
+
+  [[nodiscard]] bool get(std::size_t r, std::size_t c) const { return row(r).get(c); }
+  void set(std::size_t r, std::size_t c, bool v) { row(r).set(c, v); }
+
+  /// y = M * x.
+  [[nodiscard]] Gf2Vec mul(const Gf2Vec& x) const {
+    P5_EXPECTS(x.size() == cols_);
+    Gf2Vec y(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) y.set(r, data_[r].dot(x));
+    return y;
+  }
+
+  /// C = this * B.
+  [[nodiscard]] Gf2Matrix mul(const Gf2Matrix& b) const {
+    P5_EXPECTS(cols_ == b.rows_);
+    Gf2Matrix c(rows_, b.cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t k = 0; k < cols_; ++k)
+        if (data_[r].get(k)) c.data_[r] ^= b.data_[k];
+    return c;
+  }
+
+  /// this^e (square matrices only).
+  [[nodiscard]] Gf2Matrix pow(u64 e) const {
+    P5_EXPECTS(rows_ == cols_);
+    Gf2Matrix result = identity(rows_);
+    Gf2Matrix base = *this;
+    while (e) {
+      if (e & 1) result = result.mul(base);
+      base = base.mul(base);
+      e >>= 1;
+    }
+    return result;
+  }
+
+  [[nodiscard]] Gf2Matrix transpose() const {
+    Gf2Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c)
+        if (get(r, c)) t.set(c, r, true);
+    return t;
+  }
+
+  /// Rank by Gaussian elimination (destroys a copy).
+  [[nodiscard]] std::size_t rank() const;
+
+  /// Total number of ones — proportional to the XOR-tree area of a parallel
+  /// CRC implementation of this matrix.
+  [[nodiscard]] std::size_t ones() const {
+    std::size_t n = 0;
+    for (const auto& r : data_) n += r.popcount();
+    return n;
+  }
+
+  bool operator==(const Gf2Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<Gf2Vec> data_;
+};
+
+}  // namespace p5::crc

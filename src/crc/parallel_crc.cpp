@@ -1,0 +1,85 @@
+#include "crc/parallel_crc.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace p5::crc {
+
+ParallelCrc::ParallelCrc(const CrcSpec& spec, unsigned data_bits)
+    : spec_(spec), data_bits_(data_bits) {
+  P5_EXPECTS(spec.width >= 1 && spec.width <= 32);
+  P5_EXPECTS(data_bits >= 8 && data_bits <= 64 && data_bits % 8 == 0);
+
+  const std::size_t cols = spec.width + data_bits;
+
+  // Symbolic execution of the bit-serial LFSR: each register bit is a GF(2)
+  // linear combination over [state bits ; data bits].
+  std::vector<Gf2Vec> state_sym;
+  state_sym.reserve(spec.width);
+  for (std::size_t i = 0; i < spec.width; ++i) state_sym.push_back(Gf2Vec::unit(cols, i));
+
+  const unsigned bytes = data_bits / 8;
+  for (unsigned byte = 0; byte < bytes; ++byte) {
+    // state ^= data_byte (low 8 register bits).
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      Gf2Vec data_var = Gf2Vec::unit(cols, spec.width + byte * 8 + bit);
+      state_sym[bit] ^= data_var;
+    }
+    // Eight LSB-first shift steps with polynomial feedback.
+    for (unsigned step = 0; step < 8; ++step) {
+      Gf2Vec feedback = state_sym[0];
+      for (std::size_t i = 0; i + 1 < spec.width; ++i) state_sym[i] = state_sym[i + 1];
+      state_sym[spec.width - 1] = Gf2Vec(cols);
+      for (std::size_t i = 0; i < spec.width; ++i)
+        if ((spec.poly >> i) & 1u) state_sym[i] ^= feedback;
+    }
+  }
+
+  matrix_ = Gf2Matrix(spec.width, cols);
+  for (std::size_t r = 0; r < spec.width; ++r) matrix_.row(r) = state_sym[r];
+
+  // Precompute fast-path masks.
+  masks_.resize(spec.width);
+  for (std::size_t r = 0; r < spec.width; ++r) {
+    u32 sm = 0;
+    u64 dm = 0;
+    for (std::size_t c = 0; c < spec.width; ++c)
+      if (matrix_.get(r, c)) sm |= (u32{1} << c);
+    for (std::size_t c = 0; c < data_bits; ++c)
+      if (matrix_.get(r, spec.width + c)) dm |= (u64{1} << c);
+    masks_[r] = RowMasks{sm, dm};
+  }
+}
+
+u32 ParallelCrc::advance(u32 state, BytesView block) const {
+  P5_EXPECTS(block.size() == data_bits_ / 8);
+  u64 data = 0;
+  for (std::size_t i = 0; i < block.size(); ++i) data |= static_cast<u64>(block[i]) << (8 * i);
+  u32 next = 0;
+  for (std::size_t r = 0; r < spec_.width; ++r) {
+    const auto& m = masks_[r];
+    const unsigned parity =
+        (std::popcount(static_cast<u64>(state & m.state_mask)) + std::popcount(data & m.data_mask)) &
+        1u;
+    next |= (static_cast<u32>(parity) << r);
+  }
+  return next;
+}
+
+u32 ParallelCrc::update(u32 state, BytesView data) const {
+  const std::size_t block_bytes = data_bits_ / 8;
+  std::size_t off = 0;
+  for (; off + block_bytes <= data.size(); off += block_bytes)
+    state = advance(state, data.subspan(off, block_bytes));
+  for (; off < data.size(); ++off) state = bitwise_step(spec_, state, data[off]);
+  return state;
+}
+
+std::size_t ParallelCrc::max_row_terms() const {
+  std::size_t m = 0;
+  for (std::size_t r = 0; r < matrix_.rows(); ++r) m = std::max(m, row_terms(r));
+  return m;
+}
+
+}  // namespace p5::crc

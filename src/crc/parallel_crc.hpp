@@ -1,0 +1,73 @@
+// Parallel W-bit CRC core — the P5 CRC unit (paper Section 3, citing
+// Pei & Zukowski's parallel CRC construction).
+//
+// The bit-serial CRC register is a linear system over GF(2); consuming a
+// whole W-bit data block in one clock is the linear map
+//
+//     next_state = M * [ state ; data_block ]
+//
+// where M is a width x (width+W) matrix obtained by symbolically executing W
+// bit-steps of the serial LFSR. Each row of M is an XOR tree over state and
+// data bits — exactly the combinational network the paper synthesises
+// ("8 x 32-bit parallel matrix" for the 8-bit P5, "32 x 32-bit" for the
+// 32-bit P5). The same matrix drives:
+//   * the cycle-accurate model (ParallelCrc::advance), and
+//   * the gate-level netlist generator (src/netlist/circuits/crc_circuit),
+// so functional behaviour and area estimates share one source of truth.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "crc/crc_reference.hpp"
+#include "crc/crc_spec.hpp"
+#include "crc/gf2.hpp"
+
+namespace p5::crc {
+
+class ParallelCrc {
+ public:
+  /// Build the parallel update matrix for `data_bits` bits per clock
+  /// (multiple of 8, up to 64 in the fast path).
+  ParallelCrc(const CrcSpec& spec, unsigned data_bits);
+
+  [[nodiscard]] const CrcSpec& spec() const { return spec_; }
+  [[nodiscard]] unsigned data_bits() const { return data_bits_; }
+
+  /// One clock: consume exactly data_bits/8 octets (wire order).
+  [[nodiscard]] u32 advance(u32 state, BytesView block) const;
+
+  /// Convenience: run a whole buffer, handling a non-multiple tail by falling
+  /// back to byte-serial steps (what the hardware's CRC control unit does for
+  /// partially-filled final words).
+  [[nodiscard]] u32 update(u32 state, BytesView data) const;
+  [[nodiscard]] u32 crc(BytesView data) const { return update(spec_.init, data) ^ spec_.xorout; }
+  [[nodiscard]] bool check(BytesView data_with_fcs) const {
+    return update(spec_.init, data_with_fcs) == spec_.residue;
+  }
+
+  /// The update matrix: rows = CRC width, cols = width + data_bits.
+  /// Column layout: [0, width) state bits; [width, width+data_bits) data bits
+  /// (data bit k = bit k%8 of octet k/8 — LSB-first, HDLC serial order).
+  [[nodiscard]] const Gf2Matrix& matrix() const { return matrix_; }
+
+  /// XOR-term count of row r (fan-in of output bit r's XOR tree).
+  [[nodiscard]] std::size_t row_terms(std::size_t r) const { return matrix_.row(r).popcount(); }
+  /// Total XOR terms — proportional to synthesised LUT area.
+  [[nodiscard]] std::size_t total_terms() const { return matrix_.ones(); }
+  /// Largest row fan-in — sets the XOR-tree depth (log2) on the critical path.
+  [[nodiscard]] std::size_t max_row_terms() const;
+
+ private:
+  CrcSpec spec_;
+  unsigned data_bits_;
+  Gf2Matrix matrix_;
+  // Fast-path per-row masks (valid when width<=32 and data_bits<=64).
+  struct RowMasks {
+    u32 state_mask;
+    u64 data_mask;
+  };
+  std::vector<RowMasks> masks_;
+};
+
+}  // namespace p5::crc

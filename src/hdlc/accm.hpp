@@ -1,0 +1,43 @@
+// Async-Control-Character-Map (RFC 1662 §7.1).
+//
+// On octet-synchronous links (PPP over SONET, RFC 1619) only the flag (0x7E)
+// and the control-escape (0x7D) must be escaped; on async links the ACCM
+// additionally forces escaping of selected control characters 0x00..0x1F.
+// The P5's Escape Generate unit is programmable via the OAM register map,
+// which is modelled by carrying an Accm through the datapath configuration.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace p5::hdlc {
+
+inline constexpr u8 kFlag = 0x7E;    ///< frame delimiter
+inline constexpr u8 kEscape = 0x7D;  ///< control escape
+inline constexpr u8 kXor = 0x20;     ///< complement-bit-6 transform
+
+class Accm {
+ public:
+  /// map: bit n set => control character n (0..31) must be escaped.
+  explicit constexpr Accm(u32 map = 0) : map_(map) {}
+
+  /// ACCM appropriate for octet-synchronous (SONET/SDH) links: nothing extra.
+  static constexpr Accm sonet() { return Accm(0); }
+  /// RFC 1662 default for async links: escape all 0x00..0x1F.
+  static constexpr Accm async_default() { return Accm(0xFFFFFFFFu); }
+
+  [[nodiscard]] constexpr u32 map() const { return map_; }
+
+  /// Must this octet be escaped on transmit?
+  [[nodiscard]] constexpr bool must_escape(u8 octet) const {
+    if (octet == kFlag || octet == kEscape) return true;
+    if (octet < 0x20) return (map_ >> octet) & 1u;
+    return false;
+  }
+
+  constexpr bool operator==(const Accm&) const = default;
+
+ private:
+  u32 map_;
+};
+
+}  // namespace p5::hdlc

@@ -1,0 +1,51 @@
+#include "hdlc/delineation.hpp"
+
+namespace p5::hdlc {
+
+void Delineator::push(u8 octet) {
+  ++stats_.octets;
+  if (octet == kFlag) {
+    end_frame();
+    in_frame_ = true;  // this flag also opens the next frame
+    return;
+  }
+  if (!in_frame_) return;  // hunting: discard octets until the first flag
+  if (current_.size() >= max_frame_) {
+    overflowed_ = true;
+    return;  // keep discarding until the closing flag resynchronises us
+  }
+  current_.push_back(octet);
+}
+
+void Delineator::end_frame() {
+  if (!in_frame_) return;
+  if (overflowed_) {
+    ++stats_.oversize;
+  } else if (!current_.empty() && current_.back() == kEscape) {
+    // 0x7D immediately before the closing flag: transmitter abort.
+    ++stats_.aborts;
+  } else if (current_.size() >= min_frame_) {
+    ++stats_.frames;
+    sink_(current_);
+  } else if (!current_.empty()) {
+    ++stats_.runts;
+  }
+  // empty current_: inter-frame fill / back-to-back flags — not an event.
+  current_.clear();
+  overflowed_ = false;
+}
+
+void Delineator::flush() {
+  // Stream ended mid-frame: a partial frame can never be validated.
+  if (in_frame_ && (!current_.empty() || overflowed_)) {
+    if (overflowed_)
+      ++stats_.oversize;
+    else
+      ++stats_.runts;
+  }
+  current_.clear();
+  overflowed_ = false;
+  in_frame_ = false;
+}
+
+}  // namespace p5::hdlc

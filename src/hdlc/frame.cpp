@@ -1,0 +1,130 @@
+#include "hdlc/frame.hpp"
+
+#include "common/check.hpp"
+#include "crc/crc_table.hpp"
+#include "hdlc/stuffing.hpp"
+
+namespace p5::hdlc {
+
+namespace {
+const crc::TableCrc& engine(const FrameConfig& cfg) {
+  return cfg.fcs == FcsKind::kFcs32 ? crc::fcs32() : crc::fcs16();
+}
+}  // namespace
+
+Bytes encapsulate(const FrameConfig& cfg, u16 protocol, BytesView payload) {
+  P5_EXPECTS(payload.size() <= cfg.max_payload);
+  Bytes content;
+  content.reserve(payload.size() + 8);
+  if (!cfg.acfc) {
+    content.push_back(cfg.address);
+    content.push_back(cfg.control);
+  }
+  if (cfg.pfc && protocol <= 0xFF) {
+    // PFC requires the low octet to be odd (RFC 1661 §2), which all
+    // assigned protocols satisfy; fall back to two octets otherwise.
+    if (protocol & 1u) {
+      content.push_back(static_cast<u8>(protocol));
+    } else {
+      put_be16(content, protocol);
+    }
+  } else {
+    put_be16(content, protocol);
+  }
+  append(content, payload);
+
+  // FCS is computed over everything between the flags, and transmitted
+  // least-significant octet first (RFC 1662 §C).
+  const u32 fcs =
+      engine(cfg).update(cfg.crc_spec().init, content) ^ cfg.crc_spec().xorout;
+  if (cfg.fcs == FcsKind::kFcs32) {
+    put_le32(content, fcs);
+  } else {
+    content.push_back(static_cast<u8>(fcs));
+    content.push_back(static_cast<u8>(fcs >> 8));
+  }
+  return content;
+}
+
+Bytes build_wire_frame(const FrameConfig& cfg, u16 protocol, BytesView payload) {
+  const Bytes content = encapsulate(cfg, protocol, payload);
+  Bytes wire;
+  wire.reserve(content.size() + 16);
+  wire.push_back(kFlag);
+  const Bytes stuffed = stuff(content, cfg.accm);
+  append(wire, stuffed);
+  wire.push_back(kFlag);
+  return wire;
+}
+
+ParseResult parse(const FrameConfig& cfg, BytesView content) {
+  ParseResult r;
+  const std::size_t fcs_len = cfg.fcs_bytes();
+  if (content.size() < fcs_len + 1) {
+    r.error = ParseError::kTooShort;
+    return r;
+  }
+  if (!engine(cfg).check(content)) {
+    r.error = ParseError::kBadFcs;
+    return r;
+  }
+
+  std::size_t off = 0;
+  if (!cfg.acfc) {
+    // Uncompressed header required. The address comparison doubles as the
+    // MAPOS address filter: the P5's Address register is programmable and
+    // frames for other stations are dropped here.
+    if (content.size() - fcs_len < 2) {
+      r.error = ParseError::kTooShort;
+      return r;
+    }
+    if (content[0] != cfg.address && content[0] != kDefaultAddress) {
+      // 0xFF stays valid as the all-stations (broadcast) address.
+      r.error = ParseError::kBadAddress;
+      return r;
+    }
+    if (content[1] != cfg.control) {
+      r.error = ParseError::kBadControl;
+      return r;
+    }
+    off = 2;
+  } else if (content.size() - fcs_len >= 2 && content[0] == cfg.address &&
+             content[1] == cfg.control) {
+    // ACFC negotiated but the peer sent the header anyway — accept it
+    // (RFC 1661 §6.6).
+    off = 2;
+  }
+
+  if (off >= content.size() - fcs_len) {
+    r.error = ParseError::kTooShort;
+    return r;
+  }
+
+  ParsedFrame f;
+  const u8 p0 = content[off];
+  if (p0 & 1u) {
+    // Compressed (single-octet) protocol: assigned values have an even
+    // high octet and odd low octet, so an odd first octet means PFC.
+    f.protocol = p0;
+    off += 1;
+  } else {
+    if (off + 2 > content.size() - fcs_len) {
+      r.error = ParseError::kTooShort;
+      return r;
+    }
+    f.protocol = get_be16(content, off);
+    off += 2;
+  }
+
+  const std::size_t payload_len = content.size() - fcs_len - off;
+  if (payload_len > cfg.max_payload) {
+    r.error = ParseError::kTooLong;
+    return r;
+  }
+  f.payload.assign(content.begin() + static_cast<std::ptrdiff_t>(off),
+                   content.end() - static_cast<std::ptrdiff_t>(fcs_len));
+  r.frame = std::move(f);
+  return r;
+}
+
+}  // namespace p5::hdlc

@@ -1,0 +1,68 @@
+// HDLC-like PPP frame assembly and parsing (RFC 1662 framing around RFC 1661
+// fields), with the programmability knobs the paper's OAM exposes:
+//   * programmable Address octet (MAPOS compatibility, RFC 2171);
+//   * 1- or 2-octet Protocol field (PFC negotiation);
+//   * Address/Control field compression (ACFC);
+//   * FCS-16 or FCS-32 (paper uses FCS-32 "for accuracy purposes").
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "crc/crc_spec.hpp"
+#include "hdlc/accm.hpp"
+
+namespace p5::hdlc {
+
+inline constexpr u8 kDefaultAddress = 0xFF;  ///< all-stations
+inline constexpr u8 kDefaultControl = 0x03;  ///< unnumbered information (UI)
+
+enum class FcsKind : u8 { kFcs16, kFcs32 };
+
+struct FrameConfig {
+  u8 address = kDefaultAddress;  ///< programmable for MAPOS unicast/multicast
+  u8 control = kDefaultControl;
+  bool acfc = false;          ///< compress (omit) address+control on transmit
+  bool pfc = false;           ///< 1-octet protocol field when protocol <= 0xFF
+  FcsKind fcs = FcsKind::kFcs32;
+  Accm accm = Accm::sonet();
+  std::size_t max_payload = 1500;  ///< negotiated MRU (RFC 1661 default)
+
+  [[nodiscard]] const crc::CrcSpec& crc_spec() const {
+    return fcs == FcsKind::kFcs32 ? crc::kFcs32 : crc::kFcs16;
+  }
+  [[nodiscard]] std::size_t fcs_bytes() const { return fcs == FcsKind::kFcs32 ? 4 : 2; }
+};
+
+/// Frame *content*: the octets between the flags, before stuffing:
+/// [address control] protocol payload fcs.
+[[nodiscard]] Bytes encapsulate(const FrameConfig& cfg, u16 protocol, BytesView payload);
+
+/// Full wire image: flag + stuff(content) + flag.
+[[nodiscard]] Bytes build_wire_frame(const FrameConfig& cfg, u16 protocol, BytesView payload);
+
+enum class ParseError : u8 {
+  kTooShort,
+  kBadFcs,
+  kBadAddress,
+  kBadControl,
+  kTooLong,
+};
+
+struct ParsedFrame {
+  u16 protocol = 0;
+  Bytes payload;
+};
+
+struct ParseResult {
+  std::optional<ParsedFrame> frame;
+  std::optional<ParseError> error;
+  [[nodiscard]] bool ok() const { return frame.has_value(); }
+};
+
+/// Parse de-stuffed frame content (as produced by encapsulate / received by
+/// the delineator+destuffer). Accepts ACFC/PFC-compressed headers whether or
+/// not the config enables them on transmit, per RFC 1661 robustness rules.
+[[nodiscard]] ParseResult parse(const FrameConfig& cfg, BytesView content);
+
+}  // namespace p5::hdlc

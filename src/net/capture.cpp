@@ -1,0 +1,118 @@
+#include "net/capture.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/hexdump.hpp"
+
+namespace p5::net {
+
+void Capture::record(u64 cycle, Direction dir, u16 protocol, BytesView payload) {
+  CapturedFrame f;
+  f.cycle = cycle;
+  f.direction = dir;
+  f.protocol = protocol;
+  f.payload.assign(payload.begin(), payload.end());
+  frames_.push_back(std::move(f));
+}
+
+std::size_t Capture::total_octets() const {
+  std::size_t n = 0;
+  for (const auto& f : frames_) n += f.payload.size();
+  return n;
+}
+
+namespace {
+void put_le64(Bytes& b, u64 v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<u8>(v >> (8 * i)));
+}
+u64 get_le64(BytesView b, std::size_t off) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(b[off + i]) << (8 * i);
+  return v;
+}
+}  // namespace
+
+Bytes Capture::serialize() const {
+  Bytes out;
+  put_le32(out, kMagic);
+  out.push_back(static_cast<u8>(kVersion));
+  out.push_back(static_cast<u8>(kVersion >> 8));
+  put_le32(out, static_cast<u32>(frames_.size()));
+  for (const auto& f : frames_) {
+    put_le64(out, f.cycle);
+    out.push_back(static_cast<u8>(f.direction));
+    out.push_back(static_cast<u8>(f.protocol));
+    out.push_back(static_cast<u8>(f.protocol >> 8));
+    put_le32(out, static_cast<u32>(f.payload.size()));
+    append(out, f.payload);
+  }
+  return out;
+}
+
+std::optional<Capture> Capture::parse(BytesView data) {
+  if (data.size() < 10) return std::nullopt;
+  if (get_le32(data, 0) != kMagic) return std::nullopt;
+  const u16 version = static_cast<u16>(data[4] | (data[5] << 8));
+  if (version != kVersion) return std::nullopt;
+  const u32 count = get_le32(data, 6);
+  std::size_t off = 10;
+  Capture cap;
+  for (u32 i = 0; i < count; ++i) {
+    if (off + 15 > data.size()) return std::nullopt;
+    CapturedFrame f;
+    f.cycle = get_le64(data, off);
+    off += 8;
+    if (data[off] > 1) return std::nullopt;
+    f.direction = static_cast<Direction>(data[off]);
+    off += 1;
+    f.protocol = static_cast<u16>(data[off] | (data[off + 1] << 8));
+    off += 2;
+    const u32 len = get_le32(data, off);
+    off += 4;
+    if (off + len > data.size()) return std::nullopt;
+    f.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                     data.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+    cap.frames_.push_back(std::move(f));
+  }
+  if (off != data.size()) return std::nullopt;  // trailing garbage
+  return cap;
+}
+
+bool Capture::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const Bytes data = serialize();
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(f);
+}
+
+std::optional<Capture> Capture::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  Bytes data((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  return parse(data);
+}
+
+std::string Capture::summary(std::size_t max_frames) const {
+  std::string out;
+  char line[160];
+  const std::size_t n = std::min(max_frames, frames_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& f = frames_[i];
+    std::snprintf(line, sizeof line, "#%06llu %s proto=0x%04x len=%zu  %s\n",
+                  static_cast<unsigned long long>(f.cycle),
+                  f.direction == Direction::kTx ? "TX" : "RX", f.protocol, f.payload.size(),
+                  hex_line(f.payload, 12).c_str());
+    out += line;
+  }
+  if (frames_.size() > n) {
+    std::snprintf(line, sizeof line, "... %zu more frames\n", frames_.size() - n);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace p5::net

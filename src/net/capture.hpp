@@ -1,0 +1,53 @@
+// Frame capture — a pcap-flavoured trace container for the simulated links.
+//
+// Records timestamped frames (cycle stamps, since the simulation has no wall
+// clock), serialises to a compact binary format, reloads, and renders a
+// tcpdump-style text summary. Examples and failing tests dump captures so a
+// run can be inspected offline; the binary format is versioned and
+// self-describing enough to survive the repository evolving.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace p5::net {
+
+enum class Direction : u8 { kTx = 0, kRx = 1 };
+
+struct CapturedFrame {
+  u64 cycle = 0;        ///< simulation timestamp
+  Direction direction = Direction::kTx;
+  u16 protocol = 0;     ///< PPP protocol field (0 if unknown/raw)
+  Bytes payload;        ///< frame information field (or raw octets)
+};
+
+class Capture {
+ public:
+  static constexpr u32 kMagic = 0x50354341;  // "P5CA"
+  static constexpr u16 kVersion = 1;
+
+  void record(u64 cycle, Direction dir, u16 protocol, BytesView payload);
+  void clear() { frames_.clear(); }
+
+  [[nodiscard]] const std::vector<CapturedFrame>& frames() const { return frames_; }
+  [[nodiscard]] std::size_t size() const { return frames_.size(); }
+  [[nodiscard]] std::size_t total_octets() const;
+
+  /// Binary serialisation (little-endian, length-prefixed records).
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Capture> parse(BytesView data);
+
+  bool save(const std::string& path) const;
+  [[nodiscard]] static std::optional<Capture> load(const std::string& path);
+
+  /// tcpdump-style one-line-per-frame summary.
+  [[nodiscard]] std::string summary(std::size_t max_frames = 50) const;
+
+ private:
+  std::vector<CapturedFrame> frames_;
+};
+
+}  // namespace p5::net

@@ -1,0 +1,59 @@
+#include "net/ipv4.hpp"
+
+#include "common/check.hpp"
+
+namespace p5::net {
+
+u16 internet_checksum(BytesView data) {
+  u32 sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) sum += static_cast<u32>((data[i] << 8) | data[i + 1]);
+  if (i < data.size()) sum += static_cast<u32>(data[i] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFFu) + (sum >> 16);
+  return static_cast<u16>(~sum & 0xFFFFu);
+}
+
+Bytes build_datagram(const Ipv4Header& hdr, BytesView payload) {
+  P5_EXPECTS(payload.size() + kIpv4HeaderBytes <= 65535);
+  Bytes d;
+  d.reserve(kIpv4HeaderBytes + payload.size());
+  d.push_back(0x45);  // version 4, IHL 5
+  d.push_back(hdr.tos);
+  put_be16(d, static_cast<u16>(kIpv4HeaderBytes + payload.size()));
+  put_be16(d, hdr.identification);
+  put_be16(d, 0);  // flags/fragment offset: unfragmented
+  d.push_back(hdr.ttl);
+  d.push_back(hdr.protocol);
+  put_be16(d, 0);  // checksum placeholder
+  put_be32(d, hdr.src);
+  put_be32(d, hdr.dst);
+  const u16 csum = internet_checksum(BytesView(d).subspan(0, kIpv4HeaderBytes));
+  d[10] = static_cast<u8>(csum >> 8);
+  d[11] = static_cast<u8>(csum);
+  append(d, payload);
+  return d;
+}
+
+std::optional<ParsedDatagram> parse_datagram(BytesView data) {
+  if (data.size() < kIpv4HeaderBytes) return std::nullopt;
+  if ((data[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(data[0] & 0xF) * 4;
+  if (ihl < kIpv4HeaderBytes || data.size() < ihl) return std::nullopt;
+  const u16 total = get_be16(data, 2);
+  if (total < ihl || total > data.size()) return std::nullopt;
+  if (internet_checksum(data.subspan(0, ihl)) != 0) return std::nullopt;
+
+  ParsedDatagram p;
+  p.header.tos = data[1];
+  p.header.total_length = total;
+  p.header.identification = get_be16(data, 4);
+  p.header.ttl = data[8];
+  p.header.protocol = data[9];
+  p.header.src = get_be32(data, 12);
+  p.header.dst = get_be32(data, 16);
+  p.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(ihl),
+                   data.begin() + total);
+  return p;
+}
+
+}  // namespace p5::net

@@ -1,0 +1,39 @@
+// Minimal IPv4 datagram synthesis/parse — the network-layer payloads the P5
+// encapsulates ("the most efficient layer 2 protocol for encapsulating IP
+// datagrams"). Header checksum is real so end-to-end integrity checks have
+// two independent layers (IP checksum above, PPP FCS below).
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace p5::net {
+
+struct Ipv4Header {
+  u8 tos = 0;
+  u16 total_length = 0;  ///< filled in by build()
+  u16 identification = 0;
+  u8 ttl = 64;
+  u8 protocol = 17;  ///< UDP by default
+  u32 src = 0;
+  u32 dst = 0;
+};
+
+inline constexpr std::size_t kIpv4HeaderBytes = 20;
+
+/// RFC 1071 ones-complement checksum over 16-bit words.
+[[nodiscard]] u16 internet_checksum(BytesView data);
+
+/// Serialise header + payload into one datagram (checksum computed).
+[[nodiscard]] Bytes build_datagram(const Ipv4Header& hdr, BytesView payload);
+
+struct ParsedDatagram {
+  Ipv4Header header;
+  Bytes payload;
+};
+
+/// Parse and validate (version, length, checksum). nullopt on any error.
+[[nodiscard]] std::optional<ParsedDatagram> parse_datagram(BytesView data);
+
+}  // namespace p5::net

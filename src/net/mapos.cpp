@@ -1,0 +1,153 @@
+#include "net/mapos.hpp"
+
+#include "common/check.hpp"
+#include "crc/crc_table.hpp"
+#include "hdlc/stuffing.hpp"
+
+namespace p5::net {
+
+namespace {
+
+/// Destuffed MAPOS frame content: Address | Control | Protocol(2) | payload | FCS32.
+struct Fields {
+  u8 address;
+  u16 protocol;
+  BytesView payload;
+};
+
+std::optional<Fields> parse_content(BytesView content) {
+  if (content.size() < 4 + 4) return std::nullopt;
+  if (!crc::fcs32().check(content)) return std::nullopt;
+  Fields f;
+  f.address = content[0];
+  f.protocol = get_be16(content, 2);
+  f.payload = content.subspan(4, content.size() - 8);
+  return f;
+}
+
+Bytes build_wire(u8 address, u16 protocol, BytesView payload) {
+  Bytes content;
+  content.reserve(payload.size() + 8);
+  content.push_back(address);
+  content.push_back(hdlc::kDefaultControl);
+  put_be16(content, protocol);
+  append(content, payload);
+  const u32 fcs = crc::fcs32().crc(content);
+  put_le32(content, fcs);
+
+  Bytes wire;
+  wire.push_back(hdlc::kFlag);
+  const Bytes stuffed = hdlc::stuff(content);
+  append(wire, stuffed);
+  wire.push_back(hdlc::kFlag);
+  return wire;
+}
+
+}  // namespace
+
+// ---------------- switch ----------------
+
+MaposSwitch::MaposSwitch(unsigned ports) {
+  P5_EXPECTS(ports >= 1 && ports < 120);  // 7-bit address space / 2
+  ports_.resize(ports);
+  for (unsigned p = 0; p < ports; ++p) {
+    ports_[p].delineator = std::make_unique<hdlc::Delineator>(
+        [this, p](BytesView f) { on_frame(p, f); });
+  }
+}
+
+void MaposSwitch::attach(unsigned port, std::function<void(BytesView)> tx) {
+  P5_EXPECTS(port < ports_.size());
+  ports_[port].tx = std::move(tx);
+}
+
+void MaposSwitch::rx(unsigned port, BytesView octets) {
+  P5_EXPECTS(port < ports_.size());
+  ports_[port].delineator->push(octets);
+}
+
+void MaposSwitch::on_frame(unsigned port, BytesView stuffed) {
+  const auto destuffed = hdlc::destuff(stuffed);
+  if (!destuffed.ok) {
+    ++stats_.fcs_dropped;
+    return;
+  }
+  const auto fields = parse_content(destuffed.data);
+  if (!fields) {
+    ++stats_.fcs_dropped;  // a real switch port drops bad-FCS frames
+    return;
+  }
+
+  // NSP terminates at the switch.
+  if (fields->protocol == kMaposProtoNsp) {
+    if (!fields->payload.empty() && fields->payload[0] == kNspAddressRequest) {
+      ++stats_.nsp_assignments;
+      const u8 assigned = mapos_port_address(port);
+      const Bytes reply_payload{kNspAddressAssign, assigned};
+      if (ports_[port].tx)
+        ports_[port].tx(build_wire(assigned, kMaposProtoNsp, reply_payload));
+    }
+    return;
+  }
+
+  if (fields->address == kMaposBroadcast) {
+    ++stats_.frames_flooded;
+    const Bytes wire = build_wire(fields->address, fields->protocol, fields->payload);
+    for (unsigned p = 0; p < ports_.size(); ++p)
+      if (p != port && ports_[p].tx) ports_[p].tx(wire);
+    return;
+  }
+
+  // Unicast: the fixed port-address mapping inverts directly.
+  const unsigned target = static_cast<unsigned>(fields->address >> 1);
+  if ((fields->address & 1u) == 0 || target == 0 || target > ports_.size() ||
+      !ports_[target - 1].tx) {
+    ++stats_.unknown_destination;
+    return;
+  }
+  ++stats_.frames_forwarded;
+  ports_[target - 1].tx(build_wire(fields->address, fields->protocol, fields->payload));
+}
+
+// ---------------- node ----------------
+
+MaposNode::MaposNode(std::function<void(BytesView)> wire_tx)
+    : wire_tx_(std::move(wire_tx)),
+      delineator_([this](BytesView f) { on_frame(f); }) {}
+
+void MaposNode::request_address() {
+  const Bytes payload{kNspAddressRequest};
+  wire_tx_(build_wire(kMaposNullAddress, kMaposProtoNsp, payload));
+}
+
+bool MaposNode::send(u8 destination, u16 protocol, BytesView payload) {
+  if (!address_) return false;  // must complete NSP first
+  wire_tx_(build_wire(destination, protocol, payload));
+  return true;
+}
+
+void MaposNode::rx(BytesView octets) { delineator_.push(octets); }
+
+void MaposNode::on_frame(BytesView stuffed) {
+  const auto destuffed = hdlc::destuff(stuffed);
+  if (!destuffed.ok) return;
+  const auto fields = parse_content(destuffed.data);
+  if (!fields) return;
+
+  if (fields->protocol == kMaposProtoNsp) {
+    if (fields->payload.size() >= 2 && fields->payload[0] == kNspAddressAssign)
+      address_ = fields->payload[1];
+    return;
+  }
+
+  // Address filter: ours or broadcast.
+  if (address_ && fields->address != *address_ && fields->address != kMaposBroadcast) return;
+  if (sink_) {
+    Received r;
+    r.protocol = fields->protocol;
+    r.payload.assign(fields->payload.begin(), fields->payload.end());
+    sink_(r);
+  }
+}
+
+}  // namespace p5::net

@@ -1,0 +1,119 @@
+// MAPOS — Multiple Access Protocol over SONET/SDH (RFC 2171), the network
+// the paper's programmable Address field exists for: "this implementation
+// allows this field to be programmable so that it is compatible with MAPOS
+// systems".
+//
+// MAPOS keeps PPP's HDLC-like framing but turns the point-to-point link into
+// a switched multi-access network: a frame switch forwards frames by the
+// Address octet, and each node learns its unicast address from the switch
+// through the Node-Switch Protocol (NSP). This module implements the
+// single-switch subset:
+//
+//   * address format (RFC 2171 §4): unicast = port number shifted left once
+//     with the LSB set (HDLC EA bit); 0xFF = broadcast to all nodes;
+//   * NSP address assignment: a node sends an Address-Request with the
+//     null address, the switch answers Address-Assign for its port;
+//   * unicast forwarding, broadcast flooding (all ports except ingress),
+//     and drop-counting for unknown destinations;
+//   * the switch is store-and-forward and validates the FCS of every frame
+//     it relays, like a real MAPOS switch port.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hdlc/delineation.hpp"
+#include "hdlc/frame.hpp"
+
+namespace p5::net {
+
+/// MAPOS protocol numbers (RFC 2171 §5).
+inline constexpr u16 kMaposProtoIp = 0x0021;
+inline constexpr u16 kMaposProtoNsp = 0xFE01;
+
+/// NSP message codes (subset).
+inline constexpr u8 kNspAddressRequest = 1;
+inline constexpr u8 kNspAddressAssign = 2;
+
+inline constexpr u8 kMaposBroadcast = 0xFF;
+inline constexpr u8 kMaposNullAddress = 0x01;  ///< unassigned node (EA bit only)
+
+/// Unicast address for a switch port (RFC 2171 §4, single-switch form).
+[[nodiscard]] constexpr u8 mapos_port_address(unsigned port) {
+  return static_cast<u8>(((port + 1) << 1) | 0x01);
+}
+
+struct MaposSwitchStats {
+  u64 frames_forwarded = 0;
+  u64 frames_flooded = 0;
+  u64 unknown_destination = 0;
+  u64 fcs_dropped = 0;
+  u64 nsp_assignments = 0;
+};
+
+/// A MAPOS frame switch with N ports. Each port's transmit side is a
+/// callback delivering raw wire octets toward the attached node.
+class MaposSwitch {
+ public:
+  explicit MaposSwitch(unsigned ports);
+
+  /// Wire the transmit side of a port.
+  void attach(unsigned port, std::function<void(BytesView)> tx);
+
+  /// Octets arriving from the node on `port`.
+  void rx(unsigned port, BytesView octets);
+
+  [[nodiscard]] const MaposSwitchStats& stats() const { return stats_; }
+  [[nodiscard]] u8 port_address(unsigned port) const { return mapos_port_address(port); }
+
+ private:
+  void on_frame(unsigned port, BytesView stuffed);
+  void transmit(unsigned port, BytesView content_destuffed);
+
+  struct Port {
+    std::function<void(BytesView)> tx;
+    std::unique_ptr<hdlc::Delineator> delineator;
+  };
+  std::vector<Port> ports_;
+  MaposSwitchStats stats_;
+};
+
+/// A MAPOS end node: acquires its address via NSP, then exchanges frames
+/// (protocol + payload) with other nodes through the switch.
+class MaposNode {
+ public:
+  struct Received {
+    u8 source_guess = 0;  ///< MAPOS has no source field; 0 (see README note)
+    u16 protocol = 0;
+    Bytes payload;
+  };
+
+  /// `wire_tx` sends raw octets toward the switch port.
+  explicit MaposNode(std::function<void(BytesView)> wire_tx);
+
+  /// Kick off NSP address acquisition.
+  void request_address();
+
+  /// Send a payload to a destination address (requires an assigned address).
+  bool send(u8 destination, u16 protocol, BytesView payload);
+
+  /// Octets arriving from the switch.
+  void rx(BytesView octets);
+
+  void set_sink(std::function<void(const Received&)> sink) { sink_ = std::move(sink); }
+
+  [[nodiscard]] std::optional<u8> address() const { return address_; }
+
+ private:
+  void on_frame(BytesView stuffed);
+
+  std::function<void(BytesView)> wire_tx_;
+  std::function<void(const Received&)> sink_;
+  hdlc::Delineator delineator_;
+  std::optional<u8> address_;
+};
+
+}  // namespace p5::net

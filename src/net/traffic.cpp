@@ -1,0 +1,90 @@
+#include "net/traffic.hpp"
+
+#include "common/check.hpp"
+#include "hdlc/accm.hpp"
+
+namespace p5::net {
+
+std::string to_string(PayloadPattern p) {
+  switch (p) {
+    case PayloadPattern::kUniformRandom: return "uniform";
+    case PayloadPattern::kAscii: return "ascii";
+    case PayloadPattern::kFlagDense: return "flag-dense";
+    case PayloadPattern::kAllFlags: return "all-flags";
+    case PayloadPattern::kIncrementing: return "incrementing";
+  }
+  return "?";
+}
+
+TrafficGenerator::TrafficGenerator(const TrafficSpec& spec) : spec_(spec), rng_(spec.seed) {
+  P5_EXPECTS(spec.min_len >= kIpv4HeaderBytes);
+  P5_EXPECTS(spec.min_len <= spec.max_len);
+}
+
+Bytes TrafficGenerator::payload(std::size_t len) {
+  Bytes p;
+  p.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    switch (spec_.pattern) {
+      case PayloadPattern::kUniformRandom:
+        p.push_back(rng_.byte());
+        break;
+      case PayloadPattern::kAscii:
+        p.push_back(static_cast<u8>(rng_.range(0x20, 0x7A)));  // excludes 0x7D/0x7E
+        break;
+      case PayloadPattern::kFlagDense:
+        if (rng_.chance(spec_.escape_density)) {
+          p.push_back(rng_.chance(0.5) ? hdlc::kFlag : hdlc::kEscape);
+        } else {
+          // Non-escaping filler: avoid accidentally emitting flag/escape.
+          u8 b = rng_.byte();
+          while (b == hdlc::kFlag || b == hdlc::kEscape) b = rng_.byte();
+          p.push_back(b);
+        }
+        break;
+      case PayloadPattern::kAllFlags:
+        p.push_back(hdlc::kFlag);
+        break;
+      case PayloadPattern::kIncrementing:
+        p.push_back(counter_++);
+        break;
+    }
+  }
+  return p;
+}
+
+Bytes TrafficGenerator::next_datagram() {
+  const std::size_t len = rng_.range(spec_.min_len, spec_.max_len);
+  Ipv4Header hdr;
+  hdr.identification = next_id_++;
+  hdr.src = 0x0A000001;  // 10.0.0.1
+  hdr.dst = 0x0A000002;  // 10.0.0.2
+  return build_datagram(hdr, payload(len - kIpv4HeaderBytes));
+}
+
+Bytes ImixGenerator::next_datagram() {
+  // 7:4:1 mix of 40/576/1500-byte datagrams (classic IMIX).
+  const u64 pick = rng_.below(12);
+  const std::size_t len = pick < 7 ? 40 : (pick < 11 ? 576 : 1500);
+  Ipv4Header hdr;
+  hdr.identification = next_id_++;
+  hdr.src = 0x0A000001;
+  hdr.dst = 0x0A000002;
+  Bytes payload;
+  payload.reserve(len - kIpv4HeaderBytes);
+  for (std::size_t i = 0; i < len - kIpv4HeaderBytes; ++i) payload.push_back(rng_.byte());
+  return build_datagram(hdr, payload);
+}
+
+Workload make_workload(const TrafficSpec& spec, std::size_t count) {
+  TrafficGenerator gen(spec);
+  Workload w;
+  w.datagrams.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    w.datagrams.push_back(gen.next_datagram());
+    w.total_bytes += w.datagrams.back().size();
+  }
+  return w;
+}
+
+}  // namespace p5::net

@@ -1,0 +1,76 @@
+// Deterministic workload generators for the throughput / buffer experiments
+// (DESIGN.md E6, E8) and the randomized property tests.
+//
+// Escape density is the parameter that stresses the paper's byte sorter: each
+// flag/escape octet in the payload expands to two on the wire, so generators
+// can dial the fraction of must-escape octets from 0 (ASCII-ish traffic) to
+// 1.0 (the paper's "all 4 byte locations are flag characters, however
+// unlikely" worst case).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/ipv4.hpp"
+
+namespace p5::net {
+
+enum class PayloadPattern : u8 {
+  kUniformRandom,  ///< i.i.d. uniform octets (~1/128 escape density)
+  kAscii,          ///< printable characters only (zero escape density)
+  kFlagDense,      ///< each octet is 0x7E/0x7D with probability `escape_density`
+  kAllFlags,       ///< every octet is 0x7E — absolute worst case
+  kIncrementing,   ///< counter pattern, easy to eyeball in traces
+};
+
+struct TrafficSpec {
+  PayloadPattern pattern = PayloadPattern::kUniformRandom;
+  double escape_density = 0.0;  ///< only used by kFlagDense
+  std::size_t min_len = 40;     ///< datagram length bounds (bytes, incl. IP hdr)
+  std::size_t max_len = 1500;
+  u64 seed = 1;
+};
+
+[[nodiscard]] std::string to_string(PayloadPattern p);
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficSpec& spec);
+
+  /// Next IP datagram (header + synthesized payload).
+  [[nodiscard]] Bytes next_datagram();
+
+  /// Raw payload of exactly `len` octets following the configured pattern.
+  [[nodiscard]] Bytes payload(std::size_t len);
+
+  [[nodiscard]] const TrafficSpec& spec() const { return spec_; }
+
+ private:
+  TrafficSpec spec_;
+  Xoshiro256 rng_;
+  u16 next_id_ = 1;
+  u8 counter_ = 0;
+};
+
+/// Simple Internet mix: 7:4:1 of 40 / 576 / 1500-byte datagrams.
+class ImixGenerator {
+ public:
+  explicit ImixGenerator(u64 seed = 1) : rng_(seed) {}
+  [[nodiscard]] Bytes next_datagram();
+
+ private:
+  Xoshiro256 rng_;
+  u16 next_id_ = 1;
+};
+
+/// A batch of datagrams plus aggregate size, for feeding benches.
+struct Workload {
+  std::vector<Bytes> datagrams;
+  std::size_t total_bytes = 0;
+};
+
+[[nodiscard]] Workload make_workload(const TrafficSpec& spec, std::size_t count);
+
+}  // namespace p5::net

@@ -1,0 +1,63 @@
+#include "netlist/area_report.hpp"
+
+#include <cstdio>
+
+namespace p5::netlist {
+
+std::size_t AreaReport::total_luts() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) n += r.map.luts;
+  return n;
+}
+
+std::size_t AreaReport::total_ffs() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) n += r.map.ffs;
+  return n;
+}
+
+std::size_t AreaReport::critical_depth() const {
+  std::size_t d = 0;
+  for (const auto& r : rows_) d = std::max(d, r.map.depth);
+  return d;
+}
+
+std::string AreaReport::module_table() const {
+  std::string out = title_ + " — module breakdown\n";
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "  %-28s %8s %8s %8s %8s\n", "module", "LUTs", "FFs",
+                "depth", "gates");
+  out += buf;
+  for (const auto& r : rows_) {
+    std::snprintf(buf, sizeof buf, "  %-28s %8zu %8zu %8zu %8zu\n", r.module.c_str(),
+                  r.map.luts, r.map.ffs, r.map.depth, r.map.gates);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "  %-28s %8zu %8zu %8zu\n", "TOTAL", total_luts(), total_ffs(),
+                critical_depth());
+  out += buf;
+  return out;
+}
+
+std::string AreaReport::device_table(const std::vector<Device>& devices) const {
+  const std::size_t luts = total_luts();
+  const std::size_t ffs = total_ffs();
+  const std::size_t depth = critical_depth();
+
+  std::string out = title_ + " — device utilisation (pre-layout / post-layout)\n";
+  char buf[200];
+  std::snprintf(buf, sizeof buf, "  %-12s %16s %16s %12s %12s\n", "device", "LUTs (util)",
+                "FFs (util)", "fmax pre", "fmax post");
+  out += buf;
+  for (const Device& d : devices) {
+    std::snprintf(buf, sizeof buf, "  %-12s %8zu (%3.0f%%) %8zu (%3.0f%%) %8.1f MHz %8.1f MHz\n",
+                  d.name.c_str(), luts, d.lut_utilisation(luts), ffs, d.ff_utilisation(ffs),
+                  d.fmax_mhz(depth, false), d.fmax_mhz(depth, true));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "  critical path: %zu LUT levels\n", depth);
+  out += buf;
+  return out;
+}
+
+}  // namespace p5::netlist

@@ -1,0 +1,44 @@
+// Synthesis-style reporting: per-module LUT/FF/depth rows, device
+// utilisation percentages and pre/post-layout fmax — formatted like the
+// paper's Tables 1-3 so the bench output reads side-by-side with the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/device.hpp"
+#include "netlist/lut_mapper.hpp"
+
+namespace p5::netlist {
+
+struct ModuleArea {
+  std::string module;
+  MapResult map;
+};
+
+class AreaReport {
+ public:
+  explicit AreaReport(std::string title) : title_(std::move(title)) {}
+
+  void add(std::string module, const MapResult& map) {
+    rows_.push_back(ModuleArea{std::move(module), map});
+  }
+
+  [[nodiscard]] std::size_t total_luts() const;
+  [[nodiscard]] std::size_t total_ffs() const;
+  /// Critical register-to-register path over all modules.
+  [[nodiscard]] std::size_t critical_depth() const;
+
+  /// Per-module breakdown table.
+  [[nodiscard]] std::string module_table() const;
+
+  /// The paper's table shape: one row per device with LUTs (util%),
+  /// FFs (util%) and fmax, pre- and post-layout.
+  [[nodiscard]] std::string device_table(const std::vector<Device>& devices) const;
+
+ private:
+  std::string title_;
+  std::vector<ModuleArea> rows_;
+};
+
+}  // namespace p5::netlist

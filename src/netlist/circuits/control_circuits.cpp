@@ -1,0 +1,304 @@
+#include "netlist/circuits/control_circuits.hpp"
+
+#include <bit>
+#include <string>
+
+#include "hdlc/accm.hpp"
+#include "netlist/circuits/sorter_common.hpp"
+
+namespace p5::netlist::circuits {
+
+namespace {
+
+using hdlc::kFlag;
+
+constexpr std::size_t kStateBits = 3;    // IDLE/HEADER/PAYLOAD/FCS/FLAG/FILL
+constexpr std::size_t kLenBits = 11;     // frame lengths up to 2047 octets
+constexpr std::size_t kFcsBits = 32;
+
+/// Generic state register + next-state mux network driven by `conditions`:
+/// a schematic-level FSM of the given size.
+Bus build_fsm(Builder& b, const std::vector<NodeId>& conditions) {
+  Netlist& nl = b.netlist();
+  const Bus state = b.dff_bus(kStateBits);
+  // Next state: a decision tree over the condition inputs — each condition
+  // selects between "advance" (state+1) and specific jumps, modelling the
+  // one-hot/priority structure a real control FSM synthesises into.
+  const Bus advance = trunc_bus(b.add(state, b.constant_bus(1, kStateBits)), kStateBits);
+  Bus next = advance;
+  std::size_t jump = 0;
+  for (const NodeId c : conditions) {
+    const Bus target = b.constant_bus(jump++ % (1u << kStateBits), kStateBits);
+    next = b.mux_bus(c, next, target);
+  }
+  b.wire_dff_bus(state, next);
+  return state;
+}
+
+/// Length down-counter with load, plus zero comparator.
+struct Counter {
+  Bus value;
+  NodeId is_zero;
+};
+
+Counter build_down_counter(Builder& b, const Bus& load_value, NodeId load, NodeId enable,
+                           u64 step) {
+  Netlist& nl = b.netlist();
+  const std::size_t w = load_value.size();
+  const Bus reg = b.dff_bus(w);
+  const u64 mask = (w >= 64) ? ~u64{0} : ((u64{1} << w) - 1);
+  const Bus dec = trunc_bus(b.add(reg, b.constant_bus((~step + 1) & mask, w)), w);
+  const Bus stepped = b.mux_bus(enable, reg, dec);
+  b.wire_dff_bus(reg, b.mux_bus(load, stepped, load_value));
+  Counter c;
+  c.value = reg;
+  c.is_zero = nl.not_(b.reduce_or(reg));
+  return c;
+}
+
+}  // namespace
+
+Netlist make_tx_control_circuit(unsigned lanes) {
+  Netlist nl("tx_control_" + std::to_string(lanes * 8));
+  Builder b(nl);
+
+  // Programmable header registers (OAM-written): MAPOS-capable address,
+  // control, 2-octet protocol.
+  const Bus cfg_data = b.input_bus("cfg_d", 8);
+  const NodeId cfg_we = nl.input("cfg_we");
+  const Bus cfg_addr = b.input_bus("cfg_a", 2);
+  const Bus reg_address = b.dff_bus(8);
+  const Bus reg_control = b.dff_bus(8);
+  const Bus reg_proto_hi = b.dff_bus(8);
+  const Bus reg_proto_lo = b.dff_bus(8);
+  const std::vector<Bus> header_regs{reg_address, reg_control, reg_proto_hi, reg_proto_lo};
+  for (std::size_t r = 0; r < header_regs.size(); ++r) {
+    const NodeId sel = b.eq_const(cfg_addr, r);
+    const NodeId we = nl.and_(cfg_we, sel);
+    b.wire_dff_bus(header_regs[r], b.mux_bus(we, header_regs[r], cfg_data));
+  }
+
+  // Frame sequencing: start strobe + length from the shared-memory DMA.
+  const NodeId start = nl.input("start");
+  const Bus frame_len = b.input_bus("len", kLenBits);
+  const NodeId payload_valid = nl.input("payload_valid");
+  const NodeId downstream_ready = nl.input("ds_ready");
+
+  const NodeId advance = nl.and_(payload_valid, downstream_ready);
+  const Counter remaining = build_down_counter(b, frame_len, start, advance, lanes);
+
+  // FCS input from the CRC unit, registered for the append phase.
+  const Bus fcs_in = b.input_bus("fcs", kFcsBits);
+  const Bus fcs_reg = b.dff_bus(kFcsBits);
+  const NodeId fcs_capture = nl.input("fcs_capture");
+  b.wire_dff_bus(fcs_reg, b.mux_bus(fcs_capture, fcs_reg, fcs_in));
+
+  const Bus state = build_fsm(b, {start, remaining.is_zero, nl.not_(payload_valid)});
+
+  // Per-lane datapath: steer header octet / payload octet / FCS octet.
+  const Bus payload = b.input_bus("pay", 8 * lanes);
+  const std::vector<Bus> pay_lanes = split_lanes(payload, lanes);
+  const NodeId in_header = b.eq_const(state, 1);
+  const NodeId in_fcs = b.eq_const(state, 3);
+  for (unsigned i = 0; i < lanes; ++i) {
+    // Header source for this lane (rotates with alignment — modelled as a
+    // mux over the four header registers selected by the low counter bits).
+    const Bus hsel = Bus(remaining.value.begin(), remaining.value.begin() + 2);
+    Bus header_byte = b.onehot_mux(
+        {b.eq_const(hsel, 0), b.eq_const(hsel, 1), b.eq_const(hsel, 2), b.eq_const(hsel, 3)},
+        header_regs);
+    Bus fcs_byte(fcs_reg.begin() + (i % 4) * 8, fcs_reg.begin() + (i % 4 + 1) * 8);
+    Bus lane = b.mux_bus(in_header, pay_lanes[i], header_byte);
+    lane = b.mux_bus(in_fcs, lane, fcs_byte);
+    b.output_bus(lane, "out" + std::to_string(i) + "_");
+  }
+  nl.output(b.eq_const(state, 2), "crc_enable");
+  nl.output(remaining.is_zero, "frame_done");
+  return nl;
+}
+
+Netlist make_rx_control_circuit(unsigned lanes) {
+  Netlist nl("rx_control_" + std::to_string(lanes * 8));
+  Builder b(nl);
+
+  // Programmable expected-address register (the MAPOS filter).
+  const Bus cfg_data = b.input_bus("cfg_d", 8);
+  const NodeId cfg_we = nl.input("cfg_we");
+  const Bus reg_address = b.dff_bus(8);
+  b.wire_dff_bus(reg_address, b.mux_bus(cfg_we, reg_address, cfg_data));
+
+  const Bus data = b.input_bus("in", 8 * lanes);
+  const NodeId in_valid = nl.input("in_valid");
+  const NodeId sof = nl.input("sof");
+  const NodeId eof = nl.input("eof");
+  const std::vector<Bus> in_lanes = split_lanes(data, lanes);
+
+  // Address filter + header capture.
+  const NodeId addr_ok = b.eq_bus(in_lanes[0], reg_address);
+  const Bus proto_reg = b.dff_bus(16);
+  const NodeId capture_proto = nl.and_(sof, in_valid);
+  Bus proto_src;
+  if (lanes >= 4) {
+    proto_src.insert(proto_src.end(), in_lanes[3].begin(), in_lanes[3].end());
+    proto_src.insert(proto_src.end(), in_lanes[2].begin(), in_lanes[2].end());
+  } else {
+    proto_src.insert(proto_src.end(), in_lanes[lanes - 1].begin(), in_lanes[lanes - 1].end());
+    proto_src.insert(proto_src.end(), in_lanes[0].begin(), in_lanes[0].end());
+  }
+  b.wire_dff_bus(proto_reg, b.mux_bus(capture_proto, proto_reg, proto_src));
+
+  // Received-length up-counter (for the status registers / MRU check).
+  const Bus len = b.dff_bus(kLenBits);
+  const Bus len_inc = trunc_bus(b.add(len, b.constant_bus(lanes, kLenBits)), kLenBits);
+  const Bus len_next = b.mux_bus(in_valid, len, len_inc);
+  b.wire_dff_bus(len, b.mux_bus(sof, len_next, b.constant_bus(lanes, kLenBits)));
+  const NodeId oversize = b.ge_const(len, 1504 + 8);
+
+  // FCS residue comparator — the "good frame" decision.
+  const Bus crc_state = b.input_bus("crc", kFcsBits);
+  const NodeId fcs_good = b.eq_const(crc_state, 0xDEBB20E3ull);
+
+  const Bus state = build_fsm(b, {sof, eof, nl.not_(addr_ok)});
+
+  // Status flops toward the OAM block.
+  const NodeId frame_ok = nl.dff(nl.and_(nl.and_(eof, fcs_good), addr_ok));
+  const NodeId frame_err = nl.dff(nl.and_(eof, nl.not_(fcs_good)));
+  const NodeId drop_addr = nl.dff(nl.and_(sof, nl.not_(addr_ok)));
+  nl.output(frame_ok, "frame_ok");
+  nl.output(frame_err, "frame_err");
+  nl.output(drop_addr, "addr_drop");
+  nl.output(oversize, "oversize");
+  b.output_bus(proto_reg, "proto");
+  b.output_bus(state, "state");
+  return nl;
+}
+
+Netlist make_flag_inserter_circuit(unsigned lanes) {
+  Netlist nl("flag_inserter_" + std::to_string(lanes * 8));
+  Builder b(nl);
+
+  const Bus in = b.input_bus("in", 8 * lanes);
+  const NodeId in_valid = nl.input("in_valid");
+  const NodeId eof = nl.input("eof");
+
+  if (lanes == 1) {
+    // 8-bit: a mux that injects the flag during inter-frame cycles.
+    const NodeId idle = nl.not_(in_valid);
+    const NodeId inject = nl.or_(idle, eof);
+    const Bus flag = b.constant_bus(kFlag, 8);
+    const Bus out = b.mux_bus(inject, in, flag);
+    Bus reg = b.dff_bus(8);
+    b.wire_dff_bus(reg, out);
+    b.output_bus(reg, "out");
+    nl.output(nl.dff(nl.constant(true)), "out_valid");
+    return nl;
+  }
+
+  // Wide datapath: closing-flag insertion shifts the tail of the frame —
+  // another expansion sorter, one extra slot for the flag octet.
+  const std::vector<Bus> in_lanes = split_lanes(in, lanes);
+  const Bus valid_lanes = b.input_bus("lane_en", lanes);  // partial final word
+
+  std::vector<Bus> slots;
+  const Bus flag = b.constant_bus(kFlag, 8);
+  // Slot j: data lane j while enabled, else the flag (at the boundary).
+  for (unsigned j = 0; j < lanes + 1; ++j) {
+    if (j < lanes) {
+      slots.push_back(b.mux_bus(valid_lanes[j], flag, in_lanes[j]));
+    } else {
+      slots.push_back(flag);
+    }
+  }
+  // Count = popcount(lane_en) + (eof ? 1 : 0).
+  Bus count = b.popcount(valid_lanes);
+  count = trunc_bus(b.add_bit(count, eof), bits_for(lanes + 1));
+  const QueueResult q = build_resync_queue(b, lanes, 2 * lanes + 2, slots, count, in_valid);
+  nl.output(q.accept, "in_ready");
+  b.output_bus(q.out_word, "out");
+  nl.output(q.out_valid, "out_valid");
+  return nl;
+}
+
+Netlist make_flag_delineator_circuit(unsigned lanes) {
+  Netlist nl("flag_delineator_" + std::to_string(lanes * 8));
+  Builder b(nl);
+
+  const Bus in = b.input_bus("in", 8 * lanes);
+  const NodeId in_valid = nl.input("in_valid");
+  const std::vector<Bus> in_lanes = split_lanes(in, lanes);
+
+  if (lanes == 1) {
+    const NodeId is_flag = b.eq_const(in, kFlag);
+    const NodeId in_frame = nl.dff();
+    nl.set_dff_input(in_frame, nl.mux(in_valid, in_frame, nl.or_(is_flag, in_frame)));
+    Bus reg = b.dff_bus(8);
+    b.wire_dff_bus(reg, in);
+    b.output_bus(reg, "out");
+    nl.output(nl.dff(nl.and_(in_valid, nl.not_(is_flag))), "out_valid");
+    nl.output(nl.dff(is_flag), "boundary");
+    return nl;
+  }
+
+  // Wide datapath: flags can sit in any lane, so surviving octets must be
+  // compacted and realigned — a compaction sorter keyed on the flag
+  // comparators, structurally the Escape Detect queue without the XOR.
+  Bus keep;
+  std::vector<NodeId> flag_here;
+  for (unsigned i = 0; i < lanes; ++i) {
+    const NodeId f = b.eq_const(in_lanes[i], kFlag);
+    flag_here.push_back(f);
+    keep.push_back(nl.not_(f));
+  }
+
+  // Compaction positions via prefix sums (registered descriptor stage).
+  const std::size_t pos_bits = bits_for(lanes - 1);
+  const std::size_t cnt_bits = bits_for(lanes);
+  const Bus s_word = b.dff_bus(8 * lanes);
+  const Bus s_keep = b.dff_bus(lanes);
+  std::vector<Bus> s_pos;
+  for (unsigned i = 0; i < lanes; ++i) s_pos.push_back(b.dff_bus(pos_bits));
+  const Bus s_count = b.dff_bus(cnt_bits);
+  const NodeId s_valid = nl.dff();
+
+  std::vector<Bus> pos_now;
+  for (unsigned i = 0; i < lanes; ++i) {
+    if (i == 0) {
+      pos_now.push_back(b.constant_bus(0, pos_bits));
+      continue;
+    }
+    const Bus before(keep.begin(), keep.begin() + i);
+    pos_now.push_back(b.table_bus(
+        before, [](u64 v) { return static_cast<u64>(std::popcount(v)); }, pos_bits));
+  }
+  const Bus prefix = b.table_bus(
+      keep, [](u64 v) { return static_cast<u64>(std::popcount(v)); }, cnt_bits);
+
+  const std::vector<Bus> s_lanes = split_lanes(s_word, lanes);
+  std::vector<Bus> slots;
+  for (unsigned j = 0; j < lanes; ++j) {
+    std::vector<NodeId> sels;
+    std::vector<Bus> choices;
+    for (unsigned i = j; i < lanes; ++i) {
+      sels.push_back(nl.and_(b.eq_const(s_pos[i], j), s_keep[i]));
+      choices.push_back(s_lanes[i]);
+    }
+    slots.push_back(b.onehot_mux(sels, choices));
+  }
+  const QueueResult q = build_resync_queue(b, lanes, 2 * lanes, slots, s_count, s_valid);
+
+  const NodeId s_can_load = nl.or_(nl.not_(s_valid), q.accept);
+  b.wire_dff_bus(s_word, b.mux_bus(s_can_load, s_word, in));
+  b.wire_dff_bus(s_keep, b.mux_bus(s_can_load, s_keep, keep));
+  for (unsigned i = 0; i < lanes; ++i)
+    b.wire_dff_bus(s_pos[i], b.mux_bus(s_can_load, s_pos[i], pos_now[i]));
+  b.wire_dff_bus(s_count, b.mux_bus(s_can_load, s_count, prefix));
+  nl.set_dff_input(s_valid, nl.mux(s_can_load, s_valid, in_valid));
+
+  nl.output(s_can_load, "in_ready");
+  b.output_bus(q.out_word, "out");
+  nl.output(q.out_valid, "out_valid");
+  nl.output(nl.dff(b.reduce_or(flag_here)), "boundary");
+  return nl;
+}
+
+}  // namespace p5::netlist::circuits

@@ -1,0 +1,93 @@
+#include "netlist/circuits/crc_circuit.hpp"
+
+#include "netlist/builder.hpp"
+
+namespace p5::netlist::circuits {
+
+Netlist make_crc_circuit(const crc::ParallelCrc& crc) {
+  const auto& spec = crc.spec();
+  const unsigned width = spec.width;
+  const unsigned data_bits = crc.data_bits();
+
+  Netlist nl("crc" + std::to_string(width) + "x" + std::to_string(data_bits));
+  Builder b(nl);
+
+  const Bus data = b.input_bus("d", data_bits);
+  const NodeId enable = nl.input("enable");
+  const NodeId init = nl.input("init");
+  const Bus state = b.dff_bus(width);
+
+  // next[r] = XOR of the matrix row's selected state and data bits.
+  Bus next;
+  next.reserve(width);
+  for (unsigned r = 0; r < width; ++r) {
+    Bus terms;
+    const auto& row = crc.matrix().row(r);
+    for (unsigned c = 0; c < width; ++c)
+      if (row.get(c)) terms.push_back(state[c]);
+    for (unsigned c = 0; c < data_bits; ++c)
+      if (row.get(width + c)) terms.push_back(data[c]);
+    next.push_back(terms.empty() ? nl.constant(false) : b.reduce_xor(terms));
+  }
+
+  // D input: init ? preset : (enable ? next : hold).
+  Bus d;
+  d.reserve(width);
+  for (unsigned r = 0; r < width; ++r) {
+    const NodeId advanced = nl.mux(enable, state[r], next[r]);
+    const NodeId preset = nl.constant((spec.init >> r) & 1u);
+    d.push_back(nl.mux(init, advanced, preset));
+  }
+  b.wire_dff_bus(state, d);
+  b.output_bus(state, "crc");
+  return nl;
+}
+
+Netlist make_crc_unit_circuit(const crc::CrcSpec& spec, unsigned lanes) {
+  P5_EXPECTS(lanes >= 1);
+  const unsigned width = spec.width;
+
+  Netlist nl("crc_unit" + std::to_string(width) + "x" + std::to_string(lanes * 8));
+  Builder b(nl);
+
+  const Bus data = b.input_bus("d", 8 * lanes);
+  const NodeId enable = nl.input("enable");
+  const NodeId init = nl.input("init");
+  std::size_t lc_bits = 1;
+  while ((std::size_t{1} << lc_bits) < lanes + 1) ++lc_bits;
+  const Bus lane_count = b.input_bus("lc", lc_bits);
+  const Bus state = b.dff_bus(width);
+
+  // One XOR-matrix instance per partial width, selected by lane_count.
+  std::vector<NodeId> selects;
+  std::vector<Bus> nexts;
+  for (unsigned l = 1; l <= lanes; ++l) {
+    const crc::ParallelCrc pc(spec, l * 8);
+    Bus next;
+    next.reserve(width);
+    for (unsigned r = 0; r < width; ++r) {
+      Bus terms;
+      const auto& row = pc.matrix().row(r);
+      for (unsigned c = 0; c < width; ++c)
+        if (row.get(c)) terms.push_back(state[c]);
+      for (unsigned c = 0; c < l * 8; ++c)
+        if (row.get(width + c)) terms.push_back(data[c]);
+      next.push_back(terms.empty() ? nl.constant(false) : b.reduce_xor(terms));
+    }
+    selects.push_back(b.eq_const(lane_count, l));
+    nexts.push_back(std::move(next));
+  }
+  const Bus next = lanes == 1 ? nexts[0] : b.onehot_mux(selects, nexts);
+
+  Bus d;
+  d.reserve(width);
+  for (unsigned r = 0; r < width; ++r) {
+    const NodeId advanced = nl.mux(enable, state[r], next[r]);
+    d.push_back(nl.mux(init, advanced, nl.constant((spec.init >> r) & 1u)));
+  }
+  b.wire_dff_bus(state, d);
+  b.output_bus(state, "crc");
+  return nl;
+}
+
+}  // namespace p5::netlist::circuits

@@ -1,0 +1,30 @@
+// Gate-level parallel CRC core: the W-bit-per-clock XOR-matrix datapath the
+// paper synthesises ("8 x 32-bit parallel matrix" / "32 x 32-bit parallel
+// matrix", after Pei & Zukowski).
+//
+// Interface (netlist primary I/O):
+//   inputs : data[W], enable, init
+//   outputs: state[width]
+// Per clock: init loads the spec's preset value; otherwise enable consumes
+// one W-bit block through the matrix; idle cycles hold state.
+//
+// The XOR trees are generated straight from crc::ParallelCrc::matrix(), so
+// the structural circuit and the behavioural model cannot diverge.
+#pragma once
+
+#include "crc/parallel_crc.hpp"
+#include "netlist/netlist.hpp"
+
+namespace p5::netlist::circuits {
+
+[[nodiscard]] Netlist make_crc_circuit(const crc::ParallelCrc& crc);
+
+/// The complete CRC *unit* for a multi-lane datapath: frame lengths are not
+/// multiples of the bus width, so the final word may carry 1..lanes octets.
+/// Sustaining line rate requires a parallel matrix for every partial width
+/// (8, 16, ..., 8*lanes bits) and a lane-count-steered selection between
+/// them — the "extra decisional logic involved in the CRC" the paper notes.
+/// Inputs: data[8*lanes], lane_count[...], enable, init; outputs: state.
+[[nodiscard]] Netlist make_crc_unit_circuit(const crc::CrcSpec& spec, unsigned lanes);
+
+}  // namespace p5::netlist::circuits

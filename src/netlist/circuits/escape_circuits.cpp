@@ -1,0 +1,295 @@
+#include "netlist/circuits/escape_circuits.hpp"
+
+#include <bit>
+#include <string>
+
+#include "hdlc/accm.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/circuits/sorter_common.hpp"
+
+namespace p5::netlist::circuits {
+
+namespace {
+
+using hdlc::kEscape;
+using hdlc::kFlag;
+
+Netlist make_generate_8bit() {
+  Netlist nl("escape_generate_8");
+  Builder b(nl);
+
+  const Bus in = b.input_bus("in", 8);
+  const NodeId in_valid = nl.input("in_valid");
+
+  const NodeId pending = nl.dff();
+
+  const NodeId is_flag = b.eq_const(in, kFlag);
+  const NodeId is_esc = b.eq_const(in, kEscape);
+  const NodeId must = nl.or_(is_flag, is_esc);
+
+  // pending: we emitted 0x7D this cycle and stalled the input; next cycle we
+  // emit the XORed octet itself.
+  const NodeId start_escape = nl.and_(nl.and_(in_valid, must), nl.not_(pending));
+  // An invalid input cycle holds pending (upstream keeps data stable while
+  // !in_ready, AXI-stream style).
+  nl.set_dff_input(pending, nl.mux(in_valid, pending, nl.and_(must, nl.not_(pending))));
+
+  const NodeId in_ready = nl.not_(start_escape);
+  nl.output(in_ready, "in_ready");
+
+  const Bus escape_char = b.constant_bus(kEscape, 8);
+  const Bus xored = flip_bit5(nl, in);
+  const Bus normal_or_esc = b.mux_bus(start_escape, in, escape_char);
+  const Bus chosen = b.mux_bus(pending, normal_or_esc, xored);
+
+  const NodeId out_valid = nl.dff(in_valid);
+  Bus out = b.dff_bus(8);
+  b.wire_dff_bus(out, chosen);
+  b.output_bus(out, "out");
+  nl.output(out_valid, "out_valid");
+  return nl;
+}
+
+Netlist make_detect_8bit() {
+  Netlist nl("escape_detect_8");
+  Builder b(nl);
+
+  const Bus in = b.input_bus("in", 8);
+  const NodeId in_valid = nl.input("in_valid");
+
+  const NodeId pending = nl.dff();
+
+  const NodeId is_esc = b.eq_const(in, kEscape);
+  const NodeId marker = nl.and_(is_esc, nl.not_(pending));  // delete this octet
+  const NodeId drop = nl.and_(in_valid, marker);
+
+  nl.set_dff_input(pending, nl.mux(in_valid, pending, marker));
+
+  nl.output(nl.constant(true), "in_ready");  // 8-bit detect never stalls
+
+  const Bus xored = flip_bit5(nl, in);
+  const Bus chosen = b.mux_bus(pending, in, xored);
+
+  const NodeId out_valid = nl.dff(nl.and_(in_valid, nl.not_(drop)));
+  Bus out = b.dff_bus(8);
+  b.wire_dff_bus(out, chosen);
+  b.output_bus(out, "out");
+  nl.output(out_valid, "out_valid");
+  return nl;
+}
+
+Netlist make_generate_wide(unsigned lanes) {
+  Netlist nl("escape_generate_" + std::to_string(lanes * 8));
+  Builder b(nl);
+
+  const unsigned slots_n = 2 * lanes;
+  const std::size_t cells = generate_buffer_cells(lanes);
+  const std::size_t pos_bits = bits_for(slots_n - 1);
+  const std::size_t cnt_bits = bits_for(slots_n);
+
+  const Bus in = b.input_bus("in", 8 * lanes);
+  const NodeId in_valid = nl.input("in_valid");
+  const std::vector<Bus> in_lanes = split_lanes(in, lanes);
+
+  // ---- Stage 1 registers: classified input word ----
+  const Bus s1_word = b.dff_bus(8 * lanes);
+  const Bus s1_must = b.dff_bus(lanes);
+  const NodeId s1_valid = nl.dff();
+
+  // ---- Stage 2 registers: routing descriptors ----
+  const Bus s2_word = b.dff_bus(8 * lanes);
+  const Bus s2_must = b.dff_bus(lanes);
+  std::vector<Bus> s2_pos;
+  for (unsigned i = 0; i < lanes; ++i) s2_pos.push_back(b.dff_bus(pos_bits));
+  const Bus s2_count = b.dff_bus(cnt_bits);
+  const NodeId s2_valid = nl.dff();
+
+  // ---- Stage 2 -> queue: the slot-decision crossbar ----
+  const std::vector<Bus> s2_lanes = split_lanes(s2_word, lanes);
+  const Bus escape_char = b.constant_bus(kEscape, 8);
+  std::vector<Bus> slots;
+  slots.reserve(slots_n);
+  for (unsigned j = 0; j < slots_n; ++j) {
+    std::vector<NodeId> sels;
+    std::vector<Bus> choices;
+    for (unsigned i = 0; i < lanes; ++i) {
+      // pos range for lane i is [i, i+lanes]; skip impossible matches.
+      if (j + 1 >= i) {
+        if (j >= i && j <= i + lanes) {
+          const NodeId at_j = b.eq_const(s2_pos[i], j);
+          // marker (0x7D) when escaping, the plain octet otherwise.
+          sels.push_back(nl.and_(at_j, s2_must[i]));
+          choices.push_back(escape_char);
+          sels.push_back(nl.and_(at_j, nl.not_(s2_must[i])));
+          choices.push_back(s2_lanes[i]);
+        }
+        if (j >= 1 && j - 1 >= i && j - 1 <= i + lanes) {
+          // the XORed octet right after its marker.
+          const NodeId at_prev = b.eq_const(s2_pos[i], j - 1);
+          sels.push_back(nl.and_(at_prev, s2_must[i]));
+          choices.push_back(flip_bit5(nl, s2_lanes[i]));
+        }
+      }
+    }
+    slots.push_back(b.onehot_mux(sels, choices));
+  }
+
+  const QueueResult q = build_resync_queue(b, lanes, cells, slots, s2_count, s2_valid);
+
+  // ---- handshake chain ----
+  const NodeId s2_can_load = nl.or_(nl.not_(s2_valid), q.accept);
+  const NodeId s1_can_load = nl.or_(nl.not_(s1_valid), s2_can_load);
+  nl.output(s1_can_load, "in_ready");
+
+  // ---- Stage 1 next-state: classify ----
+  Bus must_now;
+  for (unsigned i = 0; i < lanes; ++i) {
+    const NodeId f = b.eq_const(in_lanes[i], kFlag);
+    const NodeId e = b.eq_const(in_lanes[i], kEscape);
+    must_now.push_back(nl.or_(f, e));
+  }
+  b.wire_dff_bus(s1_word, b.mux_bus(s1_can_load, s1_word, in));
+  b.wire_dff_bus(s1_must, b.mux_bus(s1_can_load, s1_must, must_now));
+  nl.set_dff_input(s1_valid, nl.mux(s1_can_load, s1_valid, in_valid));
+
+  // ---- Stage 2 next-state: prefix-sum positions ----
+  // pos_i = i + (escapes among lanes 0..i-1): a small function of the must
+  // flags, built as two-level logic (single LUTs after mapping).
+  std::vector<Bus> pos_now;
+  for (unsigned i = 0; i < lanes; ++i) {
+    if (i == 0) {
+      pos_now.push_back(b.constant_bus(0, pos_bits));
+      continue;
+    }
+    const Bus before(s1_must.begin(), s1_must.begin() + i);
+    pos_now.push_back(b.table_bus(
+        before, [i](u64 v) { return i + static_cast<u64>(std::popcount(v)); }, pos_bits));
+  }
+  const Bus count_now = b.table_bus(
+      s1_must, [lanes](u64 v) { return lanes + static_cast<u64>(std::popcount(v)); }, cnt_bits);
+
+  b.wire_dff_bus(s2_word, b.mux_bus(s2_can_load, s2_word, s1_word));
+  b.wire_dff_bus(s2_must, b.mux_bus(s2_can_load, s2_must, s1_must));
+  for (unsigned i = 0; i < lanes; ++i)
+    b.wire_dff_bus(s2_pos[i], b.mux_bus(s2_can_load, s2_pos[i], pos_now[i]));
+  b.wire_dff_bus(s2_count, b.mux_bus(s2_can_load, s2_count, count_now));
+  nl.set_dff_input(s2_valid, nl.mux(s2_can_load, s2_valid, s1_valid));
+
+  // ---- outputs ----
+  b.output_bus(q.out_word, "out");
+  nl.output(q.out_valid, "out_valid");
+  b.output_bus(q.occ, "occ");
+  return nl;
+}
+
+Netlist make_detect_wide(unsigned lanes) {
+  Netlist nl("escape_detect_" + std::to_string(lanes * 8));
+  Builder b(nl);
+
+  const std::size_t cells = detect_buffer_cells(lanes);
+  const std::size_t pos_bits = bits_for(lanes == 1 ? 1 : lanes - 1);
+  const std::size_t cnt_bits = bits_for(lanes);
+
+  const Bus in = b.input_bus("in", 8 * lanes);
+  const NodeId in_valid = nl.input("in_valid");
+  const std::vector<Bus> in_lanes = split_lanes(in, lanes);
+
+  const NodeId pending = nl.dff();  // escape marker straddles the word gap
+
+  // ---- Stage 1 registers: destuffed lanes + keep flags ----
+  const Bus s1_word = b.dff_bus(8 * lanes);
+  const Bus s1_keep = b.dff_bus(lanes);
+  const NodeId s1_valid = nl.dff();
+
+  // ---- Stage 2 registers: compaction descriptors ----
+  const Bus s2_word = b.dff_bus(8 * lanes);
+  const Bus s2_keep = b.dff_bus(lanes);
+  std::vector<Bus> s2_pos;
+  for (unsigned i = 0; i < lanes; ++i) s2_pos.push_back(b.dff_bus(pos_bits));
+  const Bus s2_count = b.dff_bus(cnt_bits);
+  const NodeId s2_valid = nl.dff();
+
+  // ---- compaction crossbar (S2 -> queue) ----
+  const std::vector<Bus> s2_lanes = split_lanes(s2_word, lanes);
+  std::vector<Bus> slots;
+  for (unsigned j = 0; j < lanes; ++j) {
+    std::vector<NodeId> sels;
+    std::vector<Bus> choices;
+    for (unsigned i = j; i < lanes; ++i) {  // pos_i <= i
+      const NodeId at_j = b.eq_const(s2_pos[i], j);
+      sels.push_back(nl.and_(at_j, s2_keep[i]));
+      choices.push_back(s2_lanes[i]);
+    }
+    slots.push_back(b.onehot_mux(sels, choices));
+  }
+
+  const QueueResult q = build_resync_queue(b, lanes, cells, slots, s2_count, s2_valid);
+
+  const NodeId s2_can_load = nl.or_(nl.not_(s2_valid), q.accept);
+  const NodeId s1_can_load = nl.or_(nl.not_(s1_valid), s2_can_load);
+  nl.output(s1_can_load, "in_ready");
+
+  // ---- Stage 1 next-state: classify + destuff ----
+  // covered_i: lane i is the data octet of an escape (gets XORed, kept).
+  // marker_i: lane i is an escape marker (deleted).
+  Bus keep_now;
+  Bus x_now;
+  NodeId covered = pending;
+  NodeId last_marker = nl.constant(false);
+  for (unsigned i = 0; i < lanes; ++i) {
+    const NodeId is_esc = b.eq_const(in_lanes[i], kEscape);
+    const NodeId marker = nl.and_(is_esc, nl.not_(covered));
+    keep_now.push_back(nl.not_(marker));
+    const Bus xored = flip_bit5(nl, in_lanes[i]);
+    const Bus lane_out = b.mux_bus(covered, in_lanes[i], xored);
+    x_now.insert(x_now.end(), lane_out.begin(), lane_out.end());
+    last_marker = marker;
+    covered = marker;
+  }
+  const NodeId input_taken = nl.and_(s1_can_load, in_valid);
+  nl.set_dff_input(pending, nl.mux(input_taken, pending, last_marker));
+
+  b.wire_dff_bus(s1_word, b.mux_bus(s1_can_load, s1_word, x_now));
+  b.wire_dff_bus(s1_keep, b.mux_bus(s1_can_load, s1_keep, keep_now));
+  nl.set_dff_input(s1_valid, nl.mux(s1_can_load, s1_valid, in_valid));
+
+  // ---- Stage 2 next-state: prefix-sum of keep flags (two-level form) ----
+  std::vector<Bus> pos_now;
+  for (unsigned i = 0; i < lanes; ++i) {
+    if (i == 0) {
+      pos_now.push_back(b.constant_bus(0, pos_bits));
+      continue;
+    }
+    const Bus before(s1_keep.begin(), s1_keep.begin() + i);
+    pos_now.push_back(b.table_bus(
+        before, [](u64 v) { return static_cast<u64>(std::popcount(v)); }, pos_bits));
+  }
+  const Bus count_now = b.table_bus(
+      s1_keep, [](u64 v) { return static_cast<u64>(std::popcount(v)); }, cnt_bits);
+
+  b.wire_dff_bus(s2_word, b.mux_bus(s2_can_load, s2_word, s1_word));
+  b.wire_dff_bus(s2_keep, b.mux_bus(s2_can_load, s2_keep, s1_keep));
+  for (unsigned i = 0; i < lanes; ++i)
+    b.wire_dff_bus(s2_pos[i], b.mux_bus(s2_can_load, s2_pos[i], pos_now[i]));
+  b.wire_dff_bus(s2_count, b.mux_bus(s2_can_load, s2_count, count_now));
+  nl.set_dff_input(s2_valid, nl.mux(s2_can_load, s2_valid, s1_valid));
+
+  b.output_bus(q.out_word, "out");
+  nl.output(q.out_valid, "out_valid");
+  b.output_bus(q.occ, "occ");
+  return nl;
+}
+
+}  // namespace
+
+Netlist make_escape_generate_circuit(unsigned lanes) {
+  P5_EXPECTS(lanes == 1 || lanes == 2 || lanes == 4 || lanes == 8);
+  return lanes == 1 ? make_generate_8bit() : make_generate_wide(lanes);
+}
+
+Netlist make_escape_detect_circuit(unsigned lanes) {
+  P5_EXPECTS(lanes == 1 || lanes == 2 || lanes == 4 || lanes == 8);
+  return lanes == 1 ? make_detect_8bit() : make_detect_wide(lanes);
+}
+
+}  // namespace p5::netlist::circuits

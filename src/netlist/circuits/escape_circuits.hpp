@@ -1,0 +1,47 @@
+// Gate-level Escape Generate / Escape Detect units (paper Section 3).
+//
+// Two architectures, matching the paper:
+//
+//  * lanes == 1 (the 8-bit P5): a stall design. When the input octet must be
+//    escaped the unit emits 0x7D, halts the input for one cycle, and emits
+//    the XOR-0x20 octet next cycle. A handful of comparators and one
+//    pending flip-flop — the paper's 22-LUT / 6-FF module.
+//
+//  * lanes >= 2 (the 32-bit P5 and the width-ablation points): the pipelined
+//    byte sorter. Per cycle, each lane is classified, lane target positions
+//    are computed by a prefix-sum over the escape flags, the expanded
+//    2*lanes-slot word is built by the slot-decision crossbar, and the slots
+//    are merged into a 3*lanes-octet resynchronisation shift-queue from
+//    which `lanes` octets leave per cycle. Backpressure (in_ready) engages
+//    when the queue cannot take a worst-case expansion — the paper's
+//    "extremely low resynchronisation buffer and backpressure scheme".
+//    Escape Detect is the mirror image: escape markers are deleted, the
+//    following octet is XORed, survivors are compacted (bubbles close up)
+//    through a 2*lanes-octet queue.
+//
+// I/O contract (both units, all widths):
+//   inputs : in[8*lanes] (lane 0 first on the wire), in_valid
+//   outputs: in_ready, out[8*lanes], out_valid
+//
+// The same algorithm runs word-for-word in the cycle-accurate model
+// (src/p5/escape_generate, src/p5/escape_detect); the equivalence tests in
+// tests/netlist drive both against the RFC 1662 golden stuffer.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace p5::netlist::circuits {
+
+[[nodiscard]] Netlist make_escape_generate_circuit(unsigned lanes);
+[[nodiscard]] Netlist make_escape_detect_circuit(unsigned lanes);
+
+/// Resynchronisation queue depth used by the generate unit (octets).
+/// 3*lanes is the smallest deadlock-free size: a queue holding lanes-1
+/// octets (too few to emit) must still absorb a worst-case fully-escaped
+/// word of 2*lanes octets — the paper's "extremely low resynchronisation
+/// buffer" (12 octets for the 32-bit P5).
+[[nodiscard]] constexpr std::size_t generate_buffer_cells(unsigned lanes) { return 3u * lanes; }
+/// Queue depth used by the detect unit (octets).
+[[nodiscard]] constexpr std::size_t detect_buffer_cells(unsigned lanes) { return 2u * lanes; }
+
+}  // namespace p5::netlist::circuits

@@ -1,0 +1,58 @@
+#include "netlist/circuits/oam_circuit.hpp"
+
+#include <string>
+
+#include "netlist/circuits/sorter_common.hpp"
+
+namespace p5::netlist::circuits {
+
+Netlist make_oam_circuit(unsigned bus_bits, unsigned num_registers, unsigned num_irqs) {
+  P5_EXPECTS(bus_bits == 8 || bus_bits == 16 || bus_bits == 32);
+  Netlist nl("oam_" + std::to_string(bus_bits));
+  Builder b(nl);
+
+  const std::size_t addr_bits = bits_for(num_registers - 1);
+  const Bus wdata = b.input_bus("wd", bus_bits);
+  const Bus addr = b.input_bus("a", addr_bits);
+  const NodeId we = nl.input("we");
+
+  // Register file with write decode.
+  std::vector<Bus> regs;
+  std::vector<NodeId> selects;
+  for (unsigned r = 0; r < num_registers; ++r) {
+    const Bus reg = b.dff_bus(bus_bits);
+    const NodeId sel = b.eq_const(addr, r);
+    b.wire_dff_bus(reg, b.mux_bus(nl.and_(we, sel), reg, wdata));
+    regs.push_back(reg);
+    selects.push_back(sel);
+  }
+
+  // Read multiplexer.
+  const Bus rdata = b.onehot_mux(selects, regs);
+  b.output_bus(rdata, "rd");
+
+  // Interrupt controller: level-latched pending bits, mask register,
+  // write-one-to-clear via the bus.
+  const Bus irq_in = b.input_bus("irq", num_irqs);
+  const Bus mask = b.dff_bus(num_irqs);
+  const NodeId mask_we = nl.input("mask_we");
+  b.wire_dff_bus(mask, b.mux_bus(mask_we, mask, Bus(wdata.begin(), wdata.begin() + num_irqs)));
+
+  const NodeId ack = nl.input("irq_ack");
+  Bus pending_next;
+  const Bus pending = b.dff_bus(num_irqs);
+  for (unsigned i = 0; i < num_irqs; ++i) {
+    // pending' = (pending & !clear) | irq_in
+    const NodeId clear = nl.and_(ack, wdata[i]);
+    pending_next.push_back(nl.or_(nl.and_(pending[i], nl.not_(clear)), irq_in[i]));
+  }
+  b.wire_dff_bus(pending, pending_next);
+
+  Bus active;
+  for (unsigned i = 0; i < num_irqs; ++i) active.push_back(nl.and_(pending[i], mask[i]));
+  nl.output(b.reduce_or(active), "irq");
+  b.output_bus(pending, "pending");
+  return nl;
+}
+
+}  // namespace p5::netlist::circuits

@@ -1,0 +1,18 @@
+// Gate-level Protocol OAM block: the microprocessor-facing register file
+// with write decode, read multiplexer, and the interrupt controller
+// (per-source pending + mask, one IRQ line) through which "control and
+// status information [is] exchanged between an external microcontroller and
+// the internal Receiver and Transmitter blocks" (paper Section 3).
+//
+// Parameterised on the host-bus width: the 8-bit P5 exposes an 8-bit
+// register file, the 32-bit P5 a 32-bit one.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace p5::netlist::circuits {
+
+[[nodiscard]] Netlist make_oam_circuit(unsigned bus_bits, unsigned num_registers = 8,
+                                       unsigned num_irqs = 8);
+
+}  // namespace p5::netlist::circuits

@@ -1,0 +1,50 @@
+#include "netlist/circuits/p5_circuit.hpp"
+
+#include <string>
+
+#include "crc/crc_spec.hpp"
+#include "netlist/circuits/control_circuits.hpp"
+#include "netlist/circuits/crc_circuit.hpp"
+#include "netlist/circuits/escape_circuits.hpp"
+#include "netlist/circuits/oam_circuit.hpp"
+#include "netlist/lut_mapper.hpp"
+
+namespace p5::netlist::circuits {
+
+AreaReport p5_system_report(unsigned lanes) {
+  const unsigned width = lanes * 8;
+  AreaReport report("P5 " + std::to_string(width) + "-bit system");
+
+  auto add = [&report](const Netlist& nl) { report.add(nl.name(), map_to_luts(nl)); };
+
+  // Transmitter: Control -> CRC unit -> Escape Generate -> flag insertion.
+  add(make_tx_control_circuit(lanes));
+  add(make_crc_unit_circuit(crc::kFcs32, lanes));
+  add(make_escape_generate_circuit(lanes));
+  add(make_flag_inserter_circuit(lanes));
+
+  // Receiver: delineation -> Escape Detect -> CRC unit -> Control.
+  add(make_flag_delineator_circuit(lanes));
+  add(make_escape_detect_circuit(lanes));
+  {
+    // The RX CRC unit is a second instance of the same structure.
+    Netlist rx_crc = make_crc_unit_circuit(crc::kFcs32, lanes);
+    report.add("rx_" + rx_crc.name(), map_to_luts(rx_crc));
+  }
+  add(make_rx_control_circuit(lanes));
+
+  // Protocol OAM: host bus width follows the datapath width.
+  add(make_oam_circuit(width == 8 ? 8 : 32));
+
+  return report;
+}
+
+AreaReport escape_generate_report(unsigned lanes) {
+  const unsigned width = lanes * 8;
+  AreaReport report("Escape Generate " + std::to_string(width) + "-bit module");
+  const Netlist nl = make_escape_generate_circuit(lanes);
+  report.add(nl.name(), map_to_luts(nl));
+  return report;
+}
+
+}  // namespace p5::netlist::circuits

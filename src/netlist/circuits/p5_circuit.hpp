@@ -1,0 +1,20 @@
+// Whole-system synthesis assembly: the complete P5 (Transmitter + Receiver
+// + Protocol OAM) as the per-module area/timing report the paper's Tables
+// 1 and 2 are built from. Synthesis is hierarchical: each block is mapped
+// to 4-input LUTs independently and the system totals are the sums, exactly
+// how a constraint-free Synplicity run reports a design of this shape.
+#pragma once
+
+#include "netlist/area_report.hpp"
+
+namespace p5::netlist::circuits {
+
+/// Full P5 system report for the given datapath width (lanes = width/8):
+/// TX control + TX CRC + Escape Generate + flag inserter,
+/// RX delineator + Escape Detect + RX CRC + RX control, and the OAM block.
+[[nodiscard]] AreaReport p5_system_report(unsigned lanes);
+
+/// Single-module report (paper Table 3 uses Escape Generate alone).
+[[nodiscard]] AreaReport escape_generate_report(unsigned lanes);
+
+}  // namespace p5::netlist::circuits

@@ -1,0 +1,116 @@
+#include "netlist/circuits/sorter_common.hpp"
+
+#include "common/check.hpp"
+
+namespace p5::netlist::circuits {
+
+std::size_t bits_for(std::size_t max_value) {
+  std::size_t b = 1;
+  while ((std::size_t{1} << b) <= max_value) ++b;
+  return b;
+}
+
+Bus trunc_bus(const Bus& bus, std::size_t w) {
+  P5_EXPECTS(bus.size() >= w);
+  return Bus(bus.begin(), bus.begin() + static_cast<std::ptrdiff_t>(w));
+}
+
+/// Flip bit 5 of an octet bus (the XOR-0x20 transparency transform).
+Bus flip_bit5(Netlist& nl, const Bus& byte) {
+  Bus out = byte;
+  out[5] = nl.not_(byte[5]);
+  return out;
+}
+
+/// Split a wide bus into `lanes` octet buses (lane 0 = first on the wire).
+std::vector<Bus> split_lanes(const Bus& word, unsigned lanes) {
+  std::vector<Bus> out;
+  out.reserve(lanes);
+  for (unsigned i = 0; i < lanes; ++i)
+    out.emplace_back(word.begin() + i * 8, word.begin() + (i + 1) * 8);
+  return out;
+}
+
+QueueResult build_resync_queue(Builder& b, unsigned lanes, std::size_t cells,
+                               const std::vector<Bus>& slots, const Bus& count,
+                               NodeId slots_valid) {
+  Netlist& nl = b.netlist();
+  const std::size_t occ_bits = bits_for(cells);
+
+  std::vector<Bus> buf;
+  buf.reserve(cells);
+  for (std::size_t k = 0; k < cells; ++k) buf.push_back(b.dff_bus(8));
+  const Bus occ = b.dff_bus(occ_bits);
+
+  // emit when at least one full output word is queued.
+  const NodeId emit = b.ge_const(occ, lanes);
+
+  // occ_a (occupancy after the emit) is a pure function of occ — one LUT
+  // level, the subtract-and-select a synthesis tool folds together.
+  const Bus occ_a = b.table_bus(
+      occ, [lanes](u64 v) { return v >= lanes ? v - lanes : v; }, occ_bits);
+
+  // accept iff the whole sorted word fits: occ_a + count <= cells.
+  // Two-level function of (occ, count).
+  Bus oc = occ;
+  oc.insert(oc.end(), count.begin(), count.end());
+  const NodeId fits = b.table_fn(oc, [lanes, cells, occ_bits](u64 v) {
+    const u64 o = v & ((u64{1} << occ_bits) - 1);
+    const u64 c = v >> occ_bits;
+    const u64 oa = o >= lanes ? o - lanes : o;
+    return oa + c <= cells;
+  });
+  const NodeId accept = nl.and_(slots_valid, fits);
+
+  // Thermometer decode of count: t[j] = (count > j).
+  std::vector<NodeId> thermo;
+  thermo.reserve(slots.size());
+  for (std::size_t j = 0; j < slots.size(); ++j) thermo.push_back(b.ge_const(count, j + 1));
+
+  // Cell update: shift out `lanes` on emit, append slots at occ_a.
+  const Bus zero_byte = b.constant_bus(0, 8);
+  for (std::size_t k = 0; k < cells; ++k) {
+    const Bus& after_shift_src = (k + lanes < cells) ? buf[k + lanes] : zero_byte;
+    const Bus shifted = b.mux_bus(emit, buf[k], after_shift_src);
+
+    // Which slot would land in cell k: slot j lands here iff occ_a == k - j.
+    std::vector<NodeId> sels;
+    std::vector<Bus> choices;
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+      if (j > k) break;  // occ_a >= 0
+      const std::size_t target = k - j;
+      if (target > cells) continue;
+      const NodeId here = b.eq_const(occ_a, target);
+      sels.push_back(nl.and_(here, thermo[j]));
+      choices.push_back(slots[j]);
+    }
+    if (sels.empty()) {
+      b.wire_dff_bus(buf[k], shifted);
+      continue;
+    }
+    const NodeId write_k = nl.and_(accept, b.reduce_or(sels));
+    const Bus wdata = b.onehot_mux(sels, choices);
+    b.wire_dff_bus(buf[k], b.mux_bus(write_k, shifted, wdata));
+  }
+
+  // occ' = occ_a + (accept ? count : 0).
+  const Bus occ_plus = trunc_bus(b.add(occ_a, count), occ_bits);
+  b.wire_dff_bus(occ, b.mux_bus(accept, occ_a, occ_plus));
+
+  // Registered output word.
+  QueueResult r;
+  r.accept = accept;
+  r.occ = occ;
+  const NodeId out_valid = nl.dff(emit);
+  Bus out_word;
+  for (unsigned i = 0; i < lanes; ++i) {
+    const Bus cell = b.dff_bus(8);
+    b.wire_dff_bus(cell, b.mux_bus(emit, cell, buf[i]));
+    out_word.insert(out_word.end(), cell.begin(), cell.end());
+  }
+  r.out_word = std::move(out_word);
+  r.out_valid = out_valid;
+  return r;
+}
+
+}  // namespace p5::netlist::circuits

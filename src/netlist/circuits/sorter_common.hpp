@@ -1,0 +1,33 @@
+// Shared structural pieces of the P5's data sorting mechanism, used by the
+// escape units and by the flag-framing circuits: the resynchronisation
+// shift-queue and small bus utilities.
+#pragma once
+
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace p5::netlist::circuits {
+
+[[nodiscard]] std::size_t bits_for(std::size_t max_value);
+[[nodiscard]] Bus trunc_bus(const Bus& bus, std::size_t w);
+/// Flip bit 5 of an octet bus (the XOR-0x20 transparency transform).
+[[nodiscard]] Bus flip_bit5(Netlist& nl, const Bus& byte);
+/// Split a wide bus into `lanes` octet buses (lane 0 = first on the wire).
+[[nodiscard]] std::vector<Bus> split_lanes(const Bus& word, unsigned lanes);
+
+/// Output side of a byte sorter: a `cells`-octet shift-queue that absorbs up
+/// to slots.size() sorted octets per cycle (`count` of them real, gated by a
+/// thermometer decode) and emits `lanes` octets per cycle when full enough.
+struct QueueResult {
+  Bus out_word;      ///< registered output word (lanes*8)
+  NodeId out_valid;  ///< registered
+  NodeId accept;     ///< combinational: incoming word absorbed this cycle
+  Bus occ;           ///< occupancy register (debug/stats)
+};
+
+[[nodiscard]] QueueResult build_resync_queue(Builder& b, unsigned lanes, std::size_t cells,
+                                             const std::vector<Bus>& slots, const Bus& count,
+                                             NodeId slots_valid);
+
+}  // namespace p5::netlist::circuits

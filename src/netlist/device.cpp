@@ -1,0 +1,37 @@
+#include "netlist/device.hpp"
+
+namespace p5::netlist {
+
+// Delay calibration:
+//  * Virtex -4 (0.22 um): ~0.6 ns LUT, ~1.1/1.6 ns net (pre/post estimate);
+//  * Virtex-II -6 (0.15/0.12 um): ~0.38 ns LUT, ~0.65/0.95 ns net.
+// With the 6-LUT critical path the paper reports, these give ~75 MHz on
+// Virtex (just under the 78.125 MHz a 2.5 Gbps 32-bit datapath needs) and
+// ~125 MHz on Virtex-II (comfortably above) — the paper's Section 4/5 story.
+
+const Device& xcv50_4() {
+  static const Device d{"XCV50-4", 1536, 1536, 0.60, 1.10, 1.60};
+  return d;
+}
+
+const Device& xcv600_4() {
+  static const Device d{"XCV600-4", 13824, 13824, 0.60, 1.10, 1.60};
+  return d;
+}
+
+const Device& xc2v40_6() {
+  static const Device d{"XC2V40-6", 512, 512, 0.38, 0.65, 0.95};
+  return d;
+}
+
+const Device& xc2v1000_6() {
+  static const Device d{"XC2V1000-6", 10240, 10240, 0.38, 0.65, 0.95};
+  return d;
+}
+
+const std::vector<Device>& all_devices() {
+  static const std::vector<Device> v{xcv50_4(), xcv600_4(), xc2v40_6(), xc2v1000_6()};
+  return v;
+}
+
+}  // namespace p5::netlist

@@ -1,0 +1,57 @@
+// FPGA device models for the four parts the paper targets.
+//
+// Capacities are the published 4-input LUT / flip-flop counts; delays are
+// representative datasheet-class numbers for the quoted speed grades. The
+// paper's Section 4 finding — identical 6-LUT critical path on Virtex and
+// Virtex-II, with the speed-up coming purely from Virtex-II's smaller
+// per-LUT (and routing) delay — is reproduced by construction: fmax is
+// depth x (LUT delay + net delay), with a layout factor distinguishing
+// pre-layout (trial-route estimate) from post-layout timing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace p5::netlist {
+
+struct Device {
+  std::string name;
+  std::size_t luts;        ///< 4-input LUT capacity
+  std::size_t ffs;         ///< flip-flop capacity
+  double lut_delay_ns;     ///< logic delay through one LUT
+  double net_delay_pre_ns; ///< per-level interconnect estimate, pre-layout
+  double net_delay_post_ns;///< per-level interconnect, after place & route
+
+  [[nodiscard]] double fmax_mhz(std::size_t depth, bool post_layout) const {
+    if (depth == 0) depth = 1;
+    const double per_level =
+        lut_delay_ns + (post_layout ? net_delay_post_ns : net_delay_pre_ns);
+    return 1000.0 / (static_cast<double>(depth) * per_level);
+  }
+  [[nodiscard]] double lut_utilisation(std::size_t used) const {
+    return 100.0 * static_cast<double>(used) / static_cast<double>(luts);
+  }
+  [[nodiscard]] double ff_utilisation(std::size_t used) const {
+    return 100.0 * static_cast<double>(used) / static_cast<double>(ffs);
+  }
+};
+
+/// Virtex XCV50 speed grade -4: 1,536 LUTs / 1,536 FFs.
+[[nodiscard]] const Device& xcv50_4();
+/// Virtex XCV600 speed grade -4: 13,824 LUTs / 13,824 FFs.
+[[nodiscard]] const Device& xcv600_4();
+/// Virtex-II XC2V40 speed grade -6: 512 LUTs / 512 FFs.
+[[nodiscard]] const Device& xc2v40_6();
+/// Virtex-II XC2V1000 speed grade -6: 10,240 LUTs / 10,240 FFs.
+[[nodiscard]] const Device& xc2v1000_6();
+
+[[nodiscard]] const std::vector<Device>& all_devices();
+
+/// Clock required to carry `gbps` over a `datapath_bits`-wide bus.
+[[nodiscard]] inline double required_clock_mhz(double gbps, unsigned datapath_bits) {
+  return gbps * 1e3 / static_cast<double>(datapath_bits);
+}
+
+}  // namespace p5::netlist

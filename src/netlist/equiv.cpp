@@ -1,0 +1,67 @@
+#include "netlist/equiv.hpp"
+
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace p5::netlist {
+
+EquivResult random_equivalence(const Netlist& a, const Netlist& b, u64 vectors, u64 seed) {
+  EquivResult r;
+
+  // Interface match by label.
+  std::map<std::string, std::size_t> b_in, b_out;
+  for (std::size_t i = 0; i < b.inputs().size(); ++i) b_in[b.input_label(i)] = i;
+  for (std::size_t i = 0; i < b.outputs().size(); ++i) b_out[b.output_label(i)] = i;
+  if (a.inputs().size() != b.inputs().size() || a.outputs().size() != b.outputs().size()) {
+    r.equivalent = false;
+    r.mismatch = "interface size mismatch";
+    return r;
+  }
+  std::vector<std::size_t> in_map(a.inputs().size()), out_map(a.outputs().size());
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    const auto it = b_in.find(a.input_label(i));
+    if (it == b_in.end()) {
+      r.equivalent = false;
+      r.mismatch = "input '" + a.input_label(i) + "' missing in " + b.name();
+      return r;
+    }
+    in_map[i] = it->second;
+  }
+  for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+    const auto it = b_out.find(a.output_label(i));
+    if (it == b_out.end()) {
+      r.equivalent = false;
+      r.mismatch = "output '" + a.output_label(i) + "' missing in " + b.name();
+      return r;
+    }
+    out_map[i] = it->second;
+  }
+
+  Netlist::Sim sa(a), sb(b);
+  Xoshiro256 rng(seed);
+  for (u64 v = 0; v < vectors; ++v) {
+    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+      const bool bit = rng.chance(0.5);
+      sa.set_input(i, bit);
+      sb.set_input(in_map[i], bit);
+    }
+    sa.eval();
+    sb.eval();
+    for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+      if (sa.output(i) != sb.output(out_map[i])) {
+        r.equivalent = false;
+        r.mismatch = "output '" + a.output_label(i) + "' differs at vector " +
+                     std::to_string(v);
+        r.vectors_run = v + 1;
+        return r;
+      }
+    }
+    sa.clock();
+    sb.clock();
+    ++r.vectors_run;
+  }
+  return r;
+}
+
+}  // namespace p5::netlist

@@ -1,0 +1,148 @@
+#include "netlist/lut_mapper.hpp"
+
+#include <algorithm>
+
+namespace p5::netlist {
+
+namespace {
+
+struct Leaf {
+  NodeId id;     ///< real node id, or kInvalidNode for a virtual (split) LUT
+  u32 level;     ///< LUT depth at this leaf's output
+};
+
+bool is_source(Op op) {
+  return op == Op::kInput || op == Op::kDff || op == Op::kConst0 || op == Op::kConst1;
+}
+bool is_const(Op op) { return op == Op::kConst0 || op == Op::kConst1; }
+
+/// Merge a leaf into a set (dedup by real id; virtual leaves are unique).
+void add_leaf(std::vector<Leaf>& set, Leaf leaf) {
+  if (leaf.id != kInvalidNode) {
+    for (const Leaf& l : set)
+      if (l.id == leaf.id) return;
+  }
+  set.push_back(leaf);
+}
+
+}  // namespace
+
+MapResult map_to_luts(const Netlist& nl, unsigned k) {
+  P5_EXPECTS(k >= 2);
+  MapResult result;
+  result.ffs = nl.num_ffs();
+
+  const std::vector<u32> fanout = nl.fanout_counts();
+
+  // A node must become a LUT root if a DFF or output consumes it, or if it
+  // has multiple consumers.
+  std::vector<u8> must_root(nl.size(), 0);
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.at(id);
+    if (g.op == Op::kDff && !g.fanin.empty()) must_root[g.fanin[0]] = 1;
+    if (fanout[id] > 1) must_root[id] = 1;
+  }
+  for (const NodeId o : nl.outputs()) must_root[o] = 1;
+
+  // Topological walk via the simulator's ordering logic: recompute here to
+  // avoid exposing it — simple DFS.
+  std::vector<NodeId> topo;
+  {
+    std::vector<u8> mark(nl.size(), 0);
+    std::vector<std::pair<NodeId, std::size_t>> stack;
+    for (NodeId root = 0; root < nl.size(); ++root) {
+      if (mark[root] || is_source(nl.at(root).op)) continue;
+      stack.emplace_back(root, 0);
+      mark[root] = 1;
+      while (!stack.empty()) {
+        auto& [node, idx] = stack.back();
+        const Gate& g = nl.at(node);
+        if (idx < g.fanin.size()) {
+          const NodeId f = g.fanin[idx++];
+          if (mark[f] || is_source(nl.at(f).op)) continue;
+          mark[f] = 1;
+          stack.emplace_back(f, 0);
+        } else {
+          mark[node] = 2;
+          topo.push_back(node);
+          stack.pop_back();
+        }
+      }
+    }
+  }
+  result.gates = topo.size();
+
+  // Per-node cone description: the leaf set if this node is absorbed into
+  // its consumer, and the node's own LUT level when used as a root.
+  std::vector<std::vector<Leaf>> cone(nl.size());
+  std::vector<u32> root_level(nl.size(), 0);
+
+  auto seal = [&](std::vector<Leaf>& set) -> Leaf {
+    // Turn the accumulated leaves into one LUT; returns the virtual leaf.
+    u32 level = 0;
+    for (const Leaf& l : set) level = std::max(level, l.level);
+    ++result.luts;
+    const Leaf v{kInvalidNode, level + 1};
+    set.clear();
+    return v;
+  };
+
+  for (const NodeId id : topo) {
+    const Gate& g = nl.at(id);
+
+    // Collect candidate leaves from fanins.
+    std::vector<Leaf> leaves;
+    for (const NodeId f : g.fanin) {
+      const Op fop = nl.at(f).op;
+      if (is_const(fop)) continue;  // constants fold into the LUT mask
+      if (is_source(fop)) {
+        add_leaf(leaves, Leaf{f, 0});
+      } else if (must_root[f]) {
+        add_leaf(leaves, Leaf{f, root_level[f]});
+      } else {
+        for (const Leaf& l : cone[f]) add_leaf(leaves, l);
+      }
+    }
+
+    // Inverters are free: pass the cone through.
+    if (g.op == Op::kNot && leaves.size() <= 1) {
+      cone[id] = leaves;
+      if (must_root[id]) {
+        // A multiply-used inverter still materialises as a (1-input) LUT.
+        u32 level = leaves.empty() ? 0 : leaves[0].level;
+        ++result.luts;
+        ++result.roots;
+        root_level[id] = level + 1;
+      }
+      continue;
+    }
+
+    // Decompose oversized cones: greedily seal groups of k leaves into
+    // intermediate LUTs until the set fits.
+    while (leaves.size() > k) {
+      // Seal the k shallowest leaves to keep the tree balanced.
+      std::sort(leaves.begin(), leaves.end(),
+                [](const Leaf& a, const Leaf& b) { return a.level < b.level; });
+      std::vector<Leaf> group(leaves.begin(), leaves.begin() + k);
+      leaves.erase(leaves.begin(), leaves.begin() + k);
+      const Leaf v = seal(group);
+      add_leaf(leaves, v);
+    }
+
+    cone[id] = leaves;
+    if (must_root[id]) {
+      u32 level = 0;
+      for (const Leaf& l : leaves) level = std::max(level, l.level);
+      ++result.luts;
+      ++result.roots;
+      root_level[id] = level + 1;
+      result.depth = std::max<std::size_t>(result.depth, root_level[id]);
+    }
+  }
+
+  // Cones that end exactly at a root were counted; depth also needs roots
+  // reachable only through DFF D-inputs, which the loop already covered.
+  return result;
+}
+
+}  // namespace p5::netlist

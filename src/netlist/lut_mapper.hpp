@@ -1,0 +1,34 @@
+// K-input LUT technology mapper.
+//
+// Covers the combinational portion of a Netlist with K-input lookup tables
+// using a greedy cone-packing heuristic:
+//   * a node becomes a LUT root if it drives a flip-flop or primary output,
+//     or if it has fanout > 1 (no logic duplication);
+//   * single-fanout fanin cones are absorbed into their consumer while the
+//     cone's leaf count stays <= K;
+//   * oversized cones are decomposed bottom-up into LUT trees (a wide XOR of
+//     n inputs costs ceil((n-1)/(K-1)) LUTs across ceil(log_K n) levels —
+//     exactly how a synthesis tool expands the parallel-CRC XOR matrices);
+//   * inverters are absorbed for free (LUTs invert without cost).
+//
+// Outputs: LUT count, FF count, and LUT-level depth of the critical
+// register-to-register path — the quantities Tables 1-3 report.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace p5::netlist {
+
+struct MapResult {
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+  std::size_t depth = 0;       ///< critical path, in LUT levels
+  std::size_t gates = 0;       ///< pre-mapping gate count (excl. sources)
+  std::size_t roots = 0;       ///< LUT roots before decomposition
+};
+
+[[nodiscard]] MapResult map_to_luts(const Netlist& nl, unsigned k = 4);
+
+}  // namespace p5::netlist

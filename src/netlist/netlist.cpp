@@ -1,0 +1,212 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+namespace p5::netlist {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kInput: return "input";
+    case Op::kConst0: return "const0";
+    case Op::kConst1: return "const1";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kNot: return "not";
+    case Op::kMux: return "mux";
+    case Op::kDff: return "dff";
+  }
+  return "?";
+}
+
+NodeId Netlist::input(const std::string& label) {
+  const NodeId id = static_cast<NodeId>(gates_.size());
+  gates_.push_back(Gate{Op::kInput, {}});
+  inputs_.push_back(id);
+  input_labels_.push_back(label);
+  return id;
+}
+
+NodeId Netlist::constant(bool value) {
+  const NodeId id = static_cast<NodeId>(gates_.size());
+  gates_.push_back(Gate{value ? Op::kConst1 : Op::kConst0, {}});
+  return id;
+}
+
+NodeId Netlist::gate(Op op, std::vector<NodeId> fanin) {
+  P5_EXPECTS(op != Op::kInput && op != Op::kDff);
+  for (const NodeId f : fanin) P5_EXPECTS(f < gates_.size());
+  switch (op) {
+    case Op::kNot: P5_EXPECTS(fanin.size() == 1); break;
+    case Op::kMux: P5_EXPECTS(fanin.size() == 3); break;
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor: P5_EXPECTS(!fanin.empty()); break;
+    default: break;
+  }
+  const NodeId id = static_cast<NodeId>(gates_.size());
+  gates_.push_back(Gate{op, std::move(fanin)});
+  return id;
+}
+
+NodeId Netlist::dff(NodeId d) {
+  P5_EXPECTS(d == kInvalidNode || d < gates_.size());
+  const NodeId id = static_cast<NodeId>(gates_.size());
+  gates_.push_back(Gate{Op::kDff, d == kInvalidNode ? std::vector<NodeId>{}
+                                                    : std::vector<NodeId>{d}});
+  dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::set_dff_input(NodeId dff_node, NodeId d) {
+  P5_EXPECTS(dff_node < gates_.size() && gates_[dff_node].op == Op::kDff);
+  P5_EXPECTS(d < gates_.size());
+  gates_[dff_node].fanin.assign(1, d);
+}
+
+void Netlist::output(NodeId node, const std::string& label) {
+  P5_EXPECTS(node < gates_.size());
+  outputs_.push_back(node);
+  output_labels_.push_back(label);
+}
+
+std::vector<u32> Netlist::fanout_counts() const {
+  std::vector<u32> counts(gates_.size(), 0);
+  for (const Gate& g : gates_)
+    for (const NodeId f : g.fanin) ++counts[f];
+  for (const NodeId o : outputs_) ++counts[o];
+  return counts;
+}
+
+NodeId Netlist::absorb(const Netlist& other) {
+  const NodeId offset = static_cast<NodeId>(gates_.size());
+  for (const Gate& g : other.gates_) {
+    Gate copy = g;
+    for (NodeId& f : copy.fanin) f += offset;
+    gates_.push_back(std::move(copy));
+  }
+  for (std::size_t i = 0; i < other.inputs_.size(); ++i) {
+    inputs_.push_back(other.inputs_[i] + offset);
+    input_labels_.push_back(other.name_ + "." + other.input_labels_[i]);
+  }
+  for (const NodeId d : other.dffs_) dffs_.push_back(d + offset);
+  for (std::size_t i = 0; i < other.outputs_.size(); ++i) {
+    outputs_.push_back(other.outputs_[i] + offset);
+    output_labels_.push_back(other.name_ + "." + other.output_labels_[i]);
+  }
+  return offset;
+}
+
+// ---- simulation ----
+
+Netlist::Sim::Sim(const Netlist& nl) : nl_(nl) {
+  values_.assign(nl.gates_.size(), 0);
+  dff_state_.assign(nl.gates_.size(), 0);
+
+  // Topological order of combinational gates (inputs/consts/DFF outputs are
+  // sources). Iterative DFS with cycle detection.
+  std::vector<u8> mark(nl.gates_.size(), 0);  // 0=unvisited 1=on-stack 2=done
+  topo_.reserve(nl.gates_.size());
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+
+  for (NodeId root = 0; root < nl.gates_.size(); ++root) {
+    if (mark[root]) continue;
+    const Op rop = nl.gates_[root].op;
+    if (rop == Op::kInput || rop == Op::kDff || rop == Op::kConst0 || rop == Op::kConst1) {
+      mark[root] = 2;
+      continue;
+    }
+    stack.emplace_back(root, 0);
+    mark[root] = 1;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      const Gate& g = nl.gates_[node];
+      if (idx < g.fanin.size()) {
+        const NodeId f = g.fanin[idx++];
+        const Op fop = nl.gates_[f].op;
+        if (fop == Op::kInput || fop == Op::kDff || fop == Op::kConst0 || fop == Op::kConst1) {
+          mark[f] = 2;
+          continue;
+        }
+        if (mark[f] == 1) throw ContractViolation("combinational cycle in netlist " + nl.name_);
+        if (mark[f] == 0) {
+          mark[f] = 1;
+          stack.emplace_back(f, 0);
+        }
+      } else {
+        mark[node] = 2;
+        topo_.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+void Netlist::Sim::set_input(std::size_t i, bool v) {
+  P5_EXPECTS(i < nl_.inputs_.size());
+  values_[nl_.inputs_[i]] = v ? 1 : 0;
+}
+
+void Netlist::Sim::eval() {
+  // Sources first.
+  for (NodeId id = 0; id < nl_.gates_.size(); ++id) {
+    const Op op = nl_.gates_[id].op;
+    if (op == Op::kDff)
+      values_[id] = dff_state_[id];
+    else if (op == Op::kConst0)
+      values_[id] = 0;
+    else if (op == Op::kConst1)
+      values_[id] = 1;
+  }
+  for (const NodeId id : topo_) {
+    const Gate& g = nl_.gates_[id];
+    switch (g.op) {
+      case Op::kAnd: {
+        char v = 1;
+        for (const NodeId f : g.fanin) v = static_cast<char>(v & values_[f]);
+        values_[id] = v;
+        break;
+      }
+      case Op::kOr: {
+        char v = 0;
+        for (const NodeId f : g.fanin) v = static_cast<char>(v | values_[f]);
+        values_[id] = v;
+        break;
+      }
+      case Op::kXor: {
+        char v = 0;
+        for (const NodeId f : g.fanin) v = static_cast<char>(v ^ values_[f]);
+        values_[id] = v;
+        break;
+      }
+      case Op::kNot:
+        values_[id] = static_cast<char>(1 - values_[g.fanin[0]]);
+        break;
+      case Op::kMux:
+        values_[id] = values_[g.fanin[0]] ? values_[g.fanin[2]] : values_[g.fanin[1]];
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Netlist::Sim::clock() {
+  for (const NodeId id : nl_.dffs_) {
+    const Gate& g = nl_.gates_[id];
+    P5_ASSERT(!g.fanin.empty());  // every DFF must have its D wired by now
+    dff_state_[id] = values_[g.fanin[0]];
+  }
+}
+
+bool Netlist::Sim::output(std::size_t i) const {
+  P5_EXPECTS(i < nl_.outputs_.size());
+  return values_[nl_.outputs_[i]] != 0;
+}
+
+void Netlist::Sim::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  std::fill(dff_state_.begin(), dff_state_.end(), 0);
+}
+
+}  // namespace p5::netlist

@@ -1,0 +1,123 @@
+// Gate-level boolean network with D flip-flops — the structural
+// representation the synthesis experiments (Tables 1-3) are computed from.
+//
+// Every P5 block has a generator in src/netlist/circuits that builds its
+// actual decision logic as gates; src/netlist/lut_mapper then covers the
+// combinational portion with K-input LUTs and src/netlist/timing turns LUT
+// depth into per-device fmax. Nothing in Tables 1-3 is a hard-coded
+// constant: area and speed emerge from the logic itself.
+//
+// The netlist is also *executable* (see Netlist::Sim) so every structural
+// circuit is verified cycle-by-cycle against its behavioural model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace p5::netlist {
+
+using NodeId = u32;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+enum class Op : u8 {
+  kInput,   ///< primary input
+  kConst0,
+  kConst1,
+  kAnd,     ///< n-ary AND
+  kOr,      ///< n-ary OR
+  kXor,     ///< n-ary XOR
+  kNot,     ///< 1 fan-in
+  kMux,     ///< fanin[0] ? fanin[2] : fanin[1]  (sel, a0, a1)
+  kDff,     ///< 1 fan-in (D); output is the registered value
+};
+
+[[nodiscard]] const char* to_string(Op op);
+
+struct Gate {
+  Op op = Op::kConst0;
+  std::vector<NodeId> fanin;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // ---- construction ----
+  NodeId input(const std::string& label);
+  NodeId constant(bool value);
+  NodeId gate(Op op, std::vector<NodeId> fanin);
+  NodeId dff(NodeId d = kInvalidNode);
+  /// Re-point an existing DFF's D input (for registers built before their
+  /// next-state logic, e.g. state machines).
+  void set_dff_input(NodeId dff_node, NodeId d);
+  void output(NodeId node, const std::string& label);
+
+  // Convenience single/double-input forms.
+  NodeId not_(NodeId a) { return gate(Op::kNot, {a}); }
+  NodeId and_(NodeId a, NodeId b) { return gate(Op::kAnd, {a, b}); }
+  NodeId or_(NodeId a, NodeId b) { return gate(Op::kOr, {a, b}); }
+  NodeId xor_(NodeId a, NodeId b) { return gate(Op::kXor, {a, b}); }
+  NodeId mux(NodeId sel, NodeId when0, NodeId when1) {
+    return gate(Op::kMux, {sel, when0, when1});
+  }
+
+  // ---- introspection ----
+  [[nodiscard]] std::size_t size() const { return gates_.size(); }
+  [[nodiscard]] const Gate& at(NodeId id) const {
+    P5_EXPECTS(id < gates_.size());
+    return gates_[id];
+  }
+  [[nodiscard]] const std::vector<NodeId>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<NodeId>& dffs() const { return dffs_; }
+  [[nodiscard]] const std::vector<NodeId>& outputs() const { return outputs_; }
+  [[nodiscard]] const std::string& input_label(std::size_t i) const { return input_labels_[i]; }
+  [[nodiscard]] const std::string& output_label(std::size_t i) const { return output_labels_[i]; }
+  [[nodiscard]] std::size_t num_ffs() const { return dffs_.size(); }
+  /// Fanout count per node (computed on demand).
+  [[nodiscard]] std::vector<u32> fanout_counts() const;
+
+  /// Merge another netlist into this one as a sub-block; returns the node-id
+  /// offset. The sub-block's inputs/outputs/DFFs are all absorbed; callers
+  /// re-wire via the returned mapping of old id -> new id (old + offset).
+  NodeId absorb(const Netlist& other);
+
+  // ---- simulation ----
+  /// Stateful two-phase simulator over the netlist.
+  class Sim {
+   public:
+    explicit Sim(const Netlist& nl);
+    /// Set primary input i (index into inputs()).
+    void set_input(std::size_t i, bool v);
+    /// Evaluate combinational logic for the current cycle.
+    void eval();
+    /// Latch all DFFs (clock edge).
+    void clock();
+    /// Value of output i (after eval()).
+    [[nodiscard]] bool output(std::size_t i) const;
+    /// Raw node value (after eval()).
+    [[nodiscard]] bool value(NodeId id) const { return values_[id]; }
+    void reset();
+
+   private:
+    const Netlist& nl_;
+    std::vector<NodeId> topo_;  ///< combinational gates in dependency order
+    std::vector<char> values_;
+    std::vector<char> dff_state_;
+  };
+
+ private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<NodeId> inputs_;
+  std::vector<std::string> input_labels_;
+  std::vector<NodeId> dffs_;
+  std::vector<NodeId> outputs_;
+  std::vector<std::string> output_labels_;
+};
+
+}  // namespace p5::netlist

@@ -1,0 +1,110 @@
+#include "netlist/verilog.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace p5::netlist {
+
+namespace {
+
+std::string sanitize(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) out.insert(0, "s_");
+  return out;
+}
+
+std::string wire(NodeId id) { return "n" + std::to_string(id); }
+
+std::string join(const std::vector<NodeId>& fanin, const char* op) {
+  std::string s;
+  for (std::size_t i = 0; i < fanin.size(); ++i) {
+    if (i) {
+      s += ' ';
+      s += op;
+      s += ' ';
+    }
+    s += wire(fanin[i]);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string to_verilog(const Netlist& nl) {
+  std::ostringstream v;
+  const std::string mod = sanitize(nl.name());
+
+  // Port list.
+  v << "// generated from p5::netlist::Netlist \"" << nl.name() << "\"\n";
+  v << "module " << mod << " (\n  input wire clk";
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    v << ",\n  input wire " << sanitize(nl.input_label(i));
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i)
+    v << ",\n  output wire " << sanitize(nl.output_label(i));
+  v << "\n);\n\n";
+
+  // Wire/reg declarations and input aliases.
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.at(id);
+    v << (g.op == Op::kDff ? "  reg  " : "  wire ") << wire(id) << ";\n";
+  }
+  v << '\n';
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    v << "  assign " << wire(nl.inputs()[i]) << " = " << sanitize(nl.input_label(i)) << ";\n";
+  v << '\n';
+
+  // Combinational assigns.
+  for (NodeId id = 0; id < nl.size(); ++id) {
+    const Gate& g = nl.at(id);
+    switch (g.op) {
+      case Op::kConst0:
+        v << "  assign " << wire(id) << " = 1'b0;\n";
+        break;
+      case Op::kConst1:
+        v << "  assign " << wire(id) << " = 1'b1;\n";
+        break;
+      case Op::kAnd:
+        v << "  assign " << wire(id) << " = " << join(g.fanin, "&") << ";\n";
+        break;
+      case Op::kOr:
+        v << "  assign " << wire(id) << " = " << join(g.fanin, "|") << ";\n";
+        break;
+      case Op::kXor:
+        v << "  assign " << wire(id) << " = " << join(g.fanin, "^") << ";\n";
+        break;
+      case Op::kNot:
+        v << "  assign " << wire(id) << " = ~" << wire(g.fanin[0]) << ";\n";
+        break;
+      case Op::kMux:
+        v << "  assign " << wire(id) << " = " << wire(g.fanin[0]) << " ? " << wire(g.fanin[2])
+          << " : " << wire(g.fanin[1]) << ";\n";
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Registers.
+  v << "\n  always @(posedge clk) begin\n";
+  for (const NodeId d : nl.dffs()) {
+    const Gate& g = nl.at(d);
+    P5_ASSERT(!g.fanin.empty());
+    v << "    " << wire(d) << " <= " << wire(g.fanin[0]) << ";\n";
+  }
+  v << "  end\n\n";
+
+  // Output bindings.
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i)
+    v << "  assign " << sanitize(nl.output_label(i)) << " = " << wire(nl.outputs()[i]) << ";\n";
+
+  v << "\nendmodule\n";
+  return v.str();
+}
+
+}  // namespace p5::netlist

@@ -1,0 +1,19 @@
+// Structural Verilog-2001 export of a Netlist — the bridge back to a real
+// FPGA flow. The emitted module is synthesisable (continuous assigns plus a
+// single always @(posedge clk) block for the flip-flops), so every circuit
+// in this repository can be pushed through a modern Yosys/Vivado run to
+// cross-check the area model against an actual technology mapper.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace p5::netlist {
+
+/// Emit `nl` as a self-contained Verilog module named after the netlist.
+/// Ports: clk, every primary input, every primary output (1 bit each,
+/// labels sanitised to Verilog identifiers).
+[[nodiscard]] std::string to_verilog(const Netlist& nl);
+
+}  // namespace p5::netlist

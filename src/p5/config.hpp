@@ -1,0 +1,38 @@
+// P5 device configuration — the knobs the paper exposes through the
+// Protocol OAM register map (programmable address for MAPOS, control octet,
+// FCS selection) plus the datapath width that distinguishes the 8-bit P5
+// (625 Mbps) from the 32-bit P5 (2.5 Gbps).
+#pragma once
+
+#include "common/types.hpp"
+#include "crc/crc_spec.hpp"
+#include "hdlc/accm.hpp"
+#include "hdlc/frame.hpp"
+
+namespace p5::core {
+
+struct P5Config {
+  unsigned lanes = 4;  ///< datapath octets per clock: 1 (8-bit) .. 8 (64-bit)
+
+  u8 address = hdlc::kDefaultAddress;  ///< programmable (MAPOS, RFC 2171)
+  u8 control = hdlc::kDefaultControl;
+  bool fcs32 = true;  ///< paper: 32-bit CRC "for accuracy purposes"
+  std::size_t max_payload = 1500;
+  /// Async-Control-Character-Map: SONET links escape only 0x7E/0x7D; async
+  /// links additionally escape selected control octets (RFC 1662 §7.1).
+  hdlc::Accm accm = hdlc::Accm::sonet();
+
+  /// Nominal clock for Gbps conversions: 2.5 Gbps / 32 bits (paper §5).
+  double clock_mhz = 78.125;
+
+  [[nodiscard]] const crc::CrcSpec& crc_spec() const {
+    return fcs32 ? crc::kFcs32 : crc::kFcs16;
+  }
+  [[nodiscard]] std::size_t fcs_bytes() const { return fcs32 ? 4 : 2; }
+  [[nodiscard]] unsigned width_bits() const { return lanes * 8; }
+  [[nodiscard]] double line_gbps() const {
+    return clock_mhz * 1e6 * width_bits() / 1e9;
+  }
+};
+
+}  // namespace p5::core

@@ -1,0 +1,146 @@
+#include "p5/control.hpp"
+
+#include "common/check.hpp"
+#include "hdlc/frame.hpp"
+#include "p5/shared_memory.hpp"
+
+namespace p5::core {
+
+// ---------------- TxControl ----------------
+
+TxControl::TxControl(std::string name, const P5Config& cfg, rtl::Fifo<rtl::Word>& out)
+    : rtl::Module(std::move(name)), cfg_(cfg), out_(out) {}
+
+std::size_t TxControl::pending() const {
+  const std::size_t queued = mem_ ? mem_->tx_pending() : tx_queue_.size();
+  return queued + (sending_ ? 1 : 0);
+}
+
+void TxControl::eval() {
+  start_next_ = false;
+  finished_ = false;
+  offset_next_ = offset_;
+
+  if (!sending_) {
+    if (mem_ ? mem_->tx_pending() > 0 : !tx_queue_.empty()) start_next_ = true;
+    return;
+  }
+
+  if (!out_.can_push()) return;  // downstream backpressure
+
+  rtl::Word w;
+  w.sof = offset_ == 0;
+  const std::size_t n = std::min<std::size_t>(cfg_.lanes, current_.size() - offset_);
+  for (std::size_t i = 0; i < n; ++i) w.push(current_[offset_ + i]);
+  offset_next_ = offset_ + n;
+  if (offset_next_ >= current_.size()) {
+    w.eof = true;
+    finished_ = true;
+  }
+  out_.push(w);
+  octets_ += n;
+}
+
+void TxControl::commit() {
+  if (start_next_) {
+    TxRequest req;
+    if (mem_) {
+      auto fetched = mem_->fetch_tx();
+      if (!fetched) return;  // raced away; try again next cycle
+      req = std::move(*fetched);
+    } else {
+      P5_ASSERT(!tx_queue_.empty());
+      req = std::move(tx_queue_.front());
+      tx_queue_.pop_front();
+    }
+    // Frame content: Address | Control | Protocol(2) | payload. The FCS is
+    // appended downstream by the CRC unit.
+    current_.clear();
+    current_.push_back(cfg_.address);
+    current_.push_back(req.control.value_or(cfg_.control));
+    put_be16(current_, req.protocol);
+    append(current_, req.payload);
+    offset_ = 0;
+    sending_ = true;
+    ++frames_;
+    return;
+  }
+  offset_ = offset_next_;
+  if (finished_) {
+    sending_ = false;
+    current_.clear();
+    offset_ = 0;
+    if (frame_done_) frame_done_();
+  }
+}
+
+// ---------------- RxControl ----------------
+
+RxControl::RxControl(std::string name, const P5Config& cfg, rtl::Fifo<rtl::Word>& in)
+    : rtl::Module(std::move(name)), cfg_(cfg), in_(in) {}
+
+void RxControl::eval() {
+  assembling_next_ = assembling_;
+  in_frame_next_ = in_frame_;
+  junk_next_ = junk_frame_;
+
+  if (!in_.can_pop()) return;
+  const rtl::Word w = in_.pop();
+
+  if (w.sof) {
+    assembling_next_.clear();
+    in_frame_next_ = true;
+    junk_next_ = false;
+  }
+  if (!in_frame_next_) return;  // mid-stream garbage
+
+  for (std::size_t i = 0; i < w.count(); ++i) assembling_next_.push_back(w.lane(i));
+
+  if (!w.eof) return;
+  in_frame_next_ = false;
+
+  if (w.abort || junk_next_) {
+    ++counters_.frames_bad;
+    assembling_next_.clear();
+    return;
+  }
+  // Header: Address | Control | Protocol(2).
+  if (assembling_next_.size() < 4) {
+    ++counters_.malformed;
+    assembling_next_.clear();
+    return;
+  }
+  // MAPOS filter: accept our programmed station address and the 0xFF
+  // all-stations (broadcast) address.
+  if (assembling_next_[0] != cfg_.address && assembling_next_[0] != hdlc::kDefaultAddress) {
+    ++counters_.addr_filtered;
+    assembling_next_.clear();
+    return;
+  }
+  const u16 protocol = get_be16(assembling_next_, 2);
+  const std::size_t payload_len = assembling_next_.size() - 4;
+  if (payload_len > cfg_.max_payload) {
+    ++counters_.oversize;
+    assembling_next_.clear();
+    return;
+  }
+  RxDelivery d;
+  d.protocol = protocol;
+  d.control = assembling_next_[1];
+  d.payload.assign(assembling_next_.begin() + 4, assembling_next_.end());
+  completed_.push_back(std::move(d));
+  ++counters_.frames_ok;
+  assembling_next_.clear();
+}
+
+void RxControl::commit() {
+  assembling_ = std::move(assembling_next_);
+  in_frame_ = in_frame_next_;
+  junk_frame_ = junk_next_;
+  while (!completed_.empty()) {
+    if (sink_) sink_(std::move(completed_.front()));
+    completed_.pop_front();
+  }
+}
+
+}  // namespace p5::core

@@ -1,0 +1,129 @@
+// Transmitter / Receiver Control units (paper Figures 3-4: the first and
+// last pipeline stage of each direction).
+//
+//  * TxControl: fetches datagrams from the shared-memory transmit queue,
+//    prepends the programmable Address/Control octets and the 2-octet
+//    Protocol field, and streams the frame content at `lanes` octets per
+//    clock with SOF/EOF sideband — the control path of the framing
+//    procedure.
+//
+//  * RxControl: parses the header off the destuffed, CRC-checked stream,
+//    applies the MAPOS address filter, strips Address/Control/Protocol and
+//    delivers reassembled datagrams (with their protocol number) to the
+//    shared-memory receive queue; every disposition is counted for the OAM
+//    status registers.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+#include "p5/config.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/module.hpp"
+#include "rtl/word.hpp"
+
+namespace p5::core {
+
+struct TxRequest {
+  u16 protocol = 0x0021;  ///< IPv4 by default
+  Bytes payload;
+  /// Per-frame Control field override — numbered mode (RFC 1663) carries
+  /// sequence numbers here; nullopt uses the configured UI value (0x03).
+  std::optional<u8> control;
+};
+
+class SharedMemory;
+
+class TxControl final : public rtl::Module {
+ public:
+  TxControl(std::string name, const P5Config& cfg, rtl::Fifo<rtl::Word>& out);
+
+  /// Fetch frames from the shared packet memory instead of the local queue
+  /// (the paper's Figure 2 arrangement; wired by the P5 top level).
+  void set_memory(SharedMemory* mem) { mem_ = mem; }
+  /// Called whenever a frame's last word has left (drives the TxDone IRQ).
+  void set_frame_done_hook(std::function<void()> hook) { frame_done_ = std::move(hook); }
+
+  /// Enqueue a datagram locally (standalone/unit-test path).
+  void submit(TxRequest req) { tx_queue_.push_back(std::move(req)); }
+  [[nodiscard]] std::size_t pending() const;
+
+  void eval() override;
+  void commit() override;
+
+  /// Reprogram the header registers (OAM write); applies to frames started
+  /// after the call — in-flight frames keep their header.
+  void set_config(const P5Config& cfg) { cfg_ = cfg; }
+
+  [[nodiscard]] u64 frames_started() const { return frames_; }
+  [[nodiscard]] u64 octets_sent() const { return octets_; }
+
+ private:
+  P5Config cfg_;
+  rtl::Fifo<rtl::Word>& out_;
+  SharedMemory* mem_ = nullptr;
+  std::function<void()> frame_done_;
+
+  std::deque<TxRequest> tx_queue_;
+  Bytes current_;          ///< content octets of the in-flight frame
+  std::size_t offset_ = 0;
+  bool sending_ = false;
+
+  // eval() stages its changes here; commit() applies them.
+  bool start_next_ = false;
+  bool finished_ = false;
+  std::size_t offset_next_ = 0;
+
+  u64 frames_ = 0;
+  u64 octets_ = 0;
+};
+
+struct RxDelivery {
+  u16 protocol = 0;
+  u8 control = 0;  ///< received Control field (sequence numbers in numbered mode)
+  Bytes payload;
+};
+
+struct RxCounters {
+  u64 frames_ok = 0;
+  u64 frames_bad = 0;       ///< CRC failure / abort (already junked upstream)
+  u64 addr_filtered = 0;    ///< MAPOS address mismatch
+  u64 malformed = 0;        ///< header too short
+  u64 oversize = 0;         ///< payload above the negotiated maximum
+};
+
+class RxControl final : public rtl::Module {
+ public:
+  RxControl(std::string name, const P5Config& cfg, rtl::Fifo<rtl::Word>& in);
+
+  /// Called once per good frame (from commit(), cycle-aligned).
+  void set_sink(std::function<void(RxDelivery)> sink) { sink_ = std::move(sink); }
+
+  void eval() override;
+  void commit() override;
+
+  /// Reprogram the address filter / MRU (OAM write).
+  void set_config(const P5Config& cfg) { cfg_ = cfg; }
+
+  [[nodiscard]] const RxCounters& counters() const { return counters_; }
+
+ private:
+  P5Config cfg_;
+  rtl::Fifo<rtl::Word>& in_;
+  std::function<void(RxDelivery)> sink_;
+
+  Bytes assembling_;
+  bool in_frame_ = false;
+  bool junk_frame_ = false;
+
+  Bytes assembling_next_;
+  bool in_frame_next_ = false;
+  bool junk_next_ = false;
+  std::deque<RxDelivery> completed_;  ///< delivered at commit()
+
+  RxCounters counters_;
+};
+
+}  // namespace p5::core

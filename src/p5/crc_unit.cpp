@@ -1,0 +1,164 @@
+#include "p5/crc_unit.hpp"
+
+#include "common/check.hpp"
+
+namespace p5::core {
+
+namespace {
+/// Emit up to `lanes` octets from staging into `out`, handling SOF/EOF tags.
+/// Returns true if the flush completed (staging emptied while flushing).
+template <typename Deque>
+bool emit_from_staging(rtl::Fifo<rtl::Word>& out, Deque& staging, unsigned lanes, bool& sof_flag,
+                       bool flushing, bool abort_flag, u64* frames) {
+  const bool want_full = staging.size() >= lanes;
+  const bool want_drain = flushing;
+  if (!(want_full || want_drain) || !out.can_push()) return false;
+  rtl::Word w;
+  const std::size_t n = std::min<std::size_t>(lanes, staging.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    w.push(staging.front());
+    staging.pop_front();
+  }
+  w.sof = sof_flag;
+  sof_flag = false;
+  bool completed = false;
+  if (flushing && staging.empty()) {
+    w.eof = true;
+    w.abort = abort_flag;
+    completed = true;
+    if (frames) ++*frames;
+  }
+  out.push(w);
+  return completed;
+}
+}  // namespace
+
+// ---------------- TxCrcUnit ----------------
+
+TxCrcUnit::TxCrcUnit(std::string name, const P5Config& cfg, rtl::Fifo<rtl::Word>& in,
+                     rtl::Fifo<rtl::Word>& out)
+    : rtl::Module(std::move(name)),
+      lanes_(cfg.lanes),
+      fcs_bytes_(cfg.fcs_bytes()),
+      core_(cfg.crc_spec(), cfg.lanes * 8),
+      in_(in),
+      out_(out),
+      state_(cfg.crc_spec().init),
+      state_next_(cfg.crc_spec().init) {}
+
+void TxCrcUnit::eval() {
+  state_next_ = state_;
+  staging_next_ = staging_;
+  staging_sof_next_ = staging_sof_;
+  flushing_next_ = flushing_;
+
+  const bool completed = emit_from_staging(out_, staging_next_, lanes_, staging_sof_next_,
+                                           flushing_ && !staging_.empty() ? true : flushing_,
+                                           false, &frames_);
+  if (completed) flushing_next_ = false;
+
+  // Accept one content word per cycle while staging has headroom and we are
+  // not draining a sealed frame.
+  if (!flushing_next_ && staging_next_.size() <= lanes_ && in_.can_pop()) {
+    const rtl::Word w = in_.pop();
+    if (w.sof) {
+      state_next_ = core_.spec().init;
+      if (staging_next_.empty()) staging_sof_next_ = true;
+    }
+    Bytes block;
+    block.reserve(w.count());
+    for (std::size_t i = 0; i < w.count(); ++i) block.push_back(w.lane(i));
+    state_next_ = core_.update(state_next_, block);
+    for (const u8 octet : block) staging_next_.push_back(octet);
+
+    if (w.eof) {
+      // Seal: append the complemented FCS, least-significant octet first.
+      const u32 fcs = state_next_ ^ core_.spec().xorout;
+      for (std::size_t i = 0; i < fcs_bytes_; ++i)
+        staging_next_.push_back(static_cast<u8>(fcs >> (8 * i)));
+      flushing_next_ = true;
+    }
+  }
+}
+
+void TxCrcUnit::commit() {
+  state_ = state_next_;
+  staging_ = std::move(staging_next_);
+  staging_sof_ = staging_sof_next_;
+  flushing_ = flushing_next_;
+}
+
+// ---------------- RxCrcChecker ----------------
+
+RxCrcChecker::RxCrcChecker(std::string name, const P5Config& cfg, rtl::Fifo<rtl::Word>& in,
+                           rtl::Fifo<rtl::Word>& out)
+    : rtl::Module(std::move(name)),
+      lanes_(cfg.lanes),
+      fcs_bytes_(cfg.fcs_bytes()),
+      core_(cfg.crc_spec(), cfg.lanes * 8),
+      in_(in),
+      out_(out),
+      state_(cfg.crc_spec().init),
+      state_next_(cfg.crc_spec().init) {}
+
+void RxCrcChecker::eval() {
+  state_next_ = state_;
+  delay_next_ = delay_;
+  staging_next_ = staging_;
+  staging_sof_next_ = staging_sof_;
+  flushing_next_ = flushing_;
+  abort_next_ = abort_flag_;
+  frame_octets_next_ = frame_octets_;
+
+  const bool completed = emit_from_staging(out_, staging_next_, lanes_, staging_sof_next_,
+                                           flushing_, abort_flag_, nullptr);
+  if (completed) {
+    flushing_next_ = false;
+    abort_next_ = false;
+  }
+
+  if (!flushing_next_ && staging_next_.size() <= lanes_ && in_.can_pop()) {
+    const rtl::Word w = in_.pop();
+    if (w.sof) {
+      state_next_ = core_.spec().init;
+      delay_next_.clear();
+      frame_octets_next_ = 0;
+      if (staging_next_.empty()) staging_sof_next_ = true;
+    }
+    for (std::size_t i = 0; i < w.count(); ++i) {
+      const u8 octet = w.lane(i);
+      state_next_ = crc::bitwise_step(core_.spec(), state_next_, octet);
+      delay_next_.push_back(octet);
+      ++frame_octets_next_;
+      if (delay_next_.size() > fcs_bytes_) {
+        staging_next_.push_back(delay_next_.front());
+        delay_next_.pop_front();
+      }
+    }
+    if (w.eof) {
+      const bool ok = !w.abort && frame_octets_next_ > fcs_bytes_ &&
+                      state_next_ == core_.spec().residue;
+      if (ok) {
+        ++good_;
+      } else {
+        ++bad_;
+        if (error_hook_) error_hook_();
+      }
+      abort_next_ = !ok;
+      flushing_next_ = true;
+      delay_next_.clear();  // the FCS octets are consumed, not forwarded
+    }
+  }
+}
+
+void RxCrcChecker::commit() {
+  state_ = state_next_;
+  delay_ = std::move(delay_next_);
+  staging_ = std::move(staging_next_);
+  staging_sof_ = staging_sof_next_;
+  flushing_ = flushing_next_;
+  abort_flag_ = abort_next_;
+  frame_octets_ = frame_octets_next_;
+}
+
+}  // namespace p5::core

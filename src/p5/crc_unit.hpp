@@ -1,0 +1,102 @@
+// Cycle-accurate CRC units (paper Section 3: "The CRC unit co-ordinates and
+// synchronises data being fed into the CRC core").
+//
+// Both directions drive the same parallel matrix core (crc::ParallelCrc,
+// the 8x32 / 32x32 XOR matrix) and add the coordination logic around it:
+//
+//  * TxCrcUnit: accumulates the FCS across a frame's content words — using
+//    the partial-width matrices for a non-full final word — then appends the
+//    complemented FCS octets (least-significant first, RFC 1662) behind the
+//    frame, re-packing the tail across word boundaries.
+//
+//  * RxCrcChecker: runs every received octet through the core; because the
+//    FCS is the final octets of the frame, a fcs-octet delay line separates
+//    payload from checksum. At EOF the register must hold the spec's magic
+//    residue; a bad check (or an upstream abort) tags the frame's EOF word
+//    with the abort flag.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "common/types.hpp"
+#include "crc/parallel_crc.hpp"
+#include "p5/config.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/module.hpp"
+#include "rtl/word.hpp"
+
+namespace p5::core {
+
+class TxCrcUnit final : public rtl::Module {
+ public:
+  TxCrcUnit(std::string name, const P5Config& cfg, rtl::Fifo<rtl::Word>& in,
+            rtl::Fifo<rtl::Word>& out);
+
+  void eval() override;
+  void commit() override;
+
+  [[nodiscard]] u64 frames_sealed() const { return frames_; }
+
+ private:
+  unsigned lanes_;
+  std::size_t fcs_bytes_;
+  crc::ParallelCrc core_;
+  rtl::Fifo<rtl::Word>& in_;
+  rtl::Fifo<rtl::Word>& out_;
+
+  u32 state_;
+  std::deque<u8> staging_;
+  bool staging_sof_ = false;
+  bool flushing_ = false;  ///< FCS appended; drain staging to EOF
+
+  u32 state_next_;
+  std::deque<u8> staging_next_;
+  bool staging_sof_next_ = false;
+  bool flushing_next_ = false;
+
+  u64 frames_ = 0;
+};
+
+class RxCrcChecker final : public rtl::Module {
+ public:
+  RxCrcChecker(std::string name, const P5Config& cfg, rtl::Fifo<rtl::Word>& in,
+               rtl::Fifo<rtl::Word>& out);
+
+  void eval() override;
+  void commit() override;
+
+  [[nodiscard]] u64 good_frames() const { return good_; }
+  [[nodiscard]] u64 bad_frames() const { return bad_; }
+  /// Invoked on every FCS failure / aborted frame (drives the RxError IRQ).
+  void set_error_hook(std::function<void()> hook) { error_hook_ = std::move(hook); }
+
+ private:
+  unsigned lanes_;
+  std::size_t fcs_bytes_;
+  crc::ParallelCrc core_;
+  rtl::Fifo<rtl::Word>& in_;
+  rtl::Fifo<rtl::Word>& out_;
+
+  u32 state_;
+  std::deque<u8> delay_;    ///< last fcs_bytes octets (candidate checksum)
+  std::deque<u8> staging_;  ///< payload octets ready to leave
+  bool staging_sof_ = false;
+  bool flushing_ = false;
+  bool abort_flag_ = false;
+  std::size_t frame_octets_ = 0;
+
+  u32 state_next_;
+  std::deque<u8> delay_next_;
+  std::deque<u8> staging_next_;
+  bool staging_sof_next_ = false;
+  bool flushing_next_ = false;
+  bool abort_next_ = false;
+  std::size_t frame_octets_next_ = 0;
+
+  u64 good_ = 0;
+  u64 bad_ = 0;
+  std::function<void()> error_hook_;
+};
+
+}  // namespace p5::core

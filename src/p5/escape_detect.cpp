@@ -1,0 +1,126 @@
+#include "p5/escape_detect.hpp"
+
+#include "common/check.hpp"
+#include "hdlc/accm.hpp"
+
+namespace p5::core {
+
+EscapeDetect::EscapeDetect(std::string name, unsigned lanes, rtl::Fifo<rtl::Word>& in,
+                           rtl::Fifo<rtl::Word>& out)
+    : rtl::Module(std::move(name)), lanes_(lanes), in_(in), out_(out) {
+  P5_EXPECTS(lanes >= 1 && lanes <= rtl::Word::kMaxLanes);
+}
+
+void EscapeDetect::eval() {
+  ++stats_.cycles;
+  const std::size_t capacity = queue_capacity();
+
+  s1_next_ = s1_;
+  s2_next_ = s2_;
+  pending_next_ = pending_;
+  queue_next_ = queue_;
+  queue_sof_next_ = queue_sof_;
+  draining_next_ = draining_eof_;
+  abort_next_ = abort_at_eof_;
+
+  // ---- emit compacted words ----
+  const bool want_full = queue_.size() >= lanes_;
+  const bool want_drain = draining_eof_;  // may flush an empty abort marker
+  if ((want_full || (want_drain && true)) && out_.can_push()) {
+    rtl::Word w;
+    const std::size_t n = std::min<std::size_t>(lanes_, queue_next_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      w.push(queue_next_.front());
+      queue_next_.pop_front();
+    }
+    if (want_full || want_drain) {
+      w.sof = queue_sof_;
+      queue_sof_next_ = false;
+      if (draining_eof_ && queue_next_.empty()) {
+        w.eof = true;
+        w.abort = abort_at_eof_;
+        if (abort_at_eof_) ++aborts_;
+        abort_next_ = false;
+        draining_next_ = false;
+      }
+      out_.push(w);
+      stats_.busy_cycles++;
+      stats_.bytes += w.count();
+    }
+  } else if (want_full || want_drain) {
+    ++stats_.stall_cycles;
+  } else if (!s1_.valid && !s2_.valid && queue_.empty()) {
+    ++stats_.starve_cycles;
+  }
+
+  // ---- merge S2 (already destuffed+classified) into the queue ----
+  bool accepted = false;
+  if (s2_.valid && !draining_next_) {
+    if (queue_next_.size() + s2_.word.count() <= capacity) {
+      if (s2_.word.sof && queue_next_.empty()) queue_sof_next_ = true;
+      for (std::size_t i = 0; i < s2_.word.count(); ++i)
+        queue_next_.push_back(s2_.word.lane(i));
+      if (s2_.word.eof) {
+        draining_next_ = true;
+        abort_next_ = s2_.word.abort;
+      }
+      accepted = true;
+    }
+  }
+
+  // ---- handshake: S2 <- S1 <- input (destuff at the load point) ----
+  const bool s2_can_load = !s2_.valid || accepted;
+  if (s2_can_load) {
+    if (s1_.valid) {
+      s2_next_ = s1_;
+      s1_next_.valid = false;
+    } else if (accepted) {
+      s2_next_.valid = false;
+    }
+  }
+  if (!s1_next_.valid && in_.can_pop()) {
+    const rtl::Word raw = in_.pop();
+    rtl::Word kept;
+    kept.sof = raw.sof;
+    kept.eof = raw.eof;
+    kept.abort = raw.abort;
+    bool covered = pending_next_;
+    bool marker = false;
+    for (std::size_t i = 0; i < raw.count(); ++i) {
+      const u8 octet = raw.lane(i);
+      marker = false;
+      if (covered) {
+        kept.push(octet ^ hdlc::kXor);  // the escaped octet, restored
+        covered = false;
+      } else if (octet == hdlc::kEscape) {
+        marker = true;
+        covered = true;
+        ++escapes_;
+      } else {
+        kept.push(octet);
+      }
+    }
+    pending_next_ = covered;
+    if (raw.eof) {
+      // A dangling escape at end-of-frame aborts the frame (RFC 1662 §4.3).
+      if (covered) kept.abort = true;
+      pending_next_ = false;  // frame boundary resets transparency state
+    }
+    (void)marker;
+    s1_next_.word = kept;
+    s1_next_.valid = true;
+  }
+}
+
+void EscapeDetect::commit() {
+  s1_ = s1_next_;
+  s2_ = s2_next_;
+  pending_ = pending_next_;
+  queue_ = std::move(queue_next_);
+  queue_sof_ = queue_sof_next_;
+  draining_eof_ = draining_next_;
+  abort_at_eof_ = abort_next_;
+  peak_occ_ = std::max(peak_occ_, queue_.size());
+}
+
+}  // namespace p5::core

@@ -1,0 +1,66 @@
+// Cycle-accurate Escape Detect unit — the receive-side byte sorter (paper
+// Section 3, Figure 6). Escape markers are deleted and the following octet
+// is XORed with 0x20; the resulting "bubbles" on the channel are closed by
+// compacting the survivors through a 2*lanes-octet resynchronisation queue.
+// An escape marker in the last lane straddles the word boundary via the
+// pending flip-flop. A dangling escape at EOF marks the frame aborted
+// (RFC 1662: an invalid escape sequence kills the frame).
+#pragma once
+
+#include <deque>
+
+#include "common/types.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/module.hpp"
+#include "rtl/stats.hpp"
+#include "rtl/word.hpp"
+
+namespace p5::core {
+
+class EscapeDetect final : public rtl::Module {
+ public:
+  EscapeDetect(std::string name, unsigned lanes, rtl::Fifo<rtl::Word>& in,
+               rtl::Fifo<rtl::Word>& out);
+
+  void eval() override;
+  void commit() override;
+
+  [[nodiscard]] const rtl::StageStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t queue_capacity() const { return 2u * lanes_; }
+  [[nodiscard]] std::size_t peak_queue_occupancy() const { return peak_occ_; }
+  /// Current queue occupancy (for cycle-by-cycle traces).
+  [[nodiscard]] std::size_t queue_occupancy() const { return queue_.size(); }
+  [[nodiscard]] u64 escapes_removed() const { return escapes_; }
+  [[nodiscard]] u64 aborted_frames() const { return aborts_; }
+
+ private:
+  struct Stage {
+    rtl::Word word;
+    bool valid = false;
+  };
+
+  unsigned lanes_;
+  rtl::Fifo<rtl::Word>& in_;
+  rtl::Fifo<rtl::Word>& out_;
+
+  Stage s1_, s2_;
+  bool pending_ = false;  ///< escape marker seen as the last octet of a word
+  std::deque<u8> queue_;
+  bool queue_sof_ = false;
+  bool draining_eof_ = false;
+  bool abort_at_eof_ = false;
+
+  Stage s1_next_, s2_next_;
+  bool pending_next_ = false;
+  std::deque<u8> queue_next_;
+  bool queue_sof_next_ = false;
+  bool draining_next_ = false;
+  bool abort_next_ = false;
+
+  rtl::StageStats stats_;
+  std::size_t peak_occ_ = 0;
+  u64 escapes_ = 0;
+  u64 aborts_ = 0;
+};
+
+}  // namespace p5::core

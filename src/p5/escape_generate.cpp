@@ -1,0 +1,108 @@
+#include "p5/escape_generate.hpp"
+
+#include "common/check.hpp"
+
+namespace p5::core {
+
+EscapeGenerate::EscapeGenerate(std::string name, unsigned lanes, rtl::Fifo<rtl::Word>& in,
+                               rtl::Fifo<rtl::Word>& out, hdlc::Accm accm)
+    : rtl::Module(std::move(name)), lanes_(lanes), in_(in), out_(out), accm_(accm) {
+  P5_EXPECTS(lanes >= 1 && lanes <= rtl::Word::kMaxLanes);
+}
+
+void EscapeGenerate::eval() {
+  ++stats_.cycles;
+  const std::size_t capacity = queue_capacity();
+
+  // Start from current state; stage mutations into the *_next shadows.
+  s1_next_ = s1_;
+  s2_next_ = s2_;
+  queue_next_ = queue_;
+  queue_sof_next_ = queue_sof_;
+  draining_next_ = draining_eof_;
+
+  // ---- S4: emit from the resynchronisation queue ----
+  bool emitted = false;
+  const bool want_full = queue_.size() >= lanes_;
+  const bool want_drain = draining_eof_ && !queue_.empty();
+  if ((want_full || want_drain) && out_.can_push()) {
+    rtl::Word w;
+    const std::size_t n = std::min<std::size_t>(lanes_, queue_next_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      w.push(queue_next_.front());
+      queue_next_.pop_front();
+    }
+    w.sof = queue_sof_;
+    queue_sof_next_ = false;
+    if (draining_eof_ && queue_next_.empty()) {
+      w.eof = true;
+      draining_next_ = false;
+    }
+    out_.push(w);
+    emitted = true;
+    stats_.busy_cycles++;
+    stats_.bytes += w.count();
+  } else if (want_full || want_drain) {
+    ++backpressure_cycles_;  // downstream full
+    ++stats_.stall_cycles;
+  } else if (!s2_.valid && !s1_.valid && queue_.empty()) {
+    ++stats_.starve_cycles;
+  }
+
+  // ---- S3: merge the expanded S2 word into the queue ----
+  bool accepted = false;
+  if (s2_.valid && !draining_next_) {
+    // Expansion (the slot crossbar's result): each must-escape octet becomes
+    // the 0x7D marker followed by the octet with bit 5 complemented.
+    Bytes expanded;
+    expanded.reserve(2 * lanes_);
+    for (std::size_t i = 0; i < s2_.word.count(); ++i) {
+      const u8 octet = s2_.word.lane(i);
+      if (accm_.must_escape(octet)) {
+        expanded.push_back(hdlc::kEscape);
+        expanded.push_back(octet ^ hdlc::kXor);
+      } else {
+        expanded.push_back(octet);
+      }
+    }
+
+    if (queue_next_.size() + expanded.size() <= capacity) {
+      if (s2_.word.sof && queue_next_.empty()) queue_sof_next_ = true;
+      for (const u8 octet : expanded) queue_next_.push_back(octet);
+      escapes_ += expanded.size() - s2_.word.count();
+      if (s2_.word.eof) draining_next_ = true;
+      accepted = true;
+    } else {
+      ++backpressure_cycles_;  // resync buffer full: stall upstream
+    }
+  }
+
+  // ---- handshake chain: S2 <- S1 <- input channel ----
+  const bool s2_can_load = !s2_.valid || accepted;
+  if (s2_can_load) {
+    if (s1_.valid) {
+      s2_next_ = s1_;  // (classification flags are recomputed from the word)
+      s1_next_.valid = false;
+    } else if (accepted) {
+      s2_next_.valid = false;
+    }
+  }
+  const bool s1_can_load = !s1_next_.valid;
+  if (s1_can_load && in_.can_pop()) {
+    s1_next_.word = in_.pop();
+    s1_next_.valid = true;
+  }
+
+  (void)emitted;
+}
+
+void EscapeGenerate::commit() {
+  s1_ = s1_next_;
+  s2_ = s2_next_;
+  queue_ = std::move(queue_next_);
+  queue_sof_ = queue_sof_next_;
+  draining_eof_ = draining_next_;
+  peak_occ_ = std::max(peak_occ_, queue_.size());
+}
+
+}  // namespace p5::core

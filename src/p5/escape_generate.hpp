@@ -1,0 +1,84 @@
+// Cycle-accurate Escape Generate unit — the transmit-side byte sorter
+// (paper Section 3, Figure 5).
+//
+// Pipeline (lanes >= 2, the paper's 4-stage structure):
+//   S1  lane classification (flag/escape comparators), input word registered
+//   S2  expansion prefix-sum: per-lane target slot + produced-octet count
+//   S3  slot crossbar merges up to 2*lanes octets into the 2*lanes-octet
+//       resynchronisation queue; backpressure stalls S2/S1 when the sorted
+//       word does not fit
+//   S4  output register: `lanes` octets leave per cycle; an EOF drains the
+//       queue so frames never share a word
+//
+// First-octet latency is therefore 4 cycles — the paper's "first data
+// transmitted is delayed by 4 clock cycles, approximately 50ns. Subsequent
+// data flow is continuous".
+//
+// The identical algorithm is generated as gates in
+// src/netlist/circuits/escape_circuits.cpp; equivalence tests drive both
+// against the RFC 1662 reference stuffer.
+#pragma once
+
+#include <deque>
+
+#include "common/types.hpp"
+#include "hdlc/accm.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/module.hpp"
+#include "rtl/stats.hpp"
+#include "rtl/word.hpp"
+
+namespace p5::core {
+
+class EscapeGenerate final : public rtl::Module {
+ public:
+  EscapeGenerate(std::string name, unsigned lanes, rtl::Fifo<rtl::Word>& in,
+                 rtl::Fifo<rtl::Word>& out, hdlc::Accm accm = hdlc::Accm::sonet());
+
+  void eval() override;
+  void commit() override;
+
+  /// Reprogram the transparency map (OAM ACCM write); applies to octets
+  /// classified after the call.
+  void set_accm(hdlc::Accm accm) { accm_ = accm; }
+
+  [[nodiscard]] const rtl::StageStats& stats() const { return stats_; }
+  /// 3*lanes: smallest deadlock-free resynchronisation buffer (a queue
+  /// holding lanes-1 octets must still absorb a fully-escaped word).
+  [[nodiscard]] std::size_t queue_capacity() const { return 3u * lanes_; }
+  [[nodiscard]] std::size_t peak_queue_occupancy() const { return peak_occ_; }
+  /// Current queue occupancy (for cycle-by-cycle traces).
+  [[nodiscard]] std::size_t queue_occupancy() const { return queue_.size(); }
+  [[nodiscard]] u64 backpressure_cycles() const { return backpressure_cycles_; }
+  [[nodiscard]] u64 escapes_inserted() const { return escapes_; }
+
+ private:
+  struct Stage {
+    rtl::Word word;
+    bool valid = false;
+  };
+
+  unsigned lanes_;
+  rtl::Fifo<rtl::Word>& in_;
+  rtl::Fifo<rtl::Word>& out_;
+  hdlc::Accm accm_;
+
+  // Current-cycle register state.
+  Stage s1_, s2_;
+  std::deque<u8> queue_;
+  bool queue_sof_ = false;      ///< queue front begins a frame
+  bool draining_eof_ = false;   ///< flush partial words until empty
+
+  // Next-cycle values staged by eval().
+  Stage s1_next_, s2_next_;
+  std::deque<u8> queue_next_;
+  bool queue_sof_next_ = false;
+  bool draining_next_ = false;
+
+  rtl::StageStats stats_;
+  std::size_t peak_occ_ = 0;
+  u64 backpressure_cycles_ = 0;
+  u64 escapes_ = 0;
+};
+
+}  // namespace p5::core

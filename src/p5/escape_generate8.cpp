@@ -1,0 +1,53 @@
+#include "p5/escape_generate8.hpp"
+
+#include "common/check.hpp"
+
+namespace p5::core {
+
+EscapeGenerate8::EscapeGenerate8(std::string name, rtl::Fifo<rtl::Word>& in,
+                                 rtl::Fifo<rtl::Word>& out, hdlc::Accm accm)
+    : rtl::Module(std::move(name)), in_(in), out_(out), accm_(accm) {}
+
+void EscapeGenerate8::eval() {
+  pending_next_ = pending_;
+  held_next_ = held_;
+
+  if (!out_.can_push()) return;  // downstream backpressure: everything holds
+
+  if (pending_) {
+    // Second cycle of an escape: emit the held octet with bit 5 flipped.
+    rtl::Word w;
+    w.push(held_.lane(0) ^ hdlc::kXor);
+    w.sof = false;  // the escape marker carried SOF if the frame starts here
+    w.eof = held_.eof;
+    out_.push(w);
+    pending_next_ = false;
+    return;
+  }
+
+  if (!in_.can_pop()) return;
+  const rtl::Word raw = in_.front();
+  P5_EXPECTS(raw.count() <= 1);
+
+  if (raw.count() == 1 && accm_.must_escape(raw.lane(0))) {
+    // Stall: emit 0x7D now, hold the octet (do NOT pop), flip next cycle.
+    rtl::Word w;
+    w.push(hdlc::kEscape);
+    w.sof = raw.sof;
+    out_.push(w);
+    held_next_ = in_.pop();  // consume it into the hold register
+    pending_next_ = true;
+    ++escapes_;
+    ++stalls_;
+    return;
+  }
+
+  out_.push(in_.pop());  // transparent octet: straight through
+}
+
+void EscapeGenerate8::commit() {
+  pending_ = pending_next_;
+  held_ = held_next_;
+}
+
+}  // namespace p5::core

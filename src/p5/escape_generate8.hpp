@@ -1,0 +1,53 @@
+// The paper's 8-bit Escape Generate: the stall design (Section 3).
+//
+// "Considering the Escape Generate block for an 8-bit system, if a flag
+// character was present, the system will halt the input data for 1 clock
+// cycle while simple manipulation takes place and an extra byte is
+// inserted." — no byte sorter, no resynchronisation buffer: one pending
+// flip-flop and a comparator pair, which is why Table 3's 8-bit module is
+// 22 LUTs / 6 FFs against the 32-bit module's hundreds.
+//
+// The generic EscapeGenerate (escape_generate.hpp) runs the sorter
+// micro-architecture at every width for uniformity; this module is the
+// faithful 8-bit alternative, matching the gate-level
+// make_escape_generate_circuit(1) cycle for cycle. Byte-stream behaviour is
+// identical; the difference is architectural (stall vs buffer) and shows up
+// as 1-cycle instead of 4-cycle first-octet latency.
+#pragma once
+
+#include "common/types.hpp"
+#include "hdlc/accm.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/module.hpp"
+#include "rtl/word.hpp"
+
+namespace p5::core {
+
+class EscapeGenerate8 final : public rtl::Module {
+ public:
+  EscapeGenerate8(std::string name, rtl::Fifo<rtl::Word>& in, rtl::Fifo<rtl::Word>& out,
+                  hdlc::Accm accm = hdlc::Accm::sonet());
+
+  void eval() override;
+  void commit() override;
+
+  [[nodiscard]] u64 escapes_inserted() const { return escapes_; }
+  [[nodiscard]] u64 stall_cycles() const { return stalls_; }
+
+ private:
+  rtl::Fifo<rtl::Word>& in_;
+  rtl::Fifo<rtl::Word>& out_;
+  hdlc::Accm accm_;
+
+  // The held octet while pending (the paper's "halted" input byte).
+  bool pending_ = false;
+  rtl::Word held_;
+
+  bool pending_next_ = false;
+  rtl::Word held_next_;
+
+  u64 escapes_ = 0;
+  u64 stalls_ = 0;
+};
+
+}  // namespace p5::core

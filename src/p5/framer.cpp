@@ -1,0 +1,164 @@
+#include "p5/framer.hpp"
+
+#include "common/check.hpp"
+#include "hdlc/accm.hpp"
+
+namespace p5::core {
+
+using hdlc::kEscape;
+using hdlc::kFlag;
+
+// ---------------- FlagInserter ----------------
+
+FlagInserter::FlagInserter(std::string name, unsigned lanes, rtl::Fifo<rtl::Word>& in,
+                           rtl::Fifo<rtl::Word>& out)
+    : rtl::Module(std::move(name)), lanes_(lanes), in_(in), out_(out) {}
+
+void FlagInserter::eval() {
+  staging_next_ = staging_;
+  open_frame_next_ = open_frame_;
+
+  // ---- emit one word per cycle: data, or flag fill on an idle line ----
+  if (out_.can_push()) {
+    const bool frame_data_ready = staging_.size() >= lanes_ || (!open_frame_ && !staging_.empty());
+    if (frame_data_ready) {
+      rtl::Word w;
+      const std::size_t n = std::min<std::size_t>(lanes_, staging_next_.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        w.push(staging_next_.front());
+        staging_next_.pop_front();
+      }
+      // Pad a frame tail with inter-frame fill (only legal between frames).
+      while (w.count() < lanes_) {
+        w.push(kFlag);
+        ++fill_octets_;
+      }
+      out_.push(w);
+    } else if (staging_.empty() && !open_frame_) {
+      // Idle line: continuous flag fill (RFC 1619 octet-synchronous stream).
+      rtl::Word w;
+      for (unsigned i = 0; i < lanes_; ++i) w.push(kFlag);
+      fill_octets_ += lanes_;
+      out_.push(w);
+    }
+    // open frame with a short queue: hold the line for one cycle — upstream
+    // sustains lanes octets/cycle mid-frame, so this only happens at start.
+  }
+
+  // ---- absorb one stuffed word ----
+  if (staging_next_.size() <= 4u * lanes_ && in_.can_pop()) {
+    const rtl::Word w = in_.pop();
+    if (w.sof) {
+      staging_next_.push_back(kFlag);  // opening flag
+      open_frame_next_ = true;
+    }
+    for (std::size_t i = 0; i < w.count(); ++i) staging_next_.push_back(w.lane(i));
+    if (w.eof) {
+      staging_next_.push_back(kFlag);  // closing flag
+      open_frame_next_ = false;
+      ++frames_;
+    }
+  }
+}
+
+void FlagInserter::commit() {
+  staging_ = std::move(staging_next_);
+  open_frame_ = open_frame_next_;
+}
+
+// ---------------- FlagDelineator ----------------
+
+FlagDelineator::FlagDelineator(std::string name, unsigned lanes, rtl::Fifo<rtl::Word>& in,
+                               rtl::Fifo<rtl::Word>& out, std::size_t min_frame)
+    : rtl::Module(std::move(name)), lanes_(lanes), min_frame_(min_frame), in_(in), out_(out) {}
+
+// Streaming design: frame octets are forwarded as they arrive; abort and
+// runt conditions are only knowable at the closing flag, so they are
+// reported on the EOF word's abort bit and the CRC checker junks the frame.
+// Octets already emitted downstream are harmless once the EOF is aborted.
+
+void FlagDelineator::eval() {
+  queue_next_ = queue_;
+  in_frame_next_ = in_frame_;
+  frame_len_next_ = frame_len_;
+  last_octet_next_ = last_octet_;
+
+  // ---- emit up to `lanes` octets, never letting frames share a word ----
+  // The open frame's most recent octet is held back: only the next input
+  // octet reveals whether it is the frame's last (a flag follows) and must
+  // carry the EOF/abort markers.
+  const bool tail_open = in_frame_ && !queue_.empty() && !queue_.back().eof;
+  const std::size_t emittable = queue_.size() - (tail_open ? 1 : 0);
+  if (out_.can_push() && emittable > 0) {
+    // Does an EOF fall within the next word? (tails flush immediately)
+    bool eof_within = false;
+    for (std::size_t i = 0; i < std::min<std::size_t>(lanes_, emittable); ++i)
+      if (queue_[i].eof) eof_within = true;
+
+    if (emittable >= lanes_ || eof_within) {
+      rtl::Word w;
+      std::size_t taken = 0;
+      while (w.count() < lanes_ && taken < emittable) {
+        const Entry e = queue_next_.front();
+        queue_next_.pop_front();
+        ++taken;
+        if (e.sof && w.count() == 0) w.sof = true;
+        if (e.sof && w.count() > 0) {
+          // Next frame begins: put it back, close this word.
+          queue_next_.push_front(e);
+          break;
+        }
+        w.push(e.octet);
+        if (e.eof) {
+          w.eof = true;
+          w.abort = e.abort;
+          break;
+        }
+      }
+      if (w.count() > 0) out_.push(w);
+    }
+  }
+
+  // ---- consume one raw word from the line ----
+  if (in_.can_pop() && queue_next_.size() <= 8u * lanes_) {
+    const rtl::Word raw = in_.pop();
+    for (std::size_t i = 0; i < raw.count(); ++i) {
+      const u8 octet = raw.lane(i);
+      if (octet == kFlag) {
+        // Close the current frame (if it had content).
+        if (in_frame_next_ && frame_len_next_ > 0) {
+          const bool abort = last_octet_next_ == kEscape;
+          const bool runt = frame_len_next_ < min_frame_;
+          if (abort)
+            ++counters_.aborts;
+          else if (runt)
+            ++counters_.runts;
+          else
+            ++counters_.frames;
+          P5_ASSERT(!queue_next_.empty());
+          queue_next_.back().eof = true;
+          queue_next_.back().abort = abort || runt;
+        }
+        in_frame_next_ = true;  // this flag opens the next frame too
+        frame_len_next_ = 0;
+        continue;
+      }
+      if (!in_frame_next_) continue;  // hunting for the first flag
+      Entry e;
+      e.octet = octet;
+      e.sof = frame_len_next_ == 0;
+      queue_next_.push_back(e);
+      ++frame_len_next_;
+      last_octet_next_ = octet;
+    }
+  }
+}
+
+void FlagDelineator::commit() {
+  queue_ = std::move(queue_next_);
+  in_frame_ = in_frame_next_;
+  frame_len_ = frame_len_next_;
+  last_octet_ = last_octet_next_;
+}
+
+}  // namespace p5::core

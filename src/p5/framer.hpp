@@ -1,0 +1,96 @@
+// Flag framing at datapath width.
+//
+//  * FlagInserter (TX tail): wraps each stuffed frame in opening/closing
+//    flags and keeps the line busy with inter-frame flag fill — the PPP over
+//    SONET octet stream is continuous (RFC 1619). Because flags may force
+//    frame content across word boundaries, this is another instance of the
+//    byte-sorting problem on wide datapaths.
+//
+//  * FlagDelineator (RX head): hunts for flags in any lane, strips them,
+//    re-aligns frame content to lane 0 and tags SOF/EOF — including
+//    back-to-back frames separated by a single flag, runt fragments and
+//    frames aborted with 0x7D-0x7E.
+#pragma once
+
+#include <deque>
+
+#include "common/types.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/module.hpp"
+#include "rtl/stats.hpp"
+#include "rtl/word.hpp"
+
+namespace p5::core {
+
+class FlagInserter final : public rtl::Module {
+ public:
+  FlagInserter(std::string name, unsigned lanes, rtl::Fifo<rtl::Word>& in,
+               rtl::Fifo<rtl::Word>& out);
+
+  void eval() override;
+  void commit() override;
+
+  [[nodiscard]] u64 fill_octets() const { return fill_octets_; }
+  [[nodiscard]] u64 frames() const { return frames_; }
+
+ private:
+  unsigned lanes_;
+  rtl::Fifo<rtl::Word>& in_;
+  rtl::Fifo<rtl::Word>& out_;
+
+  std::deque<u8> staging_;
+  bool open_frame_ = false;  ///< frame content staged but not yet closed
+
+  std::deque<u8> staging_next_;
+  bool open_frame_next_ = false;
+
+  u64 fill_octets_ = 0;
+  u64 frames_ = 0;
+};
+
+struct DelineatorCounters {
+  u64 frames = 0;
+  u64 aborts = 0;
+  u64 runts = 0;
+};
+
+class FlagDelineator final : public rtl::Module {
+ public:
+  FlagDelineator(std::string name, unsigned lanes, rtl::Fifo<rtl::Word>& in,
+                 rtl::Fifo<rtl::Word>& out, std::size_t min_frame = 4);
+
+  void eval() override;
+  void commit() override;
+
+  [[nodiscard]] const DelineatorCounters& counters() const { return counters_; }
+
+ private:
+  /// One octet of frame content with its boundary markers: SOF tags the
+  /// first octet of a frame, EOF the last (with abort set for frames ended
+  /// by a transmitter abort or too short to be real).
+  struct Entry {
+    u8 octet = 0;
+    bool sof = false;
+    bool eof = false;
+    bool abort = false;
+  };
+
+  unsigned lanes_;
+  std::size_t min_frame_;
+  rtl::Fifo<rtl::Word>& in_;
+  rtl::Fifo<rtl::Word>& out_;
+
+  std::deque<Entry> queue_;
+  bool in_frame_ = false;   ///< saw an opening flag
+  std::size_t frame_len_ = 0;
+  u8 last_octet_ = 0;
+
+  std::deque<Entry> queue_next_;
+  bool in_frame_next_ = false;
+  std::size_t frame_len_next_ = 0;
+  u8 last_octet_next_ = 0;
+
+  DelineatorCounters counters_;
+};
+
+}  // namespace p5::core

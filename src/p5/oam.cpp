@@ -1,0 +1,61 @@
+#include "p5/oam.hpp"
+
+namespace p5::core {
+
+void Oam::set_counter_source(OamReg reg, std::function<u64()> getter) {
+  const auto idx = static_cast<std::size_t>(reg);
+  if (idx < counters_.size()) counters_[idx] = std::move(getter);
+}
+
+u32 Oam::read(u32 reg_index) const {
+  switch (static_cast<OamReg>(reg_index)) {
+    case OamReg::kId:
+      return kOamDeviceId;
+    case OamReg::kConfig:
+      return static_cast<u32>(cfg_.address) | (static_cast<u32>(cfg_.control) << 8) |
+             (cfg_.fcs32 ? (u32{1} << 16) : 0);
+    case OamReg::kIntPending:
+      return pending_;
+    case OamReg::kIntMask:
+      return mask_;
+    case OamReg::kMaxPayload:
+      return static_cast<u32>(cfg_.max_payload);
+    case OamReg::kAccm:
+      return cfg_.accm.map();
+    default: {
+      const auto idx = static_cast<std::size_t>(reg_index);
+      if (idx < counters_.size() && counters_[idx])
+        return static_cast<u32>(counters_[idx]());
+      return 0;
+    }
+  }
+}
+
+void Oam::write(u32 reg_index, u32 value) {
+  switch (static_cast<OamReg>(reg_index)) {
+    case OamReg::kConfig:
+      cfg_.address = static_cast<u8>(value);
+      cfg_.control = static_cast<u8>(value >> 8);
+      cfg_.fcs32 = (value >> 16) & 1u;
+      if (reconfigure_) reconfigure_(cfg_);
+      break;
+    case OamReg::kIntPending:
+      pending_ &= ~value;  // write-one-to-clear
+      break;
+    case OamReg::kIntMask:
+      mask_ = value;
+      break;
+    case OamReg::kMaxPayload:
+      cfg_.max_payload = value;
+      if (reconfigure_) reconfigure_(cfg_);
+      break;
+    case OamReg::kAccm:
+      cfg_.accm = hdlc::Accm(value);
+      if (reconfigure_) reconfigure_(cfg_);
+      break;
+    default:
+      break;  // read-only or unmapped: ignored
+  }
+}
+
+}  // namespace p5::core

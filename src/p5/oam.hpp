@@ -1,0 +1,80 @@
+// Protocol OAM block (paper Figure 2): the programmable bridge between an
+// external microprocessor and the Transmitter/Receiver datapaths.
+//
+// "The exchange of status information between a uP (host computer) is
+// carried out via interrupts and a status/control register map" — this
+// module implements that register map: configuration registers that
+// reprogram the datapath (MAPOS address, control octet, FCS selection),
+// read-only status/counter registers fed by the pipeline blocks, and an
+// interrupt controller with per-source pending (write-one-to-clear) and
+// mask bits.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+#include "p5/config.hpp"
+
+namespace p5::core {
+
+/// Register addresses (word-indexed).
+enum class OamReg : u32 {
+  kId = 0,          ///< RO: device id/version
+  kConfig = 1,      ///< RW: [7:0] address, [15:8] control, [16] fcs32
+  kIntPending = 2,  ///< R/W1C
+  kIntMask = 3,     ///< RW
+  kTxFrames = 4,    ///< RO
+  kTxOctets = 5,    ///< RO
+  kRxFramesOk = 6,  ///< RO
+  kRxFcsErrors = 7, ///< RO
+  kRxAddrDrops = 8, ///< RO
+  kRxAborts = 9,    ///< RO
+  kTxEscapes = 10,  ///< RO: escape octets inserted
+  kRxEscapes = 11,  ///< RO: escape octets removed
+  kMaxPayload = 12, ///< RW: MRU
+  kAccm = 13,       ///< RW: async-control-character map (RFC 1662 §7.1)
+};
+
+/// Interrupt sources (bit positions in kIntPending / kIntMask).
+enum class OamIrq : u32 {
+  kRxFrame = 0,
+  kRxError = 1,
+  kTxDone = 2,
+  kRxAddrDrop = 3,
+};
+
+inline constexpr u32 kOamDeviceId = 0x50350001;  // "P5", v1
+
+class Oam {
+ public:
+  /// `reconfigure` is invoked when the host rewrites a configuration
+  /// register — the hook through which the uP reprograms the datapath.
+  explicit Oam(P5Config cfg) : cfg_(cfg) {}
+
+  void set_reconfigure_hook(std::function<void(const P5Config&)> hook) {
+    reconfigure_ = std::move(hook);
+  }
+  /// Counter providers, wired by the P5 top level.
+  void set_counter_source(OamReg reg, std::function<u64()> getter);
+
+  // ---- host (microprocessor) interface ----
+  [[nodiscard]] u32 read(u32 reg_index) const;
+  void write(u32 reg_index, u32 value);
+
+  // ---- datapath interface ----
+  void raise(OamIrq irq) { pending_ |= (u32{1} << static_cast<u32>(irq)); }
+  [[nodiscard]] bool irq_line() const { return (pending_ & mask_) != 0; }
+
+  [[nodiscard]] const P5Config& config() const { return cfg_; }
+
+ private:
+  P5Config cfg_;
+  std::function<void(const P5Config&)> reconfigure_;
+  std::array<std::function<u64()>, 16> counters_{};
+  u32 pending_ = 0;
+  u32 mask_ = 0;
+};
+
+}  // namespace p5::core

@@ -1,0 +1,35 @@
+#include "p5/sonet_link.hpp"
+
+namespace p5::core {
+
+P5SonetLink::P5SonetLink(const P5Config& cfg, sonet::StsSpec sts,
+                         const sonet::LineConfig& line_cfg)
+    : sts_(sts),
+      a_(std::make_unique<P5>(cfg)),
+      b_(std::make_unique<P5>(cfg)),
+      line_ab_(line_cfg),
+      line_ba_(sonet::LineConfig{line_cfg.bit_error_rate, line_cfg.burst_enter,
+                                 line_cfg.burst_exit, line_cfg.burst_error_rate,
+                                 line_cfg.seed + 1}) {
+  framer_a_ = std::make_unique<sonet::SonetFramer>(sts, [this](std::size_t n) {
+    return scr_a_tx_.scramble(a_->phy_pull_tx(n));
+  });
+  framer_b_ = std::make_unique<sonet::SonetFramer>(sts, [this](std::size_t n) {
+    return scr_b_tx_.scramble(b_->phy_pull_tx(n));
+  });
+  deframer_b_ = std::make_unique<sonet::SonetDeframer>(sts, [this](BytesView payload) {
+    b_->phy_push_rx(scr_b_rx_.descramble(payload));
+  });
+  deframer_a_ = std::make_unique<sonet::SonetDeframer>(sts, [this](BytesView payload) {
+    a_->phy_push_rx(scr_a_rx_.descramble(payload));
+  });
+}
+
+void P5SonetLink::exchange_frames(std::size_t frames) {
+  for (std::size_t i = 0; i < frames; ++i) {
+    deframer_b_->push(line_ab_.transfer(framer_a_->next_frame()));
+    deframer_a_->push(line_ba_.transfer(framer_b_->next_frame()));
+  }
+}
+
+}  // namespace p5::core

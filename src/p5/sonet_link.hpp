@@ -1,0 +1,47 @@
+// Full-stack integration: two P5 devices joined by an SDH/SONET path —
+// the "IP over SDH/SONET" of the paper's title.
+//
+//   P5(A).TX -> SPE framer -> scrambled STS-Nc frames -> optical line model
+//            -> deframer -> P5(B).RX          (and the mirror direction)
+//
+// The x^43+1 self-synchronous payload scrambler (RFC 2615) runs over the
+// PPP octet stream inside the SPE. The line model injects seeded bit
+// errors, exercising the FCS/abort/delineation recovery paths end to end.
+#pragma once
+
+#include <memory>
+
+#include "p5/p5.hpp"
+#include "sonet/line.hpp"
+#include "sonet/scrambler.hpp"
+#include "sonet/spe.hpp"
+
+namespace p5::core {
+
+class P5SonetLink {
+ public:
+  P5SonetLink(const P5Config& cfg, sonet::StsSpec sts, const sonet::LineConfig& line_cfg);
+
+  [[nodiscard]] P5& a() { return *a_; }
+  [[nodiscard]] P5& b() { return *b_; }
+
+  /// Move one SONET frame in each direction (A->B and B->A).
+  void exchange_frames(std::size_t frames = 1);
+
+  [[nodiscard]] const sonet::DeframerStats& a_to_b_stats() const { return deframer_b_->stats(); }
+  [[nodiscard]] const sonet::DeframerStats& b_to_a_stats() const { return deframer_a_->stats(); }
+  [[nodiscard]] const sonet::LineStats& line_ab_stats() const { return line_ab_.stats(); }
+  [[nodiscard]] const sonet::StsSpec& sts() const { return sts_; }
+
+ private:
+  sonet::StsSpec sts_;
+  std::unique_ptr<P5> a_;
+  std::unique_ptr<P5> b_;
+
+  sonet::SelfSyncScrambler43 scr_a_tx_, scr_b_tx_, scr_a_rx_, scr_b_rx_;
+  std::unique_ptr<sonet::SonetFramer> framer_a_, framer_b_;
+  std::unique_ptr<sonet::SonetDeframer> deframer_a_, deframer_b_;
+  sonet::Line line_ab_, line_ba_;
+};
+
+}  // namespace p5::core

@@ -1,0 +1,195 @@
+#include "ppp/endpoint.hpp"
+
+#include "hdlc/stuffing.hpp"
+#include "ppp/protocols.hpp"
+
+namespace p5::ppp {
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kDead: return "Dead";
+    case Phase::kEstablish: return "Establish";
+    case Phase::kNetwork: return "Network";
+    case Phase::kTerminate: return "Terminate";
+  }
+  return "?";
+}
+
+PppEndpoint::PppEndpoint(std::string name, Config cfg, std::function<void(BytesView)> wire_tx)
+    : name_(std::move(name)),
+      frame_(cfg.frame),
+      wire_tx_(std::move(wire_tx)),
+      delineator_([this](BytesView f) { on_frame(f); }) {
+  // RFC 1661 §6: LCP negotiation always runs over default framing — no
+  // header compression, 16-bit FCS — so that the two ends can talk before
+  // agreeing on anything.
+  negotiating_frame_ = cfg.frame;
+  negotiating_frame_.acfc = false;
+  negotiating_frame_.pfc = false;
+  negotiating_frame_.fcs = hdlc::FcsKind::kFcs16;
+  frame_ = negotiating_frame_;
+
+  // Distinct endpoints must have distinct magic numbers or every exchange
+  // looks like a loopback; mix the endpoint identity into the seed while
+  // keeping runs deterministic.
+  cfg.lcp.magic_seed ^= std::hash<std::string>{}(name_);
+
+  requested_lqr_period_ = cfg.lcp.request_lqr_period;
+
+  lcp_ = std::make_unique<Lcp>(cfg.lcp,
+                               [this](u16 proto, const Packet& p) { send_control(proto, p); });
+  lcp_->set_up_hook([this](const LcpResult& r) { on_lcp_up(r); });
+  lcp_->set_down_hook([this]() { on_lcp_down(); });
+  ipcp_ = std::make_unique<Ipcp>(cfg.ipcp,
+                                 [this](u16 proto, const Packet& p) { send_control(proto, p); });
+}
+
+void PppEndpoint::lower_up() {
+  phase_ = Phase::kEstablish;
+  lcp_->up();
+}
+
+void PppEndpoint::lower_down() {
+  phase_ = Phase::kDead;
+  ipcp_->down();
+  lcp_->down();
+  frame_ = negotiating_frame_;
+}
+
+void PppEndpoint::open() {
+  lcp_->open();
+  ipcp_->open();
+}
+
+void PppEndpoint::close() {
+  ipcp_->close();
+  lcp_->close();
+}
+
+void PppEndpoint::tick() {
+  lcp_->tick();
+  ipcp_->tick();
+  if (lqm_) lqm_->tick();
+}
+
+void PppEndpoint::send_control(u16 protocol, const Packet& pkt) {
+  send_frame(protocol, pkt.serialize());
+}
+
+void PppEndpoint::send_frame(u16 protocol, BytesView info) {
+  // LCP always travels in default framing; everything else uses the
+  // currently negotiated configuration.
+  const hdlc::FrameConfig& cfg = (protocol == kProtoLcp) ? negotiating_frame_ : frame_;
+  const Bytes wire = hdlc::build_wire_frame(cfg, protocol, info);
+  ++stats_.frames_tx;
+  if (lqm_ && protocol != kProtoLqr) lqm_->count_tx(wire.size());
+  wire_tx_(wire);
+}
+
+bool PppEndpoint::send_ip(BytesView datagram) {
+  if (phase_ != Phase::kNetwork || !ipcp_->is_opened()) {
+    ++stats_.dropped_not_open;
+    return false;
+  }
+  if (datagram.size() > frame_.max_payload) {
+    ++stats_.dropped_not_open;
+    return false;
+  }
+  ++stats_.datagrams_tx;
+  send_frame(kProtoIpv4, datagram);
+  return true;
+}
+
+void PppEndpoint::wire_rx(BytesView octets) { delineator_.push(octets); }
+
+void PppEndpoint::on_frame(BytesView stuffed_content) {
+  const auto destuffed = hdlc::destuff(stuffed_content);
+  if (!destuffed.ok) {
+    ++stats_.fcs_errors;
+    return;
+  }
+
+  // LCP frames may arrive in default framing even after negotiation; try the
+  // active config first, then the default one.
+  auto result = hdlc::parse(frame_, destuffed.data);
+  if (!result.ok() && !(frame_.fcs == negotiating_frame_.fcs && frame_.acfc == negotiating_frame_.acfc &&
+                        frame_.pfc == negotiating_frame_.pfc)) {
+    result = hdlc::parse(negotiating_frame_, destuffed.data);
+  }
+  if (!result.ok()) {
+    ++stats_.fcs_errors;
+    if (lqm_) lqm_->count_rx_error();
+    return;
+  }
+  ++stats_.frames_rx;
+
+  const u16 protocol = result.frame->protocol;
+  const Bytes& info = result.frame->payload;
+
+  switch (protocol) {
+    case kProtoLcp:
+      lcp_->receive(info);
+      break;
+    case kProtoIpcp:
+      // NCP packets before the Network phase are silently discarded
+      // (RFC 1661 §3.4).
+      if (phase_ == Phase::kNetwork) ipcp_->receive(info);
+      break;
+    case kProtoIpv4:
+      if (phase_ == Phase::kNetwork && ipcp_->is_opened()) {
+        ++stats_.datagrams_rx;
+        if (lqm_) lqm_->count_rx_good(info.size());
+        if (ip_sink_) ip_sink_(info);
+      } else if (lqm_) {
+        lqm_->count_rx_discard();
+      }
+      break;
+    case kProtoLqr:
+      if (lqm_) lqm_->on_lqr(info);
+      break;
+    default: {
+      // Protocol-Reject (RFC 1661 §5.7) — only while LCP is opened.
+      ++stats_.unknown_protocols;
+      if (lcp_->is_opened()) {
+        Packet rej;
+        rej.code = static_cast<u8>(Code::kProtocolReject);
+        rej.identifier = 0x77;
+        put_be16(rej.data, protocol);
+        append(rej.data, info);
+        send_control(kProtoLcp, rej);
+      }
+      break;
+    }
+  }
+}
+
+void PppEndpoint::on_lcp_up(const LcpResult& result) {
+  phase_ = Phase::kNetwork;
+  // Bring up link-quality monitoring if either direction negotiated it:
+  // emitting reports when the peer asked for them, measuring inbound loss
+  // from the peer's reports when we asked.
+  if (result.tx_lqr_period > 0 || requested_lqr_period_ > 0) {
+    LqmConfig lc;
+    lc.emit_reports = result.tx_lqr_period > 0;
+    lc.reporting_ticks = std::max<u32>(1, result.tx_lqr_period);
+    lqm_ = std::make_unique<LqmMonitor>(lc, lcp_->magic(), [this](BytesView w) {
+      send_frame(kProtoLqr, w);
+    });
+  }
+  // Program the "OAM registers": apply the negotiated framing.
+  frame_ = negotiating_frame_;
+  frame_.pfc = result.tx_pfc;
+  frame_.acfc = result.tx_acfc;
+  frame_.fcs = result.fcs32 ? hdlc::FcsKind::kFcs32 : hdlc::FcsKind::kFcs16;
+  frame_.max_payload = result.peer_mru;
+  ipcp_->up();
+}
+
+void PppEndpoint::on_lcp_down() {
+  if (phase_ == Phase::kNetwork) phase_ = Phase::kTerminate;
+  lqm_.reset();
+  ipcp_->down();
+  frame_ = negotiating_frame_;
+}
+
+}  // namespace p5::ppp

@@ -1,0 +1,99 @@
+// A complete software PPP endpoint: LCP + IPCP over HDLC-like framing.
+//
+// This is the control-plane companion to the P5 datapath: examples and the
+// end-to-end tests connect two PppEndpoints back to back (directly, or
+// through the SONET substrate / P5 cycle model), negotiate the link, then
+// move IPv4 datagrams. The negotiated LCP result is applied to the frame
+// configuration the same way the paper's host microprocessor would program
+// the OAM registers.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/types.hpp"
+#include "hdlc/delineation.hpp"
+#include "hdlc/frame.hpp"
+#include "ppp/ipcp.hpp"
+#include "ppp/lcp.hpp"
+#include "ppp/lqm.hpp"
+
+namespace p5::ppp {
+
+enum class Phase : u8 { kDead, kEstablish, kNetwork, kTerminate };
+
+[[nodiscard]] const char* to_string(Phase p);
+
+struct EndpointStats {
+  u64 frames_tx = 0;
+  u64 frames_rx = 0;
+  u64 fcs_errors = 0;
+  u64 unknown_protocols = 0;
+  u64 datagrams_tx = 0;
+  u64 datagrams_rx = 0;
+  u64 dropped_not_open = 0;
+};
+
+class PppEndpoint {
+ public:
+  struct Config {
+    hdlc::FrameConfig frame;  ///< initial (pre-negotiation) framing
+    LcpConfig lcp;
+    IpcpConfig ipcp;
+  };
+
+  /// `wire_tx` transmits raw octets (flags included) toward the peer.
+  PppEndpoint(std::string name, Config cfg, std::function<void(BytesView)> wire_tx);
+
+  /// Deliver received IPv4 datagrams here.
+  void set_ip_sink(std::function<void(BytesView)> sink) { ip_sink_ = std::move(sink); }
+
+  // ---- control ----
+  void lower_up();    ///< PHY came up: starts LCP
+  void lower_down();
+  void open();        ///< administrative open
+  void close();
+  void tick();        ///< advance protocol timers one unit
+
+  // ---- data ----
+  /// Encapsulate and transmit one IPv4 datagram (drops unless Network phase).
+  bool send_ip(BytesView datagram);
+
+  /// Feed raw octets received from the wire.
+  void wire_rx(BytesView octets);
+
+  // ---- introspection ----
+  [[nodiscard]] Phase phase() const { return phase_; }
+  [[nodiscard]] bool ip_ready() const { return ipcp_ && ipcp_->is_opened(); }
+  [[nodiscard]] const EndpointStats& stats() const { return stats_; }
+  [[nodiscard]] Lcp& lcp() { return *lcp_; }
+  [[nodiscard]] Ipcp& ipcp() { return *ipcp_; }
+  /// Link-quality monitor; non-null once LCP opened with LQM negotiated
+  /// (either side requested it).
+  [[nodiscard]] LqmMonitor* lqm() { return lqm_.get(); }
+  [[nodiscard]] const hdlc::FrameConfig& frame_config() const { return frame_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void send_control(u16 protocol, const Packet& pkt);
+  void send_frame(u16 protocol, BytesView info);
+  void on_frame(BytesView stuffed_content);
+  void on_lcp_up(const LcpResult& result);
+  void on_lcp_down();
+
+  std::string name_;
+  hdlc::FrameConfig frame_;
+  hdlc::FrameConfig negotiating_frame_;  ///< LCP always uses default framing
+  std::function<void(BytesView)> wire_tx_;
+  std::function<void(BytesView)> ip_sink_;
+
+  std::unique_ptr<Lcp> lcp_;
+  std::unique_ptr<Ipcp> ipcp_;
+  std::unique_ptr<LqmMonitor> lqm_;
+  u32 requested_lqr_period_ = 0;
+  hdlc::Delineator delineator_;
+  Phase phase_ = Phase::kDead;
+  EndpointStats stats_;
+};
+
+}  // namespace p5::ppp

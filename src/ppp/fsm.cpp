@@ -1,0 +1,501 @@
+#include "ppp/fsm.hpp"
+
+#include "common/check.hpp"
+
+namespace p5::ppp {
+
+const char* to_string(State s) {
+  switch (s) {
+    case State::kInitial: return "Initial";
+    case State::kStarting: return "Starting";
+    case State::kClosed: return "Closed";
+    case State::kStopped: return "Stopped";
+    case State::kClosing: return "Closing";
+    case State::kStopping: return "Stopping";
+    case State::kReqSent: return "Req-Sent";
+    case State::kAckRcvd: return "Ack-Rcvd";
+    case State::kAckSent: return "Ack-Sent";
+    case State::kOpened: return "Opened";
+  }
+  return "?";
+}
+
+Fsm::Fsm(std::string name, u16 protocol, Timeouts timeouts)
+    : name_(std::move(name)), protocol_(protocol), timeouts_(timeouts) {}
+
+void Fsm::enter(State s) {
+  state_ = s;
+  // The restart timer runs only in Closing/Stopping/Req-Sent/Ack-Rcvd/Ack-Sent.
+  if (s == State::kInitial || s == State::kStarting || s == State::kClosed ||
+      s == State::kStopped || s == State::kOpened) {
+    stop_timer();
+  }
+}
+
+void Fsm::emit(Code code, u8 identifier, Bytes data) {
+  Packet p;
+  p.code = static_cast<u8>(code);
+  p.identifier = identifier;
+  p.data = std::move(data);
+  send_packet(p);
+}
+
+// ---- actions ----
+
+void Fsm::action_irc(TimeoutKind kind) {
+  restart_counter_ =
+      kind == TimeoutKind::kTerminate ? timeouts_.max_terminate : timeouts_.max_configure;
+  timeout_kind_ = kind;
+  timer_remaining_ = timeouts_.restart_ticks;
+}
+
+void Fsm::action_zrc() {
+  restart_counter_ = 0;
+  timer_remaining_ = timeouts_.restart_ticks;
+}
+
+void Fsm::action_scr() {
+  P5_ASSERT(restart_counter_ > 0);
+  --restart_counter_;
+  timer_remaining_ = timeouts_.restart_ticks;
+  current_request_id_ = next_identifier_++;
+  ++counters_.tx_configure_requests;
+  emit(Code::kConfigureRequest, current_request_id_, serialize_options(build_configure_options()));
+}
+
+void Fsm::action_str() {
+  P5_ASSERT(restart_counter_ > 0);
+  --restart_counter_;
+  timer_remaining_ = timeouts_.restart_ticks;
+  emit(Code::kTerminateRequest, next_identifier_++, {});
+}
+
+void Fsm::action_sta(u8 identifier) { emit(Code::kTerminateAck, identifier, {}); }
+
+void Fsm::action_scj(const Packet& bad) {
+  ++counters_.code_rejects_sent;
+  emit(Code::kCodeReject, next_identifier_++, bad.serialize());
+}
+
+// ---- administrative events (RFC 1661 §4.4 state table) ----
+
+void Fsm::up() {
+  switch (state_) {
+    case State::kInitial:
+      enter(State::kClosed);
+      break;
+    case State::kStarting:
+      action_irc(TimeoutKind::kConfigure);
+      action_scr();
+      enter(State::kReqSent);
+      break;
+    default:
+      // Already up: the RFC marks this "should not happen"; tolerate it.
+      break;
+  }
+}
+
+void Fsm::down() {
+  switch (state_) {
+    case State::kClosed:
+      enter(State::kInitial);
+      break;
+    case State::kStopped:
+      this_layer_started();
+      enter(State::kStarting);
+      break;
+    case State::kClosing:
+      enter(State::kInitial);
+      break;
+    case State::kStopping:
+    case State::kReqSent:
+    case State::kAckRcvd:
+    case State::kAckSent:
+      enter(State::kStarting);
+      break;
+    case State::kOpened:
+      this_layer_down();
+      enter(State::kStarting);
+      break;
+    default:
+      break;
+  }
+}
+
+void Fsm::open() {
+  switch (state_) {
+    case State::kInitial:
+      this_layer_started();
+      enter(State::kStarting);
+      break;
+    case State::kStarting:
+      break;
+    case State::kClosed:
+      action_irc(TimeoutKind::kConfigure);
+      action_scr();
+      enter(State::kReqSent);
+      break;
+    case State::kClosing:
+      enter(State::kStopping);
+      break;
+    default:
+      // Stopped/Stopping/ReqSent/AckRcvd/AckSent/Opened: remain (no
+      // restart option implemented).
+      break;
+  }
+}
+
+void Fsm::close() {
+  switch (state_) {
+    case State::kInitial:
+      break;
+    case State::kStarting:
+      this_layer_finished();
+      enter(State::kInitial);
+      break;
+    case State::kClosed:
+    case State::kClosing:
+      break;
+    case State::kStopped:
+      enter(State::kClosed);
+      break;
+    case State::kStopping:
+      enter(State::kClosing);
+      break;
+    case State::kReqSent:
+    case State::kAckRcvd:
+    case State::kAckSent:
+      action_irc(TimeoutKind::kTerminate);
+      action_str();
+      enter(State::kClosing);
+      break;
+    case State::kOpened:
+      this_layer_down();
+      action_irc(TimeoutKind::kTerminate);
+      action_str();
+      enter(State::kClosing);
+      break;
+  }
+}
+
+void Fsm::tick() {
+  if (timeout_kind_ == TimeoutKind::kNone) return;
+  if (timer_remaining_ > 1) {
+    --timer_remaining_;
+    return;
+  }
+  ++counters_.timeouts;
+  event_timeout();
+}
+
+void Fsm::event_timeout() {
+  const bool counter_positive = restart_counter_ > 0;
+  switch (state_) {
+    case State::kClosing:
+      if (counter_positive) {
+        action_str();
+      } else {
+        this_layer_finished();
+        enter(State::kClosed);
+      }
+      break;
+    case State::kStopping:
+      if (counter_positive) {
+        action_str();
+      } else {
+        this_layer_finished();
+        enter(State::kStopped);
+      }
+      break;
+    case State::kReqSent:
+    case State::kAckSent:
+      if (counter_positive) {
+        action_scr();
+      } else {
+        this_layer_finished();
+        enter(State::kStopped);
+      }
+      break;
+    case State::kAckRcvd:
+      if (counter_positive) {
+        action_scr();
+        enter(State::kReqSent);
+      } else {
+        this_layer_finished();
+        enter(State::kStopped);
+      }
+      break;
+    default:
+      stop_timer();
+      break;
+  }
+}
+
+// ---- receive dispatch ----
+
+void Fsm::receive(BytesView packet_bytes) {
+  const auto parsed = Packet::parse(packet_bytes);
+  if (!parsed) return;  // silently discard malformed packets (RFC 1661 §5)
+  const Packet& pkt = *parsed;
+
+  if (on_extra_packet(pkt)) return;
+
+  switch (static_cast<Code>(pkt.code)) {
+    case Code::kConfigureRequest:
+      rcv_configure_request(pkt);
+      break;
+    case Code::kConfigureAck:
+      rcv_configure_ack(pkt);
+      break;
+    case Code::kConfigureNak:
+    case Code::kConfigureReject:
+      rcv_configure_nak_rej(pkt);
+      break;
+    case Code::kTerminateRequest:
+      rcv_terminate_request(pkt);
+      break;
+    case Code::kTerminateAck:
+      rcv_terminate_ack();
+      break;
+    case Code::kCodeReject:
+      // RXJ+: the rejected code was not essential; no state change needed
+      // for the codes this implementation emits.
+      break;
+    case Code::kEchoRequest:
+    case Code::kEchoReply:
+    case Code::kDiscardRequest:
+      rcv_echo_discard(pkt);
+      break;
+    default:
+      rcv_unknown_code(pkt);
+      break;
+  }
+}
+
+void Fsm::rcv_configure_request(const Packet& pkt) {
+  ++counters_.rx_configure_requests;
+  const auto options = parse_options(pkt.data);
+  if (!options) return;  // malformed: silently discard
+
+  switch (state_) {
+    case State::kInitial:
+    case State::kStarting:
+      return;  // lower layer not up
+    case State::kClosed:
+      action_sta(pkt.identifier);
+      return;
+    case State::kClosing:
+    case State::kStopping:
+      return;  // ignore while terminating
+    default:
+      break;
+  }
+
+  const ConfigureVerdict verdict = judge_configure_request(*options);
+
+  if (state_ == State::kStopped) action_irc(TimeoutKind::kConfigure);
+
+  if (verdict.ack) {
+    // sca: echo the request's options back in a Configure-Ack.
+    emit(Code::kConfigureAck, pkt.identifier, Bytes(pkt.data));
+    switch (state_) {
+      case State::kStopped:
+        action_scr();
+        enter(State::kAckSent);
+        break;
+      case State::kReqSent:
+      case State::kAckSent:
+        enter(State::kAckSent);
+        break;
+      case State::kAckRcvd:
+        this_layer_up();
+        enter(State::kOpened);
+        break;
+      case State::kOpened:
+        // tld, scr (the Ack was already sent above), renegotiate.
+        this_layer_down();
+        action_irc(TimeoutKind::kConfigure);
+        action_scr();
+        enter(State::kAckSent);
+        break;
+      default:
+        break;
+    }
+  } else {
+    emit(verdict.response_code, pkt.identifier, serialize_options(verdict.response_options));
+    switch (state_) {
+      case State::kStopped:
+        action_scr();
+        enter(State::kReqSent);
+        break;
+      case State::kReqSent:
+      case State::kAckRcvd:
+        break;  // remain
+      case State::kAckSent:
+        enter(State::kReqSent);
+        break;
+      case State::kOpened:
+        this_layer_down();
+        action_irc(TimeoutKind::kConfigure);
+        action_scr();
+        enter(State::kReqSent);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Fsm::rcv_configure_ack(const Packet& pkt) {
+  if (pkt.identifier != current_request_id_) return;  // not our request
+  const auto options = parse_options(pkt.data);
+  if (!options) return;
+
+  switch (state_) {
+    case State::kClosed:
+    case State::kStopped:
+      action_sta(pkt.identifier);
+      break;
+    case State::kReqSent:
+      on_configure_ack(*options);
+      action_irc(TimeoutKind::kConfigure);
+      enter(State::kAckRcvd);
+      break;
+    case State::kAckRcvd:
+      // Crossed Ack (x): restart.
+      action_scr();
+      enter(State::kReqSent);
+      break;
+    case State::kAckSent:
+      on_configure_ack(*options);
+      action_irc(TimeoutKind::kConfigure);
+      this_layer_up();
+      enter(State::kOpened);
+      break;
+    case State::kOpened:
+      this_layer_down();
+      action_irc(TimeoutKind::kConfigure);
+      action_scr();
+      enter(State::kReqSent);
+      break;
+    default:
+      break;
+  }
+}
+
+void Fsm::rcv_configure_nak_rej(const Packet& pkt) {
+  if (pkt.identifier != current_request_id_) return;
+  const auto options = parse_options(pkt.data);
+  if (!options) return;
+
+  const bool is_nak = static_cast<Code>(pkt.code) == Code::kConfigureNak;
+
+  switch (state_) {
+    case State::kClosed:
+    case State::kStopped:
+      action_sta(pkt.identifier);
+      return;
+    case State::kReqSent:
+      if (is_nak)
+        on_configure_nak(*options);
+      else
+        on_configure_reject(*options);
+      action_irc(TimeoutKind::kConfigure);
+      action_scr();
+      enter(State::kReqSent);
+      return;
+    case State::kAckRcvd:
+      action_scr();
+      enter(State::kReqSent);
+      return;
+    case State::kAckSent:
+      if (is_nak)
+        on_configure_nak(*options);
+      else
+        on_configure_reject(*options);
+      action_irc(TimeoutKind::kConfigure);
+      action_scr();
+      enter(State::kAckSent);
+      return;
+    case State::kOpened:
+      this_layer_down();
+      action_irc(TimeoutKind::kConfigure);
+      action_scr();
+      enter(State::kReqSent);
+      return;
+    default:
+      return;
+  }
+}
+
+void Fsm::rcv_terminate_request(const Packet& pkt) {
+  switch (state_) {
+    case State::kClosed:
+    case State::kStopped:
+    case State::kClosing:
+    case State::kStopping:
+      action_sta(pkt.identifier);
+      break;
+    case State::kReqSent:
+    case State::kAckRcvd:
+    case State::kAckSent:
+      action_sta(pkt.identifier);
+      enter(State::kReqSent);
+      break;
+    case State::kOpened:
+      this_layer_down();
+      action_zrc();
+      action_sta(pkt.identifier);
+      enter(State::kStopping);
+      break;
+    default:
+      break;
+  }
+}
+
+void Fsm::rcv_terminate_ack() {
+  switch (state_) {
+    case State::kClosing:
+      this_layer_finished();
+      enter(State::kClosed);
+      break;
+    case State::kStopping:
+      this_layer_finished();
+      enter(State::kStopped);
+      break;
+    case State::kAckRcvd:
+      enter(State::kReqSent);
+      break;
+    case State::kOpened:
+      this_layer_down();
+      action_irc(TimeoutKind::kConfigure);
+      action_scr();
+      enter(State::kReqSent);
+      break;
+    default:
+      break;
+  }
+}
+
+void Fsm::rcv_unknown_code(const Packet& pkt) {
+  switch (state_) {
+    case State::kInitial:
+    case State::kStarting:
+      break;
+    default:
+      action_scj(pkt);
+      break;
+  }
+}
+
+void Fsm::rcv_echo_discard(const Packet& pkt) {
+  // RXR: only meaningful in Opened; Echo-Request gets a reply.
+  if (state_ != State::kOpened) return;
+  if (static_cast<Code>(pkt.code) == Code::kEchoRequest) {
+    emit(Code::kEchoReply, pkt.identifier, Bytes(pkt.data));
+  }
+  // Echo-Reply / Discard-Request: consumed silently here; LCP overrides
+  // on_extra_packet for magic-number loopback detection.
+}
+
+}  // namespace p5::ppp

@@ -1,0 +1,151 @@
+// The RFC 1661 §4 option-negotiation automaton, shared by LCP and every NCP.
+//
+// The full ten-state transition table is implemented, including the restart
+// timer/counter discipline (Max-Configure, Max-Terminate, Restart-Timer).
+// Time is injected via tick() so tests and the cycle model can drive the
+// timer deterministically.
+//
+// Protocol specifics (which options to request, how to judge a peer's
+// Configure-Request) live in the derived class through the pure-virtual
+// policy hooks; packet transmission goes through send_packet().
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ppp/packet.hpp"
+
+namespace p5::ppp {
+
+enum class State : u8 {
+  kInitial = 0,
+  kStarting,
+  kClosed,
+  kStopped,
+  kClosing,
+  kStopping,
+  kReqSent,
+  kAckRcvd,
+  kAckSent,
+  kOpened,
+};
+
+[[nodiscard]] const char* to_string(State s);
+
+/// Verdict on a received Configure-Request.
+struct ConfigureVerdict {
+  bool ack = false;
+  /// When !ack: the response code (Nak or Reject) and its option list.
+  Code response_code = Code::kConfigureNak;
+  std::vector<Option> response_options;
+};
+
+struct FsmTimeouts {
+  unsigned max_configure = 10;  ///< Configure-Request retransmission limit
+  unsigned max_terminate = 2;
+  unsigned restart_ticks = 3;   ///< restart timer period, in tick() units
+};
+
+class Fsm {
+ public:
+  using Timeouts = FsmTimeouts;
+
+  Fsm(std::string name, u16 protocol, Timeouts timeouts = Timeouts());
+  virtual ~Fsm() = default;
+
+  // ---- administrative events ----
+  void up();     ///< lower layer is available
+  void down();   ///< lower layer went away
+  void open();   ///< administrative Open
+  void close();  ///< administrative Close
+
+  /// Advance the restart timer by one unit.
+  void tick();
+
+  /// Feed a received control packet (the frame's information field).
+  void receive(BytesView packet_bytes);
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool is_opened() const { return state_ == State::kOpened; }
+  [[nodiscard]] u16 protocol() const { return protocol_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  struct Counters {
+    u64 tx_configure_requests = 0;
+    u64 rx_configure_requests = 0;
+    u64 timeouts = 0;
+    u64 code_rejects_sent = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ protected:
+  // ---- policy hooks (protocol-specific) ----
+  /// Options to put in our next Configure-Request.
+  [[nodiscard]] virtual std::vector<Option> build_configure_options() = 0;
+  /// Judge a peer's Configure-Request.
+  [[nodiscard]] virtual ConfigureVerdict judge_configure_request(
+      const std::vector<Option>& options) = 0;
+  /// Peer acknowledged our request with these options.
+  virtual void on_configure_ack(const std::vector<Option>& options) = 0;
+  /// Peer Nak'd: adjust our desired options toward its hints.
+  virtual void on_configure_nak(const std::vector<Option>& options) = 0;
+  /// Peer rejected these options outright: stop requesting them.
+  virtual void on_configure_reject(const std::vector<Option>& options) = 0;
+  /// Non-Configure packets a subclass may want (Echo-Request data, etc.).
+  /// Return true if handled; false lets the default processing run.
+  virtual bool on_extra_packet(const Packet& pkt) { (void)pkt; return false; }
+
+  // ---- layer callbacks ----
+  virtual void this_layer_up() {}
+  virtual void this_layer_down() {}
+  virtual void this_layer_started() {}
+  virtual void this_layer_finished() {}
+
+  // ---- transmission (wired to the frame layer by the owner) ----
+  /// Must emit `pkt` inside a frame carrying our protocol number.
+  virtual void send_packet(const Packet& pkt) = 0;
+
+  /// Used by subclasses (e.g. LCP echo) to emit packets directly.
+  void emit(Code code, u8 identifier, Bytes data);
+
+ private:
+  enum class TimeoutKind : u8 { kNone, kConfigure, kTerminate };
+
+  // RFC 1661 events.
+  void event_timeout();
+  void rcv_configure_request(const Packet& pkt);
+  void rcv_configure_ack(const Packet& pkt);
+  void rcv_configure_nak_rej(const Packet& pkt);
+  void rcv_terminate_request(const Packet& pkt);
+  void rcv_terminate_ack();
+  void rcv_unknown_code(const Packet& pkt);
+  void rcv_echo_discard(const Packet& pkt);
+
+  // RFC 1661 actions.
+  void action_irc(TimeoutKind kind);  ///< initialize restart counter
+  void action_zrc();                  ///< zero restart counter
+  void action_scr();                  ///< send Configure-Request
+  void action_str();                  ///< send Terminate-Request
+  void action_sta(u8 identifier);     ///< send Terminate-Ack
+  void action_scj(const Packet& bad); ///< send Code-Reject
+
+  void enter(State s);
+  void stop_timer() { timeout_kind_ = TimeoutKind::kNone; }
+
+  std::string name_;
+  u16 protocol_;
+  Timeouts timeouts_;
+  State state_ = State::kInitial;
+
+  unsigned restart_counter_ = 0;
+  TimeoutKind timeout_kind_ = TimeoutKind::kNone;
+  unsigned timer_remaining_ = 0;
+
+  u8 next_identifier_ = 1;
+  u8 current_request_id_ = 0;  ///< identifier of our outstanding Configure-Request
+  Counters counters_;
+};
+
+}  // namespace p5::ppp

@@ -1,0 +1,89 @@
+#include "ppp/ipcp.hpp"
+
+#include "ppp/protocols.hpp"
+
+namespace p5::ppp {
+
+namespace {
+Option address_option(u32 addr) {
+  Option o;
+  o.type = kOptIpAddress;
+  put_be32(o.data, addr);
+  return o;
+}
+}  // namespace
+
+Ipcp::Ipcp(const IpcpConfig& cfg, TxHook tx, Timeouts timeouts)
+    : Fsm("IPCP", kProtoIpcp, timeouts), cfg_(cfg), tx_(std::move(tx)) {}
+
+void Ipcp::send_packet(const Packet& pkt) { tx_(kProtoIpcp, pkt); }
+
+std::vector<Option> Ipcp::build_configure_options() {
+  std::vector<Option> opts;
+  if (ask_address_) opts.push_back(address_option(cfg_.local_address));
+  return opts;
+}
+
+ConfigureVerdict Ipcp::judge_configure_request(const std::vector<Option>& options) {
+  std::vector<Option> rejected;
+  std::vector<Option> naked;
+  u32 requested = 0;
+
+  for (const Option& o : options) {
+    if (o.type == kOptIpAddress && o.data.size() == 4) {
+      requested = get_be32(o.data, 0);
+      if (requested == 0) {
+        if (cfg_.assign_peer_address != 0) {
+          naked.push_back(address_option(cfg_.assign_peer_address));
+        } else {
+          rejected.push_back(o);  // we cannot assign addresses
+        }
+      } else if (requested == cfg_.local_address) {
+        // Peer wants our address; push it elsewhere if we can.
+        if (cfg_.assign_peer_address != 0) {
+          naked.push_back(address_option(cfg_.assign_peer_address));
+        } else {
+          rejected.push_back(o);
+        }
+      }
+    } else {
+      rejected.push_back(o);
+    }
+  }
+
+  ConfigureVerdict v;
+  if (!rejected.empty()) {
+    v.response_code = Code::kConfigureReject;
+    v.response_options = std::move(rejected);
+  } else if (!naked.empty()) {
+    v.response_code = Code::kConfigureNak;
+    v.response_options = std::move(naked);
+  } else {
+    v.ack = true;
+    peer_address_ = requested;
+  }
+  return v;
+}
+
+void Ipcp::on_configure_ack(const std::vector<Option>&) {}
+
+void Ipcp::on_configure_nak(const std::vector<Option>& options) {
+  for (const Option& o : options) {
+    if (o.type == kOptIpAddress && o.data.size() == 4) {
+      const u32 suggested = get_be32(o.data, 0);
+      if (suggested != 0) cfg_.local_address = suggested;
+    }
+  }
+}
+
+void Ipcp::on_configure_reject(const std::vector<Option>& options) {
+  for (const Option& o : options) {
+    if (o.type == kOptIpAddress) ask_address_ = false;
+  }
+}
+
+void Ipcp::this_layer_up() {
+  if (up_hook_) up_hook_(cfg_.local_address, peer_address_);
+}
+
+}  // namespace p5::ppp

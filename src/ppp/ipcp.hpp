@@ -1,0 +1,49 @@
+// IP Control Protocol (RFC 1332) — the NCP that brings IPv4 up over the
+// link, demonstrating the paper's "family of Network Control Protocols"
+// component. Option implemented: IP-Address (3), including address
+// assignment by Nak for a 0.0.0.0 requester.
+#pragma once
+
+#include <functional>
+
+#include "ppp/fsm.hpp"
+
+namespace p5::ppp {
+
+inline constexpr u8 kOptIpAddress = 3;
+
+struct IpcpConfig {
+  u32 local_address = 0;       ///< 0 = ask the peer to assign one
+  u32 assign_peer_address = 0; ///< address to hand a 0.0.0.0 peer (0 = refuse)
+};
+
+class Ipcp final : public Fsm {
+ public:
+  using TxHook = std::function<void(u16 protocol, const Packet&)>;
+  using UpHook = std::function<void(u32 local, u32 peer)>;
+
+  Ipcp(const IpcpConfig& cfg, TxHook tx, Timeouts timeouts = Timeouts());
+
+  void set_up_hook(UpHook h) { up_hook_ = std::move(h); }
+
+  [[nodiscard]] u32 local_address() const { return cfg_.local_address; }
+  [[nodiscard]] u32 peer_address() const { return peer_address_; }
+
+ protected:
+  std::vector<Option> build_configure_options() override;
+  ConfigureVerdict judge_configure_request(const std::vector<Option>& options) override;
+  void on_configure_ack(const std::vector<Option>& options) override;
+  void on_configure_nak(const std::vector<Option>& options) override;
+  void on_configure_reject(const std::vector<Option>& options) override;
+  void this_layer_up() override;
+  void send_packet(const Packet& pkt) override;
+
+ private:
+  IpcpConfig cfg_;
+  TxHook tx_;
+  UpHook up_hook_;
+  u32 peer_address_ = 0;
+  bool ask_address_ = true;
+};
+
+}  // namespace p5::ppp

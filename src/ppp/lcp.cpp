@@ -1,0 +1,268 @@
+#include "ppp/lcp.hpp"
+
+#include "ppp/protocols.hpp"
+
+namespace p5::ppp {
+
+namespace {
+Option mru_option(u16 mru) {
+  Option o;
+  o.type = kOptMru;
+  put_be16(o.data, mru);
+  return o;
+}
+Option magic_option(u32 magic) {
+  Option o;
+  o.type = kOptMagic;
+  put_be32(o.data, magic);
+  return o;
+}
+Option flag_option(u8 type) {
+  Option o;
+  o.type = type;
+  return o;
+}
+Option fcs_option(u8 mask) {
+  Option o;
+  o.type = kOptFcsAlternatives;
+  o.data.push_back(mask);
+  return o;
+}
+Option quality_option(u32 period) {
+  // RFC 1989 §2.1: Quality-Protocol (0xC025) + Reporting-Period.
+  Option o;
+  o.type = kOptQualityProtocol;
+  put_be16(o.data, kProtoLqr);
+  put_be32(o.data, period);
+  return o;
+}
+Option numbered_option(u8 window) {
+  // RFC 1663 §4: window (1..7); the optional address field is omitted.
+  Option o;
+  o.type = kOptNumberedMode;
+  o.data.push_back(window);
+  return o;
+}
+}  // namespace
+
+Lcp::Lcp(const LcpConfig& cfg, TxHook tx, Timeouts timeouts)
+    : Fsm("LCP", kProtoLcp, timeouts), cfg_(cfg), tx_(std::move(tx)), rng_(cfg.magic_seed) {
+  magic_ = static_cast<u32>(rng_.next());
+  ask_pfc_ = cfg_.request_pfc;
+  ask_acfc_ = cfg_.request_acfc;
+  ask_fcs32_ = cfg_.request_fcs32;
+  ask_lqm_ = cfg_.request_lqr_period != 0;
+  ask_numbered_ = cfg_.request_numbered_window != 0;
+}
+
+void Lcp::send_packet(const Packet& pkt) { tx_(kProtoLcp, pkt); }
+
+std::vector<Option> Lcp::build_configure_options() {
+  std::vector<Option> opts;
+  if (ask_mru_ && cfg_.mru != 1500) opts.push_back(mru_option(cfg_.mru));
+  if (ask_magic_) opts.push_back(magic_option(magic_));
+  if (ask_pfc_) opts.push_back(flag_option(kOptPfc));
+  if (ask_acfc_) opts.push_back(flag_option(kOptAcfc));
+  if (ask_fcs32_) opts.push_back(fcs_option(kFcsAlt32));
+  if (ask_lqm_) opts.push_back(quality_option(cfg_.request_lqr_period));
+  if (ask_numbered_) opts.push_back(numbered_option(cfg_.request_numbered_window));
+  return opts;
+}
+
+ConfigureVerdict Lcp::judge_configure_request(const std::vector<Option>& options) {
+  std::vector<Option> rejected;
+  std::vector<Option> naked;
+
+  for (const Option& o : options) {
+    switch (o.type) {
+      case kOptMru: {
+        if (o.data.size() != 2) {
+          rejected.push_back(o);
+          break;
+        }
+        const u16 mru = get_be16(o.data, 0);
+        if (mru < cfg_.min_acceptable_mru) {
+          naked.push_back(mru_option(cfg_.min_acceptable_mru));
+        }
+        break;
+      }
+      case kOptMagic: {
+        if (o.data.size() != 4) {
+          rejected.push_back(o);
+          break;
+        }
+        const u32 peer_magic = get_be32(o.data, 0);
+        if (peer_magic == magic_ || peer_magic == 0) {
+          // Same magic: probable loopback — Nak with a fresh random value.
+          ++loopbacks_;
+          naked.push_back(magic_option(static_cast<u32>(rng_.next())));
+        }
+        break;
+      }
+      case kOptPfc:
+      case kOptAcfc:
+        // Always willing to receive compressed headers.
+        break;
+      case kOptQualityProtocol: {
+        if (o.data.size() != 6 || get_be16(o.data, 0) != kProtoLqr || !cfg_.accept_lqm) {
+          rejected.push_back(o);
+        }
+        break;
+      }
+      case kOptNumberedMode: {
+        if (o.data.size() != 1 || !cfg_.accept_numbered_mode) {
+          rejected.push_back(o);
+          break;
+        }
+        const u8 window = o.data[0];
+        if (window < 1 || window > 7) {
+          Option nak;
+          nak.type = kOptNumberedMode;
+          nak.data.push_back(4);  // steer to a sane window
+          naked.push_back(nak);
+        }
+        break;
+      }
+      case kOptFcsAlternatives: {
+        if (o.data.size() != 1) {
+          rejected.push_back(o);
+          break;
+        }
+        const u8 mask = o.data[0];
+        if (mask != kFcsAlt16 && mask != kFcsAlt32) {
+          // We implement exactly one FCS at a time; steer to 32-bit.
+          naked.push_back(fcs_option(kFcsAlt32));
+        }
+        break;
+      }
+      default:
+        rejected.push_back(o);
+        break;
+    }
+  }
+
+  ConfigureVerdict v;
+  if (!rejected.empty()) {
+    v.response_code = Code::kConfigureReject;
+    v.response_options = std::move(rejected);
+  } else if (!naked.empty()) {
+    v.response_code = Code::kConfigureNak;
+    v.response_options = std::move(naked);
+  } else {
+    v.ack = true;
+    // Record what the peer's request grants *us* on transmit.
+    for (const Option& o : options) {
+      switch (o.type) {
+        case kOptMru:
+          result_.peer_mru = get_be16(o.data, 0);
+          break;
+        case kOptPfc:
+          result_.tx_pfc = true;
+          break;
+        case kOptAcfc:
+          result_.tx_acfc = true;
+          break;
+        case kOptFcsAlternatives:
+          result_.fcs32 = o.data[0] == kFcsAlt32;
+          break;
+        case kOptQualityProtocol:
+          // The peer wants to *receive* LQRs: we must transmit them.
+          result_.tx_lqr_period = get_be32(o.data, 2);
+          break;
+        case kOptNumberedMode:
+          result_.numbered_window = o.data[0];
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return v;
+}
+
+void Lcp::on_configure_ack(const std::vector<Option>& options) {
+  // The peer accepted our whole request; our receive-side settings hold.
+  for (const Option& o : options) {
+    if (o.type == kOptFcsAlternatives && o.data.size() == 1)
+      result_.fcs32 = o.data[0] == kFcsAlt32;
+    if (o.type == kOptNumberedMode && o.data.size() == 1)
+      result_.numbered_window = o.data[0];
+  }
+}
+
+void Lcp::on_configure_nak(const std::vector<Option>& options) {
+  for (const Option& o : options) {
+    switch (o.type) {
+      case kOptMru:
+        if (o.data.size() == 2) cfg_.mru = get_be16(o.data, 0);
+        break;
+      case kOptMagic:
+        // Loopback suspicion from the peer: pick a new magic.
+        magic_ = static_cast<u32>(rng_.next());
+        break;
+      case kOptFcsAlternatives:
+        if (o.data.size() == 1 && o.data[0] == kFcsAlt16) ask_fcs32_ = false;
+        break;
+      case kOptNumberedMode:
+        if (o.data.size() == 1 && o.data[0] >= 1 && o.data[0] <= 7)
+          cfg_.request_numbered_window = o.data[0];
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Lcp::on_configure_reject(const std::vector<Option>& options) {
+  for (const Option& o : options) {
+    switch (o.type) {
+      case kOptMru: ask_mru_ = false; break;
+      case kOptMagic: ask_magic_ = false; break;
+      case kOptPfc: ask_pfc_ = false; break;
+      case kOptAcfc: ask_acfc_ = false; break;
+      case kOptFcsAlternatives: ask_fcs32_ = false; break;
+      case kOptQualityProtocol: ask_lqm_ = false; break;
+      case kOptNumberedMode: ask_numbered_ = false; break;
+      default: break;
+    }
+  }
+}
+
+bool Lcp::on_extra_packet(const Packet& pkt) {
+  if (static_cast<Code>(pkt.code) == Code::kEchoReply && is_opened()) {
+    if (pkt.data.size() >= 4 && get_be32(pkt.data, 0) == magic_ && magic_ != 0) {
+      // Our own echo came back with our magic: loopback.
+      ++loopbacks_;
+    } else {
+      ++echo_replies_;
+    }
+    return true;
+  }
+  if (static_cast<Code>(pkt.code) == Code::kEchoRequest && is_opened()) {
+    if (pkt.data.size() >= 4 && get_be32(pkt.data, 0) == magic_ && magic_ != 0) ++loopbacks_;
+    // Reply with *our* magic number (RFC 1661 §5.8).
+    Bytes reply;
+    put_be32(reply, magic_);
+    if (pkt.data.size() > 4) reply.insert(reply.end(), pkt.data.begin() + 4, pkt.data.end());
+    emit(Code::kEchoReply, pkt.identifier, std::move(reply));
+    return true;
+  }
+  return false;
+}
+
+void Lcp::send_echo_request() {
+  if (!is_opened()) return;
+  Bytes data;
+  put_be32(data, magic_);
+  emit(Code::kEchoRequest, ++echo_id_, std::move(data));
+}
+
+void Lcp::this_layer_up() {
+  if (up_hook_) up_hook_(result_);
+}
+
+void Lcp::this_layer_down() {
+  if (down_hook_) down_hook_();
+}
+
+}  // namespace p5::ppp

@@ -1,0 +1,115 @@
+// Link Control Protocol (RFC 1661 §6, plus the FCS-Alternatives option of
+// RFC 1570) — the "extensible Link Protocol to establish, configure, and
+// test the data-link connection" the paper lists as PPP's second component.
+//
+// Options implemented: MRU (1), Magic-Number (5) with loopback detection,
+// Protocol-Field-Compression (7), Address-and-Control-Field-Compression (8),
+// FCS-Alternatives (9). The negotiated result maps directly onto the P5's
+// OAM registers (frame configuration).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "ppp/fsm.hpp"
+
+namespace p5::ppp {
+
+// LCP option type codes.
+inline constexpr u8 kOptMru = 1;
+inline constexpr u8 kOptQualityProtocol = 4;  ///< RFC 1989: LQR + period
+inline constexpr u8 kOptMagic = 5;
+inline constexpr u8 kOptPfc = 7;
+inline constexpr u8 kOptAcfc = 8;
+inline constexpr u8 kOptFcsAlternatives = 9;
+inline constexpr u8 kOptNumberedMode = 11;    ///< RFC 1663: reliable transmission
+
+// FCS-Alternatives bitmask (RFC 1570 §2.2).
+inline constexpr u8 kFcsAltNull = 0x01;
+inline constexpr u8 kFcsAlt16 = 0x02;
+inline constexpr u8 kFcsAlt32 = 0x04;
+
+struct LcpConfig {
+  u16 mru = 1500;
+  bool request_pfc = false;
+  bool request_acfc = false;
+  bool request_fcs32 = true;  ///< paper: "the system will incorporate 32-bit CRC"
+  u16 min_acceptable_mru = 64;
+  u64 magic_seed = 0xBEEFCAFE;
+
+  // RFC 1989 link-quality monitoring: ask the peer to send LQRs every
+  // `lqr_period` (arbitrary units carried opaquely); 0 = don't request.
+  u32 request_lqr_period = 0;
+  bool accept_lqm = true;  ///< willing to send LQRs if the peer asks
+
+  // RFC 1663 numbered mode: request reliable transmission with this window
+  // (1..7); 0 = don't request.
+  u8 request_numbered_window = 0;
+  bool accept_numbered_mode = true;
+};
+
+/// What both sides agreed on once LCP reaches Opened.
+struct LcpResult {
+  u16 peer_mru = 1500;   ///< largest information field the peer will receive
+  bool tx_pfc = false;   ///< we may compress the protocol field on transmit
+  bool tx_acfc = false;  ///< we may omit address/control on transmit
+  bool fcs32 = false;    ///< 32-bit FCS in effect (both directions)
+  u32 tx_lqr_period = 0; ///< the peer asked us to emit LQRs this often (0 = no)
+  u8 numbered_window = 0;///< numbered mode agreed with this window (0 = UI mode)
+};
+
+class Lcp final : public Fsm {
+ public:
+  using TxHook = std::function<void(u16 protocol, const Packet&)>;
+  using UpHook = std::function<void(const LcpResult&)>;
+  using DownHook = std::function<void()>;
+
+  Lcp(const LcpConfig& cfg, TxHook tx, Timeouts timeouts = Timeouts());
+
+  void set_up_hook(UpHook h) { up_hook_ = std::move(h); }
+  void set_down_hook(DownHook h) { down_hook_ = std::move(h); }
+
+  [[nodiscard]] const LcpResult& result() const { return result_; }
+  [[nodiscard]] u32 magic() const { return magic_; }
+  [[nodiscard]] u64 loopbacks_detected() const { return loopbacks_; }
+
+  /// Send an LCP Echo-Request carrying our magic number (link quality probe).
+  void send_echo_request();
+  [[nodiscard]] u64 echo_replies() const { return echo_replies_; }
+
+ protected:
+  std::vector<Option> build_configure_options() override;
+  ConfigureVerdict judge_configure_request(const std::vector<Option>& options) override;
+  void on_configure_ack(const std::vector<Option>& options) override;
+  void on_configure_nak(const std::vector<Option>& options) override;
+  void on_configure_reject(const std::vector<Option>& options) override;
+  bool on_extra_packet(const Packet& pkt) override;
+  void this_layer_up() override;
+  void this_layer_down() override;
+  void send_packet(const Packet& pkt) override;
+
+ private:
+  LcpConfig cfg_;
+  TxHook tx_;
+  UpHook up_hook_;
+  DownHook down_hook_;
+  Xoshiro256 rng_;
+  u32 magic_ = 0;
+
+  // Which options we still include in our Configure-Request.
+  bool ask_mru_ = true;
+  bool ask_magic_ = true;
+  bool ask_pfc_ = false;
+  bool ask_acfc_ = false;
+  bool ask_fcs32_ = false;
+  bool ask_lqm_ = false;
+  bool ask_numbered_ = false;
+
+  LcpResult result_;
+  u64 loopbacks_ = 0;
+  u64 echo_replies_ = 0;
+  u8 echo_id_ = 0;
+};
+
+}  // namespace p5::ppp

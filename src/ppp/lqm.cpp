@@ -1,0 +1,132 @@
+#include "ppp/lqm.hpp"
+
+#include "common/check.hpp"
+
+namespace p5::ppp {
+
+Bytes LqrPacket::serialize() const {
+  Bytes b;
+  b.reserve(kWireBytes);
+  put_be32(b, magic);
+  put_be32(b, last_out_lqrs);
+  put_be32(b, last_out_packets);
+  put_be32(b, last_out_octets);
+  put_be32(b, peer_in_lqrs);
+  put_be32(b, peer_in_packets);
+  put_be32(b, peer_in_discards);
+  put_be32(b, peer_in_errors);
+  put_be32(b, peer_in_octets);
+  put_be32(b, peer_out_lqrs);
+  put_be32(b, peer_out_packets);
+  put_be32(b, peer_out_octets);
+  return b;
+}
+
+std::optional<LqrPacket> LqrPacket::parse(BytesView wire) {
+  if (wire.size() < kWireBytes) return std::nullopt;
+  LqrPacket p;
+  std::size_t off = 0;
+  auto next = [&wire, &off] {
+    const u32 v = get_be32(wire, off);
+    off += 4;
+    return v;
+  };
+  p.magic = next();
+  p.last_out_lqrs = next();
+  p.last_out_packets = next();
+  p.last_out_octets = next();
+  p.peer_in_lqrs = next();
+  p.peer_in_packets = next();
+  p.peer_in_discards = next();
+  p.peer_in_errors = next();
+  p.peer_in_octets = next();
+  p.peer_out_lqrs = next();
+  p.peer_out_packets = next();
+  p.peer_out_octets = next();
+  return p;
+}
+
+LqmMonitor::LqmMonitor(const LqmConfig& cfg, u32 magic, std::function<void(BytesView)> tx_lqr)
+    : cfg_(cfg), magic_(magic), tx_lqr_(std::move(tx_lqr)),
+      ticks_until_report_(cfg.reporting_ticks) {
+  P5_EXPECTS(cfg.reporting_ticks >= 1);
+  P5_EXPECTS(cfg.window_k >= 1 && cfg.window_k <= cfg.window_n);
+}
+
+void LqmMonitor::count_tx(std::size_t octets) {
+  ++counters_.out_packets;
+  counters_.out_octets += static_cast<u32>(octets);
+}
+
+void LqmMonitor::count_rx_good(std::size_t octets) {
+  ++counters_.in_packets;
+  counters_.in_octets += static_cast<u32>(octets);
+}
+
+void LqmMonitor::count_rx_error() { ++counters_.in_errors; }
+void LqmMonitor::count_rx_discard() { ++counters_.in_discards; }
+
+void LqmMonitor::tick() {
+  if (!cfg_.emit_reports) return;
+  if (--ticks_until_report_ == 0) {
+    ticks_until_report_ = cfg_.reporting_ticks;
+    emit_lqr();
+  }
+}
+
+void LqmMonitor::emit_lqr() {
+  ++counters_.out_lqrs;
+  ++counters_.out_packets;  // the LQR itself travels the link
+
+  LqrPacket p;
+  p.magic = magic_;
+  p.last_out_lqrs = counters_.out_lqrs;
+  p.last_out_packets = counters_.out_packets;
+  p.last_out_octets = counters_.out_octets;
+  // "PeerIn*" in the packet we transmit describe *our* receive side — they
+  // become the peer's view of its outbound quality.
+  p.peer_in_lqrs = counters_.in_lqrs;
+  p.peer_in_packets = counters_.in_packets;
+  p.peer_in_discards = counters_.in_discards;
+  p.peer_in_errors = counters_.in_errors;
+  p.peer_in_octets = counters_.in_octets;
+  p.peer_out_lqrs = counters_.out_lqrs;
+  p.peer_out_packets = counters_.out_packets;
+  p.peer_out_octets = counters_.out_octets;
+
+  const Bytes wire = p.serialize();
+  counters_.out_octets += static_cast<u32>(wire.size());
+  tx_lqr_(wire);
+}
+
+void LqmMonitor::on_lqr(BytesView wire) {
+  const auto pkt = LqrPacket::parse(wire);
+  if (!pkt) return;
+  ++counters_.in_lqrs;
+  ++counters_.in_packets;  // an LQR is also a received packet
+
+  if (previous_) {
+    // Measurement window: peer's transmit delta vs our receive delta.
+    const u32 sent = pkt->peer_out_packets - previous_->peer_out_packets;
+    const u32 received = counters_.in_packets - in_packets_at_prev_lqr_;
+    if (sent > 0) {
+      const double loss =
+          sent >= received ? static_cast<double>(sent - received) / static_cast<double>(sent)
+                           : 0.0;
+      last_loss_ = loss;
+      bad_history_.push_back(loss > cfg_.max_loss);
+      while (bad_history_.size() > cfg_.window_n) bad_history_.pop_front();
+    }
+  }
+  previous_ = *pkt;
+  in_packets_at_prev_lqr_ = counters_.in_packets;
+}
+
+bool LqmMonitor::link_good() const {
+  unsigned bad = 0;
+  for (const bool b : bad_history_)
+    if (b) ++bad;
+  return bad < cfg_.window_k;
+}
+
+}  // namespace p5::ppp

@@ -1,0 +1,112 @@
+// PPP Link Quality Monitoring (RFC 1989) — the quantitative version of
+// LCP's mandate to "test the data-link connection" (paper Section 2).
+//
+// Each side periodically emits a Link-Quality-Report carrying its transmit
+// counters and an echo of the peer's; comparing "what the peer says it sent"
+// with "what we actually received" over a measurement window yields the
+// inbound loss rate, without any probe traffic. A configurable k-out-of-n
+// hysteresis turns the rate into a link-good/link-bad decision the way RFC
+// 1989 §2.5 suggests.
+//
+// The LQR counter layout follows RFC 1989 §3 (48-octet data field, all
+// fields 32-bit big-endian); the optional LastOut* echo mechanism is
+// implemented, the SaveNew/SaveOld state machine is folded into one
+// measurement-window delta computation.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace p5::ppp {
+
+/// Counters a PPP implementation keeps per direction (RFC 1989 §2.2).
+struct LqmCounters {
+  u32 out_lqrs = 0;
+  u32 out_packets = 0;
+  u32 out_octets = 0;
+  u32 in_lqrs = 0;
+  u32 in_packets = 0;
+  u32 in_discards = 0;  ///< good frames dropped for local reasons
+  u32 in_errors = 0;    ///< FCS failures / aborts
+  u32 in_octets = 0;    ///< octets in good frames
+};
+
+/// Wire image of one Link-Quality-Report (RFC 1989 §3).
+struct LqrPacket {
+  u32 magic = 0;
+  // Copied from our save-registers when transmitting.
+  u32 last_out_lqrs = 0;
+  u32 last_out_packets = 0;
+  u32 last_out_octets = 0;
+  // The peer's view of its own receive side, echoed back to us.
+  u32 peer_in_lqrs = 0;
+  u32 peer_in_packets = 0;
+  u32 peer_in_discards = 0;
+  u32 peer_in_errors = 0;
+  u32 peer_in_octets = 0;
+  // The peer's transmit side at the moment it sent this LQR.
+  u32 peer_out_lqrs = 0;
+  u32 peer_out_packets = 0;
+  u32 peer_out_octets = 0;
+
+  static constexpr std::size_t kWireBytes = 48;
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<LqrPacket> parse(BytesView wire);
+};
+
+struct LqmConfig {
+  bool emit_reports = true;       ///< transmit LQRs (false: measure only)
+  unsigned reporting_ticks = 4;   ///< emit an LQR every N tick()s
+  double max_loss = 0.10;         ///< per-window inbound loss to call "bad"
+  unsigned window_n = 5;          ///< policy window: n most recent periods
+  unsigned window_k = 3;          ///< link is bad when >= k of n are bad
+};
+
+class LqmMonitor {
+ public:
+  /// `tx_lqr` transmits a serialized LQR in a frame with protocol 0xC025.
+  LqmMonitor(const LqmConfig& cfg, u32 magic, std::function<void(BytesView)> tx_lqr);
+
+  // ---- datapath accounting hooks ----
+  void count_tx(std::size_t octets);        ///< we transmitted a data frame
+  void count_rx_good(std::size_t octets);   ///< good frame received
+  void count_rx_error();                    ///< FCS error / abort observed
+  void count_rx_discard();                  ///< good frame locally dropped
+
+  /// Timer: emits an LQR every reporting period.
+  void tick();
+
+  /// Feed a received protocol-0xC025 information field.
+  void on_lqr(BytesView wire);
+
+  // ---- measurement ----
+  /// Inbound loss rate over the last completed measurement window
+  /// (peer-sent vs locally-received packets); nullopt before two LQRs.
+  [[nodiscard]] std::optional<double> inbound_loss() const { return last_loss_; }
+  /// k-out-of-n policy verdict; starts optimistic.
+  [[nodiscard]] bool link_good() const;
+
+  [[nodiscard]] const LqmCounters& counters() const { return counters_; }
+  [[nodiscard]] u32 lqrs_sent() const { return counters_.out_lqrs; }
+  [[nodiscard]] u32 lqrs_received() const { return counters_.in_lqrs; }
+
+ private:
+  void emit_lqr();
+
+  LqmConfig cfg_;
+  u32 magic_;
+  std::function<void(BytesView)> tx_lqr_;
+  LqmCounters counters_;
+
+  unsigned ticks_until_report_;
+  // Peer state from the previous LQR, for window deltas.
+  std::optional<LqrPacket> previous_;
+  u32 in_packets_at_prev_lqr_ = 0;
+  std::optional<double> last_loss_;
+  std::deque<bool> bad_history_;  ///< most recent windows, true = bad
+};
+
+}  // namespace p5::ppp

@@ -1,0 +1,75 @@
+#include "ppp/packet.hpp"
+
+#include "common/check.hpp"
+
+namespace p5::ppp {
+
+const char* to_string(Code c) {
+  switch (c) {
+    case Code::kConfigureRequest: return "Configure-Request";
+    case Code::kConfigureAck: return "Configure-Ack";
+    case Code::kConfigureNak: return "Configure-Nak";
+    case Code::kConfigureReject: return "Configure-Reject";
+    case Code::kTerminateRequest: return "Terminate-Request";
+    case Code::kTerminateAck: return "Terminate-Ack";
+    case Code::kCodeReject: return "Code-Reject";
+    case Code::kProtocolReject: return "Protocol-Reject";
+    case Code::kEchoRequest: return "Echo-Request";
+    case Code::kEchoReply: return "Echo-Reply";
+    case Code::kDiscardRequest: return "Discard-Request";
+  }
+  return "Unknown";
+}
+
+Bytes Packet::serialize() const {
+  P5_EXPECTS(data.size() + 4 <= 0xFFFF);
+  Bytes out;
+  out.reserve(4 + data.size());
+  out.push_back(code);
+  out.push_back(identifier);
+  put_be16(out, static_cast<u16>(4 + data.size()));
+  append(out, data);
+  return out;
+}
+
+std::optional<Packet> Packet::parse(BytesView wire) {
+  if (wire.size() < 4) return std::nullopt;
+  const u16 length = get_be16(wire, 2);
+  if (length < 4 || length > wire.size()) return std::nullopt;
+  Packet p;
+  p.code = wire[0];
+  p.identifier = wire[1];
+  p.data.assign(wire.begin() + 4, wire.begin() + length);
+  return p;
+}
+
+Bytes serialize_options(const std::vector<Option>& options) {
+  Bytes out;
+  for (const Option& o : options) {
+    P5_EXPECTS(o.data.size() + 2 <= 0xFF);
+    out.push_back(o.type);
+    out.push_back(static_cast<u8>(2 + o.data.size()));
+    append(out, o.data);
+  }
+  return out;
+}
+
+std::optional<std::vector<Option>> parse_options(BytesView data) {
+  std::vector<Option> out;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (off + 2 > data.size()) return std::nullopt;
+    const u8 type = data[off];
+    const u8 len = data[off + 1];
+    if (len < 2 || off + len > data.size()) return std::nullopt;
+    Option o;
+    o.type = type;
+    o.data.assign(data.begin() + static_cast<std::ptrdiff_t>(off) + 2,
+                  data.begin() + static_cast<std::ptrdiff_t>(off) + len);
+    out.push_back(std::move(o));
+    off += len;
+  }
+  return out;
+}
+
+}  // namespace p5::ppp

@@ -1,0 +1,54 @@
+// LCP/NCP control-packet codec (RFC 1661 §5): Code | Identifier | Length |
+// Data, with Data holding a TLV option list for the Configure-* codes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace p5::ppp {
+
+enum class Code : u8 {
+  kConfigureRequest = 1,
+  kConfigureAck = 2,
+  kConfigureNak = 3,
+  kConfigureReject = 4,
+  kTerminateRequest = 5,
+  kTerminateAck = 6,
+  kCodeReject = 7,
+  kProtocolReject = 8,
+  kEchoRequest = 9,
+  kEchoReply = 10,
+  kDiscardRequest = 11,
+};
+
+[[nodiscard]] const char* to_string(Code c);
+
+struct Option {
+  u8 type = 0;
+  Bytes data;
+
+  [[nodiscard]] std::size_t wire_size() const { return 2 + data.size(); }
+  bool operator==(const Option&) const = default;
+};
+
+struct Packet {
+  u8 code = 0;
+  u8 identifier = 0;
+  Bytes data;  ///< everything after the Length field
+
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Parse; validates the Length field. Trailing padding is dropped per
+  /// RFC 1661 §5 ("the Length field must be ... padding octets ignored").
+  [[nodiscard]] static std::optional<Packet> parse(BytesView wire);
+};
+
+/// Serialize an option list into a packet Data field.
+[[nodiscard]] Bytes serialize_options(const std::vector<Option>& options);
+
+/// Parse a Data field into options; nullopt on malformed TLVs.
+[[nodiscard]] std::optional<std::vector<Option>> parse_options(BytesView data);
+
+}  // namespace p5::ppp

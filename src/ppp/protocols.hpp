@@ -1,0 +1,38 @@
+// PPP protocol-field registry (RFC 1661 §2 and the IANA PPP numbers the
+// paper's Protocol OAM must classify: network-layer protocols start with a
+// 0 bit, link/control protocols with a 1 bit).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace p5::ppp {
+
+// Network-layer protocols (0x0***).
+inline constexpr u16 kProtoIpv4 = 0x0021;
+inline constexpr u16 kProtoIpx = 0x002B;
+inline constexpr u16 kProtoIpv6 = 0x0057;
+inline constexpr u16 kProtoMplsUnicast = 0x0281;
+
+// NCPs (0x8***).
+inline constexpr u16 kProtoIpcp = 0x8021;
+inline constexpr u16 kProtoIpv6cp = 0x8057;
+
+// LCP family (0xC***).
+inline constexpr u16 kProtoLcp = 0xC021;
+inline constexpr u16 kProtoPap = 0xC023;
+inline constexpr u16 kProtoLqr = 0xC025;
+inline constexpr u16 kProtoChap = 0xC223;
+
+/// Paper §2: "Protocols starting with a 0 bit are network layer protocols
+/// such as IP or IPX, those starting with a 1 bit are used to negotiate
+/// other protocols including LCP and NCP."
+[[nodiscard]] constexpr bool is_network_layer(u16 protocol) { return (protocol & 0x8000u) == 0; }
+[[nodiscard]] constexpr bool is_control(u16 protocol) { return (protocol & 0x8000u) != 0; }
+
+/// RFC 1661 §2: valid protocol fields have an even most-significant octet
+/// and an odd least-significant octet.
+[[nodiscard]] constexpr bool is_valid_protocol(u16 protocol) {
+  return ((protocol >> 8) & 1u) == 0 && (protocol & 1u) == 1;
+}
+
+}  // namespace p5::ppp

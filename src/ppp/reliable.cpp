@@ -1,0 +1,124 @@
+#include "ppp/reliable.hpp"
+
+#include "common/check.hpp"
+
+namespace p5::ppp {
+
+namespace {
+constexpr u8 kMod = 8;
+/// Is `x` within the half-open window [lo, hi) modulo 8?
+constexpr bool in_window(u8 x, u8 lo, u8 hi) {
+  return ((x - lo) & 7) < ((hi - lo) & 7);
+}
+}  // namespace
+
+ReliableLink::ReliableLink(const ReliableConfig& cfg, std::function<void(u8, BytesView)> frame_tx,
+                           std::function<void(BytesView)> deliver)
+    : cfg_(cfg), frame_tx_(std::move(frame_tx)), deliver_(std::move(deliver)) {
+  P5_EXPECTS(cfg.window >= 1 && cfg.window <= 7);
+}
+
+void ReliableLink::send(Bytes payload) {
+  pending_.push_back(std::move(payload));
+  pump();
+}
+
+void ReliableLink::pump() {
+  while (!pending_.empty() && !failed_ &&
+         ((vs_ - va_) & 7) < static_cast<u8>(cfg_.window)) {
+    Bytes payload = std::move(pending_.front());
+    pending_.pop_front();
+    transmit_i(vs_, payload);
+    unacked_.push_back(Outstanding{vs_, std::move(payload)});
+    vs_ = static_cast<u8>((vs_ + 1) % kMod);
+    ++stats_.data_sent;
+    if (t1_remaining_ == 0) arm_t1();
+  }
+}
+
+void ReliableLink::transmit_i(u8 ns, const Bytes& payload) {
+  frame_tx_(make_i_frame(ns, vr_), payload);
+}
+
+void ReliableLink::process_ack(u8 nr) {
+  // N(R) acknowledges every I-frame with N(S) < N(R) (mod 8, within the
+  // outstanding window).
+  bool acked_any = false;
+  while (!unacked_.empty() && in_window(unacked_.front().ns, va_, nr)) {
+    unacked_.pop_front();
+    acked_any = true;
+  }
+  if (in_window(nr, va_, static_cast<u8>((vs_ + 1) % kMod)) || nr == vs_) va_ = nr;
+  if (acked_any) {
+    retries_ = 0;
+    if (unacked_.empty())
+      t1_remaining_ = 0;  // everything acknowledged: stop T1
+    else
+      arm_t1();  // restart for the next outstanding frame
+  }
+  pump();
+}
+
+void ReliableLink::on_frame(u8 control, BytesView payload) {
+  if (failed_) return;
+
+  if (is_i_frame(control)) {
+    const u8 ns = i_frame_ns(control);
+    process_ack(frame_nr(control));
+    if (ns == vr_) {
+      vr_ = static_cast<u8>((vr_ + 1) % kMod);
+      rej_outstanding_ = false;
+      ++stats_.delivered;
+      deliver_(payload);
+      // Acknowledge (a real stack would piggyback on reverse I-frames; an
+      // explicit RR keeps the machine simple and the link chatty but safe).
+      frame_tx_(make_rr(vr_), {});
+      ++stats_.acks_sent;
+    } else {
+      // Out of sequence: go-back-N. One REJ per gap (RFC 1663 / LAPB rule).
+      ++stats_.duplicates;
+      if (!rej_outstanding_) {
+        frame_tx_(make_rej(vr_), {});
+        ++stats_.rejs_sent;
+        rej_outstanding_ = true;
+      }
+    }
+    return;
+  }
+
+  if (is_rr(control)) {
+    process_ack(frame_nr(control));
+    return;
+  }
+
+  if (is_rej(control)) {
+    const u8 nr = frame_nr(control);
+    process_ack(nr);
+    // Retransmit everything still outstanding, starting at N(R).
+    for (const Outstanding& o : unacked_) {
+      transmit_i(o.ns, o.payload);
+      ++stats_.retransmissions;
+    }
+    if (!unacked_.empty()) arm_t1();
+    return;
+  }
+  // Unknown supervisory frames are ignored (RNR/SREJ not implemented).
+}
+
+void ReliableLink::tick() {
+  if (failed_ || t1_remaining_ == 0) return;
+  if (--t1_remaining_ > 0) return;
+
+  // T1 expired: retransmit all outstanding I-frames (go-back-N).
+  if (++retries_ > cfg_.max_retransmit) {
+    failed_ = true;
+    return;
+  }
+  for (const Outstanding& o : unacked_) {
+    transmit_i(o.ns, o.payload);
+    ++stats_.retransmissions;
+  }
+  if (!unacked_.empty()) arm_t1();
+}
+
+}  // namespace p5::ppp

@@ -1,0 +1,105 @@
+// PPP Reliable Transmission (RFC 1663) — numbered mode.
+//
+// The paper (Section 2, Control field): "PPP may be configured via the LCP
+// to use sequence numbers and acknowledgements for reliable data
+// transmission. This is of particular use in noisy environments such as
+// wireless networks." The P5's Control field is per-frame programmable, so
+// the datapath carries numbered-mode frames unchanged; this module provides
+// the LAPB-derived ARQ machine that fills that field.
+//
+// Implemented (modulo-8, the RFC 1663 default):
+//   * I-frames        control = N(R)<<5 | P<<4 | N(S)<<1 | 0
+//   * RR  (ack)       control = N(R)<<5 | P/F<<4 | 0x01
+//   * REJ (go-back-N) control = N(R)<<5 | P/F<<4 | 0x09
+// with a k-frame window, T1 retransmission timer, N2 retry limit, duplicate
+// discard, and REJ-based go-back-N recovery. (RNR/SREJ and the XID
+// handshake are out of scope — RFC 1663 makes them optional.)
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace p5::ppp {
+
+// Control-octet codec (mod-8 numbered mode).
+[[nodiscard]] constexpr bool is_i_frame(u8 control) { return (control & 0x01) == 0; }
+[[nodiscard]] constexpr bool is_rr(u8 control) { return (control & 0x0F) == 0x01; }
+[[nodiscard]] constexpr bool is_rej(u8 control) { return (control & 0x0F) == 0x09; }
+[[nodiscard]] constexpr u8 i_frame_ns(u8 control) { return (control >> 1) & 0x07; }
+[[nodiscard]] constexpr u8 frame_nr(u8 control) { return (control >> 5) & 0x07; }
+[[nodiscard]] constexpr u8 make_i_frame(u8 ns, u8 nr) {
+  return static_cast<u8>((nr << 5) | ((ns & 7) << 1));
+}
+[[nodiscard]] constexpr u8 make_rr(u8 nr) { return static_cast<u8>((nr << 5) | 0x01); }
+[[nodiscard]] constexpr u8 make_rej(u8 nr) { return static_cast<u8>((nr << 5) | 0x09); }
+
+struct ReliableConfig {
+  unsigned window = 4;          ///< k: max outstanding I-frames (1..7)
+  unsigned t1_ticks = 3;        ///< retransmission timer period
+  unsigned max_retransmit = 10; ///< N2: give up after this many T1 expiries
+};
+
+struct ReliableStats {
+  u64 data_sent = 0;         ///< distinct I-frames first transmitted
+  u64 retransmissions = 0;   ///< I-frames re-sent (T1 or REJ)
+  u64 delivered = 0;         ///< in-sequence payloads handed up
+  u64 duplicates = 0;        ///< out-of-sequence/duplicate I-frames dropped
+  u64 rejs_sent = 0;
+  u64 acks_sent = 0;
+};
+
+class ReliableLink {
+ public:
+  /// `frame_tx(control, payload)` transmits one numbered-mode frame (the
+  /// payload is empty for supervisory frames). `deliver` receives payloads
+  /// exactly once, in order.
+  ReliableLink(const ReliableConfig& cfg, std::function<void(u8, BytesView)> frame_tx,
+               std::function<void(BytesView)> deliver);
+
+  /// Queue a payload; transmitted as soon as the window allows.
+  void send(Bytes payload);
+
+  /// Feed a received frame (FCS-checked by the layer below).
+  void on_frame(u8 control, BytesView payload);
+
+  /// Advance the retransmission timer one unit.
+  void tick();
+
+  [[nodiscard]] const ReliableStats& stats() const { return stats_; }
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] std::size_t unacked() const { return unacked_.size(); }
+  [[nodiscard]] std::size_t backlog() const { return pending_.size(); }
+
+ private:
+  void pump();
+  void process_ack(u8 nr);
+  void transmit_i(u8 ns, const Bytes& payload);
+  void arm_t1() { t1_remaining_ = cfg_.t1_ticks; }
+
+  ReliableConfig cfg_;
+  std::function<void(u8, BytesView)> frame_tx_;
+  std::function<void(BytesView)> deliver_;
+
+  u8 vs_ = 0;  ///< send state variable: next N(S) to use
+  u8 va_ = 0;  ///< oldest unacknowledged N(S)
+  u8 vr_ = 0;  ///< receive state variable: next expected N(S)
+
+  std::deque<Bytes> pending_;  ///< not yet transmitted
+  struct Outstanding {
+    u8 ns;
+    Bytes payload;
+  };
+  std::deque<Outstanding> unacked_;
+
+  unsigned t1_remaining_ = 0;
+  unsigned retries_ = 0;
+  bool rej_outstanding_ = false;
+  bool failed_ = false;
+
+  ReliableStats stats_;
+};
+
+}  // namespace p5::ppp

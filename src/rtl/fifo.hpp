@@ -1,0 +1,98 @@
+// Two-phase hardware FIFO model.
+//
+// All inter-module communication in the cycle model goes through Fifo<T>.
+// During the *eval* phase of a cycle, consumers may peek/pop and producers may
+// test-and-push; the effects are queued. The simulator then calls commit(),
+// which applies pops before pushes — matching a synchronous FIFO whose read
+// and write ports fire on the same clock edge.
+//
+// Evaluation-order contract: within one cycle, a channel's CONSUMER must be
+// evaluated before its PRODUCER. The simulator evaluates modules in
+// registration order, so pipelines are registered sink-first. This reproduces
+// the combinational "ready" path of a flow-through pipeline register: a
+// capacity-1 Fifo sustains one token per cycle.
+//
+// Occupancy statistics (peak, stall cycles) feed the resynchronisation-buffer
+// experiments (DESIGN.md E6).
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace p5::rtl {
+
+class FifoBase {
+ public:
+  virtual ~FifoBase() = default;
+  virtual void commit() = 0;
+};
+
+template <typename T>
+class Fifo final : public FifoBase {
+ public:
+  explicit Fifo(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {
+    P5_EXPECTS(capacity_ >= 1);
+  }
+
+  // ---- consumer side (eval phase) ----
+  [[nodiscard]] bool can_pop() const { return pending_pops_ < items_.size(); }
+  [[nodiscard]] const T& front() const {
+    P5_EXPECTS(can_pop());
+    return items_[pending_pops_];
+  }
+  T pop() {
+    P5_EXPECTS(can_pop());
+    return items_[pending_pops_++];
+  }
+
+  // ---- producer side (eval phase) ----
+  /// Space check that honours pops already performed this cycle (flow-through).
+  [[nodiscard]] bool can_push(std::size_t n = 1) const {
+    return items_.size() - pending_pops_ + pending_pushes_.size() + n <= capacity_;
+  }
+  void push(T v) {
+    P5_EXPECTS(can_push());
+    pending_pushes_.push_back(std::move(v));
+  }
+
+  // ---- clock edge ----
+  void commit() override {
+    for (std::size_t i = 0; i < pending_pops_; ++i) items_.pop_front();
+    pending_pops_ = 0;
+    for (auto& v : pending_pushes_) items_.push_back(std::move(v));
+    total_pushed_ += pending_pushes_.size();
+    pending_pushes_.clear();
+    peak_ = std::max(peak_, items_.size());
+  }
+
+  // ---- introspection ----
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t peak_occupancy() const { return peak_; }
+  [[nodiscard]] u64 total_pushed() const { return total_pushed_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void reset() {
+    items_.clear();
+    pending_pushes_.clear();
+    pending_pops_ = 0;
+    peak_ = 0;
+    total_pushed_ = 0;
+  }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<T> pending_pushes_;
+  std::size_t pending_pops_ = 0;
+  std::size_t peak_ = 0;
+  u64 total_pushed_ = 0;
+};
+
+}  // namespace p5::rtl

@@ -1,0 +1,31 @@
+// Clocked-module protocol for the cycle-accurate model.
+//
+// Each hardware block implements eval() (combinational work for the current
+// cycle: read channel fronts, compute, queue pushes/pops, stage next register
+// values) and commit() (latch registers on the clock edge). The simulator
+// guarantees every module's eval() runs exactly once per cycle, then every
+// module's and channel's commit().
+#pragma once
+
+#include <string>
+
+namespace p5::rtl {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual void eval() = 0;
+  virtual void commit() = 0;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace p5::rtl

@@ -1,0 +1,51 @@
+// Cycle scheduler: evaluates registered modules in order, then commits all
+// modules and channels. Registration order encodes the pipeline's ready-path:
+// register sinks before sources (see Fifo's evaluation-order contract).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/module.hpp"
+
+namespace p5::rtl {
+
+class Simulator {
+ public:
+  void add(Module& m) { modules_.push_back(&m); }
+  void add_channel(FifoBase& f) { channels_.push_back(&f); }
+
+  /// Advance one clock cycle.
+  void step() {
+    for (Module* m : modules_) m->eval();
+    for (Module* m : modules_) m->commit();
+    for (FifoBase* f : channels_) f->commit();
+    ++cycle_;
+  }
+
+  void run(u64 cycles) {
+    for (u64 i = 0; i < cycles; ++i) step();
+  }
+
+  /// Step until `done()` returns true or `max_cycles` elapse.
+  /// Returns the number of cycles executed, or max_cycles if the predicate
+  /// never fired.
+  template <typename Pred>
+  u64 run_until(Pred&& done, u64 max_cycles) {
+    for (u64 i = 0; i < max_cycles; ++i) {
+      if (done()) return i;
+      step();
+    }
+    return max_cycles;
+  }
+
+  [[nodiscard]] u64 cycle() const { return cycle_; }
+
+ private:
+  std::vector<Module*> modules_;
+  std::vector<FifoBase*> channels_;
+  u64 cycle_ = 0;
+};
+
+}  // namespace p5::rtl

@@ -1,0 +1,30 @@
+// Cycle-level counters shared by pipeline stages: throughput, stalls, and
+// latency tracking used by the E6 experiments.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace p5::rtl {
+
+struct StageStats {
+  u64 cycles = 0;          ///< cycles observed
+  u64 busy_cycles = 0;     ///< cycles the stage moved data
+  u64 stall_cycles = 0;    ///< cycles the stage had data but downstream was full
+  u64 starve_cycles = 0;   ///< cycles the stage had no input
+  u64 bytes = 0;           ///< payload octets moved
+
+  [[nodiscard]] double utilisation() const {
+    return cycles ? static_cast<double>(busy_cycles) / static_cast<double>(cycles) : 0.0;
+  }
+  [[nodiscard]] double bytes_per_cycle() const {
+    return cycles ? static_cast<double>(bytes) / static_cast<double>(cycles) : 0.0;
+  }
+  /// Throughput in Gbps at the given clock (MHz).
+  [[nodiscard]] double gbps(double clock_mhz) const {
+    return bytes_per_cycle() * 8.0 * clock_mhz * 1e6 / 1e9;
+  }
+
+  void reset() { *this = StageStats{}; }
+};
+
+}  // namespace p5::rtl

@@ -1,0 +1,85 @@
+#include "rtl/vcd.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace p5::rtl {
+
+VcdWriter::VcdWriter(std::string top_module, double timescale_ns)
+    : top_(std::move(top_module)), timescale_ns_(timescale_ns) {}
+
+std::string VcdWriter::make_id(std::size_t index) {
+  // Printable identifier characters per the VCD grammar: '!' .. '~'.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index);
+  return id;
+}
+
+void VcdWriter::add_signal(const std::string& name, unsigned width,
+                           std::function<u64()> getter) {
+  P5_EXPECTS(!header_done_);
+  P5_EXPECTS(width >= 1 && width <= 64);
+  Signal s;
+  s.name = name;
+  s.width = width;
+  s.getter = std::move(getter);
+  s.id = make_id(signals_.size());
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::sample(u64 cycle) {
+  header_done_ = true;
+  bool time_written = false;
+  for (Signal& s : signals_) {
+    const u64 v = s.getter() & (s.width >= 64 ? ~u64{0} : ((u64{1} << s.width) - 1));
+    if (s.ever_sampled && v == s.last) continue;
+    if (!time_written) {
+      body_ << '#' << cycle << '\n';
+      time_written = true;
+    }
+    if (s.width == 1) {
+      body_ << (v ? '1' : '0') << s.id << '\n';
+    } else {
+      body_ << 'b';
+      bool leading = true;
+      for (int bit = static_cast<int>(s.width) - 1; bit >= 0; --bit) {
+        const bool b = (v >> bit) & 1u;
+        if (b) leading = false;
+        if (!leading || bit == 0) body_ << (b ? '1' : '0');
+      }
+      body_ << ' ' << s.id << '\n';
+    }
+    s.last = v;
+    s.ever_sampled = true;
+  }
+}
+
+std::string VcdWriter::str() const {
+  std::ostringstream out;
+  out << "$date reproducible $end\n";
+  out << "$version p5 cycle model $end\n";
+  char ts[64];
+  std::snprintf(ts, sizeof ts, "$timescale %.0f ps $end\n", timescale_ns_ * 1000.0);
+  out << ts;
+  out << "$scope module " << top_ << " $end\n";
+  for (const Signal& s : signals_) {
+    out << "$var wire " << s.width << ' ' << s.id << ' ' << s.name << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+  out << body_.str();
+  return out.str();
+}
+
+bool VcdWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << str();
+  return static_cast<bool>(f);
+}
+
+}  // namespace p5::rtl

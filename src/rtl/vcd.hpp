@@ -1,0 +1,56 @@
+// Value-Change-Dump (IEEE 1364 §18) waveform writer for the cycle-accurate
+// model: registered signals are sampled once per clock and written in
+// standard VCD so any waveform viewer (GTKWave etc.) can inspect P5 pipeline
+// behaviour — occupancies, valids, handshakes — the way the paper's authors
+// would have eyeballed their RTL simulations.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace p5::rtl {
+
+class VcdWriter {
+ public:
+  /// `timescale_ns`: nanoseconds per clock cycle (12.8 ns at 78.125 MHz).
+  explicit VcdWriter(std::string top_module = "p5", double timescale_ns = 12.8);
+
+  /// Register a signal before the first sample. `getter` is invoked at each
+  /// sample point; only changes are written.
+  void add_signal(const std::string& name, unsigned width, std::function<u64()> getter);
+
+  /// Sample all signals at the given cycle.
+  void sample(u64 cycle);
+
+  /// Complete VCD text (header + value changes so far).
+  [[nodiscard]] std::string str() const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t signal_count() const { return signals_.size(); }
+
+ private:
+  struct Signal {
+    std::string name;
+    unsigned width;
+    std::function<u64()> getter;
+    std::string id;     ///< VCD short identifier
+    u64 last = ~u64{0};
+    bool ever_sampled = false;
+  };
+
+  static std::string make_id(std::size_t index);
+
+  std::string top_;
+  double timescale_ns_;
+  std::vector<Signal> signals_;
+  std::ostringstream body_;
+  bool header_done_ = false;
+};
+
+}  // namespace p5::rtl

@@ -1,0 +1,22 @@
+#include "rtl/word.hpp"
+
+#include "common/hexdump.hpp"
+
+namespace p5::rtl {
+
+std::string Word::to_string() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (i) s.push_back(' ');
+    const char* hex = "0123456789abcdef";
+    s.push_back(hex[lanes_[i] >> 4]);
+    s.push_back(hex[lanes_[i] & 0xF]);
+  }
+  s.push_back(']');
+  if (sof) s += " SOF";
+  if (eof) s += " EOF";
+  if (abort) s += " ABORT";
+  return s;
+}
+
+}  // namespace p5::rtl

@@ -1,0 +1,67 @@
+// The datapath token exchanged between P5 pipeline stages.
+//
+// A Word models one clock cycle's worth of bus content: up to kMaxLanes octets
+// (lane 0 is the first octet on the wire), a lane count, and frame-boundary
+// sideband flags exactly as a hardware bus would carry them (start-of-frame,
+// end-of-frame, abort).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace p5::rtl {
+
+class Word {
+ public:
+  static constexpr std::size_t kMaxLanes = 8;
+
+  Word() = default;
+
+  /// Build a word from the first `n` bytes of `data` (n <= kMaxLanes).
+  static Word of(BytesView data) {
+    P5_EXPECTS(data.size() <= kMaxLanes);
+    Word w;
+    for (const u8 b : data) w.push(b);
+    return w;
+  }
+
+  void push(u8 b) {
+    P5_EXPECTS(count_ < kMaxLanes);
+    lanes_[count_++] = b;
+  }
+
+  [[nodiscard]] u8 lane(std::size_t i) const {
+    P5_EXPECTS(i < count_);
+    return lanes_[i];
+  }
+  void set_lane(std::size_t i, u8 v) {
+    P5_EXPECTS(i < count_);
+    lanes_[i] = v;
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  // Frame sideband flags.
+  bool sof = false;    ///< first word of a frame
+  bool eof = false;    ///< last word of a frame
+  bool abort = false;  ///< frame aborted mid-flight; discard accumulated state
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Word& o) const {
+    if (count_ != o.count_ || sof != o.sof || eof != o.eof || abort != o.abort) return false;
+    for (std::size_t i = 0; i < count_; ++i)
+      if (lanes_[i] != o.lanes_[i]) return false;
+    return true;
+  }
+
+ private:
+  std::array<u8, kMaxLanes> lanes_{};
+  std::size_t count_ = 0;
+};
+
+}  // namespace p5::rtl

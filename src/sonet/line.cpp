@@ -1,0 +1,36 @@
+#include "sonet/line.hpp"
+
+namespace p5::sonet {
+
+u8 Line::transfer(u8 octet) {
+  ++stats_.octets;
+  // Gilbert-Elliott state update, per octet.
+  if (bad_state_) {
+    if (rng_.chance(cfg_.burst_exit)) bad_state_ = false;
+  } else {
+    if (rng_.chance(cfg_.burst_enter)) bad_state_ = true;
+  }
+  const double ber = bad_state_ ? cfg_.burst_error_rate : cfg_.bit_error_rate;
+  if (ber <= 0.0) return octet;
+
+  u8 out = octet;
+  bool hit = false;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (rng_.chance(ber)) {
+      out ^= static_cast<u8>(1u << bit);
+      ++stats_.bit_errors;
+      hit = true;
+    }
+  }
+  if (hit) ++stats_.octets_hit;
+  return out;
+}
+
+Bytes Line::transfer(BytesView octets) {
+  Bytes out;
+  out.reserve(octets.size());
+  for (const u8 b : octets) out.push_back(transfer(b));
+  return out;
+}
+
+}  // namespace p5::sonet

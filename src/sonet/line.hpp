@@ -1,0 +1,51 @@
+// Optical line model: the physical medium between two PHYs.
+//
+// The paper's testbed is a 2.5 Gbps optical link; we substitute a seeded
+// stochastic octet pipe with independent bit errors (optionally bursty, a
+// two-state Gilbert-Elliott channel) so that FCS-error, B1/B3 and
+// delineation-loss paths are genuinely exercised.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace p5::sonet {
+
+struct LineConfig {
+  double bit_error_rate = 0.0;  ///< per-bit flip probability in the good state
+  // Gilbert-Elliott burst model; burst_error_rate applies in the bad state.
+  double burst_enter = 0.0;     ///< P(good -> bad) per octet
+  double burst_exit = 0.1;      ///< P(bad -> good) per octet
+  double burst_error_rate = 0.01;
+  u64 seed = 42;
+};
+
+struct LineStats {
+  u64 octets = 0;
+  u64 bit_errors = 0;
+  u64 octets_hit = 0;  ///< octets with at least one flipped bit
+};
+
+class Line {
+ public:
+  explicit Line(const LineConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Pass one octet through the channel.
+  [[nodiscard]] u8 transfer(u8 octet);
+  [[nodiscard]] Bytes transfer(BytesView octets);
+
+  [[nodiscard]] const LineStats& stats() const { return stats_; }
+  [[nodiscard]] double measured_ber() const {
+    return stats_.octets ? static_cast<double>(stats_.bit_errors) /
+                               (8.0 * static_cast<double>(stats_.octets))
+                         : 0.0;
+  }
+
+ private:
+  LineConfig cfg_;
+  Xoshiro256 rng_;
+  LineStats stats_;
+  bool bad_state_ = false;
+};
+
+}  // namespace p5::sonet

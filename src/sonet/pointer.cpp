@@ -1,0 +1,211 @@
+#include "sonet/pointer.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace p5::sonet {
+
+namespace {
+constexpr u16 kNdfNormal = 0x6;   // 0110
+constexpr u16 kNdfNewData = 0x9;  // 1001
+constexpr u16 kPointerModulus = kMaxPointer + 1;
+
+// Split a 10-bit value into its I (odd, from MSB) and D (even) bit groups.
+// Bit 9 (MSB) is an I bit, bit 8 a D bit, and so on.
+constexpr u16 i_mask = 0b1010101010;
+constexpr u16 d_mask = 0b0101010101;
+}  // namespace
+
+u16 PointerWord::encode(bool invert_i, bool invert_d) const {
+  P5_EXPECTS(value <= kMaxPointer);
+  u16 v = value;
+  if (invert_i) v ^= i_mask;
+  if (invert_d) v ^= d_mask;
+  const u16 nibble = ndf ? kNdfNewData : kNdfNormal;
+  return static_cast<u16>((nibble << 12) | v);
+}
+
+std::optional<PointerWord> PointerWord::decode(u16 raw) {
+  const u16 nibble = (raw >> 12) & 0xF;
+  PointerWord p;
+  if (nibble == kNdfNormal)
+    p.ndf = false;
+  else if (nibble == kNdfNewData)
+    p.ndf = true;
+  else
+    return std::nullopt;
+  p.value = raw & 0x3FF;
+  if (p.value > kMaxPointer) return std::nullopt;
+  return p;
+}
+
+PointerWord::Vote PointerWord::vote_against(u16 raw, u16 expected_value) {
+  const u16 diff = (raw & 0x3FF) ^ expected_value;
+  Vote v;
+  v.i_inverted = static_cast<unsigned>(std::popcount(static_cast<unsigned>(diff & i_mask)));
+  v.d_inverted = static_cast<unsigned>(std::popcount(static_cast<unsigned>(diff & d_mask)));
+  return v;
+}
+
+// ---------------- generator ----------------
+
+PointerGenerator::PointerGenerator(std::size_t capacity, double offset_ppm,
+                                   std::function<Bytes(std::size_t)> payload_source)
+    : capacity_(capacity), offset_ppm_(offset_ppm), source_(std::move(payload_source)) {
+  P5_EXPECTS(capacity >= 4);
+}
+
+void PointerGenerator::new_data_jump(u16 new_pointer) {
+  P5_EXPECTS(new_pointer <= kMaxPointer);
+  pending_ndf_ = new_pointer;
+}
+
+PointeredFrame PointerGenerator::next_frame() {
+  PointeredFrame f;
+  f.capacity.resize(capacity_);
+
+  if (pending_ndf_) {
+    pointer_ = *pending_ndf_;
+    pending_ndf_.reset();
+    PointerWord w{pointer_, true};
+    f.h1h2 = w.encode();
+    f.capacity = source_(capacity_);
+    return f;
+  }
+
+  // Clock-offset accumulation: positive ppm = the payload clock is slow, so
+  // occasionally one capacity octet has nothing to carry (stuff it);
+  // negative = payload fast, squeeze an extra octet through H3.
+  drift_accum_ += offset_ppm_ * 1e-6 * static_cast<double>(capacity_);
+  if (cooldown_ > 0) --cooldown_;
+
+  if (drift_accum_ >= 1.0 && cooldown_ == 0) {
+    drift_accum_ -= 1.0;
+    cooldown_ = 3;
+    ++pos_just_;
+    PointerWord w{pointer_, false};
+    f.h1h2 = w.encode(/*invert_i=*/true, false);
+    const Bytes payload = source_(capacity_ - 1);
+    f.capacity[0] = 0x00;  // stuff octet after H3
+    std::copy(payload.begin(), payload.end(), f.capacity.begin() + 1);
+    pointer_ = static_cast<u16>((pointer_ + 1) % kPointerModulus);
+    return f;
+  }
+  if (drift_accum_ <= -1.0 && cooldown_ == 0) {
+    drift_accum_ += 1.0;
+    cooldown_ = 3;
+    ++neg_just_;
+    PointerWord w{pointer_, false};
+    f.h1h2 = w.encode(false, /*invert_d=*/true);
+    const Bytes payload = source_(capacity_ + 1);
+    f.h3 = payload[0];  // H3 carries payload in a negative event
+    std::copy(payload.begin() + 1, payload.end(), f.capacity.begin());
+    pointer_ = static_cast<u16>((pointer_ + kPointerModulus - 1) % kPointerModulus);
+    return f;
+  }
+
+  PointerWord w{pointer_, false};
+  f.h1h2 = w.encode();
+  f.capacity = source_(capacity_);
+  return f;
+}
+
+// ---------------- interpreter ----------------
+
+PointerInterpreter::PointerInterpreter(std::size_t capacity,
+                                       std::function<void(BytesView)> payload_sink)
+    : capacity_(capacity), sink_(std::move(payload_sink)) {}
+
+void PointerInterpreter::push(const PointeredFrame& frame) {
+  ++stats_.frames;
+
+  // Justification signalling is detected on the raw bits *before* value
+  // validation: an inverted I/D pattern can momentarily take the value field
+  // out of range, and the event must still be honoured (GR-253 checks the
+  // majority-of-inverted-bits pattern, not the value, in event frames).
+  if (have_pointer_ && !lop_ && ((frame.h1h2 >> 12) & 0xF) == kNdfNormal) {
+    const auto vote = PointerWord::vote_against(frame.h1h2, pointer_);
+    if (vote.i_inverted >= 3 && vote.d_inverted <= 1) {
+      ++stats_.positive_justifications;
+      pointer_ = static_cast<u16>((pointer_ + 1) % kPointerModulus);
+      consecutive_invalid_ = 0;
+      sink_(BytesView(frame.capacity).subspan(1));
+      return;
+    }
+    if (vote.d_inverted >= 3 && vote.i_inverted <= 1) {
+      ++stats_.negative_justifications;
+      pointer_ = static_cast<u16>((pointer_ + kPointerModulus - 1) % kPointerModulus);
+      consecutive_invalid_ = 0;
+      Bytes with_h3;
+      with_h3.reserve(capacity_ + 1);
+      with_h3.push_back(frame.h3);
+      append(with_h3, frame.capacity);
+      sink_(with_h3);
+      return;
+    }
+  }
+
+  const auto decoded = PointerWord::decode(frame.h1h2);
+
+  if (!decoded) {
+    ++stats_.invalid_pointers;
+    if (++consecutive_invalid_ >= 8 && !lop_) {
+      lop_ = true;
+      ++stats_.lop_events;
+    }
+    return;  // no trustworthy payload while the pointer word is garbage
+  }
+
+  if (decoded->ndf) {
+    // New Data Flag: accept immediately, clears any defect.
+    pointer_ = decoded->value;
+    have_pointer_ = true;
+    lop_ = false;
+    consecutive_invalid_ = 0;
+    candidate_.reset();
+    ++stats_.ndf_jumps;
+    sink_(frame.capacity);
+    return;
+  }
+
+  consecutive_invalid_ = 0;
+
+  if (!have_pointer_ || lop_) {
+    // Acquire: three consecutive identical normal pointers.
+    if (candidate_ && *candidate_ == decoded->value) {
+      if (++candidate_count_ >= 3) {
+        pointer_ = decoded->value;
+        have_pointer_ = true;
+        lop_ = false;
+        candidate_.reset();
+      }
+    } else {
+      candidate_ = decoded->value;
+      candidate_count_ = 1;
+    }
+    if (have_pointer_ && !lop_) sink_(frame.capacity);
+    return;
+  }
+
+  if (decoded->value == pointer_) {
+    candidate_.reset();
+    sink_(frame.capacity);
+    return;
+  }
+
+  // A different value without NDF: candidate for a silent re-point (three
+  // consecutive identical values accept it); payload continues meanwhile.
+  if (candidate_ && *candidate_ == decoded->value) {
+    if (++candidate_count_ >= 3) {
+      pointer_ = decoded->value;
+      candidate_.reset();
+    }
+  } else {
+    candidate_ = decoded->value;
+    candidate_count_ = 1;
+  }
+  sink_(frame.capacity);
+}
+
+}  // namespace p5::sonet

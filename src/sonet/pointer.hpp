@@ -1,0 +1,125 @@
+// SONET/SDH payload pointer processing (GR-253 §3.5 / G.707 §8).
+//
+// The SPE framer in sonet/spe.hpp holds the H1/H2 pointer at zero (a
+// frame-locked payload, which is how a single-chip P5+framer behaves). Real
+// networks, however, run each node on its own clock: the payload envelope
+// slips against the transport frame, and the pointer mechanism absorbs the
+// slip — one octet per event — via positive/negative justification:
+//
+//   * transmitter fast (payload starving): POSITIVE justification — the
+//     octet after H3 is a stuff byte, the pointer increments, I-bits invert
+//     in the event frame;
+//   * transmitter slow (payload backlog): NEGATIVE justification — H3
+//     itself carries a payload octet, the pointer decrements, D-bits invert;
+//   * a path re-arrangement sets the NDF (New Data Flag) and the pointer
+//     jumps immediately.
+//
+// This module implements the mechanism over a simplified transport frame
+// (H1/H2/H3 + an SPE-sized capacity area) so it is testable end to end:
+// PointerGenerator emits frames from a payload source under a programmable
+// clock offset (ppm); PointerInterpreter recovers the exact payload stream,
+// tracking pointer votes (majority-of-inverted-bits), NDF jumps, and the
+// eight-consecutive-invalid Loss-Of-Pointer defect.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace p5::sonet {
+
+/// Pointer word codec. Layout (16 bits): N N N N x x I D I D I D I D I D
+/// — NDF nibble (0110 normal, 1001 new-data), two unused bits, then the
+/// 10-bit value with Increment bits in odd positions and Decrement bits in
+/// even positions (transmission order).
+struct PointerWord {
+  u16 value = 0;   ///< 0 .. kMaxPointer
+  bool ndf = false;
+
+  [[nodiscard]] u16 encode(bool invert_i = false, bool invert_d = false) const;
+  /// Strict decode: returns nullopt unless the NDF nibble is exactly normal
+  /// or new-data and the value is in range.
+  [[nodiscard]] static std::optional<PointerWord> decode(u16 raw);
+  /// Lenient decode of the value bits with I/D inversion detection against
+  /// an expected value; used by the interpreter's majority vote.
+  struct Vote {
+    unsigned i_inverted = 0;  ///< how many of the 5 I bits differ
+    unsigned d_inverted = 0;  ///< how many of the 5 D bits differ
+  };
+  [[nodiscard]] static Vote vote_against(u16 raw, u16 expected_value);
+};
+
+inline constexpr u16 kMaxPointer = 782;
+
+/// One simplified transport frame: the pointer bytes plus the payload
+/// capacity area the SPE floats inside.
+struct PointeredFrame {
+  u16 h1h2 = 0;  ///< pointer word
+  u8 h3 = 0;     ///< negative-justification opportunity octet
+  Bytes capacity;  ///< fixed-size payload area
+};
+
+class PointerGenerator {
+ public:
+  /// `capacity` octets of payload area per frame. `offset_ppm` models the
+  /// payload clock relative to the transport clock: positive = payload slow
+  /// (positive justifications), negative = payload fast (negative
+  /// justifications). One justification absorbs one octet.
+  PointerGenerator(std::size_t capacity, double offset_ppm,
+                   std::function<Bytes(std::size_t)> payload_source);
+
+  [[nodiscard]] PointeredFrame next_frame();
+
+  /// Force a pointer jump with NDF on the next frame (path re-arrangement).
+  void new_data_jump(u16 new_pointer);
+
+  [[nodiscard]] u16 pointer() const { return pointer_; }
+  [[nodiscard]] u64 positive_justifications() const { return pos_just_; }
+  [[nodiscard]] u64 negative_justifications() const { return neg_just_; }
+
+ private:
+  std::size_t capacity_;
+  double offset_ppm_;
+  std::function<Bytes(std::size_t)> source_;
+  u16 pointer_ = 0;
+  double drift_accum_ = 0.0;  ///< fractional octets of accumulated slip
+  std::optional<u16> pending_ndf_;
+  unsigned cooldown_ = 0;  ///< >= 3 frames between justification events
+  u64 pos_just_ = 0, neg_just_ = 0;
+};
+
+struct PointerStats {
+  u64 frames = 0;
+  u64 positive_justifications = 0;
+  u64 negative_justifications = 0;
+  u64 ndf_jumps = 0;
+  u64 invalid_pointers = 0;
+  u64 lop_events = 0;  ///< Loss of Pointer declared
+};
+
+class PointerInterpreter {
+ public:
+  /// `payload_sink` receives the recovered SPE octet stream.
+  PointerInterpreter(std::size_t capacity, std::function<void(BytesView)> payload_sink);
+
+  void push(const PointeredFrame& frame);
+
+  [[nodiscard]] u16 pointer() const { return pointer_; }
+  [[nodiscard]] bool in_lop() const { return lop_; }
+  [[nodiscard]] const PointerStats& stats() const { return stats_; }
+
+ private:
+  std::size_t capacity_;
+  std::function<void(BytesView)> sink_;
+  u16 pointer_ = 0;
+  bool have_pointer_ = false;
+  bool lop_ = false;
+  bool skip_next_octet_ = false;  ///< positive justification in this frame
+  unsigned consecutive_invalid_ = 0;
+  std::optional<u16> candidate_;
+  unsigned candidate_count_ = 0;
+  PointerStats stats_;
+};
+
+}  // namespace p5::sonet

@@ -1,0 +1,58 @@
+// SONET/SDH scramblers.
+//
+// Two distinct scramblers exist in a PPP-over-SONET link (RFC 2615 / GR-253):
+//
+//  * FrameScrambler — the frame-synchronous section scrambler, PRBS from
+//    x^7 + x^6 + 1 reset to all-ones at the first payload byte of each frame.
+//    Applied to the whole frame except the first-row framing bytes (A1/A2/J0).
+//
+//  * SelfSyncScrambler43 — the x^43 + 1 self-synchronous payload scrambler
+//    RFC 2615 adds over the SPE payload so that a malicious PPP payload
+//    cannot fake long runs of 0s/1s and break downstream clock recovery.
+//    Self-synchronous: the descrambler needs no state alignment, it recovers
+//    after 43 bits.
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace p5::sonet {
+
+/// Frame-synchronous x^7 + x^6 + 1 scrambler (a keystream generator).
+class FrameScrambler {
+ public:
+  /// Reset to the all-ones seed — done at the start of every frame's
+  /// scrambled region.
+  void reset() { state_ = 0x7F; }
+
+  /// Next keystream byte (MSB transmitted first).
+  [[nodiscard]] u8 next_keystream();
+
+  /// XOR a buffer in place with keystream.
+  void apply(Bytes& data, std::size_t begin, std::size_t end);
+
+ private:
+  u8 state_ = 0x7F;  ///< 7-bit LFSR state
+};
+
+/// Self-synchronous x^43 + 1 scrambler/descrambler (RFC 2615 §6).
+class SelfSyncScrambler43 {
+ public:
+  void reset() { history_ = {}; }
+
+  /// Scramble one octet (MSB first): out = in XOR (stream delayed 43 bits),
+  /// where the delayed stream is the *output* stream.
+  [[nodiscard]] u8 scramble(u8 in);
+  /// Descramble one octet: out = in XOR (received stream delayed 43 bits).
+  [[nodiscard]] u8 descramble(u8 in);
+
+  [[nodiscard]] Bytes scramble(BytesView data);
+  [[nodiscard]] Bytes descramble(BytesView data);
+
+ private:
+  // 43-bit delay line stored in a 64-bit word; bit 42 is the oldest.
+  u64 history_ = 0;
+};
+
+}  // namespace p5::sonet

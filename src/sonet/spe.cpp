@@ -1,0 +1,192 @@
+#include "sonet/spe.hpp"
+
+#include <cstring>
+
+namespace p5::sonet {
+
+namespace {
+
+// TOH byte coordinates (0-indexed rows).
+constexpr std::size_t kRowA1A2 = 0;
+constexpr std::size_t kRowB1 = 1;
+constexpr std::size_t kRowH1 = 3;
+constexpr std::size_t kRowB2 = 4;
+
+// Pointer bytes for a frame-aligned SPE (pointer value 0, NDF normal).
+constexpr u8 kH1Normal = 0x60;
+constexpr u8 kH2Normal = 0x00;
+// Concatenation indication for the 2nd..Nth constituent pointers.
+constexpr u8 kH1Concat = 0x9B;
+constexpr u8 kH2Concat = 0xFF;
+
+constexpr u8 kJ0 = 0x01;
+
+// POH rows within the single path-overhead column.
+constexpr std::size_t kPohJ1 = 0;
+constexpr std::size_t kPohB3 = 1;
+constexpr std::size_t kPohC2 = 2;
+
+}  // namespace
+
+u8 bip8(BytesView data) {
+  u8 p = 0;
+  for (const u8 b : data) p ^= b;
+  return p;
+}
+
+SonetFramer::SonetFramer(StsSpec spec, std::function<Bytes(std::size_t)> payload_source)
+    : spec_(spec), payload_source_(std::move(payload_source)) {
+  P5_EXPECTS(spec.n % 3 == 0 && spec.n >= 3);
+}
+
+Bytes SonetFramer::next_frame() {
+  const std::size_t cols = spec_.columns();
+  const std::size_t toh = spec_.toh_columns();
+  const std::size_t stuff = spec_.fixed_stuff_columns();
+  Bytes frame(spec_.frame_bytes(), 0);
+
+  auto at = [&](std::size_t row, std::size_t col) -> u8& { return frame[row * cols + col]; };
+
+  // --- Transport overhead ---
+  for (std::size_t i = 0; i < spec_.n; ++i) at(kRowA1A2, i) = kA1;
+  for (std::size_t i = 0; i < spec_.n; ++i) at(kRowA1A2, spec_.n + i) = kA2;
+  at(kRowA1A2, 2 * spec_.n) = kJ0;
+  at(kRowB1, 0) = b1_;  // BIP-8 over the previous frame (after scrambling)
+  at(kRowH1, 0) = kH1Normal;
+  at(kRowH1, spec_.n) = kH2Normal;
+  for (std::size_t i = 1; i < spec_.n; ++i) {
+    at(kRowH1, i) = kH1Concat;
+    at(kRowH1, spec_.n + i) = kH2Concat;
+  }
+
+  // --- Path overhead + payload ---
+  at(kPohJ1, toh) = 0x89;  // path trace filler octet
+  at(kPohB3, toh) = b3_;   // BIP-8 over the previous SPE
+  at(kPohC2, toh) = kC2PppScrambled;
+
+  const std::size_t payload_per_row = spec_.payload_columns();
+  const Bytes payload = payload_source_(kRows * payload_per_row);
+  P5_ENSURES(payload.size() == kRows * payload_per_row);
+  std::size_t p = 0;
+  for (std::size_t row = 0; row < kRows; ++row)
+    for (std::size_t col = toh + 1 + stuff; col < cols; ++col) at(row, col) = payload[p++];
+
+  // --- Path BIP-8 for the *next* frame: over this SPE (TOH excluded) ---
+  u8 b3 = 0;
+  for (std::size_t row = 0; row < kRows; ++row)
+    for (std::size_t col = toh; col < cols; ++col) b3 ^= at(row, col);
+  b3_ = b3;
+
+  // --- Line BIP-8 (B2) over rows 3..8 of this frame pre-scramble ---
+  u8 b2 = 0;
+  for (std::size_t row = kRowH1; row < kRows; ++row)
+    for (std::size_t col = 0; col < cols; ++col) b2 ^= at(row, col);
+  at(kRowB2, 0) = b2;
+
+  // --- Frame-synchronous scrambling: everything except row-0 TOH ---
+  FrameScrambler scr;
+  scr.reset();
+  scr.apply(frame, toh, frame.size());
+
+  // --- Section BIP-8 for the next frame: over this frame post-scramble ---
+  b1_ = bip8(frame);
+
+  ++frames_;
+  return frame;
+}
+
+SonetDeframer::SonetDeframer(StsSpec spec, std::function<void(BytesView)> payload_sink)
+    : spec_(spec), payload_sink_(std::move(payload_sink)) {
+  P5_EXPECTS(spec.n % 3 == 0 && spec.n >= 3);
+}
+
+void SonetDeframer::push(u8 octet) {
+  window_.push_back(octet);
+
+  if (state_ == State::kHunt) {
+    // Slide a frame-sized window until an A1...A1 A2...A2 prefix lines up.
+    const std::size_t need = 2 * spec_.n;
+    while (window_.size() >= need) {
+      bool aligned = true;
+      for (std::size_t i = 0; i < spec_.n && aligned; ++i) aligned = window_[i] == kA1;
+      for (std::size_t i = 0; i < spec_.n && aligned; ++i)
+        aligned = window_[spec_.n + i] == kA2;
+      if (aligned) {
+        state_ = State::kSync;
+        if (ever_synced_) ++stats_.resyncs;
+        ever_synced_ = true;
+        bad_alignments_ = 0;
+        have_b1_ref_ = false;
+        break;
+      }
+      window_.erase(window_.begin());
+      ++stats_.discarded_octets;
+    }
+    if (state_ == State::kHunt) return;
+  }
+
+  if (window_.size() >= spec_.frame_bytes()) process_frame();
+}
+
+void SonetDeframer::push(BytesView octets) {
+  for (const u8 b : octets) push(b);
+}
+
+void SonetDeframer::process_frame() {
+  const std::size_t cols = spec_.columns();
+  const std::size_t toh = spec_.toh_columns();
+  const std::size_t stuff = spec_.fixed_stuff_columns();
+
+  Bytes frame(window_.begin(), window_.begin() + static_cast<std::ptrdiff_t>(spec_.frame_bytes()));
+  window_.erase(window_.begin(), window_.begin() + static_cast<std::ptrdiff_t>(spec_.frame_bytes()));
+
+  // Alignment check on every frame; two consecutive misses -> loss of frame.
+  bool aligned = true;
+  for (std::size_t i = 0; i < spec_.n && aligned; ++i) aligned = frame[i] == kA1;
+  for (std::size_t i = 0; i < spec_.n && aligned; ++i) aligned = frame[spec_.n + i] == kA2;
+  if (!aligned) {
+    if (++bad_alignments_ >= 2) {
+      state_ = State::kHunt;
+      // Re-hunt inside what we already buffered plus this frame.
+      Bytes rehunt = std::move(frame);
+      rehunt.insert(rehunt.end(), window_.begin(), window_.end());
+      window_.clear();
+      have_b1_ref_ = false;
+      for (const u8 b : rehunt) push(b);
+      return;
+    }
+  } else {
+    bad_alignments_ = 0;
+  }
+
+  // Section BIP check uses the scrambled image.
+  const u8 b1_of_this_frame = bip8(frame);
+
+  // Descramble (row-0 TOH is never scrambled).
+  FrameScrambler scr;
+  scr.reset();
+  scr.apply(frame, toh, frame.size());
+
+  if (have_b1_ref_ && frame[1 * cols + 0] != expected_b1_) ++stats_.b1_errors;
+  expected_b1_ = b1_of_this_frame;
+  have_b1_ref_ = true;
+
+  // Path BIP over this SPE, checked against the *next* frame's B3.
+  if (stats_.frames_in_sync > 0 && frame[1 * cols + toh] != expected_b3_) ++stats_.b3_errors;
+  u8 b3 = 0;
+  for (std::size_t row = 0; row < kRows; ++row)
+    for (std::size_t col = toh; col < cols; ++col) b3 ^= frame[row * cols + col];
+  expected_b3_ = b3;
+
+  // Extract the PPP payload stream.
+  Bytes payload;
+  payload.reserve(spec_.payload_bytes_per_frame());
+  for (std::size_t row = 0; row < kRows; ++row)
+    for (std::size_t col = toh + 1 + stuff; col < cols; ++col)
+      payload.push_back(frame[row * cols + col]);
+
+  ++stats_.frames_in_sync;
+  payload_sink_(payload);
+}
+
+}  // namespace p5::sonet

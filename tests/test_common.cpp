@@ -1,0 +1,204 @@
+// Tests for the shared substrate: byte helpers, PRNG, contract checks,
+// hex dumps, and the two-phase FIFO / simulator kernel.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/hexdump.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/simulator.hpp"
+#include "rtl/word.hpp"
+
+namespace p5 {
+namespace {
+
+TEST(Types, BigEndianRoundTrip) {
+  Bytes b;
+  put_be16(b, 0xC021);
+  put_be32(b, 0xDEADBEEF);
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(get_be16(b, 0), 0xC021);
+  EXPECT_EQ(get_be32(b, 2), 0xDEADBEEFu);
+}
+
+TEST(Types, LittleEndian32) {
+  Bytes b;
+  put_le32(b, 0x11223344);
+  EXPECT_EQ(b[0], 0x44);
+  EXPECT_EQ(b[3], 0x11);
+  EXPECT_EQ(get_le32(b, 0), 0x11223344u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const u64 v = rng.range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Xoshiro256 rng(123);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Check, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(P5_EXPECTS(false), ContractViolation);
+  EXPECT_NO_THROW(P5_EXPECTS(true));
+}
+
+TEST(Hexdump, LineFormat) {
+  const Bytes b{0x7E, 0xFF, 0x03};
+  EXPECT_EQ(hex_line(b), "7e ff 03");
+}
+
+TEST(Hexdump, LineCap) {
+  const Bytes b{1, 2, 3, 4, 5};
+  EXPECT_EQ(hex_line(b, 2), "01 02 ...");
+}
+
+TEST(Hexdump, DumpContainsAscii) {
+  const Bytes b{'H', 'i', 0x00};
+  const std::string d = hex_dump(b);
+  EXPECT_NE(d.find("|Hi.|"), std::string::npos);
+}
+
+// ---- rtl kernel ----
+
+TEST(Word, PushAndFlags) {
+  rtl::Word w;
+  w.push(0x11);
+  w.push(0x22);
+  w.sof = true;
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_EQ(w.lane(0), 0x11);
+  EXPECT_EQ(w.lane(1), 0x22);
+  EXPECT_NE(w.to_string().find("SOF"), std::string::npos);
+}
+
+TEST(Word, OfRejectsOversize) {
+  Bytes big(rtl::Word::kMaxLanes + 1, 0);
+  EXPECT_THROW((void)rtl::Word::of(big), ContractViolation);
+}
+
+TEST(Word, Equality) {
+  rtl::Word a = rtl::Word::of(Bytes{1, 2});
+  rtl::Word b = rtl::Word::of(Bytes{1, 2});
+  EXPECT_EQ(a, b);
+  b.eof = true;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Fifo, PushPopWithinCycle) {
+  rtl::Fifo<int> f("f", 2);
+  EXPECT_TRUE(f.can_push());
+  f.push(1);
+  EXPECT_TRUE(f.empty());  // not visible until commit
+  f.commit();
+  ASSERT_TRUE(f.can_pop());
+  EXPECT_EQ(f.front(), 1);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_FALSE(f.can_pop());  // pending pop hides the item
+  f.commit();
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, FlowThroughCapacityOne) {
+  // Consumer pops then producer pushes in the same cycle: a capacity-1 FIFO
+  // sustains one token per cycle.
+  rtl::Fifo<int> f("f", 1);
+  f.push(0);
+  f.commit();
+  for (int cycle = 1; cycle < 10; ++cycle) {
+    ASSERT_TRUE(f.can_pop());
+    EXPECT_EQ(f.pop(), cycle - 1);
+    ASSERT_TRUE(f.can_push());  // space freed by the pending pop
+    f.push(cycle);
+    f.commit();
+  }
+}
+
+TEST(Fifo, CapacityRespectedWithoutPop) {
+  rtl::Fifo<int> f("f", 1);
+  f.push(1);
+  f.commit();
+  EXPECT_FALSE(f.can_push());
+}
+
+TEST(Fifo, PeakOccupancyTracked) {
+  rtl::Fifo<int> f("f", 4);
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  f.commit();
+  EXPECT_EQ(f.peak_occupancy(), 3u);
+  (void)f.pop();
+  f.commit();
+  EXPECT_EQ(f.peak_occupancy(), 3u);
+  EXPECT_EQ(f.total_pushed(), 3u);
+}
+
+class CounterModule final : public rtl::Module {
+ public:
+  explicit CounterModule(rtl::Fifo<int>& out) : rtl::Module("counter"), out_(out) {}
+  void eval() override {
+    if (out_.can_push()) out_.push(n_);
+  }
+  void commit() override { ++n_; }
+
+ private:
+  rtl::Fifo<int>& out_;
+  int n_ = 0;
+};
+
+TEST(Simulator, ModulesAndChannelsCommitTogether) {
+  rtl::Fifo<int> ch("ch", 8);
+  CounterModule m(ch);
+  rtl::Simulator sim;
+  sim.add(m);
+  sim.add_channel(ch);
+  sim.run(5);
+  EXPECT_EQ(sim.cycle(), 5u);
+  EXPECT_EQ(ch.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ch.pop(), i);
+}
+
+TEST(Simulator, RunUntilPredicate) {
+  rtl::Fifo<int> ch("ch", 100);
+  CounterModule m(ch);
+  rtl::Simulator sim;
+  sim.add(m);
+  sim.add_channel(ch);
+  const u64 cycles = sim.run_until([&] { return ch.size() >= 3; }, 1000);
+  EXPECT_EQ(cycles, 3u);
+}
+
+}  // namespace
+}  // namespace p5

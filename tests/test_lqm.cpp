@@ -1,0 +1,160 @@
+// Link Quality Monitoring tests (RFC 1989): LQR codec, loss measurement
+// from counter deltas, and the k-out-of-n link-quality policy.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.hpp"
+#include "ppp/lqm.hpp"
+
+namespace p5::ppp {
+namespace {
+
+TEST(LqrPacket, SerializeParseRoundTrip) {
+  LqrPacket p;
+  p.magic = 0xCAFEBABE;
+  p.last_out_lqrs = 3;
+  p.last_out_packets = 100;
+  p.last_out_octets = 5000;
+  p.peer_in_lqrs = 2;
+  p.peer_in_packets = 95;
+  p.peer_in_discards = 1;
+  p.peer_in_errors = 4;
+  p.peer_in_octets = 4800;
+  p.peer_out_lqrs = 3;
+  p.peer_out_packets = 101;
+  p.peer_out_octets = 5100;
+  const Bytes wire = p.serialize();
+  EXPECT_EQ(wire.size(), LqrPacket::kWireBytes);
+  const auto q = LqrPacket::parse(wire);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->magic, p.magic);
+  EXPECT_EQ(q->peer_in_errors, 4u);
+  EXPECT_EQ(q->peer_out_packets, 101u);
+}
+
+TEST(LqrPacket, ParseRejectsShort) {
+  EXPECT_FALSE(LqrPacket::parse(Bytes(47, 0)).has_value());
+}
+
+/// Two monitors joined by a channel with controllable packet loss.
+struct LqmPair {
+  std::deque<Bytes> a_to_b, b_to_a;
+  std::unique_ptr<LqmMonitor> a, b;
+  double drop_ab = 0.0;  ///< data-loss rate A->B that B should measure
+  Xoshiro256 rng{11};
+
+  explicit LqmPair(LqmConfig cfg = LqmConfig()) {
+    a = std::make_unique<LqmMonitor>(cfg, 0xAAAA0001,
+                                     [this](BytesView w) { a_to_b.emplace_back(w.begin(), w.end()); });
+    b = std::make_unique<LqmMonitor>(cfg, 0xBBBB0002,
+                                     [this](BytesView w) { b_to_a.emplace_back(w.begin(), w.end()); });
+  }
+
+  /// One "reporting period": A sends `data` frames toward B (some lost),
+  /// both tick their timers, LQRs get through unharmed.
+  void period(int data_frames) {
+    for (int i = 0; i < data_frames; ++i) {
+      a->count_tx(100);
+      if (!rng.chance(drop_ab)) b->count_rx_good(100);
+      else b->count_rx_error();
+    }
+    for (unsigned t = 0; t < 4; ++t) {
+      a->tick();
+      b->tick();
+    }
+    // Deliver LQRs (assumed protected / lucky).
+    while (!a_to_b.empty()) {
+      b->on_lqr(a_to_b.front());
+      a_to_b.pop_front();
+    }
+    while (!b_to_a.empty()) {
+      a->on_lqr(b_to_a.front());
+      b_to_a.pop_front();
+    }
+  }
+};
+
+TEST(Lqm, EmitsOneLqrPerPeriod) {
+  LqmConfig cfg;
+  cfg.reporting_ticks = 4;
+  LqmPair pair(cfg);
+  for (int p = 0; p < 5; ++p) pair.period(10);
+  EXPECT_EQ(pair.a->lqrs_sent(), 5u);
+  EXPECT_EQ(pair.b->lqrs_received(), 5u);
+}
+
+TEST(Lqm, CleanLinkMeasuresZeroLoss) {
+  LqmPair pair;
+  for (int p = 0; p < 4; ++p) pair.period(50);
+  ASSERT_TRUE(pair.b->inbound_loss().has_value());
+  EXPECT_DOUBLE_EQ(*pair.b->inbound_loss(), 0.0);
+  EXPECT_TRUE(pair.b->link_good());
+}
+
+TEST(Lqm, LossyLinkMeasuredAccurately) {
+  LqmPair pair;
+  pair.drop_ab = 0.30;
+  double sum = 0;
+  int samples = 0;
+  for (int p = 0; p < 30; ++p) {
+    pair.period(100);
+    if (pair.b->inbound_loss()) {
+      sum += *pair.b->inbound_loss();
+      ++samples;
+    }
+  }
+  ASSERT_GT(samples, 20);
+  EXPECT_NEAR(sum / samples, 0.30, 0.05);
+}
+
+TEST(Lqm, PolicyDeclaresBadLinkAfterKofN) {
+  LqmConfig cfg;
+  cfg.max_loss = 0.10;
+  cfg.window_n = 5;
+  cfg.window_k = 3;
+  LqmPair pair(cfg);
+  pair.drop_ab = 0.5;
+  // First windows: still optimistic until k bad periods accumulate.
+  pair.period(100);
+  pair.period(100);
+  EXPECT_TRUE(pair.b->link_good());  // only 1 completed measurement so far
+  pair.period(100);
+  pair.period(100);
+  EXPECT_FALSE(pair.b->link_good());
+}
+
+TEST(Lqm, PolicyRecoversWhenLinkHeals) {
+  LqmConfig cfg;
+  cfg.window_n = 4;
+  cfg.window_k = 2;
+  LqmPair pair(cfg);
+  pair.drop_ab = 0.6;
+  for (int p = 0; p < 6; ++p) pair.period(100);
+  EXPECT_FALSE(pair.b->link_good());
+  pair.drop_ab = 0.0;
+  for (int p = 0; p < 6; ++p) pair.period(100);
+  EXPECT_TRUE(pair.b->link_good());
+}
+
+TEST(Lqm, DirectionalityIsIndependent) {
+  // Loss on A->B must not mark A's inbound (B->A) as bad.
+  LqmPair pair;
+  pair.drop_ab = 0.5;
+  for (int p = 0; p < 8; ++p) pair.period(100);
+  EXPECT_FALSE(pair.b->link_good());
+  EXPECT_TRUE(pair.a->link_good());
+  ASSERT_TRUE(pair.a->inbound_loss().has_value());
+  EXPECT_LT(*pair.a->inbound_loss(), 0.05);
+}
+
+TEST(Lqm, CountersAdvance) {
+  LqmPair pair;
+  pair.period(7);
+  EXPECT_EQ(pair.a->counters().out_packets, 7u + 1u);  // + the LQR
+  EXPECT_EQ(pair.b->counters().in_packets, 7u + 1u);
+  EXPECT_GT(pair.a->counters().out_octets, 700u);  // data + LQR octets
+}
+
+}  // namespace
+}  // namespace p5::ppp

@@ -1,0 +1,143 @@
+// MAPOS substrate tests (RFC 2171): port addressing, NSP address
+// assignment, unicast forwarding, broadcast flooding, FCS policing at the
+// switch, and interoperability with the P5 datapath's programmable address.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/mapos.hpp"
+#include "p5/p5.hpp"
+
+namespace p5::net {
+namespace {
+
+TEST(MaposAddress, PortAddressFormat) {
+  // EA bit always set; distinct per port; never broadcast/null.
+  for (unsigned p = 0; p < 16; ++p) {
+    const u8 a = mapos_port_address(p);
+    EXPECT_EQ(a & 1u, 1u);
+    EXPECT_NE(a, kMaposBroadcast);
+    EXPECT_NE(a, kMaposNullAddress);
+    for (unsigned q = 0; q < p; ++q) EXPECT_NE(a, mapos_port_address(q));
+  }
+}
+
+/// A switch with three directly-wired nodes.
+struct Lan {
+  MaposSwitch sw{3};
+  std::vector<std::unique_ptr<MaposNode>> nodes;
+  std::vector<std::vector<MaposNode::Received>> inbox{3};
+
+  Lan() {
+    for (unsigned p = 0; p < 3; ++p) {
+      nodes.push_back(
+          std::make_unique<MaposNode>([this, p](BytesView w) { sw.rx(p, w); }));
+      sw.attach(p, [this, p](BytesView w) { nodes[p]->rx(w); });
+      nodes[p]->set_sink([this, p](const MaposNode::Received& r) { inbox[p].push_back(r); });
+    }
+  }
+};
+
+TEST(Mapos, NspAssignsPortAddresses) {
+  Lan lan;
+  for (auto& n : lan.nodes) n->request_address();
+  for (unsigned p = 0; p < 3; ++p) {
+    ASSERT_TRUE(lan.nodes[p]->address().has_value());
+    EXPECT_EQ(*lan.nodes[p]->address(), mapos_port_address(p));
+  }
+  EXPECT_EQ(lan.sw.stats().nsp_assignments, 3u);
+}
+
+TEST(Mapos, SendRequiresAddress) {
+  Lan lan;
+  EXPECT_FALSE(lan.nodes[0]->send(mapos_port_address(1), kMaposProtoIp, Bytes{1}));
+  lan.nodes[0]->request_address();
+  EXPECT_TRUE(lan.nodes[0]->send(mapos_port_address(1), kMaposProtoIp, Bytes{1}));
+}
+
+TEST(Mapos, UnicastReachesOnlyDestination) {
+  Lan lan;
+  for (auto& n : lan.nodes) n->request_address();
+  const Bytes msg{0xDE, 0xAD, 0xBE, 0xEF};
+  ASSERT_TRUE(lan.nodes[0]->send(mapos_port_address(2), kMaposProtoIp, msg));
+  EXPECT_TRUE(lan.inbox[0].empty());
+  EXPECT_TRUE(lan.inbox[1].empty());
+  ASSERT_EQ(lan.inbox[2].size(), 1u);
+  EXPECT_EQ(lan.inbox[2][0].payload, msg);
+  EXPECT_EQ(lan.inbox[2][0].protocol, kMaposProtoIp);
+  EXPECT_EQ(lan.sw.stats().frames_forwarded, 1u);
+}
+
+TEST(Mapos, BroadcastFloodsAllButSource) {
+  Lan lan;
+  for (auto& n : lan.nodes) n->request_address();
+  ASSERT_TRUE(lan.nodes[1]->send(kMaposBroadcast, kMaposProtoIp, Bytes{7}));
+  EXPECT_EQ(lan.inbox[0].size(), 1u);
+  EXPECT_TRUE(lan.inbox[1].empty());  // not reflected to the sender
+  EXPECT_EQ(lan.inbox[2].size(), 1u);
+  EXPECT_EQ(lan.sw.stats().frames_flooded, 1u);
+}
+
+TEST(Mapos, UnknownDestinationDropped) {
+  Lan lan;
+  for (auto& n : lan.nodes) n->request_address();
+  // Port 7 does not exist on a 3-port switch.
+  ASSERT_TRUE(lan.nodes[0]->send(mapos_port_address(7), kMaposProtoIp, Bytes{1}));
+  EXPECT_EQ(lan.sw.stats().unknown_destination, 1u);
+  for (const auto& box : lan.inbox) EXPECT_TRUE(box.empty());
+}
+
+TEST(Mapos, SwitchPolicesFcs) {
+  Lan lan;
+  for (auto& n : lan.nodes) n->request_address();
+  // Inject a corrupted frame directly into a switch port.
+  Bytes wire{hdlc::kFlag, mapos_port_address(1), 0x03, 0x00, 0x21, 1, 2, 3, 4, 5, 6,
+             hdlc::kFlag};
+  lan.sw.rx(0, wire);  // FCS is garbage
+  EXPECT_GE(lan.sw.stats().fcs_dropped, 1u);
+  EXPECT_TRUE(lan.inbox[1].empty());
+}
+
+TEST(Mapos, ManyFramesBothDirections) {
+  Lan lan;
+  for (auto& n : lan.nodes) n->request_address();
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const unsigned from = static_cast<unsigned>(rng.below(3));
+    unsigned to = static_cast<unsigned>(rng.below(3));
+    if (to == from) to = (to + 1) % 3;
+    ASSERT_TRUE(lan.nodes[from]->send(mapos_port_address(to), kMaposProtoIp,
+                                      rng.bytes(rng.range(1, 200))));
+  }
+  std::size_t delivered = 0;
+  for (const auto& box : lan.inbox) delivered += box.size();
+  EXPECT_EQ(delivered, 50u);
+  EXPECT_EQ(lan.sw.stats().fcs_dropped, 0u);
+}
+
+TEST(Mapos, P5TransmitterFeedsMaposSwitch) {
+  // A P5 with its Address register programmed to a MAPOS unicast address
+  // produces wire frames the switch forwards like any node's.
+  MaposSwitch sw(2);
+  std::vector<MaposNode::Received> inbox;
+  MaposNode receiver([&sw](BytesView w) { sw.rx(1, w); });
+  sw.attach(1, [&receiver](BytesView w) { receiver.rx(w); });
+  receiver.set_sink([&inbox](const MaposNode::Received& r) { inbox.push_back(r); });
+  receiver.request_address();
+  ASSERT_TRUE(receiver.address().has_value());
+
+  core::P5Config cfg;
+  cfg.lanes = 4;
+  cfg.address = *receiver.address();  // the OAM-programmable Address register
+  core::P5 dev(cfg);
+  sw.attach(0, [](BytesView) {});  // nothing listens behind the P5
+
+  dev.submit_datagram(0x0021, Bytes{9, 8, 7, 6});
+  for (int k = 0; k < 200; ++k) sw.rx(0, dev.phy_pull_tx(4));
+
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].payload, (Bytes{9, 8, 7, 6}));
+  EXPECT_EQ(sw.stats().frames_forwarded, 1u);
+}
+
+}  // namespace
+}  // namespace p5::net

@@ -1,0 +1,369 @@
+// Synthesis-model substrate tests: gate-level netlist + simulator, the
+// structural builder toolkit (verified exhaustively on small widths), and
+// the LUT mapper's covering/depth properties.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/rng.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/device.hpp"
+#include "netlist/lut_mapper.hpp"
+#include "netlist/netlist.hpp"
+
+namespace p5::netlist {
+namespace {
+
+// ---- netlist + simulator ----
+
+TEST(Netlist, BasicGates) {
+  Netlist nl("t");
+  const NodeId a = nl.input("a");
+  const NodeId b = nl.input("b");
+  nl.output(nl.and_(a, b), "and");
+  nl.output(nl.or_(a, b), "or");
+  nl.output(nl.xor_(a, b), "xor");
+  nl.output(nl.not_(a), "not");
+  nl.output(nl.mux(a, b, nl.constant(true)), "mux");
+
+  Netlist::Sim sim(nl);
+  for (int av = 0; av < 2; ++av)
+    for (int bv = 0; bv < 2; ++bv) {
+      sim.set_input(0, av);
+      sim.set_input(1, bv);
+      sim.eval();
+      EXPECT_EQ(sim.output(0), av && bv);
+      EXPECT_EQ(sim.output(1), av || bv);
+      EXPECT_EQ(sim.output(2), av != bv);
+      EXPECT_EQ(sim.output(3), !av);
+      EXPECT_EQ(sim.output(4), av ? true : bv);
+    }
+}
+
+TEST(Netlist, DffHoldsAcrossClock) {
+  Netlist nl("t");
+  const NodeId d = nl.input("d");
+  const NodeId q = nl.dff(d);
+  nl.output(q, "q");
+  Netlist::Sim sim(nl);
+  sim.set_input(0, true);
+  sim.eval();
+  EXPECT_FALSE(sim.output(0));  // not latched yet
+  sim.clock();
+  sim.set_input(0, false);
+  sim.eval();
+  EXPECT_TRUE(sim.output(0));  // latched value visible
+  sim.clock();
+  sim.eval();
+  EXPECT_FALSE(sim.output(0));
+}
+
+TEST(Netlist, ToggleFlipFlop) {
+  Netlist nl("t");
+  const NodeId q = nl.dff();
+  nl.set_dff_input(q, nl.not_(q));
+  nl.output(q, "q");
+  Netlist::Sim sim(nl);
+  bool expect = false;
+  for (int i = 0; i < 6; ++i) {
+    sim.eval();
+    EXPECT_EQ(sim.output(0), expect);
+    sim.clock();
+    expect = !expect;
+  }
+}
+
+TEST(Netlist, CombinationalCycleDetected) {
+  Netlist nl("t");
+  const NodeId a = nl.input("a");
+  // Build a cycle through a mux by rewiring a DFF trick is not possible via
+  // public API; construct via two gates referencing each other is prevented
+  // by construction order, so validate the detector with a DFF-free loop via
+  // set_dff_input misuse being rejected instead.
+  EXPECT_THROW(nl.set_dff_input(a, a), ContractViolation);  // not a DFF
+}
+
+TEST(Netlist, FanoutCounts) {
+  Netlist nl("t");
+  const NodeId a = nl.input("a");
+  const NodeId x = nl.not_(a);
+  nl.output(nl.and_(x, a), "o1");
+  nl.output(nl.or_(x, a), "o2");
+  const auto fo = nl.fanout_counts();
+  EXPECT_EQ(fo[x], 2u);
+  EXPECT_EQ(fo[a], 3u);
+}
+
+// ---- builder: exhaustive verification on small widths ----
+
+u64 run_comb(const Netlist& nl, u64 input_bits) {
+  Netlist::Sim sim(nl);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+    sim.set_input(i, (input_bits >> i) & 1u);
+  sim.eval();
+  u64 out = 0;
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i)
+    if (sim.output(i)) out |= (u64{1} << i);
+  return out;
+}
+
+TEST(Builder, AdderExhaustive4Plus4) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 4);
+  const Bus c = b.input_bus("b", 4);
+  b.output_bus(b.add(a, c), "s");
+  for (u64 av = 0; av < 16; ++av)
+    for (u64 bv = 0; bv < 16; ++bv)
+      EXPECT_EQ(run_comb(nl, av | (bv << 4)), av + bv) << av << "+" << bv;
+}
+
+TEST(Builder, WideAdderRandom) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 12);
+  const Bus c = b.input_bus("b", 12);
+  b.output_bus(b.add(a, c), "s");
+  Xoshiro256 rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const u64 av = rng.below(4096), bv = rng.below(4096);
+    EXPECT_EQ(run_comb(nl, av | (bv << 12)), av + bv);
+  }
+}
+
+TEST(Builder, AddWithCarryIn) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 3);
+  const Bus c = b.input_bus("b", 3);
+  const NodeId cin = nl.input("cin");
+  b.output_bus(b.add(a, c, cin), "s");
+  for (u64 v = 0; v < 128; ++v) {
+    const u64 av = v & 7, bv = (v >> 3) & 7, cv = (v >> 6) & 1;
+    EXPECT_EQ(run_comb(nl, v), av + bv + cv);
+  }
+}
+
+TEST(Builder, GeConstExhaustive) {
+  for (const u64 threshold : {1ull, 4ull, 7ull, 12ull, 15ull}) {
+    Netlist nl("t");
+    Builder b(nl);
+    const Bus a = b.input_bus("a", 4);
+    nl.output(b.ge_const(a, threshold), "ge");
+    for (u64 v = 0; v < 16; ++v) EXPECT_EQ(run_comb(nl, v), (v >= threshold) ? 1u : 0u);
+  }
+}
+
+TEST(Builder, GeConstWide) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 11);
+  nl.output(b.ge_const(a, 1500), "ge");
+  Xoshiro256 rng(2);
+  for (int t = 0; t < 300; ++t) {
+    const u64 v = rng.below(2048);
+    EXPECT_EQ(run_comb(nl, v), (v >= 1500) ? 1u : 0u);
+  }
+}
+
+TEST(Builder, EqConstExhaustive) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 5);
+  nl.output(b.eq_const(a, 19), "eq");
+  for (u64 v = 0; v < 32; ++v) EXPECT_EQ(run_comb(nl, v), (v == 19) ? 1u : 0u);
+}
+
+TEST(Builder, PopcountExhaustive) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 6);
+  b.output_bus(b.popcount(a), "p");
+  for (u64 v = 0; v < 64; ++v)
+    EXPECT_EQ(run_comb(nl, v), static_cast<u64>(std::popcount(v)));
+}
+
+TEST(Builder, TableFnArbitraryFunction) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 5);
+  nl.output(b.table_fn(a, [](u64 v) { return (v * 7 + 3) % 5 == 0; }), "f");
+  for (u64 v = 0; v < 32; ++v)
+    EXPECT_EQ(run_comb(nl, v), ((v * 7 + 3) % 5 == 0) ? 1u : 0u);
+}
+
+TEST(Builder, TableBusMultiOutput) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 4);
+  b.output_bus(b.table_bus(a, [](u64 v) { return v * 3; }, 6), "m");
+  for (u64 v = 0; v < 16; ++v) EXPECT_EQ(run_comb(nl, v), v * 3);
+}
+
+TEST(Builder, MuxBusSelects) {
+  Netlist nl("t");
+  Builder b(nl);
+  const NodeId sel = nl.input("s");
+  const Bus a = b.input_bus("a", 3);
+  const Bus c = b.input_bus("b", 3);
+  b.output_bus(b.mux_bus(sel, a, c), "m");
+  for (u64 v = 0; v < 128; ++v) {
+    const u64 s = v & 1, av = (v >> 1) & 7, bv = (v >> 4) & 7;
+    EXPECT_EQ(run_comb(nl, v), s ? bv : av);
+  }
+}
+
+TEST(Builder, OnehotMux) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus sels = b.input_bus("s", 3);
+  const std::vector<Bus> choices{b.constant_bus(0x5, 4), b.constant_bus(0xA, 4),
+                                 b.constant_bus(0x3, 4)};
+  b.output_bus(b.onehot_mux({sels[0], sels[1], sels[2]}, choices), "o");
+  EXPECT_EQ(run_comb(nl, 0b001), 0x5u);
+  EXPECT_EQ(run_comb(nl, 0b010), 0xAu);
+  EXPECT_EQ(run_comb(nl, 0b100), 0x3u);
+  EXPECT_EQ(run_comb(nl, 0b000), 0x0u);
+}
+
+TEST(Builder, PriorityEncoder) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 6);
+  const auto p = b.priority_encode(a);
+  b.output_bus(p.index, "i");
+  nl.output(p.valid, "v");
+  for (u64 v = 1; v < 64; ++v) {
+    const u64 out = run_comb(nl, v);
+    const u64 idx = out & 0x7;
+    const bool valid = (out >> 3) & 1u;
+    EXPECT_TRUE(valid);
+    EXPECT_EQ(idx, static_cast<u64>(std::countr_zero(v)));
+  }
+  EXPECT_EQ(run_comb(nl, 0) >> 3, 0u);  // invalid when no bit set
+}
+
+TEST(Builder, RotateLanes) {
+  Netlist nl("t");
+  Builder b(nl);
+  std::vector<Bus> lanes;
+  for (int i = 0; i < 4; ++i) lanes.push_back(b.constant_bus(static_cast<u64>(i + 1), 4));
+  const Bus amount = b.input_bus("amt", 2);
+  const auto rotated = b.rotate_lanes(lanes, amount);
+  for (const auto& lane : rotated) b.output_bus(lane, "l");
+  for (u64 amt = 0; amt < 4; ++amt) {
+    const u64 out = run_comb(nl, amt);
+    for (u64 i = 0; i < 4; ++i) {
+      const u64 lane_val = (out >> (4 * i)) & 0xF;
+      EXPECT_EQ(lane_val, ((i + amt) % 4) + 1) << "amt=" << amt << " lane=" << i;
+    }
+  }
+}
+
+// ---- LUT mapper ----
+
+TEST(LutMapper, SingleGateIsOneLut) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 4);
+  nl.output(nl.gate(Op::kAnd, {a[0], a[1], a[2], a[3]}), "o");
+  const MapResult r = map_to_luts(nl);
+  EXPECT_EQ(r.luts, 1u);
+  EXPECT_EQ(r.depth, 1u);
+  EXPECT_EQ(r.ffs, 0u);
+}
+
+TEST(LutMapper, ChainAbsorbsIntoOneLutWhenSmall) {
+  // not(and(a, or(b, c))) has 3 leaves -> single 4-LUT.
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 3);
+  nl.output(nl.not_(nl.and_(a[0], nl.or_(a[1], a[2]))), "o");
+  const MapResult r = map_to_luts(nl);
+  EXPECT_EQ(r.luts, 1u);
+  EXPECT_EQ(r.depth, 1u);
+}
+
+TEST(LutMapper, WideXorDecomposes) {
+  // 16-input XOR into 4-LUTs: ceil(15/3) = 5 LUTs, depth 2.
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 16);
+  nl.output(nl.gate(Op::kXor, Bus(a.begin(), a.end())), "o");
+  const MapResult r = map_to_luts(nl);
+  EXPECT_EQ(r.luts, 5u);
+  EXPECT_EQ(r.depth, 2u);
+}
+
+TEST(LutMapper, FanoutForcesRoot) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus a = b.input_bus("a", 2);
+  const NodeId shared = nl.and_(a[0], a[1]);
+  nl.output(nl.not_(shared), "o1");
+  nl.output(nl.or_(shared, a[0]), "o2");
+  const MapResult r = map_to_luts(nl);
+  EXPECT_EQ(r.luts, 3u);  // shared + two consumers
+}
+
+TEST(LutMapper, CountsFlipFlops) {
+  Netlist nl("t");
+  Builder b(nl);
+  const Bus d = b.dff_bus(12);
+  b.wire_dff_bus(d, d);  // identity feedback
+  const MapResult r = map_to_luts(nl);
+  EXPECT_EQ(r.ffs, 12u);
+}
+
+TEST(LutMapper, DepthGrowsWithSerialLogic) {
+  // A chain of dependent adders must map deeper than one adder.
+  Netlist nl1("one");
+  {
+    Builder b(nl1);
+    const Bus a = b.input_bus("a", 8);
+    b.output_bus(b.add(a, a), "s");
+  }
+  Netlist nl3("three");
+  {
+    Builder b(nl3);
+    const Bus a = b.input_bus("a", 8);
+    Bus s = b.add(a, a);
+    s.resize(8);
+    s = b.add(s, a);
+    s.resize(8);
+    s = b.add(s, a);
+    b.output_bus(s, "s");
+  }
+  EXPECT_GT(map_to_luts(nl3).depth, map_to_luts(nl1).depth);
+}
+
+// ---- devices ----
+
+TEST(Device, CapacitiesAndUtilisation) {
+  EXPECT_EQ(xcv50_4().luts, 1536u);
+  EXPECT_EQ(xc2v40_6().luts, 512u);
+  EXPECT_NEAR(xc2v40_6().lut_utilisation(492), 96.0, 0.2);  // paper Table 3
+}
+
+TEST(Device, VirtexIiFasterAtSameDepth) {
+  // Paper Section 4: identical 6-LUT critical path; Virtex-II wins purely on
+  // per-level delay.
+  for (const bool post : {false, true}) {
+    EXPECT_GT(xc2v1000_6().fmax_mhz(6, post), xcv600_4().fmax_mhz(6, post));
+  }
+}
+
+TEST(Device, SixLevelPathMeets78MhzOnVirtexIiOnly) {
+  const double required = required_clock_mhz(2.5, 32);
+  EXPECT_NEAR(required, 78.125, 1e-9);
+  EXPECT_GE(xc2v1000_6().fmax_mhz(6, true), required);
+  EXPECT_LT(xcv600_4().fmax_mhz(6, true), required);
+}
+
+TEST(Device, PostLayoutSlowerThanPreLayout) {
+  for (const auto& d : all_devices())
+    EXPECT_LT(d.fmax_mhz(6, true), d.fmax_mhz(6, false));
+}
+
+}  // namespace
+}  // namespace p5::netlist

@@ -1,0 +1,657 @@
+// Cycle-accurate P5 unit tests: each pipeline block driven standalone
+// against the RFC 1662 golden models, plus the paper's architectural
+// numbers (4-stage escape latency, resynchronisation buffer bounds,
+// backpressure behaviour).
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "common/rng.hpp"
+#include "crc/crc_table.hpp"
+#include "hdlc/stuffing.hpp"
+#include "p5/control.hpp"
+#include "p5/crc_unit.hpp"
+#include "p5/escape_detect.hpp"
+#include "p5/escape_generate.hpp"
+#include "p5/escape_generate8.hpp"
+#include "p5/framer.hpp"
+#include "p5/oam.hpp"
+#include "rtl/simulator.hpp"
+
+namespace p5::core {
+namespace {
+
+/// Chop a byte buffer into lane-wide words with SOF/EOF marks.
+std::vector<rtl::Word> to_frame_words(BytesView bytes, unsigned lanes) {
+  std::vector<rtl::Word> words;
+  for (std::size_t off = 0; off < bytes.size(); off += lanes) {
+    const std::size_t n = std::min<std::size_t>(lanes, bytes.size() - off);
+    rtl::Word w = rtl::Word::of(bytes.subspan(off, n));
+    w.sof = off == 0;
+    w.eof = off + n >= bytes.size();
+    words.push_back(w);
+  }
+  return words;
+}
+
+/// Feeds queued words into a channel during eval — evaluated after the unit
+/// under test so a capacity-1 channel flows through at one word per cycle,
+/// exactly like the upstream pipeline stage would.
+class Feeder final : public rtl::Module {
+ public:
+  explicit Feeder(rtl::Fifo<rtl::Word>& out) : rtl::Module("feeder"), out_(out) {}
+  void eval() override {
+    if (next_ < words_.size() && out_.can_push()) out_.push(words_[next_++]);
+  }
+  void commit() override {}
+  std::vector<rtl::Word> words_;
+  std::size_t next_ = 0;
+
+ private:
+  rtl::Fifo<rtl::Word>& out_;
+};
+
+/// Drains the output channel every cycle, splitting frames on EOF words.
+class Collector final : public rtl::Module {
+ public:
+  explicit Collector(rtl::Fifo<rtl::Word>& in) : rtl::Module("collector"), in_(in) {}
+  void eval() override {
+    while (in_.can_pop()) {
+      const rtl::Word w = in_.pop();
+      progressed_ = true;
+      for (std::size_t i = 0; i < w.count(); ++i) current_.push_back(w.lane(i));
+      if (w.eof) {
+        frames_.push_back(std::move(current_));
+        aborted_.push_back(w.abort);
+        current_.clear();
+      }
+    }
+  }
+  void commit() override {}
+  bool take_progress() { return std::exchange(progressed_, false); }
+
+  std::vector<Bytes> frames_;
+  std::vector<bool> aborted_;
+  Bytes current_;
+
+ private:
+  rtl::Fifo<rtl::Word>& in_;
+  bool progressed_ = false;
+};
+
+/// Drive one module standalone: feed `frames` (each a byte buffer), collect
+/// emitted frames (split on EOF words). Returns per-frame output buffers.
+template <typename ModuleT>
+struct Harness {
+  rtl::Fifo<rtl::Word> in{"in", 1};
+  rtl::Fifo<rtl::Word> out{"out", 2};
+  Collector collector{out};
+  ModuleT mod;
+  Feeder feeder{in};
+  rtl::Simulator sim;
+
+  template <typename... Args>
+  explicit Harness(Args&&... args) : mod("mod", std::forward<Args>(args)..., in, out) {
+    // Sink-first evaluation order: collector, unit, feeder.
+    sim.add(collector);
+    sim.add(mod);
+    sim.add(feeder);
+    sim.add_channel(in);
+    sim.add_channel(out);
+  }
+
+  struct Result {
+    std::vector<Bytes> frames;
+    std::vector<bool> aborted;
+    u64 cycles = 0;
+  };
+
+  Result run(const std::vector<Bytes>& frames, unsigned lanes, u64 max_cycles = 200000) {
+    for (const Bytes& f : frames) {
+      auto words = to_frame_words(f, lanes);
+      feeder.words_.insert(feeder.words_.end(), words.begin(), words.end());
+    }
+    Result r;
+    u64 idle = 0;
+    while (r.cycles < max_cycles) {
+      sim.step();
+      ++r.cycles;
+      const bool progressed = collector.take_progress() || feeder.next_ < feeder.words_.size();
+      idle = progressed ? 0 : idle + 1;
+      if (feeder.next_ >= feeder.words_.size() && idle > 32) break;
+    }
+    r.frames = collector.frames_;
+    r.aborted.assign(collector.aborted_.begin(), collector.aborted_.end());
+    return r;
+  }
+};
+
+// Harness template needs (lanes) or (cfg) before fifos; specialise per type.
+struct GenHarness : Harness<EscapeGenerate> {
+  explicit GenHarness(unsigned lanes) : Harness<EscapeGenerate>(lanes) {}
+};
+struct DetHarness : Harness<EscapeDetect> {
+  explicit DetHarness(unsigned lanes) : Harness<EscapeDetect>(lanes) {}
+};
+
+class EscapeLanes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EscapeLanes, GenerateMatchesGoldenPerFrame) {
+  const unsigned lanes = GetParam();
+  Xoshiro256 rng(lanes);
+  for (const double density : {0.0, 0.05, 0.5, 1.0}) {
+    GenHarness h(lanes);
+    std::vector<Bytes> frames;
+    for (int f = 0; f < 8; ++f) {
+      Bytes b;
+      const std::size_t len = rng.range(1, 120);
+      for (std::size_t i = 0; i < len; ++i)
+        b.push_back(rng.chance(density) ? (rng.chance(0.5) ? hdlc::kFlag : hdlc::kEscape)
+                                        : rng.byte());
+      frames.push_back(std::move(b));
+    }
+    const auto r = h.run(frames, lanes);
+    ASSERT_EQ(r.frames.size(), frames.size()) << "density " << density;
+    for (std::size_t f = 0; f < frames.size(); ++f)
+      EXPECT_EQ(r.frames[f], hdlc::stuff(frames[f])) << "frame " << f;
+  }
+}
+
+TEST_P(EscapeLanes, DetectInvertsGenerate) {
+  const unsigned lanes = GetParam();
+  Xoshiro256 rng(100 + lanes);
+  DetHarness h(lanes);
+  std::vector<Bytes> stuffed;
+  std::vector<Bytes> originals;
+  for (int f = 0; f < 10; ++f) {
+    Bytes b = rng.bytes(rng.range(1, 150));
+    // salt with escape-worthy octets
+    for (int k = 0; k < 6; ++k) b[rng.below(b.size())] = rng.chance(0.5) ? 0x7E : 0x7D;
+    originals.push_back(b);
+    stuffed.push_back(hdlc::stuff(b));
+  }
+  const auto r = h.run(stuffed, lanes);
+  ASSERT_EQ(r.frames.size(), originals.size());
+  for (std::size_t f = 0; f < originals.size(); ++f) {
+    EXPECT_EQ(r.frames[f], originals[f]) << "frame " << f;
+    EXPECT_FALSE(r.aborted[f]);
+  }
+}
+
+TEST_P(EscapeLanes, DetectFlagsDanglingEscapeAsAbort) {
+  const unsigned lanes = GetParam();
+  DetHarness h(lanes);
+  const auto r = h.run({Bytes{0x11, 0x22, hdlc::kEscape}}, lanes);
+  ASSERT_EQ(r.aborted.size(), 1u);
+  EXPECT_TRUE(r.aborted[0]);
+  EXPECT_EQ(h.mod.aborted_frames(), 1u);
+}
+
+TEST_P(EscapeLanes, GenerateQueueNeverExceedsCapacity) {
+  const unsigned lanes = GetParam();
+  GenHarness h(lanes);
+  const Bytes worst(200, hdlc::kFlag);
+  (void)h.run({worst}, lanes);
+  EXPECT_LE(h.mod.peak_queue_occupancy(), h.mod.queue_capacity());
+  EXPECT_EQ(h.mod.escapes_inserted(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, EscapeLanes, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(EscapeGenerate, FourCyclePipelineLatency) {
+  // Paper: "the process is divided up into 4 pipelined stages ... the first
+  // data transmitted is therefore delayed by 4 clock cycles".
+  rtl::Fifo<rtl::Word> in("in", 1);
+  rtl::Fifo<rtl::Word> out("out", 2);
+  EscapeGenerate gen("gen", 4, in, out);
+  rtl::Simulator sim;
+  sim.add(gen);
+  sim.add_channel(in);
+  sim.add_channel(out);
+
+  rtl::Word w = rtl::Word::of(Bytes{1, 2, 3, 4});
+  w.sof = true;
+  in.push(w);  // presented at cycle 0
+  u64 cycles = 0;
+  while (!out.can_pop()) {
+    // Keep the frame going so the queue reaches a full word.
+    if (in.can_push()) in.push(rtl::Word::of(Bytes{5, 6, 7, 8}));
+    sim.step();
+    ++cycles;
+    ASSERT_LT(cycles, 20u);
+  }
+  // 4 pipeline stages (classify, route, merge, output register); the input
+  // channel register adds the 5th edge the testbench observes.
+  EXPECT_EQ(cycles, 5u);
+}
+
+TEST(EscapeGenerate, SustainsFullRateWithoutEscapes) {
+  GenHarness h(4);
+  Xoshiro256 rng(5);
+  Bytes clean;
+  for (int i = 0; i < 4000; ++i) {
+    u8 b = rng.byte();
+    while (b == 0x7E || b == 0x7D) b = rng.byte();
+    clean.push_back(b);
+  }
+  const auto r = h.run({clean}, 4);
+  ASSERT_EQ(r.frames.size(), 1u);
+  // 4000 octets at 4 octets/cycle = 1000 cycles + small pipeline overhead.
+  EXPECT_LT(r.cycles, 1100u);
+  EXPECT_GT(h.mod.stats().bytes_per_cycle(), 3.5);
+}
+
+TEST(EscapeGenerate, AllFlagsHalvesThroughputViaBackpressure) {
+  GenHarness h(4);
+  const Bytes worst(4000, hdlc::kFlag);
+  const auto r = h.run({worst}, 4);
+  ASSERT_EQ(r.frames.size(), 1u);
+  EXPECT_EQ(r.frames[0].size(), 8000u);
+  // Output is the bottleneck at 4 octets/cycle -> >= 2000 cycles, and the
+  // input sees backpressure roughly every other cycle.
+  EXPECT_GE(r.cycles, 2000u);
+  EXPECT_GT(h.mod.backpressure_cycles(), 500u);
+}
+
+
+// ---- the paper's faithful 8-bit stall design ----
+
+TEST(EscapeGenerate8, MatchesGoldenStuffer) {
+  Xoshiro256 rng(55);
+  for (const double density : {0.0, 0.2, 1.0}) {
+    rtl::Fifo<rtl::Word> in("in", 4);
+    rtl::Fifo<rtl::Word> out("out", 4);
+    EscapeGenerate8 gen("gen8", in, out);
+    rtl::Simulator sim;
+    sim.add(gen);
+    sim.add_channel(in);
+    sim.add_channel(out);
+
+    Bytes payload;
+    for (int i = 0; i < 150; ++i)
+      payload.push_back(rng.chance(density) ? (rng.chance(0.5) ? hdlc::kFlag : hdlc::kEscape)
+                                            : rng.byte());
+    std::size_t off = 0;
+    Bytes got;
+    for (int cycle = 0; cycle < 2000; ++cycle) {
+      if (off < payload.size() && in.can_push()) {
+        rtl::Word w;
+        w.push(payload[off]);
+        w.sof = off == 0;
+        w.eof = off + 1 == payload.size();
+        in.push(w);
+        ++off;
+      }
+      sim.step();
+      while (out.can_pop()) {
+        const rtl::Word w = out.pop();
+        for (std::size_t i = 0; i < w.count(); ++i) got.push_back(w.lane(i));
+      }
+      if (off >= payload.size() && got.size() >= hdlc::stuff(payload).size()) break;
+    }
+    EXPECT_EQ(got, hdlc::stuff(payload)) << "density " << density;
+  }
+}
+
+TEST(EscapeGenerate8, SingleCycleLatencyUnlikeTheSorter) {
+  // The paper's architectural contrast: the 8-bit stall design forwards a
+  // transparent octet on the very next edge (1 stage), where the sorter
+  // takes its 4 pipeline stages.
+  rtl::Fifo<rtl::Word> in("in", 1);
+  rtl::Fifo<rtl::Word> out("out", 2);
+  EscapeGenerate8 gen("gen8", in, out);
+  rtl::Simulator sim;
+  sim.add(gen);
+  sim.add_channel(in);
+  sim.add_channel(out);
+
+  rtl::Word w;
+  w.push(0x42);
+  in.push(w);
+  u64 cycles = 0;
+  while (!out.can_pop()) {
+    sim.step();
+    ++cycles;
+    ASSERT_LT(cycles, 10u);
+  }
+  // One cycle for the input channel register + one through the unit.
+  EXPECT_EQ(cycles, 2u);
+}
+
+TEST(EscapeGenerate8, EscapeCostsExactlyOneStall) {
+  rtl::Fifo<rtl::Word> in("in", 8);
+  rtl::Fifo<rtl::Word> out("out", 8);
+  EscapeGenerate8 gen("gen8", in, out);
+  rtl::Simulator sim;
+  sim.add(gen);
+  sim.add_channel(in);
+  sim.add_channel(out);
+
+  for (const u8 b : {u8{0x11}, u8{0x7E}, u8{0x22}}) {
+    rtl::Word w;
+    w.push(b);
+    in.push(w);
+  }
+  sim.run(10);
+  Bytes got;
+  while (out.can_pop()) {
+    const rtl::Word w = out.pop();
+    got.push_back(w.lane(0));
+  }
+  EXPECT_EQ(got, (Bytes{0x11, 0x7D, 0x5E, 0x22}));
+  EXPECT_EQ(gen.stall_cycles(), 1u);
+  EXPECT_EQ(gen.escapes_inserted(), 1u);
+}
+
+// ---- CRC units ----
+
+TEST(TxCrcUnit, AppendsCorrectFcs32) {
+  Harness<TxCrcUnit> h{(P5Config{})};
+  Xoshiro256 rng(6);
+  std::vector<Bytes> frames;
+  for (int f = 0; f < 6; ++f) frames.push_back(rng.bytes(rng.range(1, 100)));
+  const auto r = h.run(frames, 4);
+  ASSERT_EQ(r.frames.size(), frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    ASSERT_EQ(r.frames[f].size(), frames[f].size() + 4);
+    // content prefix preserved
+    EXPECT_TRUE(std::equal(frames[f].begin(), frames[f].end(), r.frames[f].begin()));
+    // sealed frame passes the RFC 1662 check
+    EXPECT_TRUE(crc::fcs32().check(r.frames[f]));
+  }
+  EXPECT_EQ(h.mod.frames_sealed(), frames.size());
+}
+
+TEST(RxCrcChecker, StripsFcsAndValidates) {
+  P5Config cfg;
+  Harness<RxCrcChecker> h{cfg};
+  Xoshiro256 rng(7);
+  std::vector<Bytes> contents;
+  std::vector<Bytes> sealed;
+  for (int f = 0; f < 6; ++f) {
+    Bytes c = rng.bytes(rng.range(1, 100));
+    Bytes s = c;
+    const u32 fcs = crc::fcs32().crc(c);
+    for (int i = 0; i < 4; ++i) s.push_back(static_cast<u8>(fcs >> (8 * i)));
+    contents.push_back(std::move(c));
+    sealed.push_back(std::move(s));
+  }
+  const auto r = h.run(sealed, 4);
+  ASSERT_EQ(r.frames.size(), contents.size());
+  for (std::size_t f = 0; f < contents.size(); ++f) {
+    EXPECT_EQ(r.frames[f], contents[f]);
+    EXPECT_FALSE(r.aborted[f]);
+  }
+  EXPECT_EQ(h.mod.good_frames(), contents.size());
+}
+
+TEST(RxCrcChecker, CorruptFrameAborted) {
+  P5Config cfg;
+  Harness<RxCrcChecker> h{cfg};
+  Bytes c{1, 2, 3, 4, 5, 6, 7};
+  Bytes s = c;
+  const u32 fcs = crc::fcs32().crc(c);
+  for (int i = 0; i < 4; ++i) s.push_back(static_cast<u8>(fcs >> (8 * i)));
+  s[2] ^= 0x80;
+  const auto r = h.run({s}, 4);
+  ASSERT_EQ(r.aborted.size(), 1u);
+  EXPECT_TRUE(r.aborted[0]);
+  EXPECT_EQ(h.mod.bad_frames(), 1u);
+}
+
+TEST(RxCrcChecker, Fcs16Mode) {
+  P5Config cfg;
+  cfg.fcs32 = false;
+  Harness<RxCrcChecker> h{cfg};
+  Bytes c{0xAA, 0xBB, 0xCC};
+  Bytes s = c;
+  const u32 fcs = crc::fcs16().crc(c);
+  s.push_back(static_cast<u8>(fcs));
+  s.push_back(static_cast<u8>(fcs >> 8));
+  const auto r = h.run({s}, 4);
+  ASSERT_EQ(r.frames.size(), 1u);
+  EXPECT_EQ(r.frames[0], c);
+  EXPECT_FALSE(r.aborted[0]);
+}
+
+TEST(RxCrcChecker, RuntFrameAborted) {
+  P5Config cfg;
+  Harness<RxCrcChecker> h{cfg};
+  const auto r = h.run({Bytes{1, 2}}, 4);  // shorter than the FCS itself
+  ASSERT_EQ(r.aborted.size(), 1u);
+  EXPECT_TRUE(r.aborted[0]);
+}
+
+// ---- framer ----
+
+TEST(FlagInserter, WrapsFramesAndFills) {
+  Harness<FlagInserter> h{4u};
+  const auto r = h.run({Bytes{1, 2, 3, 4, 5}}, 4);
+  // Output is a continuous stream (no EOF words), so frames come back as
+  // one blob once idle; collect the raw bytes instead.
+  Bytes all;
+  for (const auto& f : r.frames) append(all, f);
+  // run() only splits on EOF which the inserter never sets; gather from the
+  // harness' residual current buffer via a fresh manual drive instead.
+  rtl::Fifo<rtl::Word> in("in", 1);
+  rtl::Fifo<rtl::Word> out("out", 2);
+  FlagInserter ins("ins", 4, in, out);
+  rtl::Simulator sim;
+  sim.add(ins);
+  sim.add_channel(in);
+  sim.add_channel(out);
+  auto words = to_frame_words(Bytes{1, 2, 3, 4, 5}, 4);
+  std::size_t next = 0;
+  Bytes stream;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    if (next < words.size() && in.can_push()) in.push(words[next++]);
+    sim.step();
+    while (out.can_pop()) {
+      const rtl::Word w = out.pop();
+      for (std::size_t i = 0; i < w.count(); ++i) stream.push_back(w.lane(i));
+    }
+  }
+  // Expect: fill flags, opening flag, 5 octets, closing flag, fill flags.
+  std::size_t first_data = 0;
+  while (first_data < stream.size() && stream[first_data] == hdlc::kFlag) ++first_data;
+  ASSERT_LT(first_data, stream.size());
+  EXPECT_EQ(stream[first_data - 1], hdlc::kFlag);
+  EXPECT_EQ(Bytes(stream.begin() + first_data, stream.begin() + first_data + 5),
+            (Bytes{1, 2, 3, 4, 5}));
+  EXPECT_EQ(stream[first_data + 5], hdlc::kFlag);
+  for (std::size_t i = first_data + 6; i < stream.size(); ++i)
+    EXPECT_EQ(stream[i], hdlc::kFlag);
+  EXPECT_EQ(ins.frames(), 1u);
+}
+
+TEST(FlagDelineator, RecoversFramesAtAnyAlignment) {
+  for (unsigned shift = 0; shift < 4; ++shift) {
+    rtl::Fifo<rtl::Word> in("in", 1);
+    rtl::Fifo<rtl::Word> out("out", 2);
+    FlagDelineator del("del", 4, in, out);
+    rtl::Simulator sim;
+    sim.add(del);
+    sim.add_channel(in);
+    sim.add_channel(out);
+
+    Bytes stream(shift, hdlc::kFlag);  // shift the alignment
+    const Bytes f1{1, 2, 3, 4, 5, 6, 7};
+    const Bytes f2{8, 9, 10, 11, 12};
+    stream.push_back(hdlc::kFlag);
+    append(stream, f1);
+    stream.push_back(hdlc::kFlag);
+    append(stream, f2);
+    stream.push_back(hdlc::kFlag);
+    while (stream.size() % 4) stream.push_back(hdlc::kFlag);
+
+    std::size_t off = 0;
+    std::vector<Bytes> got;
+    Bytes current;
+    for (int cycle = 0; cycle < 100; ++cycle) {
+      if (off < stream.size() && in.can_push()) {
+        in.push(rtl::Word::of(BytesView(stream).subspan(off, 4)));
+        off += 4;
+      }
+      sim.step();
+      while (out.can_pop()) {
+        const rtl::Word w = out.pop();
+        for (std::size_t i = 0; i < w.count(); ++i) current.push_back(w.lane(i));
+        if (w.eof) {
+          got.push_back(std::move(current));
+          current.clear();
+        }
+      }
+    }
+    ASSERT_EQ(got.size(), 2u) << "shift " << shift;
+    EXPECT_EQ(got[0], f1);
+    EXPECT_EQ(got[1], f2);
+    EXPECT_EQ(del.counters().frames, 2u);
+  }
+}
+
+TEST(FlagDelineator, CountsAbortsAndRunts) {
+  rtl::Fifo<rtl::Word> in("in", 1);
+  rtl::Fifo<rtl::Word> out("out", 4);
+  FlagDelineator del("del", 4, in, out);
+  rtl::Simulator sim;
+  sim.add(del);
+  sim.add_channel(in);
+  sim.add_channel(out);
+
+  Bytes stream{hdlc::kFlag, 1, 2, 3, 4, 0x7D, hdlc::kFlag};  // abort
+  append(stream, Bytes{5, 6, hdlc::kFlag});                   // runt
+  append(stream, Bytes{1, 2, 3, 4, 5, hdlc::kFlag});          // good
+  while (stream.size() % 4) stream.push_back(hdlc::kFlag);
+
+  std::size_t off = 0;
+  int eofs = 0, aborts = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    if (off < stream.size() && in.can_push()) {
+      in.push(rtl::Word::of(BytesView(stream).subspan(off, 4)));
+      off += 4;
+    }
+    sim.step();
+    while (out.can_pop()) {
+      const rtl::Word w = out.pop();
+      if (w.eof) {
+        ++eofs;
+        if (w.abort) ++aborts;
+      }
+    }
+  }
+  EXPECT_EQ(del.counters().aborts, 1u);
+  EXPECT_EQ(del.counters().runts, 1u);
+  EXPECT_EQ(del.counters().frames, 1u);
+  EXPECT_EQ(eofs, 3);
+  EXPECT_EQ(aborts, 2);  // abort + runt both junked downstream
+}
+
+// ---- control ----
+
+TEST(TxControl, EmitsHeaderAndPayload) {
+  rtl::Fifo<rtl::Word> out("out", 2);
+  P5Config cfg;
+  cfg.address = 0x04;  // MAPOS style
+  TxControl tx("tx", cfg, out);
+  rtl::Simulator sim;
+  sim.add(tx);
+  sim.add_channel(out);
+
+  tx.submit(TxRequest{0x0021, Bytes{0xDE, 0xAD}});
+  Bytes content;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    sim.step();
+    while (out.can_pop()) {
+      const rtl::Word w = out.pop();
+      for (std::size_t i = 0; i < w.count(); ++i) content.push_back(w.lane(i));
+    }
+  }
+  EXPECT_EQ(content, (Bytes{0x04, 0x03, 0x00, 0x21, 0xDE, 0xAD}));
+  EXPECT_EQ(tx.frames_started(), 1u);
+}
+
+TEST(RxControl, FiltersAddressAndDelivers) {
+  rtl::Fifo<rtl::Word> in("in", 2);
+  P5Config cfg;
+  RxControl rx("rx", cfg, in);
+  rtl::Simulator sim;
+  sim.add(rx);
+  sim.add_channel(in);
+  std::vector<RxDelivery> got;
+  rx.set_sink([&](RxDelivery d) { got.push_back(std::move(d)); });
+
+  auto feed_frame = [&](Bytes content, bool abort = false) {
+    auto words = to_frame_words(content, 4);
+    words.back().abort = abort;
+    for (const auto& w : words) {
+      while (!in.can_push()) sim.step();
+      in.push(w);
+      sim.step();
+    }
+    sim.run(4);
+  };
+
+  feed_frame(Bytes{0xFF, 0x03, 0x00, 0x21, 1, 2, 3});      // good
+  feed_frame(Bytes{0x08, 0x03, 0x00, 0x21, 9});            // wrong address
+  feed_frame(Bytes{0xFF, 0x03, 0x00, 0x57, 7, 7}, true);   // aborted upstream
+  feed_frame(Bytes{0xFF, 0x03});                           // malformed header
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].protocol, 0x0021);
+  EXPECT_EQ(got[0].payload, (Bytes{1, 2, 3}));
+  EXPECT_EQ(rx.counters().frames_ok, 1u);
+  EXPECT_EQ(rx.counters().addr_filtered, 1u);
+  EXPECT_EQ(rx.counters().frames_bad, 1u);
+  EXPECT_EQ(rx.counters().malformed, 1u);
+}
+
+// ---- OAM ----
+
+TEST(Oam, RegisterMapReadsConfig) {
+  P5Config cfg;
+  cfg.address = 0x42;
+  cfg.control = 0x03;
+  Oam oam(cfg);
+  EXPECT_EQ(oam.read(static_cast<u32>(OamReg::kId)), kOamDeviceId);
+  const u32 c = oam.read(static_cast<u32>(OamReg::kConfig));
+  EXPECT_EQ(c & 0xFF, 0x42u);
+  EXPECT_EQ((c >> 8) & 0xFF, 0x03u);
+  EXPECT_TRUE((c >> 16) & 1u);
+}
+
+TEST(Oam, WriteConfigInvokesReconfigure) {
+  Oam oam(P5Config{});
+  P5Config seen;
+  bool called = false;
+  oam.set_reconfigure_hook([&](const P5Config& c) {
+    seen = c;
+    called = true;
+  });
+  oam.write(static_cast<u32>(OamReg::kConfig), 0x0004 | (0x0F << 8));
+  ASSERT_TRUE(called);
+  EXPECT_EQ(seen.address, 0x04);
+  EXPECT_EQ(seen.control, 0x0F);
+  EXPECT_FALSE(seen.fcs32);
+}
+
+TEST(Oam, InterruptPendingMaskClear) {
+  Oam oam(P5Config{});
+  oam.raise(OamIrq::kRxFrame);
+  EXPECT_FALSE(oam.irq_line());  // masked by default
+  oam.write(static_cast<u32>(OamReg::kIntMask), 0x1);
+  EXPECT_TRUE(oam.irq_line());
+  oam.write(static_cast<u32>(OamReg::kIntPending), 0x1);  // W1C
+  EXPECT_FALSE(oam.irq_line());
+}
+
+TEST(Oam, CounterSources) {
+  Oam oam(P5Config{});
+  u64 counter = 17;
+  oam.set_counter_source(OamReg::kTxFrames, [&counter] { return counter; });
+  EXPECT_EQ(oam.read(static_cast<u32>(OamReg::kTxFrames)), 17u);
+  counter = 18;
+  EXPECT_EQ(oam.read(static_cast<u32>(OamReg::kTxFrames)), 18u);
+}
+
+}  // namespace
+}  // namespace p5::core

@@ -1,0 +1,213 @@
+// SONET payload-pointer processing tests: codec, justification events under
+// clock offset, NDF jumps, acquisition, and Loss-of-Pointer defect handling.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sonet/pointer.hpp"
+
+namespace p5::sonet {
+namespace {
+
+// ---- codec ----
+
+TEST(PointerWord, EncodeDecodeRoundTrip) {
+  for (const u16 v : {0, 1, 100, 522, 782}) {
+    for (const bool ndf : {false, true}) {
+      PointerWord w{v, ndf};
+      const auto d = PointerWord::decode(w.encode());
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->value, v);
+      EXPECT_EQ(d->ndf, ndf);
+    }
+  }
+}
+
+TEST(PointerWord, RejectsBadNdfNibble) {
+  PointerWord w{10, false};
+  const u16 raw = w.encode();
+  EXPECT_FALSE(PointerWord::decode(static_cast<u16>((raw & 0x0FFF) | 0x0000)).has_value());
+  EXPECT_FALSE(PointerWord::decode(static_cast<u16>((raw & 0x0FFF) | 0xF000)).has_value());
+}
+
+TEST(PointerWord, RejectsOutOfRangeValue) {
+  const u16 raw = static_cast<u16>((0x6 << 12) | 800);  // > 782
+  EXPECT_FALSE(PointerWord::decode(raw).has_value());
+}
+
+TEST(PointerWord, InversionVotes) {
+  PointerWord w{300, false};
+  const u16 i_ev = w.encode(/*invert_i=*/true, false);
+  auto v = PointerWord::vote_against(i_ev, 300);
+  EXPECT_EQ(v.i_inverted, 5u);
+  EXPECT_EQ(v.d_inverted, 0u);
+  const u16 d_ev = w.encode(false, /*invert_d=*/true);
+  v = PointerWord::vote_against(d_ev, 300);
+  EXPECT_EQ(v.d_inverted, 5u);
+  EXPECT_EQ(v.i_inverted, 0u);
+}
+
+// ---- generator/interpreter harness ----
+
+struct Source {
+  explicit Source(u64 seed) : rng(seed) {}
+  Bytes operator()(std::size_t n) {
+    Bytes b;
+    b.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const u8 octet = rng.byte();
+      b.push_back(octet);
+      sent.push_back(octet);
+    }
+    return b;
+  }
+  Xoshiro256 rng;
+  Bytes sent;
+};
+
+struct Harness {
+  Source src{7};
+  Bytes received;
+  PointerGenerator gen;
+  PointerInterpreter interp;
+
+  explicit Harness(double ppm, std::size_t capacity = 90)
+      : gen(capacity, ppm, [this](std::size_t n) { return src(n); }),
+        interp(capacity, [this](BytesView p) {
+          received.insert(received.end(), p.begin(), p.end());
+        }) {}
+
+  void run(int frames) {
+    for (int i = 0; i < frames; ++i) interp.push(gen.next_frame());
+  }
+
+  /// Received must be a contiguous slice of sent (acquisition drops the
+  /// first frames' payload).
+  void expect_contiguous_tail() const {
+    ASSERT_LE(received.size(), src.sent.size());
+    const std::size_t skip = src.sent.size() - received.size();
+    EXPECT_TRUE(std::equal(received.begin(), received.end(), src.sent.begin() + skip))
+        << "payload not contiguous";
+  }
+};
+
+TEST(Pointer, ZeroOffsetPassesPayloadAfterAcquisition) {
+  Harness h(0.0);
+  h.run(20);
+  EXPECT_EQ(h.interp.stats().positive_justifications, 0u);
+  EXPECT_EQ(h.interp.stats().negative_justifications, 0u);
+  // Acquisition loses exactly the first two frames' payload.
+  EXPECT_EQ(h.src.sent.size() - h.received.size(), 2u * 90u);
+  h.expect_contiguous_tail();
+}
+
+TEST(Pointer, PositiveJustificationUnderSlowPayload) {
+  // 1000 ppm: an event every ~12 frames — aggressive but leaves room for
+  // the 3-frame pointer acquisition (real networks are +-20 ppm).
+  Harness h(+1000.0);
+  h.run(600);
+  EXPECT_GT(h.gen.positive_justifications(), 10u);
+  EXPECT_EQ(h.interp.stats().positive_justifications, h.gen.positive_justifications());
+  EXPECT_EQ(h.interp.stats().negative_justifications, 0u);
+  h.expect_contiguous_tail();
+  EXPECT_EQ(h.interp.pointer(), h.gen.pointer());
+}
+
+TEST(Pointer, NegativeJustificationUnderFastPayload) {
+  Harness h(-1000.0);
+  h.run(600);
+  EXPECT_GT(h.gen.negative_justifications(), 10u);
+  EXPECT_EQ(h.interp.stats().negative_justifications, h.gen.negative_justifications());
+  EXPECT_EQ(h.interp.stats().positive_justifications, 0u);
+  h.expect_contiguous_tail();
+  EXPECT_EQ(h.interp.pointer(), h.gen.pointer());
+}
+
+TEST(Pointer, JustificationRateMatchesOffset) {
+  // Each positive event absorbs one octet; the event rate must track the
+  // configured ppm offset: events ~= frames * capacity * ppm * 1e-6.
+  Harness h(+2000.0, 90);
+  const int frames = 1000;
+  h.run(frames);
+  const double expected = frames * 90 * 2000e-6;
+  EXPECT_NEAR(static_cast<double>(h.gen.positive_justifications()), expected,
+              expected * 0.1 + 2);
+}
+
+TEST(Pointer, NdfJumpAcceptedImmediately) {
+  Harness h(0.0);
+  h.run(10);
+  h.gen.new_data_jump(500);
+  h.run(5);
+  EXPECT_EQ(h.interp.stats().ndf_jumps, 1u);
+  EXPECT_EQ(h.interp.pointer(), 500u);
+  h.expect_contiguous_tail();
+}
+
+TEST(Pointer, SilentRepointNeedsThreeConsistentValues) {
+  Bytes received;
+  PointerInterpreter interp(90, [&](BytesView p) {
+    received.insert(received.end(), p.begin(), p.end());
+  });
+  auto frame_with = [](u16 value) {
+    PointeredFrame f;
+    f.h1h2 = PointerWord{value, false}.encode();
+    f.capacity.assign(90, 0xAA);
+    return f;
+  };
+  // Acquire at 0.
+  for (int i = 0; i < 4; ++i) interp.push(frame_with(0));
+  ASSERT_EQ(interp.pointer(), 0u);
+  // One or two frames of a new value do not re-point...
+  interp.push(frame_with(99));
+  interp.push(frame_with(99));
+  EXPECT_EQ(interp.pointer(), 0u);
+  // ...the third does.
+  interp.push(frame_with(99));
+  EXPECT_EQ(interp.pointer(), 99u);
+}
+
+TEST(Pointer, LossOfPointerAfterEightInvalid) {
+  PointerInterpreter interp(90, [](BytesView) {});
+  PointeredFrame good;
+  good.h1h2 = PointerWord{0, false}.encode();
+  good.capacity.assign(90, 0);
+  for (int i = 0; i < 4; ++i) interp.push(good);
+  EXPECT_FALSE(interp.in_lop());
+
+  PointeredFrame bad;
+  bad.h1h2 = 0xFFFF;  // invalid NDF nibble
+  bad.capacity.assign(90, 0);
+  for (int i = 0; i < 7; ++i) interp.push(bad);
+  EXPECT_FALSE(interp.in_lop());
+  interp.push(bad);
+  EXPECT_TRUE(interp.in_lop());
+  EXPECT_EQ(interp.stats().lop_events, 1u);
+  EXPECT_EQ(interp.stats().invalid_pointers, 8u);
+
+  // Recovery: three consecutive good pointers re-acquire.
+  for (int i = 0; i < 3; ++i) interp.push(good);
+  EXPECT_FALSE(interp.in_lop());
+}
+
+TEST(Pointer, LopSuppressesPayload) {
+  std::size_t octets = 0;
+  PointerInterpreter interp(90, [&](BytesView p) { octets += p.size(); });
+  PointeredFrame bad;
+  bad.h1h2 = 0x0000;
+  bad.capacity.assign(90, 0x55);
+  for (int i = 0; i < 20; ++i) interp.push(bad);
+  EXPECT_TRUE(interp.in_lop());
+  EXPECT_EQ(octets, 0u);  // nothing leaked while the pointer was garbage
+}
+
+TEST(Pointer, MixedDriftLongRun) {
+  // Long run with a realistic (small) offset: events are rare but payload
+  // must stay perfectly contiguous.
+  Harness h(+20.0, 270);  // 20 ppm, STS-3c-sized capacity
+  h.run(3000);
+  EXPECT_GE(h.gen.positive_justifications(), 1u);
+  h.expect_contiguous_tail();
+}
+
+}  // namespace
+}  // namespace p5::sonet
