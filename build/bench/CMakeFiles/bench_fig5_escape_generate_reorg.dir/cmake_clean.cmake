@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_escape_generate_reorg.dir/bench_fig5_escape_generate_reorg.cpp.o"
+  "CMakeFiles/bench_fig5_escape_generate_reorg.dir/bench_fig5_escape_generate_reorg.cpp.o.d"
+  "bench_fig5_escape_generate_reorg"
+  "bench_fig5_escape_generate_reorg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_escape_generate_reorg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

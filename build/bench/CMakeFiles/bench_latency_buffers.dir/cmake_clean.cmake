@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_buffers.dir/bench_latency_buffers.cpp.o"
+  "CMakeFiles/bench_latency_buffers.dir/bench_latency_buffers.cpp.o.d"
+  "bench_latency_buffers"
+  "bench_latency_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_p5_8bit.dir/bench_table1_p5_8bit.cpp.o"
+  "CMakeFiles/bench_table1_p5_8bit.dir/bench_table1_p5_8bit.cpp.o.d"
+  "bench_table1_p5_8bit"
+  "bench_table1_p5_8bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_p5_8bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

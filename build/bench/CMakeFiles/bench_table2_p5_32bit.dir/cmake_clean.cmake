@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_p5_32bit.dir/bench_table2_p5_32bit.cpp.o"
+  "CMakeFiles/bench_table2_p5_32bit.dir/bench_table2_p5_32bit.cpp.o.d"
+  "bench_table2_p5_32bit"
+  "bench_table2_p5_32bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_p5_32bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_escape_generate.dir/bench_table3_escape_generate.cpp.o"
+  "CMakeFiles/bench_table3_escape_generate.dir/bench_table3_escape_generate.cpp.o.d"
+  "bench_table3_escape_generate"
+  "bench_table3_escape_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_escape_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gigabit_link.dir/gigabit_link.cpp.o"
+  "CMakeFiles/gigabit_link.dir/gigabit_link.cpp.o.d"
+  "gigabit_link"
+  "gigabit_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gigabit_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_export.dir/hardware_export.cpp.o"
+  "CMakeFiles/hardware_export.dir/hardware_export.cpp.o.d"
+  "hardware_export"
+  "hardware_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

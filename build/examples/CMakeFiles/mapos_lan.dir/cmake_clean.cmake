@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapos_lan.dir/mapos_lan.cpp.o"
+  "CMakeFiles/mapos_lan.dir/mapos_lan.cpp.o.d"
+  "mapos_lan"
+  "mapos_lan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapos_lan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

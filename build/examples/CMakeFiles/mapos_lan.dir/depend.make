@@ -1,0 +1,2 @@
+# Empty dependencies file for mapos_lan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppp_session.dir/ppp_session.cpp.o"
+  "CMakeFiles/ppp_session.dir/ppp_session.cpp.o.d"
+  "ppp_session"
+  "ppp_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppp_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_wireless.dir/reliable_wireless.cpp.o"
+  "CMakeFiles/reliable_wireless.dir/reliable_wireless.cpp.o.d"
+  "reliable_wireless"
+  "reliable_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

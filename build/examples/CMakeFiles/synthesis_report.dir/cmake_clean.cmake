@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_report.dir/synthesis_report.cpp.o"
+  "CMakeFiles/synthesis_report.dir/synthesis_report.cpp.o.d"
+  "synthesis_report"
+  "synthesis_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

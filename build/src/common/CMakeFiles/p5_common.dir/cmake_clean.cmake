@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5_common.dir/hexdump.cpp.o"
+  "CMakeFiles/p5_common.dir/hexdump.cpp.o.d"
+  "libp5_common.a"
+  "libp5_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

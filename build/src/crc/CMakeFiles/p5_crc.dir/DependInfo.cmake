@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crc/crc_table.cpp" "src/crc/CMakeFiles/p5_crc.dir/crc_table.cpp.o" "gcc" "src/crc/CMakeFiles/p5_crc.dir/crc_table.cpp.o.d"
+  "/root/repo/src/crc/gf2.cpp" "src/crc/CMakeFiles/p5_crc.dir/gf2.cpp.o" "gcc" "src/crc/CMakeFiles/p5_crc.dir/gf2.cpp.o.d"
+  "/root/repo/src/crc/parallel_crc.cpp" "src/crc/CMakeFiles/p5_crc.dir/parallel_crc.cpp.o" "gcc" "src/crc/CMakeFiles/p5_crc.dir/parallel_crc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p5_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

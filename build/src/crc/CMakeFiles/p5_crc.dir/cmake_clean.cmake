@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5_crc.dir/crc_table.cpp.o"
+  "CMakeFiles/p5_crc.dir/crc_table.cpp.o.d"
+  "CMakeFiles/p5_crc.dir/gf2.cpp.o"
+  "CMakeFiles/p5_crc.dir/gf2.cpp.o.d"
+  "CMakeFiles/p5_crc.dir/parallel_crc.cpp.o"
+  "CMakeFiles/p5_crc.dir/parallel_crc.cpp.o.d"
+  "libp5_crc.a"
+  "libp5_crc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hdlc/delineation.cpp" "src/hdlc/CMakeFiles/p5_hdlc.dir/delineation.cpp.o" "gcc" "src/hdlc/CMakeFiles/p5_hdlc.dir/delineation.cpp.o.d"
+  "/root/repo/src/hdlc/frame.cpp" "src/hdlc/CMakeFiles/p5_hdlc.dir/frame.cpp.o" "gcc" "src/hdlc/CMakeFiles/p5_hdlc.dir/frame.cpp.o.d"
+  "/root/repo/src/hdlc/stuffing.cpp" "src/hdlc/CMakeFiles/p5_hdlc.dir/stuffing.cpp.o" "gcc" "src/hdlc/CMakeFiles/p5_hdlc.dir/stuffing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p5_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/p5_crc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5_hdlc.dir/delineation.cpp.o"
+  "CMakeFiles/p5_hdlc.dir/delineation.cpp.o.d"
+  "CMakeFiles/p5_hdlc.dir/frame.cpp.o"
+  "CMakeFiles/p5_hdlc.dir/frame.cpp.o.d"
+  "CMakeFiles/p5_hdlc.dir/stuffing.cpp.o"
+  "CMakeFiles/p5_hdlc.dir/stuffing.cpp.o.d"
+  "libp5_hdlc.a"
+  "libp5_hdlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5_hdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

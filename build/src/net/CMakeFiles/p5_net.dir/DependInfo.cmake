@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/capture.cpp" "src/net/CMakeFiles/p5_net.dir/capture.cpp.o" "gcc" "src/net/CMakeFiles/p5_net.dir/capture.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/p5_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/p5_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/mapos.cpp" "src/net/CMakeFiles/p5_net.dir/mapos.cpp.o" "gcc" "src/net/CMakeFiles/p5_net.dir/mapos.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/p5_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/p5_net.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p5_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdlc/CMakeFiles/p5_hdlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/p5_crc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5_net.dir/capture.cpp.o"
+  "CMakeFiles/p5_net.dir/capture.cpp.o.d"
+  "CMakeFiles/p5_net.dir/ipv4.cpp.o"
+  "CMakeFiles/p5_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/p5_net.dir/mapos.cpp.o"
+  "CMakeFiles/p5_net.dir/mapos.cpp.o.d"
+  "CMakeFiles/p5_net.dir/traffic.cpp.o"
+  "CMakeFiles/p5_net.dir/traffic.cpp.o.d"
+  "libp5_net.a"
+  "libp5_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/area_report.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/area_report.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/area_report.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/builder.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/builder.cpp.o.d"
+  "/root/repo/src/netlist/circuits/control_circuits.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/control_circuits.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/control_circuits.cpp.o.d"
+  "/root/repo/src/netlist/circuits/crc_circuit.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/crc_circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/crc_circuit.cpp.o.d"
+  "/root/repo/src/netlist/circuits/escape_circuits.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/escape_circuits.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/escape_circuits.cpp.o.d"
+  "/root/repo/src/netlist/circuits/oam_circuit.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/oam_circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/oam_circuit.cpp.o.d"
+  "/root/repo/src/netlist/circuits/p5_circuit.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/p5_circuit.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/p5_circuit.cpp.o.d"
+  "/root/repo/src/netlist/circuits/sorter_common.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/sorter_common.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/circuits/sorter_common.cpp.o.d"
+  "/root/repo/src/netlist/device.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/device.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/device.cpp.o.d"
+  "/root/repo/src/netlist/equiv.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/equiv.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/equiv.cpp.o.d"
+  "/root/repo/src/netlist/lut_mapper.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/lut_mapper.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/lut_mapper.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/p5_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/p5_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p5_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/p5_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdlc/CMakeFiles/p5_hdlc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

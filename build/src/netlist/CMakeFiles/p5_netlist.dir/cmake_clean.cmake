@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5_netlist.dir/area_report.cpp.o"
+  "CMakeFiles/p5_netlist.dir/area_report.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/builder.cpp.o"
+  "CMakeFiles/p5_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/circuits/control_circuits.cpp.o"
+  "CMakeFiles/p5_netlist.dir/circuits/control_circuits.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/circuits/crc_circuit.cpp.o"
+  "CMakeFiles/p5_netlist.dir/circuits/crc_circuit.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/circuits/escape_circuits.cpp.o"
+  "CMakeFiles/p5_netlist.dir/circuits/escape_circuits.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/circuits/oam_circuit.cpp.o"
+  "CMakeFiles/p5_netlist.dir/circuits/oam_circuit.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/circuits/p5_circuit.cpp.o"
+  "CMakeFiles/p5_netlist.dir/circuits/p5_circuit.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/circuits/sorter_common.cpp.o"
+  "CMakeFiles/p5_netlist.dir/circuits/sorter_common.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/device.cpp.o"
+  "CMakeFiles/p5_netlist.dir/device.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/equiv.cpp.o"
+  "CMakeFiles/p5_netlist.dir/equiv.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/lut_mapper.cpp.o"
+  "CMakeFiles/p5_netlist.dir/lut_mapper.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/p5_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/p5_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/p5_netlist.dir/verilog.cpp.o.d"
+  "libp5_netlist.a"
+  "libp5_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p5/control.cpp" "src/p5/CMakeFiles/p5_core.dir/control.cpp.o" "gcc" "src/p5/CMakeFiles/p5_core.dir/control.cpp.o.d"
+  "/root/repo/src/p5/crc_unit.cpp" "src/p5/CMakeFiles/p5_core.dir/crc_unit.cpp.o" "gcc" "src/p5/CMakeFiles/p5_core.dir/crc_unit.cpp.o.d"
+  "/root/repo/src/p5/escape_detect.cpp" "src/p5/CMakeFiles/p5_core.dir/escape_detect.cpp.o" "gcc" "src/p5/CMakeFiles/p5_core.dir/escape_detect.cpp.o.d"
+  "/root/repo/src/p5/escape_generate.cpp" "src/p5/CMakeFiles/p5_core.dir/escape_generate.cpp.o" "gcc" "src/p5/CMakeFiles/p5_core.dir/escape_generate.cpp.o.d"
+  "/root/repo/src/p5/escape_generate8.cpp" "src/p5/CMakeFiles/p5_core.dir/escape_generate8.cpp.o" "gcc" "src/p5/CMakeFiles/p5_core.dir/escape_generate8.cpp.o.d"
+  "/root/repo/src/p5/framer.cpp" "src/p5/CMakeFiles/p5_core.dir/framer.cpp.o" "gcc" "src/p5/CMakeFiles/p5_core.dir/framer.cpp.o.d"
+  "/root/repo/src/p5/oam.cpp" "src/p5/CMakeFiles/p5_core.dir/oam.cpp.o" "gcc" "src/p5/CMakeFiles/p5_core.dir/oam.cpp.o.d"
+  "/root/repo/src/p5/p5.cpp" "src/p5/CMakeFiles/p5_core.dir/p5.cpp.o" "gcc" "src/p5/CMakeFiles/p5_core.dir/p5.cpp.o.d"
+  "/root/repo/src/p5/shared_memory.cpp" "src/p5/CMakeFiles/p5_core.dir/shared_memory.cpp.o" "gcc" "src/p5/CMakeFiles/p5_core.dir/shared_memory.cpp.o.d"
+  "/root/repo/src/p5/sonet_link.cpp" "src/p5/CMakeFiles/p5_core.dir/sonet_link.cpp.o" "gcc" "src/p5/CMakeFiles/p5_core.dir/sonet_link.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p5_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/p5_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/p5_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdlc/CMakeFiles/p5_hdlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sonet/CMakeFiles/p5_sonet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5_core.dir/control.cpp.o"
+  "CMakeFiles/p5_core.dir/control.cpp.o.d"
+  "CMakeFiles/p5_core.dir/crc_unit.cpp.o"
+  "CMakeFiles/p5_core.dir/crc_unit.cpp.o.d"
+  "CMakeFiles/p5_core.dir/escape_detect.cpp.o"
+  "CMakeFiles/p5_core.dir/escape_detect.cpp.o.d"
+  "CMakeFiles/p5_core.dir/escape_generate.cpp.o"
+  "CMakeFiles/p5_core.dir/escape_generate.cpp.o.d"
+  "CMakeFiles/p5_core.dir/escape_generate8.cpp.o"
+  "CMakeFiles/p5_core.dir/escape_generate8.cpp.o.d"
+  "CMakeFiles/p5_core.dir/framer.cpp.o"
+  "CMakeFiles/p5_core.dir/framer.cpp.o.d"
+  "CMakeFiles/p5_core.dir/oam.cpp.o"
+  "CMakeFiles/p5_core.dir/oam.cpp.o.d"
+  "CMakeFiles/p5_core.dir/p5.cpp.o"
+  "CMakeFiles/p5_core.dir/p5.cpp.o.d"
+  "CMakeFiles/p5_core.dir/shared_memory.cpp.o"
+  "CMakeFiles/p5_core.dir/shared_memory.cpp.o.d"
+  "CMakeFiles/p5_core.dir/sonet_link.cpp.o"
+  "CMakeFiles/p5_core.dir/sonet_link.cpp.o.d"
+  "libp5_core.a"
+  "libp5_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppp/endpoint.cpp" "src/ppp/CMakeFiles/p5_ppp.dir/endpoint.cpp.o" "gcc" "src/ppp/CMakeFiles/p5_ppp.dir/endpoint.cpp.o.d"
+  "/root/repo/src/ppp/fsm.cpp" "src/ppp/CMakeFiles/p5_ppp.dir/fsm.cpp.o" "gcc" "src/ppp/CMakeFiles/p5_ppp.dir/fsm.cpp.o.d"
+  "/root/repo/src/ppp/ipcp.cpp" "src/ppp/CMakeFiles/p5_ppp.dir/ipcp.cpp.o" "gcc" "src/ppp/CMakeFiles/p5_ppp.dir/ipcp.cpp.o.d"
+  "/root/repo/src/ppp/lcp.cpp" "src/ppp/CMakeFiles/p5_ppp.dir/lcp.cpp.o" "gcc" "src/ppp/CMakeFiles/p5_ppp.dir/lcp.cpp.o.d"
+  "/root/repo/src/ppp/lqm.cpp" "src/ppp/CMakeFiles/p5_ppp.dir/lqm.cpp.o" "gcc" "src/ppp/CMakeFiles/p5_ppp.dir/lqm.cpp.o.d"
+  "/root/repo/src/ppp/packet.cpp" "src/ppp/CMakeFiles/p5_ppp.dir/packet.cpp.o" "gcc" "src/ppp/CMakeFiles/p5_ppp.dir/packet.cpp.o.d"
+  "/root/repo/src/ppp/reliable.cpp" "src/ppp/CMakeFiles/p5_ppp.dir/reliable.cpp.o" "gcc" "src/ppp/CMakeFiles/p5_ppp.dir/reliable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p5_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdlc/CMakeFiles/p5_hdlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/p5_crc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5_ppp.dir/endpoint.cpp.o"
+  "CMakeFiles/p5_ppp.dir/endpoint.cpp.o.d"
+  "CMakeFiles/p5_ppp.dir/fsm.cpp.o"
+  "CMakeFiles/p5_ppp.dir/fsm.cpp.o.d"
+  "CMakeFiles/p5_ppp.dir/ipcp.cpp.o"
+  "CMakeFiles/p5_ppp.dir/ipcp.cpp.o.d"
+  "CMakeFiles/p5_ppp.dir/lcp.cpp.o"
+  "CMakeFiles/p5_ppp.dir/lcp.cpp.o.d"
+  "CMakeFiles/p5_ppp.dir/lqm.cpp.o"
+  "CMakeFiles/p5_ppp.dir/lqm.cpp.o.d"
+  "CMakeFiles/p5_ppp.dir/packet.cpp.o"
+  "CMakeFiles/p5_ppp.dir/packet.cpp.o.d"
+  "CMakeFiles/p5_ppp.dir/reliable.cpp.o"
+  "CMakeFiles/p5_ppp.dir/reliable.cpp.o.d"
+  "libp5_ppp.a"
+  "libp5_ppp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5_ppp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/p5_rtl.dir/vcd.cpp.o.d"
+  "CMakeFiles/p5_rtl.dir/word.cpp.o"
+  "CMakeFiles/p5_rtl.dir/word.cpp.o.d"
+  "libp5_rtl.a"
+  "libp5_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

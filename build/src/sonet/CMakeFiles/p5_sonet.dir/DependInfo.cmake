@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sonet/line.cpp" "src/sonet/CMakeFiles/p5_sonet.dir/line.cpp.o" "gcc" "src/sonet/CMakeFiles/p5_sonet.dir/line.cpp.o.d"
+  "/root/repo/src/sonet/pointer.cpp" "src/sonet/CMakeFiles/p5_sonet.dir/pointer.cpp.o" "gcc" "src/sonet/CMakeFiles/p5_sonet.dir/pointer.cpp.o.d"
+  "/root/repo/src/sonet/scrambler.cpp" "src/sonet/CMakeFiles/p5_sonet.dir/scrambler.cpp.o" "gcc" "src/sonet/CMakeFiles/p5_sonet.dir/scrambler.cpp.o.d"
+  "/root/repo/src/sonet/spe.cpp" "src/sonet/CMakeFiles/p5_sonet.dir/spe.cpp.o" "gcc" "src/sonet/CMakeFiles/p5_sonet.dir/spe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p5_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p5_sonet.dir/line.cpp.o"
+  "CMakeFiles/p5_sonet.dir/line.cpp.o.d"
+  "CMakeFiles/p5_sonet.dir/pointer.cpp.o"
+  "CMakeFiles/p5_sonet.dir/pointer.cpp.o.d"
+  "CMakeFiles/p5_sonet.dir/scrambler.cpp.o"
+  "CMakeFiles/p5_sonet.dir/scrambler.cpp.o.d"
+  "CMakeFiles/p5_sonet.dir/spe.cpp.o"
+  "CMakeFiles/p5_sonet.dir/spe.cpp.o.d"
+  "libp5_sonet.a"
+  "libp5_sonet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p5_sonet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hdlc.dir/test_hdlc.cpp.o"
+  "CMakeFiles/test_hdlc.dir/test_hdlc.cpp.o.d"
+  "test_hdlc"
+  "test_hdlc.pdb"
+  "test_hdlc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

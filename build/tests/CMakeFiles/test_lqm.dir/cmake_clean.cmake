@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lqm.dir/test_lqm.cpp.o"
+  "CMakeFiles/test_lqm.dir/test_lqm.cpp.o.d"
+  "test_lqm"
+  "test_lqm.pdb"
+  "test_lqm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mapos.cpp" "tests/CMakeFiles/test_mapos.dir/test_mapos.cpp.o" "gcc" "tests/CMakeFiles/test_mapos.dir/test_mapos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p5/CMakeFiles/p5_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/p5_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppp/CMakeFiles/p5_ppp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sonet/CMakeFiles/p5_sonet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p5_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdlc/CMakeFiles/p5_hdlc.dir/DependInfo.cmake"
+  "/root/repo/build/src/crc/CMakeFiles/p5_crc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/p5_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p5_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

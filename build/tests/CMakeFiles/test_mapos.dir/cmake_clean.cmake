@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapos.dir/test_mapos.cpp.o"
+  "CMakeFiles/test_mapos.dir/test_mapos.cpp.o.d"
+  "test_mapos"
+  "test_mapos.pdb"
+  "test_mapos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

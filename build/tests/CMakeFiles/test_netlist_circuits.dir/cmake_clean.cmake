@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_circuits.dir/test_netlist_circuits.cpp.o"
+  "CMakeFiles/test_netlist_circuits.dir/test_netlist_circuits.cpp.o.d"
+  "test_netlist_circuits"
+  "test_netlist_circuits.pdb"
+  "test_netlist_circuits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p5_system.dir/test_p5_system.cpp.o"
+  "CMakeFiles/test_p5_system.dir/test_p5_system.cpp.o.d"
+  "test_p5_system"
+  "test_p5_system.pdb"
+  "test_p5_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p5_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

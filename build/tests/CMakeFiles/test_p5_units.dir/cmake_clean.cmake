@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p5_units.dir/test_p5_units.cpp.o"
+  "CMakeFiles/test_p5_units.dir/test_p5_units.cpp.o.d"
+  "test_p5_units"
+  "test_p5_units.pdb"
+  "test_p5_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p5_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

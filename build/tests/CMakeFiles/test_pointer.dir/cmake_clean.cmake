@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointer.dir/test_pointer.cpp.o"
+  "CMakeFiles/test_pointer.dir/test_pointer.cpp.o.d"
+  "test_pointer"
+  "test_pointer.pdb"
+  "test_pointer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppp.dir/test_ppp.cpp.o"
+  "CMakeFiles/test_ppp.dir/test_ppp.cpp.o.d"
+  "test_ppp"
+  "test_ppp.pdb"
+  "test_ppp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sonet.dir/test_sonet.cpp.o"
+  "CMakeFiles/test_sonet.dir/test_sonet.cpp.o.d"
+  "test_sonet"
+  "test_sonet.pdb"
+  "test_sonet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sonet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_crc[1]_include.cmake")
+include("/root/repo/build/tests/test_hdlc[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_sonet[1]_include.cmake")
+include("/root/repo/build/tests/test_ppp[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist_circuits[1]_include.cmake")
+include("/root/repo/build/tests/test_p5_units[1]_include.cmake")
+include("/root/repo/build/tests/test_p5_system[1]_include.cmake")
+include("/root/repo/build/tests/test_reliable[1]_include.cmake")
+include("/root/repo/build/tests/test_tooling[1]_include.cmake")
+include("/root/repo/build/tests/test_pointer[1]_include.cmake")
+include("/root/repo/build/tests/test_lqm[1]_include.cmake")
+include("/root/repo/build/tests/test_mapos[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_shared_memory[1]_include.cmake")
