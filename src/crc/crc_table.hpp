@@ -1,39 +1,39 @@
-// Table-driven byte-at-a-time CRC: the conventional software implementation,
-// used as the fast path by the protocol-layer code (src/hdlc, src/ppp) and as
-// an independent cross-check of the bitwise reference.
+// Table-driven CRC: the software fast path used by the protocol-layer code
+// (src/hdlc, src/ppp, src/net) and an independent cross-check of the bitwise
+// reference.
+//
+// Since the word-parallel fast path landed, `update` runs slicing-by-8 —
+// eight interleaved tables, eight octets per iteration (fastpath/slice_crc) —
+// instead of the seed's one-table byte loop. The seed loop is preserved as
+// fastpath::scalar::ByteTableCrc for differential tests and benches.
 #pragma once
 
-#include <array>
-
 #include "common/types.hpp"
-#include "crc/crc_reference.hpp"
 #include "crc/crc_spec.hpp"
+#include "fastpath/slice_crc.hpp"
 
 namespace p5::crc {
 
 class TableCrc {
  public:
-  explicit constexpr TableCrc(const CrcSpec& spec) : spec_(spec) {
-    for (u32 b = 0; b < 256; ++b) table_[b] = bitwise_step(spec, 0, static_cast<u8>(b));
-  }
+  explicit constexpr TableCrc(const CrcSpec& spec) : slicer_(spec) {}
 
-  [[nodiscard]] const CrcSpec& spec() const { return spec_; }
+  [[nodiscard]] const CrcSpec& spec() const { return slicer_.spec(); }
 
-  [[nodiscard]] u32 update(u32 state, BytesView data) const {
-    for (const u8 b : data)
-      state = (state >> 8) ^ table_[(state ^ b) & 0xFFu];
-    return state & spec_.mask();
-  }
+  [[nodiscard]] u32 update(u32 state, BytesView data) const { return slicer_.update(state, data); }
 
-  [[nodiscard]] u32 crc(BytesView data) const { return update(spec_.init, data) ^ spec_.xorout; }
+  [[nodiscard]] u32 crc(BytesView data) const { return update(spec().init, data) ^ spec().xorout; }
 
   [[nodiscard]] bool check(BytesView data_with_fcs) const {
-    return update(spec_.init, data_with_fcs) == spec_.residue;
+    return update(spec().init, data_with_fcs) == spec().residue;
   }
 
+  /// The underlying slicing engine (for fused kernels that interleave the
+  /// CRC with other per-octet work).
+  [[nodiscard]] const fastpath::SliceCrc& slicer() const { return slicer_; }
+
  private:
-  CrcSpec spec_;
-  std::array<u32, 256> table_{};
+  fastpath::SliceCrc slicer_;
 };
 
 /// Process-wide instances for the two PPP checks.

@@ -1,0 +1,71 @@
+#include "fastpath/scalar_ref.hpp"
+
+namespace p5::fastpath::scalar {
+
+Bytes stuff(BytesView data, const hdlc::Accm& accm) {
+  Bytes out;
+  out.reserve(data.size() + data.size() / 8);
+  for (const u8 b : data) {
+    if (accm.must_escape(b)) {
+      out.push_back(hdlc::kEscape);
+      out.push_back(static_cast<u8>(b ^ hdlc::kXor));
+    } else {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+std::pair<Bytes, bool> destuff(BytesView data) {
+  Bytes out;
+  out.reserve(data.size());
+  bool pending_escape = false;
+  for (const u8 b : data) {
+    if (pending_escape) {
+      out.push_back(static_cast<u8>(b ^ hdlc::kXor));
+      pending_escape = false;
+    } else if (b == hdlc::kEscape) {
+      pending_escape = true;
+    } else {
+      out.push_back(b);
+    }
+  }
+  return {std::move(out), !pending_escape};
+}
+
+u8 frame_keystream_bitserial(u8& state) {
+  u8 out = 0;
+  for (int i = 0; i < 8; ++i) {
+    const u8 bit = static_cast<u8>((state >> 6) & 1u);
+    out = static_cast<u8>((out << 1) | bit);
+    const u8 fb = static_cast<u8>(((state >> 6) ^ (state >> 5)) & 1u);
+    state = static_cast<u8>(((state << 1) | fb) & 0x7F);
+  }
+  return out;
+}
+
+u8 selfsync_scramble_bitserial(u64& history, u8 in) {
+  u8 out = 0;
+  for (int bit = 7; bit >= 0; --bit) {
+    const u8 in_bit = static_cast<u8>((in >> bit) & 1u);
+    const u8 delayed = static_cast<u8>((history >> 42) & 1u);
+    const u8 out_bit = static_cast<u8>(in_bit ^ delayed);
+    out = static_cast<u8>((out << 1) | out_bit);
+    history = ((history << 1) | out_bit) & ((u64{1} << 43) - 1);
+  }
+  return out;
+}
+
+u8 selfsync_descramble_bitserial(u64& history, u8 in) {
+  u8 out = 0;
+  for (int bit = 7; bit >= 0; --bit) {
+    const u8 in_bit = static_cast<u8>((in >> bit) & 1u);
+    const u8 delayed = static_cast<u8>((history >> 42) & 1u);
+    const u8 out_bit = static_cast<u8>(in_bit ^ delayed);
+    out = static_cast<u8>((out << 1) | out_bit);
+    history = ((history << 1) | in_bit) & ((u64{1} << 43) - 1);
+  }
+  return out;
+}
+
+}  // namespace p5::fastpath::scalar

@@ -1,0 +1,57 @@
+// Seed-era scalar reference paths, preserved verbatim.
+//
+// These are the byte-at-a-time / bit-at-a-time implementations the protocol
+// layer shipped with before the word-parallel fast path landed. They stay in
+// the tree for two jobs:
+//
+//  * differential testing — every fast kernel must produce byte-identical
+//    output (tests/test_fastpath.cpp);
+//  * benchmarking — bench/bench_softpath.cpp reports old-vs-new throughput so
+//    the speedup trajectory is tracked across PRs (BENCH_softpath.json).
+//
+// Do not "optimise" anything in this file; it is the baseline.
+#pragma once
+
+#include <array>
+#include <utility>
+
+#include "common/types.hpp"
+#include "crc/crc_reference.hpp"
+#include "crc/crc_spec.hpp"
+#include "hdlc/accm.hpp"
+
+namespace p5::fastpath::scalar {
+
+/// The seed TableCrc: one 256-entry table, one octet per iteration.
+class ByteTableCrc {
+ public:
+  explicit constexpr ByteTableCrc(const crc::CrcSpec& spec) : spec_(spec) {
+    for (u32 b = 0; b < 256; ++b) table_[b] = crc::bitwise_step(spec, 0, static_cast<u8>(b));
+  }
+
+  [[nodiscard]] u32 update(u32 state, BytesView data) const {
+    for (const u8 b : data) state = (state >> 8) ^ table_[(state ^ b) & 0xFFu];
+    return state & spec_.mask();
+  }
+
+  [[nodiscard]] u32 crc(BytesView data) const { return update(spec_.init, data) ^ spec_.xorout; }
+
+ private:
+  crc::CrcSpec spec_;
+  std::array<u32, 256> table_{};
+};
+
+/// Seed octet-at-a-time stuffer.
+[[nodiscard]] Bytes stuff(BytesView data, const hdlc::Accm& accm = hdlc::Accm::sonet());
+
+/// Seed octet-at-a-time destuffer; .second is false on a dangling escape.
+[[nodiscard]] std::pair<Bytes, bool> destuff(BytesView data);
+
+/// Seed bit-serial x^7+x^6+1 keystream generator (advances `state`).
+[[nodiscard]] u8 frame_keystream_bitserial(u8& state);
+
+/// Seed bit-serial x^43+1 scramble/descramble of one octet (advance `history`).
+[[nodiscard]] u8 selfsync_scramble_bitserial(u64& history, u8 in);
+[[nodiscard]] u8 selfsync_descramble_bitserial(u64& history, u8 in);
+
+}  // namespace p5::fastpath::scalar

@@ -1,0 +1,30 @@
+#include "fastpath/scrambler_tables.hpp"
+
+namespace p5::fastpath {
+
+namespace {
+
+constexpr std::array<FrameScramblerStep, 128> build_table() {
+  std::array<FrameScramblerStep, 128> t{};
+  for (u32 s = 0; s < 128; ++s) {
+    u8 state = static_cast<u8>(s);
+    u8 out = 0;
+    for (int i = 0; i < 8; ++i) {
+      // Feedback tap: x^7 + x^6 + 1 — new bit = s6 XOR s5 (0-indexed MSB=s6).
+      const u8 bit = static_cast<u8>((state >> 6) & 1u);
+      out = static_cast<u8>((out << 1) | bit);
+      const u8 fb = static_cast<u8>(((state >> 6) ^ (state >> 5)) & 1u);
+      state = static_cast<u8>(((state << 1) | fb) & 0x7F);
+    }
+    t[s] = FrameScramblerStep{out, state};
+  }
+  return t;
+}
+
+constexpr std::array<FrameScramblerStep, 128> kTable = build_table();
+
+}  // namespace
+
+const std::array<FrameScramblerStep, 128>& frame_scrambler_steps() { return kTable; }
+
+}  // namespace p5::fastpath

@@ -1,0 +1,24 @@
+// Precomputed byte-stepping for the SONET section scrambler.
+//
+// The x^7+x^6+1 frame-synchronous scrambler has a 7-bit state, so one
+// 128-entry table maps each state to the next eight keystream bits and the
+// state eight bit-steps later — turning the per-bit LFSR loop into a single
+// lookup per octet. The table is generated from the same bit-serial recurrence
+// the seed implementation used (and is differentially tested against it).
+#pragma once
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace p5::fastpath {
+
+struct FrameScramblerStep {
+  u8 keystream;  ///< next 8 PRBS bits, MSB transmitted first
+  u8 next;       ///< LFSR state after those 8 bit-steps
+};
+
+/// State-transition table for the x^7+x^6+1 LFSR, one entry per 7-bit state.
+[[nodiscard]] const std::array<FrameScramblerStep, 128>& frame_scrambler_steps();
+
+}  // namespace p5::fastpath

@@ -1,0 +1,63 @@
+// Slicing-by-8 CRC: eight interleaved 256-entry tables, eight octets per
+// iteration — the software analogue of the paper's parallel CRC matrix, which
+// widens the hardware FCS unit from one to four bytes per clock.
+//
+// Works for any reflected CRC of width <= 32 described by a CrcSpec (both the
+// PPP FCS-16 and FCS-32 checks). Table k advances one data byte followed by k
+// zero bytes, so by GF(2)-linearity of the shift-register step
+//
+//   update(S, b0..b7) = T7[(S^b0) & FF] ^ T6[((S>>8)^b1) & FF]
+//                     ^ T5[((S>>16)^b2) & FF] ^ T4[((S>>24)^b3) & FF]
+//                     ^ T3[b4] ^ T2[b5] ^ T1[b6] ^ T0[b7]
+//
+// which is verified byte-for-byte against the bit-serial golden model in
+// tests/test_fastpath.cpp.
+#pragma once
+
+#include "common/types.hpp"
+#include "crc/crc_reference.hpp"
+#include "crc/crc_spec.hpp"
+
+namespace p5::fastpath {
+
+class SliceCrc {
+ public:
+  explicit constexpr SliceCrc(const crc::CrcSpec& spec) : spec_(spec) {
+    for (u32 b = 0; b < 256; ++b) t_[0][b] = crc::bitwise_step(spec, 0, static_cast<u8>(b));
+    for (int k = 1; k < 8; ++k)
+      for (u32 b = 0; b < 256; ++b) t_[k][b] = (t_[k - 1][b] >> 8) ^ t_[0][t_[k - 1][b] & 0xFFu];
+  }
+
+  [[nodiscard]] const crc::CrcSpec& spec() const { return spec_; }
+
+  /// Advance the raw register by one byte (table-driven, for tails and fused
+  /// per-octet paths).
+  [[nodiscard]] constexpr u32 update_byte(u32 state, u8 b) const {
+    return (state >> 8) ^ t_[0][(state ^ b) & 0xFFu];
+  }
+
+  /// Advance the raw register over a buffer, eight bytes per iteration.
+  [[nodiscard]] u32 update(u32 state, BytesView data) const {
+    const u8* p = data.data();
+    std::size_t n = data.size();
+    while (n >= 8) {
+      const u32 lo = state ^ (static_cast<u32>(p[0]) | static_cast<u32>(p[1]) << 8 |
+                              static_cast<u32>(p[2]) << 16 | static_cast<u32>(p[3]) << 24);
+      const u32 hi = static_cast<u32>(p[4]) | static_cast<u32>(p[5]) << 8 |
+                     static_cast<u32>(p[6]) << 16 | static_cast<u32>(p[7]) << 24;
+      state = t_[7][lo & 0xFFu] ^ t_[6][(lo >> 8) & 0xFFu] ^ t_[5][(lo >> 16) & 0xFFu] ^
+              t_[4][lo >> 24] ^ t_[3][hi & 0xFFu] ^ t_[2][(hi >> 8) & 0xFFu] ^
+              t_[1][(hi >> 16) & 0xFFu] ^ t_[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+    for (; n != 0; --n, ++p) state = update_byte(state, *p);
+    return state & spec_.mask();
+  }
+
+ private:
+  crc::CrcSpec spec_;
+  u32 t_[8][256]{};
+};
+
+}  // namespace p5::fastpath

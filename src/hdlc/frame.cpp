@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "crc/crc_table.hpp"
+#include "fastpath/stuff_fast.hpp"
 #include "hdlc/stuffing.hpp"
 
 namespace p5::hdlc {
@@ -10,27 +11,35 @@ namespace {
 const crc::TableCrc& engine(const FrameConfig& cfg) {
   return cfg.fcs == FcsKind::kFcs32 ? crc::fcs32() : crc::fcs16();
 }
+
+/// Header octets preceding the payload: [address control] protocol (1 or 2
+/// octets). Shared by encapsulate and the fused encoder so the two paths
+/// cannot drift.
+std::size_t fill_header(const FrameConfig& cfg, u16 protocol, u8 (&hdr)[4]) {
+  std::size_t n = 0;
+  if (!cfg.acfc) {
+    hdr[n++] = cfg.address;
+    hdr[n++] = cfg.control;
+  }
+  // PFC requires the low octet to be odd (RFC 1661 §2), which all assigned
+  // protocols satisfy; fall back to two octets otherwise.
+  if (cfg.pfc && protocol <= 0xFF && (protocol & 1u)) {
+    hdr[n++] = static_cast<u8>(protocol);
+  } else {
+    hdr[n++] = static_cast<u8>(protocol >> 8);
+    hdr[n++] = static_cast<u8>(protocol);
+  }
+  return n;
+}
 }  // namespace
 
 Bytes encapsulate(const FrameConfig& cfg, u16 protocol, BytesView payload) {
   P5_EXPECTS(payload.size() <= cfg.max_payload);
   Bytes content;
   content.reserve(payload.size() + 8);
-  if (!cfg.acfc) {
-    content.push_back(cfg.address);
-    content.push_back(cfg.control);
-  }
-  if (cfg.pfc && protocol <= 0xFF) {
-    // PFC requires the low octet to be odd (RFC 1661 §2), which all
-    // assigned protocols satisfy; fall back to two octets otherwise.
-    if (protocol & 1u) {
-      content.push_back(static_cast<u8>(protocol));
-    } else {
-      put_be16(content, protocol);
-    }
-  } else {
-    put_be16(content, protocol);
-  }
+  u8 hdr[4];
+  const std::size_t hn = fill_header(cfg, protocol, hdr);
+  content.insert(content.end(), hdr, hdr + hn);
   append(content, payload);
 
   // FCS is computed over everything between the flags, and transmitted
@@ -46,15 +55,44 @@ Bytes encapsulate(const FrameConfig& cfg, u16 protocol, BytesView payload) {
   return content;
 }
 
-Bytes build_wire_frame(const FrameConfig& cfg, u16 protocol, BytesView payload) {
-  const Bytes content = encapsulate(cfg, protocol, payload);
-  Bytes wire;
-  wire.reserve(content.size() + 16);
+BytesView encode_into(FrameArena& arena, const FrameConfig& cfg, u16 protocol,
+                      BytesView payload) {
+  P5_EXPECTS(payload.size() <= cfg.max_payload);
+  const fastpath::SliceCrc& crc = engine(cfg).slicer();
+
+  Bytes& wire = arena.wire_;
+  wire.clear();
+  // Worst case every content octet escapes (2x), plus two flags. Reserving
+  // the worst case up front keeps the hot loop free of reallocation checks;
+  // the capacity is retained across frames, so steady state never allocates.
+  wire.reserve(2 * (4 + payload.size() + cfg.fcs_bytes()) + 2);
   wire.push_back(kFlag);
-  const Bytes stuffed = stuff(content, cfg.accm);
-  append(wire, stuffed);
+
+  u8 hdr[4];
+  const std::size_t hn = fill_header(cfg, protocol, hdr);
+
+  // One fused scan per region: the FCS register advances over the unstuffed
+  // octets while the stuffed image is appended — no intermediate buffers.
+  u32 state = cfg.crc_spec().init;
+  state = fastpath::stuff_crc_append(wire, BytesView(hdr, hn), cfg.accm, crc, state);
+  state = fastpath::stuff_crc_append(wire, payload, cfg.accm, crc, state);
+
+  // FCS, least-significant octet first (RFC 1662 §C), stuffed like any other
+  // content octets.
+  const u32 fcs = (state ^ cfg.crc_spec().xorout) & cfg.crc_spec().mask();
+  u8 tail[4];
+  const std::size_t fn = cfg.fcs_bytes();
+  for (std::size_t i = 0; i < fn; ++i) tail[i] = static_cast<u8>(fcs >> (8 * i));
+  fastpath::stuff_append(wire, BytesView(tail, fn), cfg.accm);
+
   wire.push_back(kFlag);
   return wire;
+}
+
+Bytes build_wire_frame(const FrameConfig& cfg, u16 protocol, BytesView payload) {
+  FrameArena arena;
+  (void)encode_into(arena, cfg, protocol, payload);
+  return std::move(arena.wire_);
 }
 
 ParseResult parse(const FrameConfig& cfg, BytesView content) {

@@ -38,7 +38,30 @@ struct FrameConfig {
 /// [address control] protocol payload fcs.
 [[nodiscard]] Bytes encapsulate(const FrameConfig& cfg, u16 protocol, BytesView payload);
 
-/// Full wire image: flag + stuff(content) + flag.
+/// Reusable scratch for the zero-allocation encoder. Steady state (same-size
+/// frames through the same arena) performs no heap allocation at all: the
+/// wire buffer is cleared and refilled in place.
+class FrameArena {
+ public:
+  /// The last encoded wire image (valid until the next encode_into call).
+  [[nodiscard]] const Bytes& wire() const { return wire_; }
+
+ private:
+  friend BytesView encode_into(FrameArena&, const FrameConfig&, u16, BytesView);
+  friend Bytes build_wire_frame(const FrameConfig&, u16, BytesView);
+  Bytes wire_;
+};
+
+/// Fused single-pass encoder: computes the FCS and stuffs in one scan of the
+/// payload, writing flag + stuff(content) + flag straight into the arena with
+/// no intermediate content/stuffed buffers. The wire image is byte-identical
+/// to build_wire_frame. Returns a view into the arena, valid until the next
+/// call with the same arena.
+[[nodiscard]] BytesView encode_into(FrameArena& arena, const FrameConfig& cfg, u16 protocol,
+                                    BytesView payload);
+
+/// Full wire image: flag + stuff(content) + flag. Convenience wrapper over
+/// encode_into that returns an owned buffer.
 [[nodiscard]] Bytes build_wire_frame(const FrameConfig& cfg, u16 protocol, BytesView payload);
 
 enum class ParseError : u8 {

@@ -1,46 +1,30 @@
 #include "hdlc/stuffing.hpp"
 
+#include "fastpath/stuff_fast.hpp"
+
 namespace p5::hdlc {
 
 Bytes stuff(BytesView data, const Accm& accm) {
   Bytes out;
-  out.reserve(data.size() + data.size() / 8);
-  for (const u8 b : data) {
-    if (accm.must_escape(b)) {
-      out.push_back(kEscape);
-      out.push_back(b ^ kXor);
-    } else {
-      out.push_back(b);
-    }
-  }
+  // Worst-case reservation (every octet escapes, 2x): never reallocates
+  // mid-loop, unlike the old "+ size/8" guess which did at high escape
+  // density — and needs no counting pre-pass.
+  out.reserve(2 * data.size());
+  fastpath::stuff_append(out, data, accm);
   return out;
 }
 
 std::size_t stuffing_expansion(BytesView data, const Accm& accm) {
-  std::size_t n = 0;
-  for (const u8 b : data)
-    if (accm.must_escape(b)) ++n;
-  return n;
+  return fastpath::count_escapes(data, accm);
 }
 
 DestuffResult destuff(BytesView data) {
   DestuffResult r;
   r.data.reserve(data.size());
-  bool pending_escape = false;
-  for (const u8 b : data) {
-    if (pending_escape) {
-      // Lenient decode: complement bit 6 whatever the octet is. A 0x7D-0x7E
-      // (escape-then-flag) abort never reaches here because the delineator
-      // splits frames on the flag first and reports the abort itself.
-      r.data.push_back(b ^ kXor);
-      pending_escape = false;
-    } else if (b == kEscape) {
-      pending_escape = true;
-    } else {
-      r.data.push_back(b);
-    }
-  }
-  if (pending_escape) r.ok = false;  // dangling escape at end of frame
+  // Lenient decode: complement bit 6 whatever the escaped octet is. A
+  // 0x7D-0x7E (escape-then-flag) abort never reaches here because the
+  // delineator splits frames on the flag first and reports the abort itself.
+  r.ok = fastpath::destuff_append(r.data, data);
   return r;
 }
 

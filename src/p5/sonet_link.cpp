@@ -11,17 +11,28 @@ P5SonetLink::P5SonetLink(const P5Config& cfg, sonet::StsSpec sts,
       line_ba_(sonet::LineConfig{line_cfg.bit_error_rate, line_cfg.burst_enter,
                                  line_cfg.burst_exit, line_cfg.burst_error_rate,
                                  line_cfg.seed + 1}) {
+  // Zero-alloc scrambling: TX scrambles the pulled chunk in place; RX reuses
+  // a per-direction scratch buffer whose capacity stabilises after the first
+  // SONET frame.
   framer_a_ = std::make_unique<sonet::SonetFramer>(sts, [this](std::size_t n) {
-    return scr_a_tx_.scramble(a_->phy_pull_tx(n));
+    Bytes chunk = a_->phy_pull_tx(n);
+    scr_a_tx_.scramble_in_place(chunk);
+    return chunk;
   });
   framer_b_ = std::make_unique<sonet::SonetFramer>(sts, [this](std::size_t n) {
-    return scr_b_tx_.scramble(b_->phy_pull_tx(n));
+    Bytes chunk = b_->phy_pull_tx(n);
+    scr_b_tx_.scramble_in_place(chunk);
+    return chunk;
   });
   deframer_b_ = std::make_unique<sonet::SonetDeframer>(sts, [this](BytesView payload) {
-    b_->phy_push_rx(scr_b_rx_.descramble(payload));
+    rx_scratch_b_.assign(payload.begin(), payload.end());
+    scr_b_rx_.descramble_in_place(rx_scratch_b_);
+    b_->phy_push_rx(rx_scratch_b_);
   });
   deframer_a_ = std::make_unique<sonet::SonetDeframer>(sts, [this](BytesView payload) {
-    a_->phy_push_rx(scr_a_rx_.descramble(payload));
+    rx_scratch_a_.assign(payload.begin(), payload.end());
+    scr_a_rx_.descramble_in_place(rx_scratch_a_);
+    a_->phy_push_rx(rx_scratch_a_);
   });
 }
 

@@ -39,6 +39,7 @@ class P5SonetLink {
   std::unique_ptr<P5> b_;
 
   sonet::SelfSyncScrambler43 scr_a_tx_, scr_b_tx_, scr_a_rx_, scr_b_rx_;
+  Bytes rx_scratch_a_, rx_scratch_b_;  ///< reusable descramble buffers
   std::unique_ptr<sonet::SonetFramer> framer_a_, framer_b_;
   std::unique_ptr<sonet::SonetDeframer> deframer_a_, deframer_b_;
   sonet::Line line_ab_, line_ba_;

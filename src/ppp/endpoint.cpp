@@ -80,7 +80,8 @@ void PppEndpoint::send_frame(u16 protocol, BytesView info) {
   // LCP always travels in default framing; everything else uses the
   // currently negotiated configuration.
   const hdlc::FrameConfig& cfg = (protocol == kProtoLcp) ? negotiating_frame_ : frame_;
-  const Bytes wire = hdlc::build_wire_frame(cfg, protocol, info);
+  // Zero-alloc fused encode: the arena's wire buffer is reused across frames.
+  const BytesView wire = hdlc::encode_into(tx_arena_, cfg, protocol, info);
   ++stats_.frames_tx;
   if (lqm_ && protocol != kProtoLqr) lqm_->count_tx(wire.size());
   wire_tx_(wire);

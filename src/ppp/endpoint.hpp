@@ -91,6 +91,7 @@ class PppEndpoint {
   std::unique_ptr<Ipcp> ipcp_;
   std::unique_ptr<LqmMonitor> lqm_;
   u32 requested_lqr_period_ = 0;
+  hdlc::FrameArena tx_arena_;  ///< reusable scratch for zero-alloc encoding
   hdlc::Delineator delineator_;
   Phase phase_ = Phase::kDead;
   EndpointStats stats_;

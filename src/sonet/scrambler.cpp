@@ -1,46 +1,22 @@
 #include "sonet/scrambler.hpp"
 
+#include "fastpath/scrambler_tables.hpp"
+
 namespace p5::sonet {
 
 u8 FrameScrambler::next_keystream() {
-  u8 out = 0;
-  for (int i = 0; i < 8; ++i) {
-    // Feedback tap: x^7 + x^6 + 1 — new bit = s6 XOR s5 (0-indexed MSB=s6).
-    const u8 bit = static_cast<u8>((state_ >> 6) & 1u);
-    out = static_cast<u8>((out << 1) | bit);
-    const u8 fb = static_cast<u8>(((state_ >> 6) ^ (state_ >> 5)) & 1u);
-    state_ = static_cast<u8>(((state_ << 1) | fb) & 0x7F);
-  }
-  return out;
+  const auto& step = fastpath::frame_scrambler_steps()[state_];
+  state_ = step.next;
+  return step.keystream;
 }
 
 void FrameScrambler::apply(Bytes& data, std::size_t begin, std::size_t end) {
-  for (std::size_t i = begin; i < end && i < data.size(); ++i) data[i] ^= next_keystream();
-}
-
-u8 SelfSyncScrambler43::scramble(u8 in) {
-  u8 out = 0;
-  for (int bit = 7; bit >= 0; --bit) {
-    const u8 in_bit = static_cast<u8>((in >> bit) & 1u);
-    const u8 delayed = static_cast<u8>((history_ >> 42) & 1u);
-    const u8 out_bit = in_bit ^ delayed;
-    out = static_cast<u8>((out << 1) | out_bit);
-    history_ = ((history_ << 1) | out_bit) & ((u64{1} << 43) - 1);
+  const auto& table = fastpath::frame_scrambler_steps();
+  for (std::size_t i = begin; i < end && i < data.size(); ++i) {
+    const auto& step = table[state_];
+    data[i] ^= step.keystream;
+    state_ = step.next;
   }
-  return out;
-}
-
-u8 SelfSyncScrambler43::descramble(u8 in) {
-  u8 out = 0;
-  for (int bit = 7; bit >= 0; --bit) {
-    const u8 in_bit = static_cast<u8>((in >> bit) & 1u);
-    const u8 delayed = static_cast<u8>((history_ >> 42) & 1u);
-    const u8 out_bit = in_bit ^ delayed;
-    out = static_cast<u8>((out << 1) | out_bit);
-    // Self-synchronous: the delay line tracks the *received* (scrambled) bits.
-    history_ = ((history_ << 1) | in_bit) & ((u64{1} << 43) - 1);
-  }
-  return out;
 }
 
 Bytes SelfSyncScrambler43::scramble(BytesView data) {
@@ -55,6 +31,14 @@ Bytes SelfSyncScrambler43::descramble(BytesView data) {
   out.reserve(data.size());
   for (const u8 b : data) out.push_back(descramble(b));
   return out;
+}
+
+void SelfSyncScrambler43::scramble_in_place(Bytes& data) {
+  for (u8& b : data) b = scramble(b);
+}
+
+void SelfSyncScrambler43::descramble_in_place(Bytes& data) {
+  for (u8& b : data) b = descramble(b);
 }
 
 }  // namespace p5::sonet

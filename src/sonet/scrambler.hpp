@@ -11,6 +11,10 @@
 //    cannot fake long runs of 0s/1s and break downstream clock recovery.
 //    Self-synchronous: the descrambler needs no state alignment, it recovers
 //    after 43 bits.
+//
+// Both advance one *octet* per step (table lookup / shift respectively); the
+// seed's per-bit loops survive as fastpath::scalar bit-serial references that
+// the differential tests compare against.
 #pragma once
 
 #include <array>
@@ -20,6 +24,8 @@
 namespace p5::sonet {
 
 /// Frame-synchronous x^7 + x^6 + 1 scrambler (a keystream generator).
+/// Table-driven: one 128-entry state-transition lookup produces 8 keystream
+/// bits per step (fastpath/scrambler_tables).
 class FrameScrambler {
  public:
   /// Reset to the all-ones seed — done at the start of every frame's
@@ -37,20 +43,40 @@ class FrameScrambler {
 };
 
 /// Self-synchronous x^43 + 1 scrambler/descrambler (RFC 2615 §6).
+///
+/// Byte-at-a-time state transition: because the delay is 43 (> 8) bits, none
+/// of the bits produced within one octet feed back into that same octet, so
+/// the eight delayed bits are simply history bits 42..35 and the whole octet
+/// advances with one shift — no per-bit loop.
 class SelfSyncScrambler43 {
  public:
   void reset() { history_ = {}; }
 
   /// Scramble one octet (MSB first): out = in XOR (stream delayed 43 bits),
   /// where the delayed stream is the *output* stream.
-  [[nodiscard]] u8 scramble(u8 in);
+  [[nodiscard]] u8 scramble(u8 in) {
+    const u8 out = static_cast<u8>(in ^ static_cast<u8>(history_ >> 35));
+    history_ = ((history_ << 8) | out) & kMask;
+    return out;
+  }
+
   /// Descramble one octet: out = in XOR (received stream delayed 43 bits).
-  [[nodiscard]] u8 descramble(u8 in);
+  [[nodiscard]] u8 descramble(u8 in) {
+    const u8 out = static_cast<u8>(in ^ static_cast<u8>(history_ >> 35));
+    // Self-synchronous: the delay line tracks the *received* (scrambled) bits.
+    history_ = ((history_ << 8) | in) & kMask;
+    return out;
+  }
 
   [[nodiscard]] Bytes scramble(BytesView data);
   [[nodiscard]] Bytes descramble(BytesView data);
 
+  /// Zero-allocation variants for hot paths (p5::core::P5SonetLink).
+  void scramble_in_place(Bytes& data);
+  void descramble_in_place(Bytes& data);
+
  private:
+  static constexpr u64 kMask = (u64{1} << 43) - 1;
   // 43-bit delay line stored in a 64-bit word; bit 42 is the oldest.
   u64 history_ = 0;
 };

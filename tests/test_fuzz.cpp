@@ -155,6 +155,52 @@ TEST(FuzzPhy, ArbitraryRxFragmentationIsTransparent) {
   EXPECT_EQ(got, reference);
 }
 
+TEST(FuzzFusedEncode, EncodeIntoRoundTripsThroughDestuffAndParse) {
+  // The fused zero-alloc encoder (FCS + stuffing in one scan) must produce
+  // frames the independent destuff + parse pipeline accepts and inverts, for
+  // arbitrary framing configs and payloads including all-escape ones.
+  Xoshiro256 rng(21);
+  hdlc::FrameArena arena;
+  for (int trial = 0; trial < 500; ++trial) {
+    hdlc::FrameConfig cfg;
+    cfg.acfc = rng.chance(0.5);
+    cfg.pfc = rng.chance(0.5);
+    cfg.fcs = rng.chance(0.5) ? hdlc::FcsKind::kFcs32 : hdlc::FcsKind::kFcs16;
+    cfg.accm = rng.chance(0.3) ? hdlc::Accm::async_default() : hdlc::Accm::sonet();
+    // Assigned-style protocol: even high octet, odd low octet (RFC 1661 §2).
+    const u16 protocol = static_cast<u16>(((rng.byte() & 0xFEu) << 8) | rng.byte() | 1u);
+
+    Bytes payload;
+    const std::size_t len = rng.range(1, 300);
+    if (rng.chance(0.1)) {
+      payload.assign(len, rng.chance(0.5) ? hdlc::kFlag : hdlc::kEscape);  // all-escape
+    } else {
+      for (std::size_t i = 0; i < len; ++i)
+        payload.push_back(rng.chance(0.2) ? hdlc::kEscape : rng.byte());
+    }
+
+    // With ACFC a payload that happens to start with address+control octets
+    // is legally re-absorbed as an uncompressed header by the parser
+    // (RFC 1661 §6.6) — steer clear of that inherent ambiguity.
+    if (cfg.acfc && len >= 2 && payload[0] == cfg.address && payload[1] == cfg.control)
+      payload[0] ^= 0x10u;
+
+    const BytesView wire = hdlc::encode_into(arena, cfg, protocol, payload);
+    ASSERT_GE(wire.size(), 4u);
+    ASSERT_EQ(wire.front(), hdlc::kFlag);
+    ASSERT_EQ(wire.back(), hdlc::kFlag);
+    // No unescaped flag may appear between the delimiters.
+    for (std::size_t i = 1; i + 1 < wire.size(); ++i) ASSERT_NE(wire[i], hdlc::kFlag);
+
+    const auto destuffed = hdlc::destuff(wire.subspan(1, wire.size() - 2));
+    ASSERT_TRUE(destuffed.ok) << "trial " << trial;
+    const auto parsed = hdlc::parse(cfg, destuffed.data);
+    ASSERT_TRUE(parsed.ok()) << "trial " << trial;
+    EXPECT_EQ(parsed.frame->protocol, protocol);
+    EXPECT_EQ(parsed.frame->payload, payload);
+  }
+}
+
 TEST(Accm, AsyncMapEscapesControlsThroughP5) {
   P5Config cfg;
   cfg.lanes = 4;
