@@ -1,0 +1,229 @@
+// bench_linecard — aggregate throughput of the multi-channel line-card
+// runtime: N parallel P5<->SONET tributaries behind the MAPOS fabric, swept
+// across channel counts {1,2,4,8} x {IMIX, flag-dense} workloads.
+//
+// Two throughput figures per configuration:
+//
+//  * modelled Gbps — the repo's standard figure (cf. bench_throughput):
+//    payload bits delivered per cycle-model clock at 78.125 MHz, summed
+//    across channels. Channels are architecturally independent, so this is
+//    the card's aggregate capacity and scales with the channel count by
+//    construction — the bench verifies per-channel efficiency does NOT
+//    degrade as channels are added (the scaling_vs_1ch column).
+//
+//  * wall MB/s — how fast this host actually simulates the card. With the
+//    threaded runtime this scales with physical cores; on a single-core
+//    host it stays flat (the hw_threads field in the JSON records which).
+//
+// Results go to stdout and BENCH_linecard.json (same machine-readable shape
+// as BENCH_softpath.json).
+//
+// Usage: bench_linecard [--smoke] [--deterministic] [--frames N] [--out <path>]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "linecard/linecard.hpp"
+#include "net/traffic.hpp"
+
+namespace p5::bench {
+namespace {
+
+struct Row {
+  std::string workload;
+  unsigned channels = 0;
+  std::size_t frames_per_channel = 0;
+  u64 payload_bytes = 0;
+  std::vector<double> per_channel_gbps;
+  double aggregate_gbps = 0.0;
+  double scaling_vs_1ch = 0.0;  // filled once the 1-channel row is known
+  double wall_seconds = 0.0;
+  double wall_mb_s = 0.0;
+  u64 ring_full_stalls = 0;
+  u64 fcs_errors = 0;
+};
+
+std::vector<Bytes> make_frames(const std::string& workload, std::size_t count, u64 seed) {
+  std::vector<Bytes> frames;
+  frames.reserve(count);
+  if (workload == "imix") {
+    net::ImixGenerator gen(seed);
+    for (std::size_t i = 0; i < count; ++i) frames.push_back(gen.next_datagram());
+  } else {  // flag-dense: every fourth octet is an escape candidate
+    net::TrafficSpec spec;
+    spec.pattern = net::PayloadPattern::kFlagDense;
+    spec.escape_density = 0.25;
+    spec.seed = seed;
+    net::TrafficGenerator gen(spec);
+    for (std::size_t i = 0; i < count; ++i) frames.push_back(gen.next_datagram());
+  }
+  return frames;
+}
+
+Row run_config(const std::string& workload, unsigned channels, std::size_t frames_per_channel,
+               bool deterministic) {
+  Row row;
+  row.workload = workload;
+  row.channels = channels;
+  row.frames_per_channel = frames_per_channel;
+
+  linecard::LineCardConfig cfg;
+  cfg.channels = channels;
+  cfg.channel.p5.lanes = 4;  // the paper's 32-bit 2.5 Gbps datapath
+  cfg.channel.ring_capacity = 64;
+  linecard::LineCard lc(cfg);
+
+  std::vector<std::vector<Bytes>> traffic(channels);
+  for (unsigned c = 0; c < channels; ++c)
+    traffic[c] = make_frames(workload, frames_per_channel, 1000 + 17ull * c);
+
+  const u64 expected = static_cast<u64>(channels) * frames_per_channel;
+  std::atomic<u64> received{0};
+  lc.set_uplink_sink([&](unsigned, const net::MaposNode::Received&) {
+    received.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  if (deterministic) {
+    for (unsigned c = 0; c < channels; ++c)
+      for (Bytes& p : traffic[c]) {
+        linecard::FrameDesc d;
+        d.payload = std::move(p);
+        lc.inject_blocking(c, std::move(d));
+      }
+    (void)lc.run_until_idle(10'000'000);
+  } else {
+    lc.start();
+    for (std::size_t f = 0; f < frames_per_channel; ++f)
+      for (unsigned c = 0; c < channels; ++c) {
+        linecard::FrameDesc d;
+        d.payload = std::move(traffic[c][f]);
+        lc.inject_blocking(c, std::move(d));
+      }
+    const auto deadline = start + std::chrono::seconds(300);
+    while (received.load(std::memory_order_relaxed) < expected &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    lc.stop();
+  }
+  row.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  if (received.load(std::memory_order_relaxed) != expected)
+    std::fprintf(stderr, "warning: %s x%u delivered %llu/%llu frames\n", workload.c_str(),
+                 channels, static_cast<unsigned long long>(received.load()),
+                 static_cast<unsigned long long>(expected));
+
+  const double clock_hz = cfg.channel.p5.clock_mhz * 1e6;
+  for (unsigned c = 0; c < channels; ++c) {
+    const linecard::ChannelSnapshot s = lc.telemetry().snapshot(c);
+    row.payload_bytes += s.bytes_out;
+    row.ring_full_stalls += s.ring_full_stalls;
+    row.fcs_errors += s.fcs_errors;
+    const u64 cycles = lc.channel(c).link().a().cycle();
+    const double gbps =
+        cycles ? static_cast<double>(s.bytes_out) * 8.0 * clock_hz / static_cast<double>(cycles) / 1e9
+               : 0.0;
+    row.per_channel_gbps.push_back(gbps);
+    row.aggregate_gbps += gbps;
+  }
+  row.wall_mb_s =
+      row.wall_seconds > 0 ? static_cast<double>(row.payload_bytes) / row.wall_seconds / 1e6 : 0.0;
+  return row;
+}
+
+void print_row(const Row& r) {
+  double min_ch = 0.0, max_ch = 0.0;
+  if (!r.per_channel_gbps.empty()) {
+    min_ch = max_ch = r.per_channel_gbps[0];
+    for (const double g : r.per_channel_gbps) {
+      if (g < min_ch) min_ch = g;
+      if (g > max_ch) max_ch = g;
+    }
+  }
+  std::printf(
+      "  %-10s %2u ch  %4zu fr/ch  agg %7.4f Gbps  per-ch %.4f..%.4f  x%.2f vs 1ch  wall %6.2fs "
+      "%7.2f MB/s  stalls %llu\n",
+      r.workload.c_str(), r.channels, r.frames_per_channel, r.aggregate_gbps, min_ch, max_ch,
+      r.scaling_vs_1ch, r.wall_seconds, r.wall_mb_s,
+      static_cast<unsigned long long>(r.ring_full_stalls));
+}
+
+bool write_json(const std::vector<Row>& rows, const std::string& path, bool deterministic) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"linecard\",\n  \"unit\": \"Gbps\",\n  \"clock_mhz\": 78.125,\n"
+      << "  \"mode\": \"" << (deterministic ? "deterministic" : "threaded") << "\",\n"
+      << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"workload\": \"" << r.workload << "\", \"channels\": " << r.channels
+        << ", \"frames_per_channel\": " << r.frames_per_channel
+        << ", \"payload_bytes\": " << r.payload_bytes << ", \"aggregate_gbps\": " << r.aggregate_gbps
+        << ", \"scaling_vs_1ch\": " << r.scaling_vs_1ch << ", \"per_channel_gbps\": [";
+    for (std::size_t c = 0; c < r.per_channel_gbps.size(); ++c)
+      out << r.per_channel_gbps[c] << (c + 1 < r.per_channel_gbps.size() ? ", " : "");
+    out << "], \"wall_seconds\": " << r.wall_seconds << ", \"wall_mb_s\": " << r.wall_mb_s
+        << ", \"ring_full_stalls\": " << r.ring_full_stalls << ", \"fcs_errors\": " << r.fcs_errors
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+}  // namespace
+
+int run(int argc, char** argv) {
+  bool smoke = false, deterministic = false;
+  std::size_t frames = 48;
+  std::string out_path = "BENCH_linecard.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--deterministic") == 0) deterministic = true;
+    if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
+      frames = static_cast<std::size_t>(std::atol(argv[++i]));
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+  if (smoke) frames = 4;
+
+  banner("bench_linecard — N parallel P5<->SONET tributaries behind a MAPOS fabric",
+         "channelised line-card scaling of the paper's single 2.5 Gbps P5 link");
+  std::printf("mode: %s, %zu frames/channel, host hw_threads=%u\n\n",
+              deterministic ? "deterministic step()" : "threaded", frames,
+              std::thread::hardware_concurrency());
+
+  std::vector<Row> rows;
+  for (const std::string workload : {"imix", "flagdense"}) {
+    double base = 0.0;
+    for (const unsigned channels : {1u, 2u, 4u, 8u}) {
+      Row r = run_config(workload, channels, frames, deterministic);
+      if (channels == 1) base = r.aggregate_gbps;
+      r.scaling_vs_1ch = base > 0 ? r.aggregate_gbps / base : 0.0;
+      print_row(r);
+      rows.push_back(std::move(r));
+    }
+    std::printf("\n");
+  }
+
+  if (!write_json(rows, out_path, deterministic)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu rows)%s\n", out_path.c_str(), rows.size(),
+              smoke ? " [smoke mode: timings are not meaningful]" : "");
+
+  for (const Row& r : rows)
+    if (r.workload == "imix" && r.channels == 4)
+      we_measure("IMIX aggregate at 4 channels: " + std::to_string(r.aggregate_gbps) +
+                 " Gbps modelled, " + std::to_string(r.scaling_vs_1ch) + "x the 1-channel card");
+  return 0;
+}
+
+}  // namespace p5::bench
+
+int main(int argc, char** argv) { return p5::bench::run(argc, argv); }

@@ -6,15 +6,62 @@
 // doubles on the wire, so at density d the payload rate cannot exceed
 // width / (1 + d) bits per cycle — the bench shows the model tracking that
 // bound while the backpressure scheme keeps the pipeline lossless.
+//
+// Besides the stdout table, results land in BENCH_throughput.json with the
+// same machine-readable shape as BENCH_softpath.json / BENCH_linecard.json.
+//
+// Usage: bench_throughput [--smoke] [--out <path>]
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 
-int main() {
-  using namespace p5;
-  bench::banner("E6a / bench_throughput — sustained rate vs width and escape density",
-                "Section 1/5 rate claims: 8-bit P5 = 625 Mbps, 32-bit P5 = 2.5 Gbps");
-  bench::paper_says(
+namespace p5::bench {
+namespace {
+
+struct Row {
+  unsigned width_bits = 0;
+  double escape_density = 0.0;
+  double payload_bytes_per_cycle = 0.0;
+  double payload_gbps = 0.0;
+  double line_util = 0.0;        ///< payload octets / wire octets
+  double backpressure_frac = 0.0;
+  std::size_t peak_queue = 0;
+};
+
+bool write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"bench\": \"throughput\",\n  \"unit\": \"Gbps\",\n  \"clock_mhz\": 78.125,\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"width_bits\": " << r.width_bits << ", \"escape_density\": " << r.escape_density
+        << ", \"payload_bytes_per_cycle\": " << r.payload_bytes_per_cycle
+        << ", \"payload_gbps\": " << r.payload_gbps << ", \"line_util\": " << r.line_util
+        << ", \"backpressure_frac\": " << r.backpressure_frac
+        << ", \"peak_queue\": " << r.peak_queue << "}" << (i + 1 < rows.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.good();
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+  const std::size_t frames = smoke ? 2 : 12;
+
+  banner("E6a / bench_throughput — sustained rate vs width and escape density",
+         "Section 1/5 rate claims: 8-bit P5 = 625 Mbps, 32-bit P5 = 2.5 Gbps");
+  paper_says(
       "one word per clock through every stage: 8 bits x 78.125 MHz = 625 Mbps; "
       "32 bits x 78.125 MHz = 2.5 Gbps. Escaped octets consume extra wire cycles.");
 
@@ -23,25 +70,46 @@ int main() {
   std::printf("\n width | density | payload B/cyc | payload Gbps | line util | backpress | peakQ\n");
   std::printf(" ------+---------+---------------+--------------+-----------+-----------+------\n");
 
+  std::vector<Row> rows;
   for (const unsigned lanes : {1u, 2u, 4u, 8u}) {
     for (const double density : {0.0, 1.0 / 128.0, 0.1, 0.25, 0.5, 1.0}) {
-      const auto r = bench::measure_tx_throughput(lanes, density, 12, 1500);
+      const auto r = measure_tx_throughput(lanes, density, frames, 1500);
+      Row row;
+      row.width_bits = lanes * 8;
+      row.escape_density = density;
+      row.payload_bytes_per_cycle = r.payload_bytes_per_cycle();
+      row.payload_gbps = r.payload_gbps(clock_mhz);
+      row.line_util =
+          static_cast<double>(r.payload_octets) / static_cast<double>(r.wire_octets);
+      row.backpressure_frac = r.backpressure_frac;
+      row.peak_queue = r.peak_queue;
+      rows.push_back(row);
       std::printf("  %2u-b | %6.3f  | %13.3f | %12.3f | %8.1f%% | %8.1f%% | %3zu/%zu\n",
-                  lanes * 8, density, r.payload_bytes_per_cycle(),
-                  r.payload_gbps(clock_mhz),
-                  100.0 * static_cast<double>(r.payload_octets) /
-                      static_cast<double>(r.wire_octets),
-                  100.0 * r.backpressure_frac, r.peak_queue, 3 * lanes);
+                  row.width_bits, density, row.payload_bytes_per_cycle, row.payload_gbps,
+                  100.0 * row.line_util, 100.0 * row.backpressure_frac, row.peak_queue,
+                  static_cast<std::size_t>(3 * lanes));
     }
     std::printf("\n");
   }
 
+  if (!write_json(rows, out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu rows)%s\n\n", out_path.c_str(), rows.size(),
+              smoke ? " [smoke mode: timings are not meaningful]" : "");
+
   // Paper-vs-measured summary rows at near-zero escape density.
-  const auto r8 = bench::measure_tx_throughput(1, 0.0, 12, 1500);
-  const auto r32 = bench::measure_tx_throughput(4, 0.0, 12, 1500);
-  bench::paper_says("8-bit P5: 625 Mbps");
-  bench::we_measure(std::to_string(r8.payload_gbps(clock_mhz) * 1000.0) + " Mbps payload");
-  bench::paper_says("32-bit P5: 2.5 Gbps");
-  bench::we_measure(std::to_string(r32.payload_gbps(clock_mhz)) + " Gbps payload");
+  const auto r8 = measure_tx_throughput(1, 0.0, frames, 1500);
+  const auto r32 = measure_tx_throughput(4, 0.0, frames, 1500);
+  paper_says("8-bit P5: 625 Mbps");
+  we_measure(std::to_string(r8.payload_gbps(clock_mhz) * 1000.0) + " Mbps payload");
+  paper_says("32-bit P5: 2.5 Gbps");
+  we_measure(std::to_string(r32.payload_gbps(clock_mhz)) + " Gbps payload");
   return 0;
 }
+
+}  // namespace
+}  // namespace p5::bench
+
+int main(int argc, char** argv) { return p5::bench::run(argc, argv); }

@@ -1,0 +1,75 @@
+// linecard_aggregate — a 4-channel line card aggregating four P5 <-> SONET
+// tributaries through the MAPOS fabric onto one uplink, plus one hairpin
+// frame switched from channel 0 straight down channel 2.
+//
+// Run in deterministic step() mode so the output is identical on every run.
+#include <cstdio>
+#include <map>
+
+#include "linecard/linecard.hpp"
+#include "net/traffic.hpp"
+
+int main() {
+  using namespace p5;
+
+  linecard::LineCardConfig cfg;
+  cfg.channels = 4;
+  linecard::LineCard lc(cfg);
+
+  std::printf("line card: %u tributaries, uplink MAPOS address 0x%02X\n", lc.channels(),
+              lc.uplink_address());
+  for (unsigned c = 0; c < lc.channels(); ++c)
+    std::printf("  channel %u -> fabric address 0x%02X\n", c, lc.channel_address(c));
+
+  std::map<unsigned, u64> uplink_frames, uplink_bytes;
+  lc.set_uplink_sink([&](unsigned channel, const net::MaposNode::Received& r) {
+    uplink_frames[channel]++;
+    uplink_bytes[channel] += r.payload.size();
+  });
+
+  // 12 IMIX datagrams per tributary, all bound for the uplink.
+  net::ImixGenerator gen(7);
+  for (unsigned c = 0; c < lc.channels(); ++c)
+    for (int i = 0; i < 12; ++i) {
+      linecard::FrameDesc d;
+      d.payload = gen.next_datagram();
+      if (!lc.inject(c, std::move(d))) std::printf("  channel %u: source ring full\n", c);
+    }
+
+  // One hairpin: enters on channel 0, the fabric switches it down channel 2's
+  // tributary instead of the uplink.
+  linecard::FrameDesc hairpin;
+  hairpin.fabric_dest = lc.channel_address(2);
+  hairpin.payload = gen.next_datagram();
+  (void)lc.inject(0, std::move(hairpin));
+
+  const u64 steps = lc.run_until_idle();
+  std::printf("\ndrained in %llu deterministic steps\n\n", static_cast<unsigned long long>(steps));
+
+  std::printf("%-8s %10s %10s %10s %10s %8s %8s\n", "channel", "frames_in", "bytes_in",
+              "frames_out", "bytes_out", "uplinked", "hwm");
+  for (unsigned c = 0; c < lc.channels(); ++c) {
+    const linecard::ChannelSnapshot s = lc.telemetry().snapshot(c);
+    std::printf("%-8u %10llu %10llu %10llu %10llu %8llu %8llu\n", c,
+                static_cast<unsigned long long>(s.frames_in),
+                static_cast<unsigned long long>(s.bytes_in),
+                static_cast<unsigned long long>(s.frames_out),
+                static_cast<unsigned long long>(s.bytes_out),
+                static_cast<unsigned long long>(uplink_frames[c]),
+                static_cast<unsigned long long>(s.ingress_hwm));
+  }
+  const linecard::ChannelSnapshot agg = lc.telemetry().aggregate();
+  std::printf("%-8s %10llu %10llu %10llu %10llu\n", "total",
+              static_cast<unsigned long long>(agg.frames_in),
+              static_cast<unsigned long long>(agg.bytes_in),
+              static_cast<unsigned long long>(agg.frames_out),
+              static_cast<unsigned long long>(agg.bytes_out));
+
+  std::printf("\nfabric: %llu frames forwarded, %llu flooded\n",
+              static_cast<unsigned long long>(lc.fabric_stats().frames_forwarded),
+              static_cast<unsigned long long>(lc.fabric_stats().frames_flooded));
+  std::printf("note: channel 2 carries one frame more than the others — the hairpin\n"
+              "from channel 0 arrives on its fabric ring, crosses its tributary, and\n"
+              "returns to the uplink as regular channel-2 traffic.\n");
+  return 0;
+}

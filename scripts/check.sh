@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo health check: the tier-1 verify line (configure, build, full ctest)
+# followed by a smoke run of every registered bench (ctest -L bench).
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+echo
+echo "== bench smoke: ctest -L bench =="
+(cd "$BUILD_DIR" && ctest -L bench --output-on-failure -j)
+
+echo
+echo "check.sh: all green"

@@ -1,0 +1,21 @@
+// The descriptor the line-card rings carry. Descriptors own their payload
+// bytes; rings move headers + a vector handle, never wire octets — stuffing,
+// FCS and SONET encapsulation all happen inside the channel they belong to.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace p5::linecard {
+
+struct FrameDesc {
+  u16 protocol = 0x0021;  ///< PPP/MAPOS protocol number (IPv4 by default)
+  /// MAPOS address the frame is forwarded to once it emerges from the
+  /// channel's link. 0 is never a valid MAPOS address (the EA bit is always
+  /// set), so 0 means "unspecified": the runtime substitutes the channel's
+  /// egress default — the uplink port. 0xFF broadcasts across the fabric.
+  u8 fabric_dest = 0;
+  u8 source_channel = 0;  ///< tributary the frame entered on
+  Bytes payload;
+};
+
+}  // namespace p5::linecard

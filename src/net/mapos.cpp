@@ -126,6 +126,19 @@ bool MaposNode::send(u8 destination, u16 protocol, BytesView payload) {
   return true;
 }
 
+bool MaposNode::send(hdlc::FrameArena& arena, u8 destination, u16 protocol, BytesView payload) {
+  if (!address_) return false;
+  // The MAPOS wire format is exactly the default HDLC frame layout with the
+  // destination in the Address octet: [dest][0x03][proto:2][payload][FCS32]
+  // between flags — so the fused zero-alloc encoder produces an image
+  // byte-identical to build_wire().
+  hdlc::FrameConfig cfg;
+  cfg.address = destination;
+  cfg.max_payload = payload.size();  // MRU policing is the receiver's job here
+  wire_tx_(hdlc::encode_into(arena, cfg, protocol, payload));
+  return true;
+}
+
 void MaposNode::rx(BytesView octets) { delineator_.push(octets); }
 
 void MaposNode::on_frame(BytesView stuffed) {

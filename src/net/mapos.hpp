@@ -100,6 +100,11 @@ class MaposNode {
   /// Send a payload to a destination address (requires an assigned address).
   bool send(u8 destination, u16 protocol, BytesView payload);
 
+  /// Zero-allocation variant for hot paths (the line-card fabric): encodes
+  /// the wire image with the fused framer into `arena`, which retains its
+  /// capacity across calls. Byte-identical on the wire to send().
+  bool send(hdlc::FrameArena& arena, u8 destination, u16 protocol, BytesView payload);
+
   /// Octets arriving from the switch.
   void rx(BytesView octets);
 

@@ -19,7 +19,6 @@ constexpr std::size_t kFcsBits = 32;
 /// Generic state register + next-state mux network driven by `conditions`:
 /// a schematic-level FSM of the given size.
 Bus build_fsm(Builder& b, const std::vector<NodeId>& conditions) {
-  Netlist& nl = b.netlist();
   const Bus state = b.dff_bus(kStateBits);
   // Next state: a decision tree over the condition inputs — each condition
   // selects between "advance" (state+1) and specific jumps, modelling the

@@ -42,6 +42,13 @@ class SharedMemory {
   // ---- host -> transmitter ----
   /// Queue a datagram for transmission; false when the pool/ring is full.
   [[nodiscard]] bool post_tx(TxRequest req);
+  /// Would a post_tx of `payload_bytes` succeed right now? Lets callers that
+  /// own their payload check before moving it in (post_tx consumes the
+  /// request even when it rejects it).
+  [[nodiscard]] bool tx_has_room(std::size_t payload_bytes) const {
+    return tx_ring_.size() < cfg_.tx_ring_entries &&
+           tx_bytes_ + payload_bytes <= cfg_.tx_pool_bytes;
+  }
   /// Device side: take the next frame to transmit.
   [[nodiscard]] std::optional<TxRequest> fetch_tx();
   [[nodiscard]] std::size_t tx_pending() const { return tx_ring_.size(); }

@@ -4,9 +4,13 @@ namespace p5::core {
 
 P5SonetLink::P5SonetLink(const P5Config& cfg, sonet::StsSpec sts,
                          const sonet::LineConfig& line_cfg)
+    : P5SonetLink(cfg, cfg, sts, line_cfg) {}
+
+P5SonetLink::P5SonetLink(const P5Config& a_cfg, const P5Config& b_cfg, sonet::StsSpec sts,
+                         const sonet::LineConfig& line_cfg)
     : sts_(sts),
-      a_(std::make_unique<P5>(cfg)),
-      b_(std::make_unique<P5>(cfg)),
+      a_(std::make_unique<P5>(a_cfg)),
+      b_(std::make_unique<P5>(b_cfg)),
       line_ab_(line_cfg),
       line_ba_(sonet::LineConfig{line_cfg.bit_error_rate, line_cfg.burst_enter,
                                  line_cfg.burst_exit, line_cfg.burst_error_rate,

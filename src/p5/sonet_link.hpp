@@ -21,6 +21,10 @@ namespace p5::core {
 class P5SonetLink {
  public:
   P5SonetLink(const P5Config& cfg, sonet::StsSpec sts, const sonet::LineConfig& line_cfg);
+  /// Asymmetric link: distinct configurations per end (e.g. a line-card
+  /// tributary whose two ends carry different programmed MAPOS addresses).
+  P5SonetLink(const P5Config& a_cfg, const P5Config& b_cfg, sonet::StsSpec sts,
+              const sonet::LineConfig& line_cfg);
 
   [[nodiscard]] P5& a() { return *a_; }
   [[nodiscard]] P5& b() { return *b_; }

@@ -153,6 +153,54 @@ TEST_P(StuffDensity, SwarStuffByteIdenticalToScalar) {
 
 INSTANTIATE_TEST_SUITE_P(Densities, StuffDensity, ::testing::Values(0.0, 1.0 / 128, 0.25, 1.0));
 
+TEST(Stuff, RandomAccmMasksByteIdenticalToScalar) {
+  // The SWAR stuffer takes a different path when the negotiated ACCM maps
+  // any control characters (accm.map() != 0): the word scan must then flag
+  // bytes < 0x20 and filter them through the mask, not just flag/escape.
+  // Fuzz that branch across random masks, plus the two extremes: the empty
+  // map (PPP-over-SONET, no controls escaped) and the all-controls map.
+  Xoshiro256 rng(20);
+  std::vector<Accm> masks = {Accm(0), Accm(0xFFFFFFFFu)};
+  for (int i = 0; i < 14; ++i) masks.emplace_back(static_cast<u32>(rng.next()));
+  for (const Accm accm : masks) {
+    for (int trial = 0; trial < 40; ++trial) {
+      // High control-character density so random masks actually get hits.
+      const Bytes p = escape_mix(rng, rng.range(0, 300), 0.35);
+      const Bytes expected = scalar::stuff(p, accm);
+
+      const Bytes fast = hdlc::stuff(p, accm);
+      EXPECT_EQ(fast, expected) << "map 0x" << std::hex << accm.map();
+      EXPECT_EQ(p.size() + hdlc::stuffing_expansion(p, accm), expected.size())
+          << "count_escapes disagrees with scalar, map 0x" << std::hex << accm.map();
+
+      // The fused CRC+stuff pass shares the same escape scan.
+      Bytes fused;
+      const u32 state =
+          stuff_crc_append(fused, p, accm, crc::fcs32().slicer(), crc::kFcs32.init);
+      EXPECT_EQ(fused, expected);
+      EXPECT_EQ(state, crc::fcs32().update(crc::kFcs32.init, p));
+
+      // Destuffing is mask-independent; any stuffed stream must round-trip.
+      const auto rt = hdlc::destuff(fast);
+      EXPECT_TRUE(rt.ok);
+      EXPECT_EQ(rt.data, p);
+    }
+  }
+}
+
+TEST(Stuff, AllControlsMaskEscapesEveryControlByte) {
+  // Deterministic spot-check at the byte level: with the full map every
+  // value below 0x20 is escaped, with the empty map none are.
+  Bytes controls;
+  for (u8 b = 0; b < 0x20; ++b) controls.push_back(b);
+  EXPECT_EQ(hdlc::stuff(controls, Accm(0xFFFFFFFFu)).size(), 2 * controls.size());
+  EXPECT_EQ(hdlc::stuff(controls, Accm(0)).size(), controls.size());
+  // A one-bit map escapes exactly its own character.
+  const Bytes once = hdlc::stuff(controls, Accm(1u << 17));
+  EXPECT_EQ(once.size(), controls.size() + 1);
+  EXPECT_EQ(once, scalar::stuff(controls, Accm(1u << 17)));
+}
+
 TEST(Destuff, MatchesScalarIncludingMalformedInput) {
   Xoshiro256 rng(7);
   for (int trial = 0; trial < 300; ++trial) {

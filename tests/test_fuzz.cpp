@@ -80,7 +80,9 @@ TEST_P(CorruptionSweep, HardwareAndSoftwareAgreeOnGoodFrames) {
       const auto hw = hardware_receive(stream.wire, lanes);
       EXPECT_EQ(hw, sw) << "seed " << seed << " rate " << rate << " lanes " << lanes;
     }
-    if (rate == 0.0) EXPECT_EQ(sw.size(), stream.sent.size());
+    if (rate == 0.0) {
+      EXPECT_EQ(sw.size(), stream.sent.size());
+    }
     // FCS-32 must keep corrupt frames out: every accepted payload was sent.
     for (const Bytes& p : sw)
       EXPECT_NE(std::find(stream.sent.begin(), stream.sent.end(), p), stream.sent.end());

@@ -557,7 +557,7 @@ TEST(TxControl, EmitsHeaderAndPayload) {
   sim.add(tx);
   sim.add_channel(out);
 
-  tx.submit(TxRequest{0x0021, Bytes{0xDE, 0xAD}});
+  tx.submit(TxRequest{0x0021, Bytes{0xDE, 0xAD}, std::nullopt});
   Bytes content;
   for (int cycle = 0; cycle < 20; ++cycle) {
     sim.step();
