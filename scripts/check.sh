@@ -1,21 +1,66 @@
 #!/usr/bin/env bash
-# Repo health check: the tier-1 verify line (configure, build, full ctest)
-# followed by a smoke run of every registered bench (ctest -L bench).
+# Repo health check, in labeled stages:
+#   tier-1    configure + build + full ctest          (build/)
+#   fault     the fault-injection/conformance label    (build/, ctest -L fault)
+#   asan      ASan+UBSan build + full ctest            (build-asan/)
+#   tsan      TSan build + the threaded suites         (build-tsan/)
+#   bench     smoke run of every registered bench      (build/, ctest -L bench)
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [stage...]   (default: all stages in order)
+#   e.g. scripts/check.sh tier-1 fault     # skip the sanitizer rebuilds
+# Seed reproduction for any failing property test: see TESTING.md
+# (P5_TEST_SEED / P5_TEST_CASES pass straight through this script).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault asan tsan bench)
 
-echo "== tier-1: configure + build + ctest =="
-cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j
-(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+want() {
+  local s
+  for s in "${STAGES[@]}"; do [ "$s" = "$1" ] && return 0; done
+  return 1
+}
 
-echo
-echo "== bench smoke: ctest -L bench =="
-(cd "$BUILD_DIR" && ctest -L bench --output-on-failure -j)
+if want tier-1; then
+  echo "== tier-1: configure + build + ctest =="
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && ctest --output-on-failure -j)
+fi
+
+if want fault; then
+  echo
+  echo "== fault: deterministic fault-injection + conformance (ctest -L fault) =="
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && ctest -L fault --output-on-failure -j)
+fi
+
+if want asan; then
+  echo
+  echo "== asan: address+undefined sanitizers, full ctest (build-asan) =="
+  cmake -B build-asan -S . -DP5_SANITIZE=address,undefined
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -j)
+fi
+
+if want tsan; then
+  echo
+  echo "== tsan: thread sanitizer, threaded + fault suites (build-tsan) =="
+  cmake -B build-tsan -S . -DP5_SANITIZE=thread
+  cmake --build build-tsan -j
+  # TSan's value is the threaded runtime; run the suites that spin threads
+  # plus the whole fault label (cheap, and proves the harness is race-free).
+  (cd build-tsan && ctest -R 'LineCard|SpscRing|SharedMemory' --output-on-failure -j)
+  (cd build-tsan && ctest -L fault --output-on-failure -j)
+fi
+
+if want bench; then
+  echo
+  echo "== bench smoke: ctest -L bench =="
+  (cd build && ctest -L bench --output-on-failure -j)
+fi
 
 echo
 echo "check.sh: all green"

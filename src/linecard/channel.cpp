@@ -72,24 +72,31 @@ bool Channel::step() {
   reap();
 
   // Frames the far end junked (line errors, filters, rx-pool overflow) never
-  // reach reap(); fold them out of the in-flight count so the pump stops.
+  // reach reap(). Note the junk events for telemetry and drop their
+  // destination bookkeeping, but do NOT fold them into delivered_: junk
+  // events are not 1:1 with lost descriptors (a flipped flag can split one
+  // frame into two bad fragments, or merge two frames into one), so counting
+  // them as deliveries would corrupt the loss accounting. The write-off
+  // below settles the in-flight count exactly instead.
   const u64 losses = far_end_losses(*link_);
   if (losses > losses_seen_) {
     const u64 fresh = losses - losses_seen_;
     tel_.add_fcs_errors(fresh);
-    delivered_ += fresh;
-    // Best-effort FIFO discard of the lost frames' destinations; with line
+    // Best-effort FIFO discard of the junked frames' destinations; with line
     // errors the pairing is approximate, which only misroutes already-lost
     // frames' bookkeeping, never payload bytes.
     for (u64 i = 0; i < fresh && !inflight_dest_.empty(); ++i) inflight_dest_.pop_front();
     losses_seen_ = losses;
-    stale_exchanges_ = 0;
   }
-  // Last-ditch flush: heavy line noise can corrupt a frame into silence
-  // (e.g. a flag flipped mid-frame merges two frames). Write the flight off
-  // once the transmitter has drained and nothing has emerged for a while.
+  // Loss write-off: once the transmitter has drained and flush_bound
+  // exchanges pass with nothing delivered, whatever is still unaccounted was
+  // eaten by the line. submitted_ - delivered_ is then exactly the number of
+  // admitted-but-never-delivered descriptors (delivered_ only ever advances
+  // in reap()), so frames_lost is exact: frames_in == frames_out +
+  // frames_lost once the channel is idle.
   if (in_flight() > 0 && stale_exchanges_ > cfg_.flush_bound &&
       link_->a().tx_control().pending() == 0) {
+    tel_.add_frames_lost(in_flight());
     delivered_ = submitted_;
     inflight_dest_.clear();
     stale_exchanges_ = 0;

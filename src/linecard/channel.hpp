@@ -64,7 +64,11 @@ class Channel {
   [[nodiscard]] hdlc::FrameArena& arena() { return arena_; }
 
   [[nodiscard]] unsigned index() const { return index_; }
-  [[nodiscard]] u64 in_flight() const { return submitted_ - delivered_; }
+  /// Saturating: a stale far-end junk notice can otherwise race a real
+  /// delivery and briefly over-advance delivered_ under heavy line noise.
+  [[nodiscard]] u64 in_flight() const {
+    return submitted_ > delivered_ ? submitted_ - delivered_ : 0;
+  }
   [[nodiscard]] const ChannelConfig& config() const { return cfg_; }
 
   /// Where the fabric should forward this channel's deliveries (set by the

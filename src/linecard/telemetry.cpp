@@ -10,6 +10,7 @@ ChannelSnapshot& ChannelSnapshot::operator+=(const ChannelSnapshot& o) {
   bytes_in += o.bytes_in;
   bytes_out += o.bytes_out;
   fcs_errors += o.fcs_errors;
+  frames_lost += o.frames_lost;
   ring_full_stalls += o.ring_full_stalls;
   ingress_hwm = std::max(ingress_hwm, o.ingress_hwm);
   egress_hwm = std::max(egress_hwm, o.egress_hwm);
@@ -23,6 +24,7 @@ ChannelSnapshot ChannelTelemetry::read_once() const {
   s.bytes_in = bytes_in_.load(std::memory_order_acquire);
   s.bytes_out = bytes_out_.load(std::memory_order_acquire);
   s.fcs_errors = fcs_errors_.load(std::memory_order_acquire);
+  s.frames_lost = frames_lost_.load(std::memory_order_acquire);
   s.ring_full_stalls = ring_full_stalls_.load(std::memory_order_acquire);
   s.ingress_hwm = ingress_hwm_.load(std::memory_order_acquire);
   s.egress_hwm = egress_hwm_.load(std::memory_order_acquire);

@@ -24,7 +24,11 @@ struct ChannelSnapshot {
   u64 frames_out = 0;  ///< datagrams delivered out of the link
   u64 bytes_in = 0;    ///< payload octets in (headers/FCS/flags excluded)
   u64 bytes_out = 0;   ///< payload octets delivered
-  u64 fcs_errors = 0;  ///< frames the far-end receiver junked (FCS/abort)
+  u64 fcs_errors = 0;  ///< far-end receiver junk events (FCS/abort/filter/overflow)
+  /// Admitted descriptors written off as undeliverable. Loss accounting is
+  /// exact: at idle, frames_in == frames_out + frames_lost — every admitted
+  /// descriptor is either delivered or counted here, never both.
+  u64 frames_lost = 0;
   u64 ring_full_stalls = 0;  ///< descriptor pushes that found a ring/device full
   u64 ingress_hwm = 0;       ///< peak source+fabric ring occupancy observed
   u64 egress_hwm = 0;        ///< peak egress ring (+spill) occupancy observed
@@ -48,6 +52,9 @@ class alignas(kCacheLineBytes) ChannelTelemetry {
   void add_fcs_errors(u64 n) {
     if (n) fcs_errors_.fetch_add(n, std::memory_order_relaxed);
   }
+  void add_frames_lost(u64 n) {
+    if (n) frames_lost_.fetch_add(n, std::memory_order_relaxed);
+  }
   void ring_full_stall() { ring_full_stalls_.fetch_add(1, std::memory_order_relaxed); }
   void note_ingress_depth(std::size_t depth) { raise(ingress_hwm_, depth); }
   void note_egress_depth(std::size_t depth) { raise(egress_hwm_, depth); }
@@ -70,6 +77,7 @@ class alignas(kCacheLineBytes) ChannelTelemetry {
   std::atomic<u64> bytes_in_{0};
   std::atomic<u64> bytes_out_{0};
   std::atomic<u64> fcs_errors_{0};
+  std::atomic<u64> frames_lost_{0};
   std::atomic<u64> ring_full_stalls_{0};
   std::atomic<u64> ingress_hwm_{0};
   std::atomic<u64> egress_hwm_{0};

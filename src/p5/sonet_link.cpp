@@ -42,8 +42,12 @@ P5SonetLink::P5SonetLink(const P5Config& a_cfg, const P5Config& b_cfg, sonet::St
 
 void P5SonetLink::exchange_frames(std::size_t frames) {
   for (std::size_t i = 0; i < frames; ++i) {
-    deframer_b_->push(line_ab_.transfer(framer_a_->next_frame()));
-    deframer_a_->push(line_ba_.transfer(framer_b_->next_frame()));
+    Bytes ab = line_ab_.transfer(framer_a_->next_frame());
+    if (tap_ab_) tap_ab_(ab);
+    deframer_b_->push(ab);
+    Bytes ba = line_ba_.transfer(framer_b_->next_frame());
+    if (tap_ba_) tap_ba_(ba);
+    deframer_a_->push(ba);
   }
 }
 

@@ -9,6 +9,7 @@
 // errors, exercising the FCS/abort/delineation recovery paths end to end.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "p5/p5.hpp"
@@ -32,6 +33,17 @@ class P5SonetLink {
   /// Move one SONET frame in each direction (A->B and B->A).
   void exchange_frames(std::size_t frames = 1);
 
+  /// Optional per-direction mutation of each SONET frame *after* the line
+  /// model and before the deframer — the insertion point for fault injection
+  /// (testing::FaultyLine is directly callable as a tap). Either tap may be
+  /// empty. A tap runs on whichever thread pumps exchange_frames, so give
+  /// each direction its own stateful tap object.
+  using LineTap = std::function<void(Bytes&)>;
+  void set_line_tap(LineTap a_to_b, LineTap b_to_a) {
+    tap_ab_ = std::move(a_to_b);
+    tap_ba_ = std::move(b_to_a);
+  }
+
   [[nodiscard]] const sonet::DeframerStats& a_to_b_stats() const { return deframer_b_->stats(); }
   [[nodiscard]] const sonet::DeframerStats& b_to_a_stats() const { return deframer_a_->stats(); }
   [[nodiscard]] const sonet::LineStats& line_ab_stats() const { return line_ab_.stats(); }
@@ -47,6 +59,7 @@ class P5SonetLink {
   std::unique_ptr<sonet::SonetFramer> framer_a_, framer_b_;
   std::unique_ptr<sonet::SonetDeframer> deframer_a_, deframer_b_;
   sonet::Line line_ab_, line_ba_;
+  LineTap tap_ab_, tap_ba_;
 };
 
 }  // namespace p5::core

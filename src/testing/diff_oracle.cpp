@@ -1,0 +1,334 @@
+#include "testing/diff_oracle.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "hdlc/delineation.hpp"
+#include "hdlc/stuffing.hpp"
+#include "p5/p5.hpp"
+
+namespace p5::testing {
+
+namespace {
+
+std::string hex_octet(u8 b) {
+  std::ostringstream o;
+  o << "0x" << std::hex << std::setw(2) << std::setfill('0') << static_cast<unsigned>(b);
+  return o.str();
+}
+
+/// First-divergence diagnosis between two engines' byte streams.
+std::string diff_bytes(std::string_view label_a, BytesView a, std::string_view label_b,
+                       BytesView b) {
+  if (std::equal(a.begin(), a.end(), b.begin(), b.end())) return {};
+  std::ostringstream o;
+  o << label_a << " (" << a.size() << " octets) != " << label_b << " (" << b.size()
+    << " octets)";
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      o << "; first divergence at offset " << i << ": " << hex_octet(a[i]) << " vs "
+        << hex_octet(b[i]);
+      return o.str();
+    }
+  }
+  o << "; one is a prefix of the other";
+  return o.str();
+}
+
+constexpr u64 kCyclesPerOctet = 4;  ///< generous bound for either byte sorter
+constexpr u64 kCycleSlack = 64;
+
+}  // namespace
+
+// ---- persistent cycle-level rigs --------------------------------------
+
+namespace detail {
+
+struct GenRig {
+  rtl::Fifo<rtl::Word> in{"oracle_gen_in", 1};
+  rtl::Fifo<rtl::Word> out{"oracle_gen_out", 2};
+  core::EscapeGenerate unit;
+  rtl::Simulator sim;
+
+  GenRig(unsigned lanes, hdlc::Accm accm) : unit("oracle_gen", lanes, in, out, accm) {
+    sim.add(unit);
+    sim.add_channel(in);
+    sim.add_channel(out);
+  }
+
+  /// Stream one frame through; returns nullopt when the unit never emitted
+  /// EOF within the cycle budget (itself a reportable failure).
+  std::optional<Bytes> run(BytesView content, unsigned lanes) {
+    Bytes got;
+    std::size_t off = 0;
+    bool done = false;
+    const u64 budget = kCycleSlack + kCyclesPerOctet * (content.size() + lanes);
+    for (u64 cycle = 0; cycle < budget && !done; ++cycle) {
+      if (off < content.size() && in.can_push()) {
+        const std::size_t n = std::min<std::size_t>(lanes, content.size() - off);
+        rtl::Word w = rtl::Word::of(content.subspan(off, n));
+        w.sof = off == 0;
+        w.eof = off + n >= content.size();
+        in.push(w);
+        off += n;
+      }
+      sim.step();
+      while (out.can_pop()) {
+        const rtl::Word w = out.pop();
+        for (std::size_t i = 0; i < w.count(); ++i) got.push_back(w.lane(i));
+        if (w.eof) done = true;
+      }
+    }
+    if (!done) return std::nullopt;
+    return got;
+  }
+};
+
+struct DetRig {
+  rtl::Fifo<rtl::Word> in{"oracle_det_in", 1};
+  rtl::Fifo<rtl::Word> out{"oracle_det_out", 2};
+  core::EscapeDetect unit;
+  rtl::Simulator sim;
+
+  explicit DetRig(unsigned lanes) : unit("oracle_det", lanes, in, out) {
+    sim.add(unit);
+    sim.add_channel(in);
+    sim.add_channel(out);
+  }
+
+  std::optional<DetectStreamResult> run(BytesView stuffed, unsigned lanes) {
+    DetectStreamResult res;
+    std::size_t off = 0;
+    bool done = false;
+    const u64 budget = kCycleSlack + kCyclesPerOctet * (stuffed.size() + lanes);
+    for (u64 cycle = 0; cycle < budget && !done; ++cycle) {
+      if (off < stuffed.size() && in.can_push()) {
+        const std::size_t n = std::min<std::size_t>(lanes, stuffed.size() - off);
+        rtl::Word w = rtl::Word::of(stuffed.subspan(off, n));
+        w.sof = off == 0;
+        w.eof = off + n >= stuffed.size();
+        in.push(w);
+        off += n;
+      }
+      sim.step();
+      while (out.can_pop()) {
+        const rtl::Word w = out.pop();
+        for (std::size_t i = 0; i < w.count(); ++i) res.data.push_back(w.lane(i));
+        if (w.eof) {
+          res.abort = w.abort;
+          done = true;
+        }
+      }
+    }
+    if (!done) return std::nullopt;
+    return res;
+  }
+};
+
+}  // namespace detail
+
+Bytes escape_generate_stream(unsigned lanes, BytesView content, const hdlc::Accm& accm) {
+  detail::GenRig rig(lanes, accm);
+  auto got = rig.run(content, lanes);
+  return got ? std::move(*got) : Bytes{};
+}
+
+DetectStreamResult escape_detect_stream(unsigned lanes, BytesView stuffed) {
+  detail::DetRig rig(lanes);
+  auto got = rig.run(stuffed, lanes);
+  return got ? std::move(*got) : DetectStreamResult{};
+}
+
+// ---- oracle ------------------------------------------------------------
+
+DiffOracle::DiffOracle(hdlc::FrameConfig cfg, unsigned lanes)
+    : cfg_(cfg),
+      lanes_(lanes),
+      scalar_crc16_(crc::kFcs16),
+      scalar_crc32_(crc::kFcs32),
+      gen_(std::make_unique<detail::GenRig>(lanes, cfg.accm)),
+      det_(std::make_unique<detail::DetRig>(lanes)) {}
+
+DiffOracle::~DiffOracle() = default;
+
+Bytes DiffOracle::scalar_encapsulate(u16 protocol, BytesView payload) const {
+  // Independent re-implementation of the header/FCS assembly on purpose:
+  // sharing hdlc::encapsulate here would let a framing bug hide from the
+  // differential comparison.
+  Bytes content;
+  if (!cfg_.acfc) {
+    content.push_back(cfg_.address);
+    content.push_back(cfg_.control);
+  }
+  if (cfg_.pfc && protocol <= 0xFF && (protocol & 1u)) {
+    content.push_back(static_cast<u8>(protocol));
+  } else {
+    put_be16(content, protocol);
+  }
+  append(content, payload);
+  const bool wide = cfg_.fcs == hdlc::FcsKind::kFcs32;
+  const u32 fcs = wide ? scalar_crc32_.crc(content) : scalar_crc16_.crc(content);
+  // Least-significant octet first (RFC 1662 §C), both widths.
+  for (std::size_t i = 0; i < cfg_.fcs_bytes(); ++i)
+    content.push_back(static_cast<u8>(fcs >> (8 * i)));
+  return content;
+}
+
+DiffOracle::EncodeResult DiffOracle::encode(u16 protocol, BytesView payload) {
+  EncodeResult r;
+  auto flunk = [&](std::string why) {
+    if (r.agree) r.diagnosis = std::move(why);
+    r.agree = false;
+  };
+
+  // Layer 1: frame content (header + payload + FCS), scalar vs fastpath CRC.
+  r.content = scalar_encapsulate(protocol, payload);
+  const Bytes content_fast = hdlc::encapsulate(cfg_, protocol, payload);
+  if (auto d = diff_bytes("scalar content", r.content, "fastpath content", content_fast);
+      !d.empty())
+    flunk(std::move(d));
+
+  // Layer 2: stuffed image, scalar vs SWAR vs cycle-level Escape Generate.
+  r.stuffed = fastpath::scalar::stuff(r.content, cfg_.accm);
+  const Bytes stuffed_fast = hdlc::stuff(r.content, cfg_.accm);
+  if (auto d = diff_bytes("scalar stuffed", r.stuffed, "SWAR stuffed", stuffed_fast);
+      !d.empty())
+    flunk(std::move(d));
+
+  auto stuffed_p5 = gen_->run(r.content, lanes_);
+  if (!stuffed_p5) {
+    flunk("EscapeGenerate never emitted EOF within the cycle budget");
+  } else if (auto d = diff_bytes("scalar stuffed", r.stuffed, "p5 EscapeGenerate", *stuffed_p5);
+             !d.empty()) {
+    flunk(std::move(d));
+  }
+
+  // Layer 3: the fused zero-alloc encoder's whole wire image.
+  const BytesView wire = hdlc::encode_into(arena_, cfg_, protocol, payload);
+  r.wire.assign(wire.begin(), wire.end());
+  if (r.wire.size() < 2 || r.wire.front() != hdlc::kFlag || r.wire.back() != hdlc::kFlag) {
+    flunk("fused encoder wire image is not flag-delimited");
+  } else if (auto d = diff_bytes("scalar stuffed", r.stuffed, "fused encode_into body",
+                                 BytesView(r.wire).subspan(1, r.wire.size() - 2));
+             !d.empty()) {
+    flunk(std::move(d));
+  }
+  return r;
+}
+
+DiffOracle::DecodeResult DiffOracle::decode(BytesView stuffed) {
+  DecodeResult r;
+  auto flunk = [&](std::string why) {
+    if (r.agree) r.diagnosis = std::move(why);
+    r.agree = false;
+  };
+
+  auto [scalar_data, scalar_ok] = fastpath::scalar::destuff(stuffed);
+  r.recovered = std::move(scalar_data);
+  r.ok = scalar_ok;
+
+  const hdlc::DestuffResult fast = hdlc::destuff(stuffed);
+  if (fast.ok != scalar_ok)
+    flunk(std::string("dangling-escape verdicts differ: scalar ") +
+          (scalar_ok ? "ok" : "abort") + ", SWAR " + (fast.ok ? "ok" : "abort"));
+  if (auto d = diff_bytes("scalar destuffed", r.recovered, "SWAR destuffed", fast.data);
+      !d.empty())
+    flunk(std::move(d));
+
+  if (stuffed.empty()) return r;  // the byte sorter needs at least one octet
+  auto det = det_->run(stuffed, lanes_);
+  if (!det) {
+    flunk("EscapeDetect never emitted EOF within the cycle budget");
+    return r;
+  }
+  if (det->abort == r.ok)
+    flunk(std::string("dangling-escape verdicts differ: scalar ") +
+          (scalar_ok ? "ok" : "abort") + ", p5 EscapeDetect " +
+          (det->abort ? "abort" : "ok"));
+  if (auto d = diff_bytes("scalar destuffed", r.recovered, "p5 EscapeDetect", det->data);
+      !d.empty())
+    flunk(std::move(d));
+  return r;
+}
+
+DiffOracle::ReceiveResult DiffOracle::receive(BytesView raw_wire) {
+  ReceiveResult r;
+  if (cfg_.acfc || cfg_.pfc) {
+    r.agree = false;
+    r.diagnosis = "receive() requires uncompressed headers (the P5 has no ACFC/PFC)";
+    return r;
+  }
+
+  // The P5's PHY interface moves whole `lanes`-octet words, so a stream tail
+  // shorter than one word would sit in its spill buffer unseen. Pad with
+  // inter-frame flag fill to a word boundary — and give the *same* padded
+  // image to every engine, so a truncated trailing frame is closed (and then
+  // FCS-rejected) identically everywhere.
+  Bytes padded(raw_wire.begin(), raw_wire.end());
+  while (padded.size() % lanes_) padded.push_back(hdlc::kFlag);
+  const BytesView wire(padded);
+
+  // Software stack, parameterised by destuff engine.
+  auto software = [&](bool scalar_engine) {
+    std::vector<Delivery> good;
+    hdlc::Delineator d([&](BytesView f) {
+      Bytes data;
+      bool ok;
+      if (scalar_engine) {
+        auto res = fastpath::scalar::destuff(f);
+        data = std::move(res.first);
+        ok = res.second;
+      } else {
+        auto res = hdlc::destuff(f);
+        data = std::move(res.data);
+        ok = res.ok;
+      }
+      if (!ok) return;
+      auto parsed = hdlc::parse(cfg_, data);
+      if (parsed.ok())
+        good.push_back({parsed.frame->protocol, std::move(parsed.frame->payload)});
+    });
+    d.push(wire);
+    return good;
+  };
+  const std::vector<Delivery> sw_scalar = software(true);
+  const std::vector<Delivery> sw_fast = software(false);
+
+  // Cycle-accurate receiver: a whole P5 device configured to match.
+  core::P5Config pc;
+  pc.lanes = lanes_;
+  pc.address = cfg_.address;
+  pc.control = cfg_.control;
+  pc.fcs32 = cfg_.fcs == hdlc::FcsKind::kFcs32;
+  pc.max_payload = cfg_.max_payload;
+  pc.accm = cfg_.accm;
+  core::P5 dev(pc);
+  std::vector<Delivery> hw;
+  dev.set_rx_sink([&](core::RxDelivery d) { hw.push_back({d.protocol, std::move(d.payload)}); });
+  dev.phy_push_rx(wire);
+  dev.drain_rx(10000);
+
+  auto compare = [&](const char* label, const std::vector<Delivery>& other) {
+    if (sw_scalar == other) return;
+    if (!r.agree) return;  // keep the first divergence
+    std::ostringstream o;
+    o << "scalar engine accepted " << sw_scalar.size() << " frames, " << label << " accepted "
+      << other.size();
+    const std::size_t n = std::min(sw_scalar.size(), other.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(sw_scalar[i] == other[i])) {
+        o << "; first divergence at frame " << i;
+        break;
+      }
+    }
+    r.agree = false;
+    r.diagnosis = o.str();
+  };
+  compare("SWAR engine", sw_fast);
+  compare("p5 device", hw);
+  r.delivered = sw_scalar;
+  return r;
+}
+
+}  // namespace p5::testing

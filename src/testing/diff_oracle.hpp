@@ -1,0 +1,121 @@
+// Differential conformance oracle: the same packet stream through every
+// implementation of the paper's datapath, with byte-exact agreement
+// enforced at each layer.
+//
+// Three engines per direction:
+//   * scalar_ref     — the seed-era byte/bit-at-a-time reference
+//                      (fastpath/scalar_ref), plus an independent scalar
+//                      re-implementation of the header/FCS assembly;
+//   * fastpath       — the word-parallel SWAR kernels behind hdlc::stuff /
+//                      hdlc::destuff / hdlc::encode_into;
+//   * p5 pipeline    — the cycle-level Escape Generate / Escape Detect byte
+//                      sorters (and, for full receive, a whole P5 device).
+//
+// encode() proves the three produce the identical stuffed image and FCS;
+// decode() proves the three recover the identical frame content (and agree
+// on dangling-escape aborts); receive() proves a whole wire stream —
+// possibly mangled by a FaultyLine — yields the identical accepted-frame
+// sequence from the software stack and the cycle-accurate receiver, i.e. a
+// corrupted frame is never delivered as good payload by any engine unless
+// every engine delivers it.
+//
+// Adding a fourth engine: implement the stuff/destuff pair, append its
+// output to the comparison sets in diff_oracle.cpp — the oracle's result
+// structs and every suite that uses them pick it up unchanged (TESTING.md
+// has the walk-through).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fastpath/scalar_ref.hpp"
+#include "hdlc/frame.hpp"
+#include "p5/escape_detect.hpp"
+#include "p5/escape_generate.hpp"
+#include "rtl/fifo.hpp"
+#include "rtl/simulator.hpp"
+
+namespace p5::testing {
+
+namespace detail {
+struct GenRig;
+struct DetRig;
+}  // namespace detail
+
+/// One-shot: stream a frame of `content` through a fresh cycle-level Escape
+/// Generate unit and return the stuffed image.
+[[nodiscard]] Bytes escape_generate_stream(unsigned lanes, BytesView content,
+                                           const hdlc::Accm& accm);
+
+struct DetectStreamResult {
+  Bytes data;
+  bool abort = false;  ///< dangling escape at EOF (RFC 1662 invalid sequence)
+};
+/// One-shot: stream a stuffed frame (no flags) through a fresh cycle-level
+/// Escape Detect unit.
+[[nodiscard]] DetectStreamResult escape_detect_stream(unsigned lanes, BytesView stuffed);
+
+class DiffOracle {
+ public:
+  explicit DiffOracle(hdlc::FrameConfig cfg = {}, unsigned lanes = 4);
+  ~DiffOracle();
+  DiffOracle(const DiffOracle&) = delete;
+  DiffOracle& operator=(const DiffOracle&) = delete;
+
+  struct EncodeResult {
+    Bytes content;  ///< unstuffed frame content incl. FCS (agreed by all engines)
+    Bytes stuffed;  ///< stuffed image (agreed by all engines)
+    Bytes wire;     ///< flag + stuffed + flag, from the fused encoder
+    bool agree = true;
+    std::string diagnosis;  ///< first divergence, engine-labelled
+  };
+  /// Encode one packet through all transmit engines and diff the results.
+  [[nodiscard]] EncodeResult encode(u16 protocol, BytesView payload);
+
+  struct DecodeResult {
+    Bytes recovered;  ///< destuffed content (agreed by all engines)
+    bool ok = true;   ///< false: dangling escape (all engines must concur)
+    bool agree = true;
+    std::string diagnosis;
+  };
+  /// Decode a stuffed frame body (no flags) through all receive engines.
+  [[nodiscard]] DecodeResult decode(BytesView stuffed);
+
+  struct Delivery {
+    u16 protocol = 0;
+    Bytes payload;
+    bool operator==(const Delivery&) const = default;
+  };
+  struct ReceiveResult {
+    std::vector<Delivery> delivered;  ///< accepted frames, in arrival order
+    bool agree = true;
+    std::string diagnosis;
+  };
+  /// Run a raw flag-delimited wire stream (clean or faulted) through the
+  /// software receive stack (scalar and fastpath destuffers) and a
+  /// cycle-accurate P5 device; all three must accept the same frames.
+  /// Requires an uncompressed-header config (the P5 has no ACFC/PFC).
+  /// The stream is padded with flag fill to a whole number of `lanes`-octet
+  /// words (the P5 PHY moves whole words), identically for every engine.
+  [[nodiscard]] ReceiveResult receive(BytesView wire);
+
+  [[nodiscard]] const hdlc::FrameConfig& config() const { return cfg_; }
+  [[nodiscard]] unsigned lanes() const { return lanes_; }
+
+ private:
+  [[nodiscard]] Bytes scalar_encapsulate(u16 protocol, BytesView payload) const;
+
+  hdlc::FrameConfig cfg_;
+  unsigned lanes_;
+  fastpath::scalar::ByteTableCrc scalar_crc16_;
+  fastpath::scalar::ByteTableCrc scalar_crc32_;
+  hdlc::FrameArena arena_;
+  /// Persistent cycle-level rigs: fifos + unit + simulator reused across
+  /// packets so a 100k-packet sweep does not rebuild pipelines per frame.
+  std::unique_ptr<detail::GenRig> gen_;
+  std::unique_ptr<detail::DetRig> det_;
+};
+
+}  // namespace p5::testing

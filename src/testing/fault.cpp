@@ -1,0 +1,148 @@
+#include "testing/fault.hpp"
+
+#include <cmath>
+
+#include "hdlc/accm.hpp"
+
+namespace p5::testing {
+
+FaultSpec FaultSpec::clean(u64 seed) {
+  FaultSpec s;
+  s.seed = seed;
+  return s;
+}
+
+FaultSpec FaultSpec::ber(double rate, u64 seed) {
+  FaultSpec s;
+  s.bit_error_rate = rate;
+  s.seed = seed;
+  return s;
+}
+
+FaultSpec FaultSpec::slips(double insert, double del, u64 seed) {
+  FaultSpec s;
+  s.slip_insert_rate = insert;
+  s.slip_delete_rate = del;
+  s.seed = seed;
+  return s;
+}
+
+FaultSpec FaultSpec::truncation(double rate, u64 seed) {
+  FaultSpec s;
+  s.truncate_rate = rate;
+  s.seed = seed;
+  return s;
+}
+
+FaultSpec FaultSpec::aborts(double rate, u64 seed) {
+  FaultSpec s;
+  s.abort_rate = rate;
+  s.seed = seed;
+  return s;
+}
+
+FaultSpec FaultSpec::pointer_events(double rate, sonet::StsSpec sts, u64 seed) {
+  FaultSpec s;
+  s.pointer_event_rate = rate;
+  s.sts = sts;
+  s.seed = seed;
+  return s;
+}
+
+void FaultyLine::flip_bits(Bytes& chunk, bool& touched) {
+  const double p = spec_.bit_error_rate;
+  const u64 nbits = 8 * static_cast<u64>(chunk.size());
+  if (p >= 1.0) {
+    for (u8& b : chunk) b = static_cast<u8>(~b);
+    stats_.bit_flips += nbits;
+    touched = nbits > 0;
+    return;
+  }
+  // Skip-sample the geometric gaps between flips instead of rolling per
+  // bit: O(flips), not O(bits), which keeps high-volume BER sweeps cheap.
+  const double denom = std::log1p(-p);
+  u64 pos = 0;
+  while (true) {
+    // Uniform in (0, 1] so the log never sees zero.
+    const double u = (static_cast<double>(rng_.next() >> 11) + 1.0) * 0x1.0p-53;
+    const double skip = std::floor(std::log(u) / denom);
+    if (skip >= static_cast<double>(nbits)) break;  // also catches +inf
+    pos += static_cast<u64>(skip);
+    if (pos >= nbits) break;
+    chunk[pos / 8] ^= static_cast<u8>(1u << (pos % 8));
+    ++stats_.bit_flips;
+    touched = true;
+    ++pos;
+  }
+}
+
+void FaultyLine::apply(Bytes& chunk) {
+  const u64 index = stats_.chunks++;
+  stats_.octets += chunk.size();
+  if (index >= spec_.active_chunks) return;
+
+  bool touched = false;
+
+  // Structural faults first (they change length), bit noise last so the BER
+  // applies to the octets that actually go down the line.
+  if (spec_.pointer_event_rate > 0.0 && !chunk.empty() &&
+      rng_.chance(spec_.pointer_event_rate)) {
+    // Justification slip: position is the octet after H3 when the chunk is a
+    // SONET frame of known geometry, random otherwise.
+    std::size_t pos;
+    if (spec_.sts && chunk.size() >= spec_.sts->frame_bytes()) {
+      const std::size_t h3 = 3 * spec_.sts->columns() + 2 * spec_.sts->n;
+      pos = std::min(h3 + 1, chunk.size() - 1);
+    } else {
+      pos = static_cast<std::size_t>(rng_.below(chunk.size()));
+    }
+    if (rng_.chance(0.5)) {
+      chunk.insert(chunk.begin() + static_cast<std::ptrdiff_t>(pos), rng_.byte());
+    } else {
+      chunk.erase(chunk.begin() + static_cast<std::ptrdiff_t>(pos));
+    }
+    ++stats_.pointer_events;
+    touched = true;
+  }
+
+  if (spec_.slip_insert_rate > 0.0 && rng_.chance(spec_.slip_insert_rate)) {
+    const std::size_t pos = static_cast<std::size_t>(rng_.below(chunk.size() + 1));
+    chunk.insert(chunk.begin() + static_cast<std::ptrdiff_t>(pos), rng_.byte());
+    ++stats_.inserts;
+    touched = true;
+  }
+
+  if (spec_.slip_delete_rate > 0.0 && !chunk.empty() &&
+      rng_.chance(spec_.slip_delete_rate)) {
+    const std::size_t pos = static_cast<std::size_t>(rng_.below(chunk.size()));
+    chunk.erase(chunk.begin() + static_cast<std::ptrdiff_t>(pos));
+    ++stats_.deletes;
+    touched = true;
+  }
+
+  if (spec_.abort_rate > 0.0 && chunk.size() >= 2 && rng_.chance(spec_.abort_rate)) {
+    const std::size_t pos = static_cast<std::size_t>(rng_.below(chunk.size() - 1));
+    chunk[pos] = hdlc::kEscape;
+    chunk[pos + 1] = hdlc::kFlag;
+    ++stats_.aborts_injected;
+    touched = true;
+  }
+
+  if (spec_.truncate_rate > 0.0 && !chunk.empty() && rng_.chance(spec_.truncate_rate)) {
+    chunk.resize(static_cast<std::size_t>(rng_.below(chunk.size())));
+    ++stats_.truncations;
+    touched = true;
+  }
+
+  if (spec_.bit_error_rate > 0.0 && !chunk.empty()) flip_bits(chunk, touched);
+
+  if (touched) ++stats_.faulted_chunks;
+}
+
+Bytes FaultyLine::transfer(BytesView chunk) {
+  Bytes out(chunk.begin(), chunk.end());
+  apply(out);
+  return out;
+}
+
+}  // namespace p5::testing

@@ -14,6 +14,9 @@
 #include "p5/escape_generate.hpp"
 #include "p5/p5.hpp"
 #include "rtl/simulator.hpp"
+#include "testing/diff_oracle.hpp"
+#include "testing/fault.hpp"
+#include "testing/property.hpp"
 
 namespace p5::core {
 namespace {
@@ -35,8 +38,10 @@ CorruptedStream make_corrupted_stream(u64 seed, double byte_corruption_rate) {
     append(out.wire, hdlc::build_wire_frame(cfg, 0x0021, payload));
     for (u64 f = rng.below(3); f > 0; --f) out.wire.push_back(hdlc::kFlag);
   }
-  for (u8& b : out.wire)
-    if (rng.chance(byte_corruption_rate)) b ^= static_cast<u8>(1u << rng.below(8));
+  // The shared error model does the damage (one flipped bit per corrupted
+  // byte on average: a per-byte rate is 1/8 the per-bit rate).
+  testing::FaultyLine line(testing::FaultSpec::ber(byte_corruption_rate / 8.0, seed));
+  line.apply(out.wire);
   while (out.wire.size() % 8) out.wire.push_back(hdlc::kFlag);
   return out;
 }
@@ -90,6 +95,46 @@ TEST_P(CorruptionSweep, HardwareAndSoftwareAgreeOnGoodFrames) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Rates, CorruptionSweep, ::testing::Values(0.0, 0.0005, 0.002, 0.01));
+
+TEST(FuzzProperty, StructuralFaultsKeepAllEnginesInAgreement) {
+  // Property-runner version of the sweep above, widened to the structural
+  // fault classes (slips, truncation, aborts) the byte-flip sweep can't
+  // reach. Replay any failure with the printed P5_TEST_SEED (TESTING.md).
+  testing::DiffOracle oracle;
+  testing::PropertyOptions opt;
+  opt.cases = 150;
+  opt.seed = 0xF0225EEDull;
+  opt.min_size = 4;
+  opt.max_size = 200;
+  const auto res = testing::check_property("fuzz_structural_faults", opt,
+                                           [&](testing::CaseContext& c) {
+    Bytes wire(4, hdlc::kFlag);
+    std::vector<testing::DiffOracle::Delivery> sent;
+    for (int f = 0; f < 5; ++f) {
+      const u16 protocol = testing::gen_protocol(c.rng);
+      const Bytes payload = testing::gen_payload(c.rng, 1 + c.rng.below(c.size));
+      append(wire, hdlc::build_wire_frame(oracle.config(), protocol, payload));
+      sent.push_back({protocol, payload});
+    }
+    testing::FaultSpec spec;
+    spec.seed = c.seed;
+    spec.bit_error_rate = 1e-3;
+    spec.slip_insert_rate = 0.5;
+    spec.slip_delete_rate = 0.5;
+    spec.truncate_rate = 0.25;
+    spec.abort_rate = 0.5;
+    testing::FaultyLine line(spec);
+    line.apply(wire);
+
+    const auto rx = oracle.receive(wire);
+    if (!rx.agree) return c.fail(rx.diagnosis);
+    // FCS-32 keeps the damage out: everything accepted was genuinely sent.
+    for (const auto& d : rx.delivered)
+      if (std::find(sent.begin(), sent.end(), d) == sent.end())
+        return c.fail("an engine accepted a frame that was never sent");
+  });
+  EXPECT_TRUE(res.ok) << res.message;
+}
 
 TEST(FuzzEscape, RandomInputGapsDontPerturbTheStream) {
   // Drive EscapeGenerate with randomly bursty input (valid gaps between
