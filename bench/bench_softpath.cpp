@@ -3,18 +3,32 @@
 // fastpath/scalar_ref.hpp:
 //
 //   * CRC FCS-16/FCS-32: byte-at-a-time table loop vs slicing-by-8;
-//   * HDLC stuffing/destuffing: octet loop vs SWAR scan + bulk copy;
+//   * HDLC stuffing/destuffing: octet loop vs the runtime-dispatched escape
+//     engine (scalar / SWAR / SSE2 / SSSE3 / AVX2), with one row per tier
+//     this host can pin plus the production auto-dispatch row;
 //   * framing: encapsulate+stuff+copy (3 allocations) vs fused zero-alloc
-//     encode_into;
+//     encode_into, and a 32-frame batched encode (encode_batch_into) that
+//     amortises per-frame setup — the small-frame case;
 //   * SONET scramblers: bit-serial loops vs table / byte-parallel stepping.
 //
-// Swept across escape densities {0, 1/128, 0.25, 1.0} and frame sizes
+// Swept across escape densities {0, 1/128, 0.25, 1.0} and payload sizes
 // {64 B, 1500 B, 9 KB}. Results go to stdout and to a machine-readable
 // BENCH_softpath.json (format documented in README.md) so future PRs can
-// track the perf trajectory.
+// track the perf trajectory; scripts/bench_compare.py gates regressions
+// against the committed baseline.
 //
-// Usage: bench_softpath [--smoke] [--out <path>]
+// Row semantics: `frame_bytes` is always the *payload* size; `wire_bytes`
+// is the stuffed/framed size the kernel actually moves (destuff throughput
+// is measured over wire octets consumed). `dispatch` names the escape-engine
+// tier the row ran; `pinned` rows force a lower tier for diagnosis — the
+// speedup guarantees apply to the auto-dispatch rows only (a pinned SWAR
+// row at high density is *expected* to trail the scalar seed; that regression
+// is exactly why the dispatcher exists).
+//
+// Usage: bench_softpath [--smoke] [--quick] [--out <path>]
 //   --smoke  tiny iteration counts (CI bit-rot check, label `bench`)
+//   --quick  short timed windows (~10x faster full sweep; used by the
+//            check.sh / CI bench_compare gate, where the *ratios* matter)
 //   --out    JSON output path (default BENCH_softpath.json)
 #include <chrono>
 #include <cstdio>
@@ -26,6 +40,7 @@
 
 #include "bench_util.hpp"
 #include "crc/crc_table.hpp"
+#include "fastpath/escape_simd.hpp"
 #include "fastpath/scalar_ref.hpp"
 #include "hdlc/frame.hpp"
 #include "hdlc/stuffing.hpp"
@@ -35,9 +50,12 @@ namespace p5::bench {
 namespace {
 
 struct Row {
-  std::string kernel;        // e.g. "crc32", "stuff"
+  std::string kernel;        // e.g. "crc32", "stuff", "frame_batch"
   std::size_t frame_bytes;   // payload size driven through the kernel
-  double escape_density;     // fraction of escape-class octets in the input
+  double escape_density;     // fraction of escape-class octets in the payload
+  std::string dispatch;      // engine/tier that produced new_mb_s
+  bool pinned = false;       // true: tier forced below auto-dispatch (diagnostic)
+  std::size_t wire_bytes;    // stuffed/framed size the kernel moves
   double old_mb_s;           // seed scalar path
   double new_mb_s;           // fastpath
   [[nodiscard]] double speedup() const { return old_mb_s > 0 ? new_mb_s / old_mb_s : 0.0; }
@@ -72,9 +90,10 @@ double measure_mb_s(std::size_t bytes_per_call, const std::function<void()>& fn)
 }
 
 void print_row(const Row& r) {
-  std::printf("  %-12s %6zu B  density %-8.4g  old %9.1f MB/s  new %9.1f MB/s  %5.2fx\n",
-              r.kernel.c_str(), r.frame_bytes, r.escape_density, r.old_mb_s, r.new_mb_s,
-              r.speedup());
+  std::printf("  %-12s %6zu B (wire %6zu)  density %-8.4g  %-10s old %9.1f MB/s  new %9.1f MB/s  %5.2fx%s\n",
+              r.kernel.c_str(), r.frame_bytes, r.wire_bytes, r.escape_density,
+              r.dispatch.c_str(), r.old_mb_s, r.new_mb_s, r.speedup(),
+              r.pinned ? "  [pinned]" : "");
 }
 
 bool write_json(const std::vector<Row>& rows, const std::string& path) {
@@ -84,7 +103,9 @@ bool write_json(const std::vector<Row>& rows, const std::string& path) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << "    {\"kernel\": \"" << r.kernel << "\", \"frame_bytes\": " << r.frame_bytes
-        << ", \"escape_density\": " << r.escape_density << ", \"old_mb_s\": " << r.old_mb_s
+        << ", \"escape_density\": " << r.escape_density << ", \"dispatch\": \"" << r.dispatch
+        << "\", \"pinned\": " << (r.pinned ? "true" : "false")
+        << ", \"wire_bytes\": " << r.wire_bytes << ", \"old_mb_s\": " << r.old_mb_s
         << ", \"new_mb_s\": " << r.new_mb_s << ", \"speedup\": " << r.speedup() << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -101,6 +122,9 @@ int run(int argc, char** argv) {
   std::string out_path = "BENCH_softpath.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_min_seconds = 0.01;
+    }
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
   }
   if (smoke) {
@@ -111,9 +135,14 @@ int run(int argc, char** argv) {
   banner("bench_softpath — word-parallel software fast path, old vs new",
          "host-side acceleration (no paper artifact); mirrors the paper's 8->32-bit "
          "width-scaling idea in software");
+  std::printf("escape-engine dispatch: detected %s, auto tier %s\n",
+              fastpath::to_string(fastpath::detected_tier()),
+              fastpath::to_string(fastpath::best_tier()));
 
   const fastpath::scalar::ByteTableCrc old_crc32(crc::kFcs32);
   const fastpath::scalar::ByteTableCrc old_crc16(crc::kFcs16);
+  const hdlc::Accm accm = hdlc::Accm::sonet();
+  const fastpath::EscapeTier auto_tier = fastpath::best_tier();
   const std::size_t sizes[] = {64, 1500, 9216};
   const double densities[] = {0.0, 1.0 / 128, 0.25, 1.0};
   std::vector<Row> rows;
@@ -125,32 +154,46 @@ int run(int argc, char** argv) {
 
       // --- CRC (input-independent of density, but swept uniformly so every
       // row of the JSON has the same shape) ---
-      rows.push_back({"crc32", size, density,
+      rows.push_back({"crc32", size, density, "slice8", false, size,
                       measure_mb_s(size, [&] { g_sink = old_crc32.crc(payload); }),
                       measure_mb_s(size, [&] { g_sink = crc::fcs32().crc(payload); })});
-      rows.push_back({"crc16", size, density,
+      rows.push_back({"crc16", size, density, "slice8", false, size,
                       measure_mb_s(size, [&] { g_sink = old_crc16.crc(payload); }),
                       measure_mb_s(size, [&] { g_sink = crc::fcs16().crc(payload); })});
 
-      // --- stuffing (throughput in *input* octets) ---
-      rows.push_back({"stuff", size, density,
-                      measure_mb_s(size, [&] { g_sink = static_cast<u32>(
-                                                   fastpath::scalar::stuff(payload).size()); }),
-                      measure_mb_s(size, [&] { g_sink = static_cast<u32>(
-                                                   hdlc::stuff(payload).size()); })});
-      rows.push_back({"destuff", stuffed.size(), density,
-                      measure_mb_s(stuffed.size(),
-                                   [&] { g_sink = static_cast<u32>(
-                                             fastpath::scalar::destuff(stuffed).first.size()); }),
-                      measure_mb_s(stuffed.size(), [&] { g_sink = static_cast<u32>(
-                                                             hdlc::destuff(stuffed).data.size()); })});
+      // --- stuffing (throughput in *payload* octets in, wire octets out):
+      // one auto-dispatch row plus one pinned row per lower tier ---
+      const double stuff_old = measure_mb_s(
+          size, [&] { g_sink = static_cast<u32>(fastpath::scalar::stuff(payload).size()); });
+      const double destuff_old = measure_mb_s(stuffed.size(), [&] {
+        g_sink = static_cast<u32>(fastpath::scalar::destuff(stuffed).first.size());
+      });
+      for (const fastpath::EscapeTier tier : fastpath::available_tiers()) {
+        const bool pinned = tier != auto_tier;
+        const fastpath::EscapeEngine eng(accm, tier);
+        rows.push_back({"stuff", size, density, fastpath::to_string(tier), pinned,
+                        stuffed.size(), stuff_old, measure_mb_s(size, [&] {
+                          Bytes out;
+                          out.reserve(2 * payload.size() + fastpath::kStuffSlack);
+                          eng.stuff_append(out, payload);
+                          g_sink = static_cast<u32>(out.size());
+                        })});
+        rows.push_back({"destuff", size, density, fastpath::to_string(tier), pinned,
+                        stuffed.size(), destuff_old, measure_mb_s(stuffed.size(), [&] {
+                          Bytes out;
+                          out.reserve(stuffed.size() + fastpath::kStuffSlack);
+                          g_sink = eng.destuff_append(out, stuffed) ? 1u : 0u;
+                          g_sink = static_cast<u32>(out.size());
+                        })});
+      }
 
       // --- full framer: seed three-buffer path vs fused zero-alloc path ---
       hdlc::FrameConfig cfg;
       cfg.max_payload = 9216;
       hdlc::FrameArena arena;
+      const std::size_t frame_wire = hdlc::build_wire_frame(cfg, 0x0021, payload).size();
       rows.push_back(
-          {"frame", size, density,
+          {"frame", size, density, fastpath::to_string(auto_tier), false, frame_wire,
            measure_mb_s(size,
                         [&] {
                           const Bytes content = hdlc::encapsulate(cfg, 0x0021, payload);
@@ -165,13 +208,46 @@ int run(int argc, char** argv) {
            measure_mb_s(size, [&] {
              g_sink = static_cast<u32>(hdlc::encode_into(arena, cfg, 0x0021, payload).size());
            })});
+
+      // --- batched framer: 32 frames per call through encode_batch_into,
+      // one reservation + one engine/CRC setup for the burst — the
+      // small-frame amortisation the line-card fabric uses ---
+      constexpr std::size_t kBurst = 32;
+      std::vector<Bytes> burst;
+      std::vector<hdlc::BatchFrame> bframes;
+      for (std::size_t f = 0; f < kBurst; ++f) {
+        burst.push_back(density_payload(size, density, 500 + f));
+        bframes.push_back({0x0021, burst.back(), {}});
+      }
+      hdlc::FrameArena batch_arena;
+      const std::size_t batch_wire = hdlc::encode_batch_into(batch_arena, cfg, bframes).size();
+      rows.push_back(
+          {"frame_batch", size, density, fastpath::to_string(auto_tier), false, batch_wire,
+           measure_mb_s(kBurst * size,
+                        [&] {
+                          u32 total = 0;
+                          for (const Bytes& p : burst) {
+                            const Bytes content = hdlc::encapsulate(cfg, 0x0021, p);
+                            Bytes wire;
+                            wire.reserve(content.size() + 16);
+                            wire.push_back(hdlc::kFlag);
+                            const Bytes st = fastpath::scalar::stuff(content, cfg.accm);
+                            append(wire, st);
+                            wire.push_back(hdlc::kFlag);
+                            total += static_cast<u32>(wire.size());
+                          }
+                          g_sink = total;
+                        }),
+           measure_mb_s(kBurst * size, [&] {
+             g_sink = static_cast<u32>(hdlc::encode_batch_into(batch_arena, cfg, bframes).size());
+           })});
     }
 
     // --- scramblers (density-independent: one row per size) ---
     Bytes buf = density_payload(size, 0.0, 7);
     u8 lfsr = 0x7F;
     sonet::FrameScrambler frame_scr;
-    rows.push_back({"scramble_x7", size, 0.0,
+    rows.push_back({"scramble_x7", size, 0.0, "table", false, size,
                     measure_mb_s(size,
                                  [&] {
                                    for (u8& b : buf)
@@ -180,7 +256,7 @@ int run(int argc, char** argv) {
                     measure_mb_s(size, [&] { frame_scr.apply(buf, 0, buf.size()); })});
     u64 hist = 0;
     sonet::SelfSyncScrambler43 selfsync;
-    rows.push_back({"scramble_x43", size, 0.0,
+    rows.push_back({"scramble_x43", size, 0.0, "byte-parallel", false, size,
                     measure_mb_s(size,
                                  [&] {
                                    for (u8& b : buf)
@@ -197,12 +273,17 @@ int run(int argc, char** argv) {
   std::printf("wrote %s (%zu rows)%s\n", out_path.c_str(), rows.size(),
               smoke ? " [smoke mode: timings are not meaningful]" : "");
 
-  // Headline numbers the acceptance criteria track: 1500 B at density 1/128.
-  for (const Row& r : rows)
+  // Headline numbers the acceptance criteria track.
+  for (const Row& r : rows) {
+    if (r.pinned) continue;
     if (r.frame_bytes == 1500 && r.escape_density > 0.0 && r.escape_density < 0.01 &&
         (r.kernel == "crc32" || r.kernel == "stuff"))
       we_measure(r.kernel + " speedup at 1500 B, density 1/128: " +
                  std::to_string(r.speedup()) + "x");
+    if (r.frame_bytes == 1500 && r.escape_density == 0.25 && r.kernel == "destuff")
+      we_measure("destuff speedup at 1500 B, density 0.25 (" + r.dispatch +
+                 "): " + std::to_string(r.speedup()) + "x");
+  }
   return 0;
 }
 

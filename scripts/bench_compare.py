@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Gate a fresh BENCH_*.json against the committed baseline.
+
+Compares per-cell results — a cell is (kernel, frame_bytes, escape_density,
+dispatch, pinned) — and exits nonzero when any cell regresses by more than
+the tolerance (default 15%).
+
+The default metric is `speedup` (new path / seed scalar path, measured in
+the same run), which is a machine-normalised ratio: absolute MB/s differ
+wildly between the committed baseline's host and a CI runner, but the ratio
+only collapses when something real breaks — a dispatch tier silently
+disabled, a kernel pessimised. Use --metric new_mb_s for same-host
+comparisons where absolute throughput matters.
+
+Cells present in the baseline but missing from the fresh run are warnings by
+default (a host without AVX2 cannot produce avx2-pinned rows); --strict
+turns them into failures. Cells only in the fresh run are ignored (new
+kernels/tiers are not regressions).
+
+Usage:
+  scripts/bench_compare.py FRESH.json BASELINE.json [--tolerance 0.15]
+                           [--metric speedup|new_mb_s|old_mb_s] [--strict]
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+
+def cell_key(row):
+    return (
+        row.get("kernel"),
+        row.get("frame_bytes"),
+        row.get("escape_density"),
+        row.get("dispatch", ""),
+        bool(row.get("pinned", False)),
+    )
+
+
+def fmt_key(key):
+    kernel, size, density, dispatch, pinned = key
+    s = f"{kernel} @ {size}B density={density}"
+    if dispatch:
+        s += f" dispatch={dispatch}"
+    if pinned:
+        s += " [pinned]"
+    return s
+
+
+def load_results(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    rows = doc.get("results")
+    if not isinstance(rows, list) or not rows:
+        sys.exit(f"bench_compare: {path} has no results[]")
+    table = {}
+    for row in rows:
+        key = cell_key(row)
+        if key in table:
+            sys.exit(f"bench_compare: {path} has duplicate cell {fmt_key(key)}")
+        table[key] = row
+    return table
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly generated BENCH_*.json")
+    ap.add_argument("baseline", help="committed baseline BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional drop per cell (default 0.15 = 15%%)")
+    ap.add_argument("--metric", default="speedup",
+                    choices=["speedup", "new_mb_s", "old_mb_s"],
+                    help="field compared per cell (default: speedup)")
+    ap.add_argument("--strict", action="store_true",
+                    help="baseline cells missing from the fresh run fail the gate")
+    args = ap.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        ap.error("--tolerance must be in [0, 1)")
+
+    fresh = load_results(args.fresh)
+    baseline = load_results(args.baseline)
+
+    regressions = []
+    missing = []
+    compared = 0
+    for key, base_row in sorted(baseline.items(), key=lambda kv: fmt_key(kv[0])):
+        fresh_row = fresh.get(key)
+        if fresh_row is None:
+            missing.append(key)
+            continue
+        base_val = base_row.get(args.metric, 0.0)
+        fresh_val = fresh_row.get(args.metric, 0.0)
+        compared += 1
+        if base_val <= 0:
+            continue  # nothing meaningful to gate on
+        floor = base_val * (1.0 - args.tolerance)
+        if fresh_val < floor:
+            regressions.append((key, base_val, fresh_val))
+
+    for key in missing:
+        level = "error" if args.strict else "warning"
+        print(f"bench_compare: {level}: baseline cell missing from fresh run: {fmt_key(key)}")
+    for key, base_val, fresh_val in regressions:
+        drop = 100.0 * (1.0 - fresh_val / base_val)
+        print(f"bench_compare: REGRESSION {fmt_key(key)}: {args.metric} "
+              f"{base_val:.3f} -> {fresh_val:.3f} (-{drop:.1f}%, tolerance "
+              f"{100.0 * args.tolerance:.0f}%)")
+
+    verdict_fail = bool(regressions) or (args.strict and missing)
+    print(f"bench_compare: {compared} cells compared, {len(regressions)} regressions, "
+          f"{len(missing)} missing ({args.metric}, tolerance {100.0 * args.tolerance:.0f}%)"
+          f" -> {'FAIL' if verdict_fail else 'OK'}")
+    return 1 if verdict_fail else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

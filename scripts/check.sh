@@ -5,6 +5,8 @@
 #   asan      ASan+UBSan build + full ctest            (build-asan/)
 #   tsan      TSan build + the threaded suites         (build-tsan/)
 #   bench     smoke run of every registered bench      (build/, ctest -L bench)
+#             + bench_compare.py regression gate: a --quick bench_softpath
+#             sweep diffed against the committed BENCH_softpath.json
 #
 # Usage: scripts/check.sh [stage...]   (default: all stages in order)
 #   e.g. scripts/check.sh tier-1 fault     # skip the sanitizer rebuilds
@@ -60,6 +62,17 @@ if want bench; then
   echo
   echo "== bench smoke: ctest -L bench =="
   (cd build && ctest -L bench --output-on-failure -j)
+  echo
+  echo "== bench gate: quick softpath sweep vs committed baseline =="
+  # The gate compares *speedup ratios* (new/old measured in the same run),
+  # which survive host differences; the wide tolerance absorbs the noise of
+  # --quick windows on shared runners while still catching a collapsed
+  # dispatch tier (losing SIMD costs far more than 50%). For a careful
+  # same-host check, run the bench without --quick and compare with the
+  # default 15% tolerance.
+  ./build/bench/bench_softpath --quick --out build/BENCH_softpath.fresh.json > /dev/null
+  python3 scripts/bench_compare.py build/BENCH_softpath.fresh.json BENCH_softpath.json \
+    --tolerance 0.5
 fi
 
 echo

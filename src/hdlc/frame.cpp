@@ -31,6 +31,32 @@ std::size_t fill_header(const FrameConfig& cfg, u16 protocol, u8 (&hdr)[4]) {
   }
   return n;
 }
+
+/// Append flag + stuff(content) + flag for one frame. Shared by the single
+/// and batched encoders so the two wire paths cannot drift.
+void encode_append(Bytes& wire, const fastpath::EscapeEngine& eng, const fastpath::SliceCrc& crc,
+                   const FrameConfig& cfg, u16 protocol, BytesView payload) {
+  wire.push_back(kFlag);
+
+  u8 hdr[4];
+  const std::size_t hn = fill_header(cfg, protocol, hdr);
+
+  // One fused scan per region: the FCS register advances over the unstuffed
+  // octets while the stuffed image is appended — no intermediate buffers.
+  u32 state = cfg.crc_spec().init;
+  state = eng.stuff_crc_append(wire, BytesView(hdr, hn), crc, state);
+  state = eng.stuff_crc_append(wire, payload, crc, state);
+
+  // FCS, least-significant octet first (RFC 1662 §C), stuffed like any other
+  // content octets.
+  const u32 fcs = (state ^ cfg.crc_spec().xorout) & cfg.crc_spec().mask();
+  u8 tail[4];
+  const std::size_t fn = cfg.fcs_bytes();
+  for (std::size_t i = 0; i < fn; ++i) tail[i] = static_cast<u8>(fcs >> (8 * i));
+  eng.stuff_append(wire, BytesView(tail, fn));
+
+  wire.push_back(kFlag);
+}
 }  // namespace
 
 Bytes encapsulate(const FrameConfig& cfg, u16 protocol, BytesView payload) {
@@ -59,34 +85,67 @@ BytesView encode_into(FrameArena& arena, const FrameConfig& cfg, u16 protocol,
                       BytesView payload) {
   P5_EXPECTS(payload.size() <= cfg.max_payload);
   const fastpath::SliceCrc& crc = engine(cfg).slicer();
+  const fastpath::EscapeEngine& eng = arena.escape_engine(cfg.accm);
 
   Bytes& wire = arena.wire_;
   wire.clear();
-  // Worst case every content octet escapes (2x), plus two flags. Reserving
-  // the worst case up front keeps the hot loop free of reallocation checks;
-  // the capacity is retained across frames, so steady state never allocates.
-  wire.reserve(2 * (4 + payload.size() + cfg.fcs_bytes()) + 2);
-  wire.push_back(kFlag);
-
-  u8 hdr[4];
-  const std::size_t hn = fill_header(cfg, protocol, hdr);
-
-  // One fused scan per region: the FCS register advances over the unstuffed
-  // octets while the stuffed image is appended — no intermediate buffers.
-  u32 state = cfg.crc_spec().init;
-  state = fastpath::stuff_crc_append(wire, BytesView(hdr, hn), cfg.accm, crc, state);
-  state = fastpath::stuff_crc_append(wire, payload, cfg.accm, crc, state);
-
-  // FCS, least-significant octet first (RFC 1662 §C), stuffed like any other
-  // content octets.
-  const u32 fcs = (state ^ cfg.crc_spec().xorout) & cfg.crc_spec().mask();
-  u8 tail[4];
-  const std::size_t fn = cfg.fcs_bytes();
-  for (std::size_t i = 0; i < fn; ++i) tail[i] = static_cast<u8>(fcs >> (8 * i));
-  fastpath::stuff_append(wire, BytesView(tail, fn), cfg.accm);
-
-  wire.push_back(kFlag);
+  // Worst case every content octet escapes (2x), plus two flags, plus the
+  // vector kernels' overhang slack. Reserving the worst case up front keeps
+  // the hot loop free of reallocation checks; the capacity is retained
+  // across frames, so steady state never allocates.
+  wire.reserve(2 * (4 + payload.size() + cfg.fcs_bytes()) + 2 + fastpath::kStuffSlack);
+  encode_append(wire, eng, crc, cfg, protocol, payload);
   return wire;
+}
+
+BytesView encode_batch_into(FrameArena& arena, const FrameConfig& cfg,
+                            std::span<const BatchFrame> frames) {
+  const fastpath::SliceCrc& crc = engine(cfg).slicer();
+  const fastpath::EscapeEngine& eng = arena.escape_engine(cfg.accm);
+
+  Bytes& wire = arena.wire_;
+  wire.clear();
+  arena.spans_.clear();
+  arena.oks_.clear();
+
+  // One worst-case reservation for the whole batch — the per-frame setup
+  // (ACCM tables, CRC slicer, allocation headroom) is amortised across all
+  // frames, which is where small-frame throughput goes.
+  std::size_t worst = fastpath::kStuffSlack;
+  for (const BatchFrame& f : frames) {
+    P5_EXPECTS(f.payload.size() <= cfg.max_payload);
+    worst += 2 * (4 + f.payload.size() + cfg.fcs_bytes()) + 2;
+  }
+  wire.reserve(worst);
+
+  FrameConfig fcfg = cfg;
+  for (const BatchFrame& f : frames) {
+    fcfg.address = f.address ? *f.address : cfg.address;
+    const std::size_t start = wire.size();
+    encode_append(wire, eng, crc, fcfg, f.protocol, f.payload);
+    arena.spans_.emplace_back(start, wire.size());
+  }
+  return wire;
+}
+
+void decode_batch_into(FrameArena& arena, std::span<const BytesView> stuffed) {
+  const fastpath::EscapeEngine& eng = arena.rx_escape_engine();
+
+  Bytes& wire = arena.wire_;
+  wire.clear();
+  arena.spans_.clear();
+  arena.oks_.clear();
+
+  std::size_t total = fastpath::kStuffSlack;
+  for (const BytesView& s : stuffed) total += s.size();
+  wire.reserve(total);
+
+  for (const BytesView& s : stuffed) {
+    const std::size_t start = wire.size();
+    const bool ok = eng.destuff_append(wire, s);
+    arena.spans_.emplace_back(start, wire.size());
+    arena.oks_.push_back(ok ? 1 : 0);
+  }
 }
 
 Bytes build_wire_frame(const FrameConfig& cfg, u16 protocol, BytesView payload) {

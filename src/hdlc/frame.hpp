@@ -7,9 +7,12 @@
 #pragma once
 
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "common/types.hpp"
 #include "crc/crc_spec.hpp"
+#include "fastpath/escape_simd.hpp"
 #include "hdlc/accm.hpp"
 
 namespace p5::hdlc {
@@ -38,18 +41,67 @@ struct FrameConfig {
 /// [address control] protocol payload fcs.
 [[nodiscard]] Bytes encapsulate(const FrameConfig& cfg, u16 protocol, BytesView payload);
 
+/// One frame of a batched encode: protocol + payload, with an optional
+/// per-frame Address override (MAPOS gives every frame its own destination
+/// while the rest of the config is shared).
+struct BatchFrame {
+  u16 protocol = 0;
+  BytesView payload;
+  std::optional<u8> address;
+};
+
 /// Reusable scratch for the zero-allocation encoder. Steady state (same-size
 /// frames through the same arena) performs no heap allocation at all: the
 /// wire buffer is cleared and refilled in place.
+///
+/// The arena also caches the ACCM-derived escape engine (dispatch tables and
+/// tier selection), so per-frame setup is paid once per ACCM programming
+/// instead of once per frame — the software analogue of the P5 keeping its
+/// Escape Generate tables in OAM registers rather than rebuilding them per
+/// packet.
 class FrameArena {
  public:
   /// The last encoded wire image (valid until the next encode_into call).
   [[nodiscard]] const Bytes& wire() const { return wire_; }
 
+  /// The cached transmit escape engine for `accm`, (re)derived only when the
+  /// ACCM actually changes. Construction-time callers (e.g. the line-card
+  /// channel) use this to hoist table derivation out of the hot loop.
+  [[nodiscard]] const fastpath::EscapeEngine& escape_engine(const Accm& accm) {
+    if (!tx_engine_ || tx_engine_->accm() != accm) tx_engine_.emplace(accm);
+    return *tx_engine_;
+  }
+
+  /// The currently cached transmit engine, if any — telemetry readers peek
+  /// at its dispatch-tier counters without forcing a (re)derivation.
+  [[nodiscard]] const fastpath::EscapeEngine* cached_tx_engine() const {
+    return tx_engine_ ? &*tx_engine_ : nullptr;
+  }
+
+  /// The receive-side engine (destuffing is ACCM-independent on the wire).
+  [[nodiscard]] const fastpath::EscapeEngine& rx_escape_engine() {
+    if (!rx_engine_) rx_engine_.emplace(Accm::sonet());
+    return *rx_engine_;
+  }
+
+  /// Per-frame results of the last encode_batch_into / decode_batch_into.
+  [[nodiscard]] std::size_t frame_count() const { return spans_.size(); }
+  [[nodiscard]] BytesView frame(std::size_t i) const {
+    return BytesView(wire_.data() + spans_[i].first, spans_[i].second - spans_[i].first);
+  }
+  [[nodiscard]] bool frame_ok(std::size_t i) const { return i >= oks_.size() || oks_[i] != 0; }
+
  private:
   friend BytesView encode_into(FrameArena&, const FrameConfig&, u16, BytesView);
+  friend BytesView encode_batch_into(FrameArena&, const FrameConfig&,
+                                     std::span<const BatchFrame>);
+  friend void decode_batch_into(FrameArena&, std::span<const BytesView>);
   friend Bytes build_wire_frame(const FrameConfig&, u16, BytesView);
   Bytes wire_;
+  std::vector<std::pair<std::size_t, std::size_t>> spans_;
+  std::vector<u8> oks_;
+  std::optional<fastpath::EscapeEngine> tx_engine_;
+  std::optional<fastpath::EscapeEngine> rx_engine_;
 };
 
 /// Fused single-pass encoder: computes the FCS and stuffs in one scan of the
@@ -63,6 +115,21 @@ class FrameArena {
 /// Full wire image: flag + stuff(content) + flag. Convenience wrapper over
 /// encode_into that returns an owned buffer.
 [[nodiscard]] Bytes build_wire_frame(const FrameConfig& cfg, u16 protocol, BytesView payload);
+
+/// Batched encoder: encode every frame back-to-back into the arena with one
+/// worst-case reservation and one escape-engine/CRC setup for the whole
+/// batch. Returns the concatenated wire stream; arena.frame(i) views the
+/// i-th frame's wire image. Each image is byte-identical to encode_into with
+/// the same (address-overridden) config.
+[[nodiscard]] BytesView encode_batch_into(FrameArena& arena, const FrameConfig& cfg,
+                                          std::span<const BatchFrame> frames);
+
+/// Batched destuffer: destuff every chunk (stuffed frame content, no flags —
+/// as produced by the delineator) back-to-back into the arena with one
+/// reservation. arena.frame(i) views the i-th destuffed content and
+/// arena.frame_ok(i) reports a dangling-escape failure, with partial content
+/// retained exactly like hdlc::destuff. Inputs must not alias the arena.
+void decode_batch_into(FrameArena& arena, std::span<const BytesView> stuffed);
 
 enum class ParseError : u8 {
   kTooShort,

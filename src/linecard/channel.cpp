@@ -22,7 +22,15 @@ Channel::Channel(unsigned index, const ChannelConfig& cfg, ChannelTelemetry& tel
       link_(std::make_unique<core::P5SonetLink>(cfg.p5, cfg.sts, cfg.line)),
       source_(cfg.ring_capacity),
       fabric_(cfg.ring_capacity),
-      egress_(cfg.ring_capacity) {}
+      egress_(cfg.ring_capacity) {
+  // Hoist escape-table derivation out of the fabric hot loop: the arena's
+  // cached engines are primed here, at construction (config-change time),
+  // from the tributary's programmed ACCM — previously the first fabric-side
+  // re-frame derived them mid-burst. The cache keys on the ACCM, so an OAM
+  // reprogramming still re-derives exactly once.
+  (void)arena_.escape_engine(link_->host_escape_engine().accm());
+  (void)arena_.rx_escape_engine();
+}
 
 bool Channel::step() {
   bool work = false;

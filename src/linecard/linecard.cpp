@@ -73,15 +73,32 @@ std::size_t LineCard::fabric_round() {
   std::size_t forwarded = 0;
   for (unsigned i = 0; i < channels_.size(); ++i) {
     Channel& ch = *channels_[i];
-    for (std::size_t k = 0; k < cfg_.fabric_burst; ++k) {
+    // Drain up to one burst of descriptors, then encode them as ONE batch
+    // into the channel's arena: a single worst-case reservation and a single
+    // escape-engine/CRC setup for the whole burst, which is where the
+    // per-frame overhead goes on small-frame traffic.
+    fabric_batch_.clear();
+    while (fabric_batch_.size() < cfg_.fabric_burst) {
       auto d = ch.egress_ring().try_pop();
       if (!d) break;
-      // Zero-alloc MAPOS encode into the channel's arena, then through the
-      // switch; any sink it triggers (uplink or another channel's fabric
-      // ring) runs synchronously in this context.
-      fabric_current_channel_ = i;
-      (void)nodes_[i]->send(ch.arena(), d->fabric_dest, d->protocol, d->payload);
-      ++forwarded;
+      fabric_batch_.push_back(std::move(*d));
+    }
+    if (fabric_batch_.empty()) continue;
+
+    fabric_batch_frames_.clear();
+    for (const FrameDesc& d : fabric_batch_)
+      fabric_batch_frames_.push_back({d.protocol, d.payload, d.fabric_dest});
+
+    // The switch delineates the concatenated stream and runs every sink it
+    // triggers (uplink or another channel's fabric ring) synchronously in
+    // this context, frame by frame, exactly as the per-frame sends did.
+    fabric_current_channel_ = i;
+    forwarded += nodes_[i]->send_batch(ch.arena(), fabric_batch_frames_);
+
+    // Publish the engine's dispatch-tier selections for this tributary.
+    if (const auto* eng = ch.arena().cached_tx_engine()) {
+      const fastpath::TierCounters& c = eng->counters();
+      telemetry_.channel(i).set_escape_tiers(c.scalar_calls, c.swar_calls, c.simd_calls);
     }
   }
   return forwarded;

@@ -108,6 +108,10 @@ class LineCard {
   std::unique_ptr<net::MaposNode> uplink_;
   std::function<void(unsigned, const net::MaposNode::Received&)> uplink_sink_;
   unsigned fabric_current_channel_ = 0;  ///< fabric context only
+  // Reusable burst scratch (fabric context only): descriptors popped this
+  // round and their BatchFrame views; capacity stabilises after one burst.
+  std::vector<FrameDesc> fabric_batch_;
+  std::vector<hdlc::BatchFrame> fabric_batch_frames_;
 
   std::atomic<bool> running_{false};
   std::vector<std::thread> workers_;

@@ -32,6 +32,12 @@ struct ChannelSnapshot {
   u64 ring_full_stalls = 0;  ///< descriptor pushes that found a ring/device full
   u64 ingress_hwm = 0;       ///< peak source+fabric ring occupancy observed
   u64 egress_hwm = 0;        ///< peak egress ring (+spill) occupancy observed
+  /// Escape-engine dispatch-tier selections for this channel's fabric-side
+  /// re-framing: how many stuff/destuff calls ran scalar (small frames),
+  /// SWAR, or SIMD. Totals mirrored from the arena engine after each burst.
+  u64 escape_scalar = 0;
+  u64 escape_swar = 0;
+  u64 escape_simd = 0;
 
   bool operator==(const ChannelSnapshot&) const = default;
   ChannelSnapshot& operator+=(const ChannelSnapshot& o);
@@ -58,6 +64,13 @@ class alignas(kCacheLineBytes) ChannelTelemetry {
   void ring_full_stall() { ring_full_stalls_.fetch_add(1, std::memory_order_relaxed); }
   void note_ingress_depth(std::size_t depth) { raise(ingress_hwm_, depth); }
   void note_egress_depth(std::size_t depth) { raise(egress_hwm_, depth); }
+  /// Mirror the fabric arena engine's cumulative tier counters (stores, not
+  /// adds: the engine already accumulates; single writer = fabric context).
+  void set_escape_tiers(u64 scalar, u64 swar, u64 simd) {
+    escape_scalar_.store(scalar, std::memory_order_relaxed);
+    escape_swar_.store(swar, std::memory_order_relaxed);
+    escape_simd_.store(simd, std::memory_order_relaxed);
+  }
 
   /// Consistent point-in-time copy: reads the block twice until two
   /// consecutive reads agree (bounded retries; the counters are monotonic,
@@ -81,6 +94,9 @@ class alignas(kCacheLineBytes) ChannelTelemetry {
   std::atomic<u64> ring_full_stalls_{0};
   std::atomic<u64> ingress_hwm_{0};
   std::atomic<u64> egress_hwm_{0};
+  std::atomic<u64> escape_scalar_{0};
+  std::atomic<u64> escape_swar_{0};
+  std::atomic<u64> escape_simd_{0};
 };
 
 /// The line card's counter file: one padded block per channel plus an

@@ -1,5 +1,7 @@
 #include "net/mapos.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "crc/crc_table.hpp"
 #include "hdlc/stuffing.hpp"
@@ -137,6 +139,17 @@ bool MaposNode::send(hdlc::FrameArena& arena, u8 destination, u16 protocol, Byte
   cfg.max_payload = payload.size();  // MRU policing is the receiver's job here
   wire_tx_(hdlc::encode_into(arena, cfg, protocol, payload));
   return true;
+}
+
+std::size_t MaposNode::send_batch(hdlc::FrameArena& arena,
+                                  std::span<const hdlc::BatchFrame> frames) {
+  if (!address_ || frames.empty()) return 0;
+  hdlc::FrameConfig cfg;
+  cfg.address = kMaposBroadcast;  // frames without an override flood
+  for (const hdlc::BatchFrame& f : frames)
+    cfg.max_payload = std::max(cfg.max_payload, f.payload.size());
+  wire_tx_(hdlc::encode_batch_into(arena, cfg, frames));
+  return frames.size();
 }
 
 void MaposNode::rx(BytesView octets) { delineator_.push(octets); }

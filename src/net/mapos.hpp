@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -104,6 +105,15 @@ class MaposNode {
   /// the wire image with the fused framer into `arena`, which retains its
   /// capacity across calls. Byte-identical on the wire to send().
   bool send(hdlc::FrameArena& arena, u8 destination, u16 protocol, BytesView payload);
+
+  /// Batched variant: every frame (each BatchFrame's `address` is its MAPOS
+  /// destination) is encoded back-to-back into `arena` with one worst-case
+  /// reservation and one escape-engine/CRC setup, then the concatenated
+  /// stream goes to the wire in a single call — the far end's delineator
+  /// splits it on the flags. The stream is byte-identical to calling send()
+  /// once per frame. Returns the number of frames sent (0 before NSP
+  /// assigns an address).
+  std::size_t send_batch(hdlc::FrameArena& arena, std::span<const hdlc::BatchFrame> frames);
 
   /// Octets arriving from the switch.
   void rx(BytesView octets);

@@ -11,6 +11,7 @@ P5SonetLink::P5SonetLink(const P5Config& a_cfg, const P5Config& b_cfg, sonet::St
     : sts_(sts),
       a_(std::make_unique<P5>(a_cfg)),
       b_(std::make_unique<P5>(b_cfg)),
+      host_engine_(a_cfg.accm),
       line_ab_(line_cfg),
       line_ba_(sonet::LineConfig{line_cfg.bit_error_rate, line_cfg.burst_enter,
                                  line_cfg.burst_exit, line_cfg.burst_error_rate,

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "fastpath/escape_simd.hpp"
 #include "p5/p5.hpp"
 #include "sonet/line.hpp"
 #include "sonet/scrambler.hpp"
@@ -29,6 +30,16 @@ class P5SonetLink {
 
   [[nodiscard]] P5& a() { return *a_; }
   [[nodiscard]] P5& b() { return *b_; }
+
+  /// Host-side software escape engine matching the A end's programmed ACCM:
+  /// the dispatch tables are derived once here, at link construction (the
+  /// software analogue of the OAM write that loads the P5's Escape Generate
+  /// tables), so hosts that pre-frame or cross-check datagrams in software —
+  /// the line-card fabric, the differential oracle — never pay table
+  /// derivation per frame.
+  [[nodiscard]] const fastpath::EscapeEngine& host_escape_engine() const {
+    return host_engine_;
+  }
 
   /// Move one SONET frame in each direction (A->B and B->A).
   void exchange_frames(std::size_t frames = 1);
@@ -53,6 +64,7 @@ class P5SonetLink {
   sonet::StsSpec sts_;
   std::unique_ptr<P5> a_;
   std::unique_ptr<P5> b_;
+  fastpath::EscapeEngine host_engine_;  ///< derived once from the A-side ACCM
 
   sonet::SelfSyncScrambler43 scr_a_tx_, scr_b_tx_, scr_a_rx_, scr_b_rx_;
   Bytes rx_scratch_a_, rx_scratch_b_;  ///< reusable descramble buffers

@@ -104,18 +104,20 @@ bool PppEndpoint::send_ip(BytesView datagram) {
 void PppEndpoint::wire_rx(BytesView octets) { delineator_.push(octets); }
 
 void PppEndpoint::on_frame(BytesView stuffed_content) {
-  const auto destuffed = hdlc::destuff(stuffed_content);
-  if (!destuffed.ok) {
+  // Destuff into the endpoint-owned scratch through the endpoint's cached
+  // escape engine: no per-frame allocation, no per-frame dispatch setup.
+  rx_scratch_.clear();
+  if (!rx_engine_.destuff_append(rx_scratch_, stuffed_content)) {
     ++stats_.fcs_errors;
     return;
   }
 
   // LCP frames may arrive in default framing even after negotiation; try the
   // active config first, then the default one.
-  auto result = hdlc::parse(frame_, destuffed.data);
+  auto result = hdlc::parse(frame_, rx_scratch_);
   if (!result.ok() && !(frame_.fcs == negotiating_frame_.fcs && frame_.acfc == negotiating_frame_.acfc &&
                         frame_.pfc == negotiating_frame_.pfc)) {
-    result = hdlc::parse(negotiating_frame_, destuffed.data);
+    result = hdlc::parse(negotiating_frame_, rx_scratch_);
   }
   if (!result.ok()) {
     ++stats_.fcs_errors;

@@ -92,6 +92,8 @@ class PppEndpoint {
   std::unique_ptr<LqmMonitor> lqm_;
   u32 requested_lqr_period_ = 0;
   hdlc::FrameArena tx_arena_;  ///< reusable scratch for zero-alloc encoding
+  fastpath::EscapeEngine rx_engine_{hdlc::Accm::sonet()};  ///< dispatch derived once
+  Bytes rx_scratch_;  ///< reusable destuff buffer (zero-alloc steady state)
   hdlc::Delineator delineator_;
   Phase phase_ = Phase::kDead;
   EndpointStats stats_;

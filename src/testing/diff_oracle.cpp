@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "fastpath/stuff_fast.hpp"
 #include "hdlc/delineation.hpp"
 #include "hdlc/stuffing.hpp"
 #include "p5/p5.hpp"
@@ -147,6 +148,8 @@ DiffOracle::DiffOracle(hdlc::FrameConfig cfg, unsigned lanes)
       lanes_(lanes),
       scalar_crc16_(crc::kFcs16),
       scalar_crc32_(crc::kFcs32),
+      simd_tx_(cfg.accm),
+      simd_rx_(hdlc::Accm::sonet()),
       gen_(std::make_unique<detail::GenRig>(lanes, cfg.accm)),
       det_(std::make_unique<detail::DetRig>(lanes)) {}
 
@@ -189,10 +192,23 @@ DiffOracle::EncodeResult DiffOracle::encode(u16 protocol, BytesView payload) {
       !d.empty())
     flunk(std::move(d));
 
-  // Layer 2: stuffed image, scalar vs SWAR vs cycle-level Escape Generate.
+  // Layer 2: stuffed image — scalar vs SWAR (pinned) vs dispatched SIMD
+  // engine vs cycle-level Escape Generate.
   r.stuffed = fastpath::scalar::stuff(r.content, cfg_.accm);
-  const Bytes stuffed_fast = hdlc::stuff(r.content, cfg_.accm);
+  Bytes stuffed_fast;
+  stuffed_fast.reserve(2 * r.content.size() + fastpath::kStuffSlack);
+  fastpath::stuff_append(stuffed_fast, r.content, cfg_.accm);
   if (auto d = diff_bytes("scalar stuffed", r.stuffed, "SWAR stuffed", stuffed_fast);
+      !d.empty())
+    flunk(std::move(d));
+
+  Bytes stuffed_simd;
+  stuffed_simd.reserve(2 * r.content.size() + fastpath::kStuffSlack);
+  simd_tx_.stuff_append(stuffed_simd, r.content);
+  if (auto d = diff_bytes("scalar stuffed", r.stuffed,
+                          std::string("SIMD(") + fastpath::to_string(simd_tx_.tier()) +
+                              ") stuffed",
+                          stuffed_simd);
       !d.empty())
     flunk(std::move(d));
 
@@ -228,11 +244,24 @@ DiffOracle::DecodeResult DiffOracle::decode(BytesView stuffed) {
   r.recovered = std::move(scalar_data);
   r.ok = scalar_ok;
 
-  const hdlc::DestuffResult fast = hdlc::destuff(stuffed);
-  if (fast.ok != scalar_ok)
+  Bytes swar_data;
+  swar_data.reserve(stuffed.size() + fastpath::kStuffSlack);
+  const bool swar_ok = fastpath::destuff_append(swar_data, stuffed);
+  if (swar_ok != scalar_ok)
     flunk(std::string("dangling-escape verdicts differ: scalar ") +
-          (scalar_ok ? "ok" : "abort") + ", SWAR " + (fast.ok ? "ok" : "abort"));
-  if (auto d = diff_bytes("scalar destuffed", r.recovered, "SWAR destuffed", fast.data);
+          (scalar_ok ? "ok" : "abort") + ", SWAR " + (swar_ok ? "ok" : "abort"));
+  if (auto d = diff_bytes("scalar destuffed", r.recovered, "SWAR destuffed", swar_data);
+      !d.empty())
+    flunk(std::move(d));
+
+  const std::string simd_label = std::string("SIMD(") + fastpath::to_string(simd_rx_.tier()) + ")";
+  Bytes simd_data;
+  simd_data.reserve(stuffed.size() + fastpath::kStuffSlack);
+  const bool simd_ok = simd_rx_.destuff_append(simd_data, stuffed);
+  if (simd_ok != scalar_ok)
+    flunk(std::string("dangling-escape verdicts differ: scalar ") +
+          (scalar_ok ? "ok" : "abort") + ", " + simd_label + " " + (simd_ok ? "ok" : "abort"));
+  if (auto d = diff_bytes("scalar destuffed", r.recovered, simd_label + " destuffed", simd_data);
       !d.empty())
     flunk(std::move(d));
 
@@ -270,19 +299,27 @@ DiffOracle::ReceiveResult DiffOracle::receive(BytesView raw_wire) {
   const BytesView wire(padded);
 
   // Software stack, parameterised by destuff engine.
-  auto software = [&](bool scalar_engine) {
+  enum class Engine { kScalar, kSwar, kSimd };
+  auto software = [&](Engine engine) {
     std::vector<Delivery> good;
     hdlc::Delineator d([&](BytesView f) {
       Bytes data;
-      bool ok;
-      if (scalar_engine) {
-        auto res = fastpath::scalar::destuff(f);
-        data = std::move(res.first);
-        ok = res.second;
-      } else {
-        auto res = hdlc::destuff(f);
-        data = std::move(res.data);
-        ok = res.ok;
+      bool ok = false;
+      switch (engine) {
+        case Engine::kScalar: {
+          auto res = fastpath::scalar::destuff(f);
+          data = std::move(res.first);
+          ok = res.second;
+          break;
+        }
+        case Engine::kSwar:
+          data.reserve(f.size() + fastpath::kStuffSlack);
+          ok = fastpath::destuff_append(data, f);
+          break;
+        case Engine::kSimd:
+          data.reserve(f.size() + fastpath::kStuffSlack);
+          ok = simd_rx_.destuff_append(data, f);
+          break;
       }
       if (!ok) return;
       auto parsed = hdlc::parse(cfg_, data);
@@ -292,8 +329,9 @@ DiffOracle::ReceiveResult DiffOracle::receive(BytesView raw_wire) {
     d.push(wire);
     return good;
   };
-  const std::vector<Delivery> sw_scalar = software(true);
-  const std::vector<Delivery> sw_fast = software(false);
+  const std::vector<Delivery> sw_scalar = software(Engine::kScalar);
+  const std::vector<Delivery> sw_swar = software(Engine::kSwar);
+  const std::vector<Delivery> sw_simd = software(Engine::kSimd);
 
   // Cycle-accurate receiver: a whole P5 device configured to match.
   core::P5Config pc;
@@ -325,7 +363,8 @@ DiffOracle::ReceiveResult DiffOracle::receive(BytesView raw_wire) {
     r.agree = false;
     r.diagnosis = o.str();
   };
-  compare("SWAR engine", sw_fast);
+  compare("SWAR engine", sw_swar);
+  compare("dispatched SIMD engine", sw_simd);
   compare("p5 device", hw);
   r.delivered = sw_scalar;
   return r;

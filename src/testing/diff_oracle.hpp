@@ -2,24 +2,27 @@
 // implementation of the paper's datapath, with byte-exact agreement
 // enforced at each layer.
 //
-// Three engines per direction:
+// Four engines per direction:
 //   * scalar_ref     — the seed-era byte/bit-at-a-time reference
 //                      (fastpath/scalar_ref), plus an independent scalar
 //                      re-implementation of the header/FCS assembly;
-//   * fastpath       — the word-parallel SWAR kernels behind hdlc::stuff /
-//                      hdlc::destuff / hdlc::encode_into;
+//   * SWAR fastpath  — the word-parallel kernels in fastpath/stuff_fast,
+//                      called directly so they stay pinned to that tier;
+//   * SIMD engine    — the runtime-dispatched fastpath::EscapeEngine at its
+//                      best detected tier (AVX2/SSSE3/SSE2 where available),
+//                      the engine behind hdlc::stuff / hdlc::encode_into;
 //   * p5 pipeline    — the cycle-level Escape Generate / Escape Detect byte
 //                      sorters (and, for full receive, a whole P5 device).
 //
-// encode() proves the three produce the identical stuffed image and FCS;
-// decode() proves the three recover the identical frame content (and agree
+// encode() proves the four produce the identical stuffed image and FCS;
+// decode() proves the four recover the identical frame content (and agree
 // on dangling-escape aborts); receive() proves a whole wire stream —
 // possibly mangled by a FaultyLine — yields the identical accepted-frame
-// sequence from the software stack and the cycle-accurate receiver, i.e. a
+// sequence from the software stacks and the cycle-accurate receiver, i.e. a
 // corrupted frame is never delivered as good payload by any engine unless
 // every engine delivers it.
 //
-// Adding a fourth engine: implement the stuff/destuff pair, append its
+// Adding a fifth engine: implement the stuff/destuff pair, append its
 // output to the comparison sets in diff_oracle.cpp — the oracle's result
 // structs and every suite that uses them pick it up unchanged (TESTING.md
 // has the walk-through).
@@ -94,8 +97,8 @@ class DiffOracle {
     std::string diagnosis;
   };
   /// Run a raw flag-delimited wire stream (clean or faulted) through the
-  /// software receive stack (scalar and fastpath destuffers) and a
-  /// cycle-accurate P5 device; all three must accept the same frames.
+  /// software receive stack (scalar, SWAR, and dispatched-SIMD destuffers)
+  /// and a cycle-accurate P5 device; all four must accept the same frames.
   /// Requires an uncompressed-header config (the P5 has no ACFC/PFC).
   /// The stream is padded with flag fill to a whole number of `lanes`-octet
   /// words (the P5 PHY moves whole words), identically for every engine.
@@ -111,6 +114,9 @@ class DiffOracle {
   unsigned lanes_;
   fastpath::scalar::ByteTableCrc scalar_crc16_;
   fastpath::scalar::ByteTableCrc scalar_crc32_;
+  /// The dispatched engines under test, at the best tier this host detects.
+  fastpath::EscapeEngine simd_tx_;
+  fastpath::EscapeEngine simd_rx_;
   hdlc::FrameArena arena_;
   /// Persistent cycle-level rigs: fifos + unit + simulator reused across
   /// packets so a 100k-packet sweep does not rebuild pipelines per frame.

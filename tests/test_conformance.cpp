@@ -1,10 +1,12 @@
-// Differential conformance: the same seeded packet stream through all three
-// datapath engines — scalar reference, SWAR fast path, cycle-level P5
-// pipeline — with byte-exact agreement enforced at every layer by the
-// DiffOracle. Any failure prints its case seed; replay with
+// Differential conformance: the same seeded packet stream through all four
+// datapath engines — scalar reference, SWAR fast path, runtime-dispatched
+// SIMD escape engine, cycle-level P5 pipeline — with byte-exact agreement
+// enforced at every layer by the DiffOracle. Any failure prints its case
+// seed; replay with
 //   P5_TEST_SEED=0x... ctest -R <test>      (see TESTING.md)
 #include <gtest/gtest.h>
 
+#include "fastpath/escape_simd.hpp"
 #include "hdlc/stuffing.hpp"
 #include "testing/diff_oracle.hpp"
 #include "testing/property.hpp"
@@ -111,6 +113,83 @@ TEST(Conformance, CleanMultiFrameStreamsDeliverEverythingEverywhere) {
                     " frames, sent " + std::to_string(sent.size()));
   });
   EXPECT_TRUE(res.ok) << res.message;
+}
+
+// The density estimator tiers per 16/32-byte window (clean / sparse /
+// dense), so the adversarial input is a frame that flips density mid-frame:
+// a clean head followed by an all-escape tail forces the kernel to cross
+// from bulk-copy windows into fully-expanding ones (and vice versa) inside
+// one frame, with the flip placed on, just before, and just after the
+// window boundaries. Every such frame must round-trip byte-exact through
+// all four engines.
+TEST(Conformance, DensityFlipAdversarialFramesAgreeAcrossAllEngines) {
+  DiffOracle oracle;
+
+  std::vector<Bytes> payloads;
+  // Flip points straddling the 16B SSE window, the 32B AVX2 window, the 64B
+  // SSE2 dirty-window hysteresis run, and the SWAR word, inside frames up to
+  // a little over two windows past the flip.
+  constexpr std::size_t kFlips[] = {1, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 65};
+  constexpr u8 kDense[] = {hdlc::kFlag, hdlc::kEscape};
+  for (const std::size_t flip : kFlips) {
+    for (const std::size_t total : {flip + 1, flip + 16, flip + 80}) {
+      for (const u8 dense : kDense) {
+        // Clean head, dense tail.
+        Bytes head_clean(total, 0x42);
+        for (std::size_t i = flip; i < total; ++i) head_clean[i] = dense;
+        payloads.push_back(std::move(head_clean));
+        // Dense head, clean tail.
+        Bytes head_dense(total, dense);
+        for (std::size_t i = flip; i < total; ++i) head_dense[i] = 0x42;
+        payloads.push_back(std::move(head_dense));
+      }
+      // Alternating 0x7E/0x7D burst tail after a clean head: consecutive
+      // escape-class octets exercise the marker-chain resolution.
+      Bytes burst(total, 0x13);
+      for (std::size_t i = flip; i < total; ++i) burst[i] = (i & 1) ? hdlc::kEscape : hdlc::kFlag;
+      payloads.push_back(std::move(burst));
+    }
+  }
+
+  for (const Bytes& payload : payloads) {
+    const auto enc = oracle.encode(0x0021, payload);
+    ASSERT_TRUE(enc.agree) << "encode (" << payload.size() << "B): " << enc.diagnosis;
+    const auto dec = oracle.decode(enc.stuffed);
+    ASSERT_TRUE(dec.agree) << "decode (" << payload.size() << "B): " << dec.diagnosis;
+    ASSERT_TRUE(dec.ok);
+    ASSERT_EQ(dec.recovered, enc.content) << "round-trip failed at " << payload.size() << "B";
+  }
+}
+
+// The same adversarial shapes through every tier this host can dispatch
+// (scalar, SWAR, SSE2, SSSE3, AVX2 as available): each pinned-tier engine
+// must reproduce the scalar reference byte-for-byte on both directions.
+TEST(Conformance, DensityFlipFramesAgreeAtEveryDispatchTier) {
+  const hdlc::Accm accm = hdlc::Accm::sonet();
+  for (const fastpath::EscapeTier tier : fastpath::available_tiers()) {
+    fastpath::EscapeEngine eng(accm, tier);
+    for (const std::size_t flip : {3u, 16u, 29u, 64u}) {
+      for (const u8 fill : {u8(hdlc::kFlag), u8(0x00)}) {
+        Bytes payload(flip + 48, fill);
+        for (std::size_t i = 0; i < flip; ++i) payload[i] = u8(0x40 + i);
+
+        const Bytes want = fastpath::scalar::stuff(payload, accm);
+        Bytes got;
+        got.reserve(2 * payload.size() + fastpath::kStuffSlack);
+        eng.stuff_append(got, payload);
+        ASSERT_EQ(got, want) << "stuff tier " << fastpath::to_string(tier);
+
+        const auto [back, ok] = fastpath::scalar::destuff(want);
+        Bytes simd_back;
+        simd_back.reserve(want.size() + fastpath::kStuffSlack);
+        ASSERT_TRUE(eng.destuff_append(simd_back, want))
+            << "destuff verdict, tier " << fastpath::to_string(tier);
+        ASSERT_TRUE(ok);
+        ASSERT_EQ(simd_back, back) << "destuff tier " << fastpath::to_string(tier);
+        ASSERT_EQ(simd_back, payload);
+      }
+    }
+  }
 }
 
 // The oracle itself must be deterministic: the same base seed replays the

@@ -349,5 +349,154 @@ TEST(SelfSync43, InPlaceRoundTripAndMidStreamResync) {
   EXPECT_TRUE(std::equal(tail.begin() + 6, tail.end(), original.begin() + 106));
 }
 
+// ---------------------------------------------------------------- escape engine
+
+// Every tier this host can dispatch must be byte-identical to the scalar
+// reference on both directions, across densities, ACCMs, and the window
+// boundary lengths where the vector kernels switch modes.
+TEST(EscapeEngine, EveryAvailableTierMatchesScalarAcrossDensities) {
+  Xoshiro256 rng(21);
+  for (const EscapeTier tier : available_tiers()) {
+    for (const Accm accm : {Accm::sonet(), Accm::async_default()}) {
+      const EscapeEngine eng(accm, tier);
+      ASSERT_EQ(eng.tier(), tier);
+      for (const double density : {0.0, 1.0 / 128, 0.25, 1.0}) {
+        for (const std::size_t len : {1u, 15u, 16u, 17u, 31u, 32u, 33u, 64u, 255u, 1500u}) {
+          const Bytes p = escape_mix(rng, len, density);
+          const Bytes want = scalar::stuff(p, accm);
+          Bytes got;
+          got.reserve(2 * p.size() + kStuffSlack);
+          eng.stuff_append(got, p);
+          ASSERT_EQ(got, want) << to_string(tier) << " stuff len " << len;
+
+          Bytes back;
+          back.reserve(got.size() + kStuffSlack);
+          ASSERT_TRUE(eng.destuff_append(back, got)) << to_string(tier);
+          ASSERT_EQ(back, p) << to_string(tier) << " destuff len " << len;
+        }
+      }
+    }
+  }
+}
+
+// Dangling-escape verdicts (and the partial output retained before the
+// abort) must be tier-independent.
+TEST(EscapeEngine, DanglingEscapeVerdictMatchesScalarAtEveryTier) {
+  Xoshiro256 rng(22);
+  for (const EscapeTier tier : available_tiers()) {
+    const EscapeEngine eng(Accm::sonet(), tier);
+    for (int i = 0; i < 50; ++i) {
+      Bytes stuffed = hdlc::stuff(escape_mix(rng, rng.below(96), 0.1));
+      stuffed.push_back(hdlc::kEscape);
+      const auto [want, want_ok] = scalar::destuff(stuffed);
+      Bytes got;
+      got.reserve(stuffed.size() + kStuffSlack);
+      const bool got_ok = eng.destuff_append(got, stuffed);
+      ASSERT_EQ(got_ok, want_ok) << to_string(tier);
+      ASSERT_EQ(got, want) << to_string(tier);
+    }
+  }
+}
+
+// The fused stuff+CRC kernel must leave the same CRC state and wire bytes
+// as separate passes, at every tier.
+TEST(EscapeEngine, FusedStuffCrcMatchesSeparatePassesAtEveryTier) {
+  Xoshiro256 rng(23);
+  const SliceCrc crc(crc::kFcs32);
+  for (const EscapeTier tier : available_tiers()) {
+    const EscapeEngine eng(Accm::sonet(), tier);
+    for (const std::size_t len : {3u, 17u, 64u, 700u}) {
+      const Bytes p = escape_mix(rng, len, 0.2);
+      Bytes fused;
+      fused.reserve(2 * p.size() + kStuffSlack);
+      const u32 state = eng.stuff_crc_append(fused, p, crc, crc::kFcs32.init);
+      EXPECT_EQ(state, crc.update(crc::kFcs32.init, p)) << to_string(tier);
+      EXPECT_EQ(fused, scalar::stuff(p, Accm::sonet())) << to_string(tier);
+    }
+  }
+}
+
+// Dispatch-tier bookkeeping: sub-cutoff inputs take the scalar path and the
+// counters attribute each call to the tier that actually ran.
+TEST(EscapeEngine, SmallFrameCutoffRoutesToScalarAndCountersTrack) {
+  const EscapeEngine eng(Accm::sonet());
+  eng.reset_counters();
+  Bytes out;
+  const Bytes tiny(kSmallFrameCutoff - 1, 0x7E);
+  eng.stuff_append(out, tiny);
+  EXPECT_EQ(eng.counters().scalar_calls, 1u);
+
+  const Bytes big(1500, 0x42);
+  out.clear();
+  out.reserve(2 * big.size() + kStuffSlack);
+  eng.stuff_append(out, big);
+  const TierCounters& c = eng.counters();
+  if (eng.tier() == EscapeTier::kScalar) {
+    EXPECT_EQ(c.scalar_calls, 2u);
+  } else if (eng.tier() == EscapeTier::kSwar) {
+    EXPECT_EQ(c.swar_calls, 1u);
+  } else {
+    EXPECT_EQ(c.simd_calls, 1u);
+    EXPECT_GT(c.clean_windows, 0u);  // the all-clean 1500B frame
+  }
+}
+
+// Batched framing: the concatenated batch must be frame-for-frame identical
+// to the single-frame fused encoder, including per-frame address overrides.
+TEST(EscapeEngine, EncodeBatchMatchesPerFrameEncode) {
+  Xoshiro256 rng(24);
+  hdlc::FrameConfig cfg;
+  std::vector<Bytes> payloads;
+  std::vector<hdlc::BatchFrame> frames;
+  for (int i = 0; i < 12; ++i) {
+    payloads.push_back(escape_mix(rng, 1 + rng.below(200), 0.1));
+    hdlc::BatchFrame f;
+    f.protocol = 0x0021;
+    f.payload = payloads.back();
+    if (i % 3 == 0) f.address = static_cast<u8>(0x03 + 2 * i);
+    frames.push_back(f);
+  }
+
+  hdlc::FrameArena batch_arena;
+  const BytesView stream = hdlc::encode_batch_into(batch_arena, cfg, frames);
+  ASSERT_EQ(batch_arena.frame_count(), frames.size());
+
+  hdlc::FrameArena single_arena;
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    hdlc::FrameConfig fcfg = cfg;
+    if (frames[i].address) fcfg.address = *frames[i].address;
+    const BytesView want = hdlc::encode_into(single_arena, fcfg, frames[i].protocol,
+                                             payloads[i]);
+    const BytesView got = batch_arena.frame(i);
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin(), want.end())) << "frame " << i;
+    ASSERT_TRUE(std::equal(got.begin(), got.end(), stream.begin() + off)) << "span " << i;
+    off += got.size();
+  }
+  EXPECT_EQ(off, stream.size());
+}
+
+// Batched destuffing: per-chunk spans, contents, and dangling-escape
+// verdicts must match hdlc::destuff chunk by chunk.
+TEST(EscapeEngine, DecodeBatchMatchesPerChunkDestuff) {
+  Xoshiro256 rng(25);
+  std::vector<Bytes> chunks;
+  for (int i = 0; i < 10; ++i) {
+    chunks.push_back(hdlc::stuff(escape_mix(rng, rng.below(150), 0.3)));
+    if (i % 4 == 3) chunks.back().push_back(hdlc::kEscape);  // dangling abort
+  }
+  std::vector<BytesView> views(chunks.begin(), chunks.end());
+
+  hdlc::FrameArena arena;
+  hdlc::decode_batch_into(arena, views);
+  ASSERT_EQ(arena.frame_count(), chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const auto want = hdlc::destuff(chunks[i]);
+    EXPECT_EQ(arena.frame_ok(i), want.ok) << i;
+    const BytesView got = arena.frame(i);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.data.begin(), want.data.end())) << i;
+  }
+}
+
 }  // namespace
 }  // namespace p5::fastpath
