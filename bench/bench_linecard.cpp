@@ -155,25 +155,26 @@ void print_row(const Row& r) {
 }
 
 bool write_json(const std::vector<Row>& rows, const std::string& path, bool deterministic) {
-  std::ofstream out(path);
-  if (!out) return false;
-  out << "{\n  \"bench\": \"linecard\",\n  \"unit\": \"Gbps\",\n  \"clock_mhz\": 78.125,\n"
-      << "  \"mode\": \"" << (deterministic ? "deterministic" : "threaded") << "\",\n"
-      << "  \"hw_threads\": " << std::thread::hardware_concurrency() << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    out << "    {\"workload\": \"" << r.workload << "\", \"channels\": " << r.channels
-        << ", \"frames_per_channel\": " << r.frames_per_channel
-        << ", \"payload_bytes\": " << r.payload_bytes << ", \"aggregate_gbps\": " << r.aggregate_gbps
-        << ", \"scaling_vs_1ch\": " << r.scaling_vs_1ch << ", \"per_channel_gbps\": [";
-    for (std::size_t c = 0; c < r.per_channel_gbps.size(); ++c)
-      out << r.per_channel_gbps[c] << (c + 1 < r.per_channel_gbps.size() ? ", " : "");
-    out << "], \"wall_seconds\": " << r.wall_seconds << ", \"wall_mb_s\": " << r.wall_mb_s
-        << ", \"ring_full_stalls\": " << r.ring_full_stalls << ", \"fcs_errors\": " << r.fcs_errors
-        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  JsonReport report("linecard");
+  report.header.set("unit", "Gbps")
+      .set("clock_mhz", 78.125)
+      .set("mode", deterministic ? "deterministic" : "threaded")
+      .set("hw_threads", std::thread::hardware_concurrency());
+  for (const Row& r : rows) {
+    report.row()
+        .set("workload", r.workload)
+        .set("channels", r.channels)
+        .set("frames_per_channel", r.frames_per_channel)
+        .set("payload_bytes", r.payload_bytes)
+        .set("aggregate_gbps", r.aggregate_gbps)
+        .set("scaling_vs_1ch", r.scaling_vs_1ch)
+        .set_raw("per_channel_gbps", json_array(r.per_channel_gbps))
+        .set("wall_seconds", r.wall_seconds)
+        .set("wall_mb_s", r.wall_mb_s)
+        .set("ring_full_stalls", r.ring_full_stalls)
+        .set("fcs_errors", r.fcs_errors);
   }
-  out << "  ]\n}\n";
-  return out.good();
+  return report.write(path);
 }
 
 }  // namespace

@@ -1,0 +1,204 @@
+// bench_tunnel — socket-transport throughput for the P5 SONET stream.
+//
+// Three figures, all wall-clock (this bench measures the transport and the
+// host, not the cycle model's clock):
+//
+//  * stream_echo — raw StreamConn loopback echo: length-prefixed frames out
+//    and back through the epoll loop with no P5 model attached. This is the
+//    transport's own ceiling; it should sit orders of magnitude above the
+//    model-bound figures.
+//  * tunnel_tcp / tunnel_udp — a socketed P5SonetEndpoint pair
+//    (transport::Tunnel at both ends over loopback) delivering datagrams
+//    end to end. Model-bound: the cycle-accurate P5 at each end simulates
+//    at roughly the speed BENCH_linecard.json records, so these rows gate
+//    "the tunnel does not get slower", not absolute socket speed.
+//
+// Results go to stdout and BENCH_tunnel.json. The JSON rows carry the
+// bench_compare.py cell keys; gate with
+//   scripts/bench_compare.py BENCH_tunnel.json <baseline> --metric new_mb_s
+// (the tunnel baseline tolerance is loose — wall time on shared CI swings).
+//
+// Usage: bench_tunnel [--smoke] [--quick] [--out <path>]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "p5/sonet_link.hpp"
+#include "transport/conn.hpp"
+#include "transport/event_loop.hpp"
+#include "transport/tunnel.hpp"
+
+namespace p5::bench {
+namespace {
+
+using transport::ConnConfig;
+using transport::EventLoop;
+using transport::Fd;
+using transport::kReadable;
+using transport::SocketAddr;
+using transport::StreamConn;
+using transport::TransportTelemetry;
+using transport::Tunnel;
+using transport::TunnelBinding;
+using transport::TunnelConfig;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct Row {
+  std::string kernel;
+  std::size_t frame_bytes = 0;
+  std::string dispatch;
+  std::size_t frames = 0;
+  u64 payload_bytes = 0;
+  double wall_seconds = 0.0;
+  double mb_s = 0.0;
+};
+
+/// Raw StreamConn echo: `count` frames of `frame_bytes` out and back.
+Row bench_stream_echo(std::size_t count, std::size_t frame_bytes) {
+  EventLoop loop;
+  TransportTelemetry ctel, stel;
+  Fd listen_fd = transport::tcp_listen(SocketAddr{"127.0.0.1", 0});
+  std::unique_ptr<StreamConn> server, client;
+  ConnConfig scfg;
+  scfg.send_watermark_bytes = 64 * 1024 * 1024;  // echo side is read-gated
+  loop.add_fd(listen_fd.get(), kReadable, [&](u32) {
+    Fd c = transport::tcp_accept(listen_fd.get());
+    if (!c.valid()) return;
+    server = std::make_unique<StreamConn>(loop, stel, scfg, std::move(c), false);
+    server->set_on_frame([&](BytesView v) { (void)server->send_frame(v); });
+  });
+  bool in_progress = false;
+  Fd c = transport::tcp_connect(SocketAddr{"127.0.0.1", transport::local_port(listen_fd.get())},
+                                in_progress);
+  client = std::make_unique<StreamConn>(loop, ctel, ConnConfig{}, std::move(c), in_progress);
+  while (!server || !client->open()) loop.run_once(10);
+
+  const Bytes frame = density_payload(frame_bytes, 0.0, 42);
+  std::size_t echoed = 0;
+  client->set_on_frame([&](BytesView) { ++echoed; });
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t sent = 0;
+  while (echoed < count) {
+    while (sent < count && client->send_frame(frame)) ++sent;
+    loop.run_once(10);
+  }
+  Row r;
+  r.kernel = "stream_echo";
+  r.frame_bytes = frame_bytes;
+  r.dispatch = "tcp";
+  r.frames = count;
+  r.payload_bytes = static_cast<u64>(count) * frame_bytes;
+  r.wall_seconds = seconds_since(t0);
+  // Payload octets that crossed the loop twice (out and back).
+  r.mb_s = 2.0 * static_cast<double>(r.payload_bytes) / 1e6 / r.wall_seconds;
+  loop.remove_fd(listen_fd.get());
+  return r;
+}
+
+/// Socketed endpoint pair: `count` datagrams of `dgram_len` end to end.
+Row bench_tunnel_pair(bool udp, std::size_t count, std::size_t dgram_len) {
+  EventLoop loop;
+  core::P5SonetEndpoint ep_a({}, sonet::kSts3c), ep_b({}, sonet::kSts3c);
+  TunnelConfig ca;
+  ca.listen = true;
+  ca.udp = udp;
+  ca.port = 0;
+  Tunnel tun_a(loop, TunnelBinding::endpoint(ep_a), ca);
+  tun_a.start();
+  TunnelConfig cb;
+  cb.udp = udp;
+  cb.port = tun_a.bound_port();
+  Tunnel tun_b(loop, TunnelBinding::endpoint(ep_b), cb);
+  tun_b.start();
+
+  const Bytes payload = density_payload(dgram_len, 0.05, 7);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t submitted = 0, delivered = 0;
+  u64 delivered_bytes = 0;
+  int settle = 0;
+  while (delivered < count && settle < 400) {
+    if (submitted < count && ep_b.device().submit_datagram(0x0021, payload)) ++submitted;
+    tun_a.pump();
+    tun_b.pump();
+    loop.run_once(1);
+    while (auto d = ep_a.device().reap_datagram()) {
+      ++delivered;
+      delivered_bytes += d->payload.size();
+    }
+    // UDP on loopback is effectively loss-free, but don't hang on a miracle.
+    settle = (submitted == count && !ep_b.tx_pending()) ? settle + 1 : 0;
+  }
+  Row r;
+  r.kernel = udp ? "tunnel_udp" : "tunnel_tcp";
+  r.frame_bytes = dgram_len;
+  r.dispatch = udp ? "udp" : "tcp";
+  r.frames = delivered;
+  r.payload_bytes = delivered_bytes;
+  r.wall_seconds = seconds_since(t0);
+  r.mb_s = static_cast<double>(delivered_bytes) / 1e6 / r.wall_seconds;
+  return r;
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false, quick = false;
+  std::string out_path = "BENCH_tunnel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+  const std::size_t echo_frames = smoke ? 200 : quick ? 4000 : 20000;
+  const std::size_t dgrams = smoke ? 10 : quick ? 60 : 150;
+
+  banner("bench_tunnel — socket transport for P5 SONET streams",
+         "carries the paper's STS-Nc byte stream between real processes");
+  paper_says("2.488 Gbps sustained on the wire; here the wire is a kernel socket");
+
+  std::vector<Row> rows;
+  for (const std::size_t fb : {std::size_t{256}, std::size_t{2048}})
+    rows.push_back(bench_stream_echo(echo_frames, fb));
+  rows.push_back(bench_tunnel_pair(false, dgrams, 1024));
+  rows.push_back(bench_tunnel_pair(true, dgrams, 1024));
+
+  for (const Row& r : rows) {
+    std::printf("%-12s %5zuB x %6zu  %8.3fs  %10.2f MB/s (%s)\n", r.kernel.c_str(),
+                r.frame_bytes, r.frames, r.wall_seconds, r.mb_s, r.dispatch.c_str());
+  }
+
+  JsonReport report("tunnel");
+  report.header.set("unit", "MB/s").set("mode", smoke ? "smoke" : quick ? "quick" : "full");
+  for (const Row& r : rows) {
+    report.row()
+        .set("kernel", r.kernel)
+        .set("frame_bytes", r.frame_bytes)
+        .set("escape_density", 0.05)
+        .set("dispatch", r.dispatch)
+        .set("pinned", false)
+        .set("frames", r.frames)
+        .set("payload_bytes", r.payload_bytes)
+        .set("wall_seconds", r.wall_seconds)
+        .set("new_mb_s", r.mb_s);
+  }
+  if (!report.write(out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu rows)%s\n", out_path.c_str(), rows.size(),
+              smoke ? " [smoke mode: timings are not meaningful]" : "");
+  we_measure("tunnel TCP end-to-end: " + std::to_string(rows[2].mb_s) +
+             " MB/s wall (model-bound; see stream_echo for the transport ceiling)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace p5::bench
+
+int main(int argc, char** argv) { return p5::bench::run(argc, argv); }

@@ -1,9 +1,14 @@
 // Shared helpers for the experiment benches: paper-vs-measured banner
-// formatting and the standard workload drive for the cycle-accurate model.
+// formatting, the standard workload drive for the cycle-accurate model, and
+// the BENCH_*.json emission every bench shares (scripts/bench_compare.py
+// gates on these files, so the shape is part of the contract).
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -11,6 +16,106 @@
 #include "p5/p5.hpp"
 
 namespace p5::bench {
+
+/// Flat JSON object rendered in insertion order. Values are pre-rendered at
+/// set() time, so the emitter is a dumb join — good enough for the flat
+/// numeric rows BENCH files carry (no nesting, no string escaping beyond
+/// what bench code never produces).
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + v + "\"");
+    return *this;
+  }
+  JsonObject& set(const std::string& key, const char* v) {
+    return set(key, std::string(v));
+  }
+  JsonObject& set(const std::string& key, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonObject& set(const std::string& key, u64 v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, unsigned v) { return set(key, static_cast<u64>(v)); }
+  JsonObject& set(const std::string& key, int v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  JsonObject& set(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+  /// Pre-rendered value (arrays, nested literals).
+  JsonObject& set_raw(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+    return *this;
+  }
+
+  /// `{"k": v, ...}` on one line.
+  void render(std::ostream& out) const {
+    out << "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i)
+      out << (i ? ", " : "") << "\"" << fields_[i].first << "\": " << fields_[i].second;
+    out << "}";
+  }
+  /// `"k": v,` lines (member-of-a-larger-object form), trailing comma on all.
+  void render_fields(std::ostream& out, const char* indent) const {
+    for (const auto& [key, value] : fields_) out << indent << "\"" << key << "\": " << value << ",\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Render a numeric sequence as a JSON array literal for JsonObject::set_raw.
+template <typename Seq>
+inline std::string json_array(const Seq& values) {
+  std::string s = "[";
+  bool first = true;
+  for (const auto v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", static_cast<double>(v));
+    if (!first) s += ", ";
+    s += buf;
+    first = false;
+  }
+  return s + "]";
+}
+
+/// One BENCH_<name>.json document: header fields plus a results[] table of
+/// rows. scripts/bench_compare.py keys rows by (kernel, frame_bytes,
+/// escape_density, dispatch, pinned) and gates a chosen metric, so rows
+/// meant for the gate should carry those fields.
+struct JsonReport {
+  JsonObject header;
+  std::vector<JsonObject> results;
+
+  explicit JsonReport(const std::string& bench) { header.set("bench", bench); }
+
+  JsonObject& row() {
+    results.emplace_back();
+    return results.back();
+  }
+
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n";
+    header.render_fields(out, "  ");
+    out << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      out << "    ";
+      results[i].render(out);
+      out << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    return out.good();
+  }
+};
 
 inline void banner(const char* experiment, const char* paper_artifact) {
   std::printf("==============================================================================\n");

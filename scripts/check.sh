@@ -2,11 +2,12 @@
 # Repo health check, in labeled stages:
 #   tier-1    configure + build + full ctest          (build/)
 #   fault     the fault-injection/conformance label    (build/, ctest -L fault)
+#   transport the socket-transport label               (build/, ctest -L transport)
 #   asan      ASan+UBSan build + full ctest            (build-asan/)
 #   tsan      TSan build + the threaded suites         (build-tsan/)
 #   bench     smoke run of every registered bench      (build/, ctest -L bench)
-#             + bench_compare.py regression gate: a --quick bench_softpath
-#             sweep diffed against the committed BENCH_softpath.json
+#             + bench_compare.py regression gates: --quick bench_softpath and
+#             bench_tunnel sweeps diffed against the committed BENCH_*.json
 #
 # Usage: scripts/check.sh [stage...]   (default: all stages in order)
 #   e.g. scripts/check.sh tier-1 fault     # skip the sanitizer rebuilds
@@ -16,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault asan tsan bench)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault transport asan tsan bench)
 
 want() {
   local s
@@ -39,6 +40,14 @@ if want fault; then
   (cd build && ctest -L fault --output-on-failure -j)
 fi
 
+if want transport; then
+  echo
+  echo "== transport: epoll socket transport suite (ctest -L transport) =="
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && ctest -L transport --output-on-failure -j)
+fi
+
 if want asan; then
   echo
   echo "== asan: address+undefined sanitizers, full ctest (build-asan) =="
@@ -54,7 +63,7 @@ if want tsan; then
   cmake --build build-tsan -j
   # TSan's value is the threaded runtime; run the suites that spin threads
   # plus the whole fault label (cheap, and proves the harness is race-free).
-  (cd build-tsan && ctest -R 'LineCard|SpscRing|SharedMemory' --output-on-failure -j)
+  (cd build-tsan && ctest -R 'LineCard|SpscRing|SharedMemory|Transport' --output-on-failure -j)
   (cd build-tsan && ctest -L fault --output-on-failure -j)
 fi
 
@@ -73,6 +82,14 @@ if want bench; then
   ./build/bench/bench_softpath --quick --out build/BENCH_softpath.fresh.json > /dev/null
   python3 scripts/bench_compare.py build/BENCH_softpath.fresh.json BENCH_softpath.json \
     --tolerance 0.5
+  echo
+  echo "== bench gate: quick tunnel sweep vs committed baseline =="
+  # Wall-clock socket throughput on a shared host swings hard, so this gate
+  # leans on the per-bench default tolerance (80%, see bench_compare.py):
+  # it only trips when the transport collapses, not when the runner is busy.
+  ./build/bench/bench_tunnel --quick --out build/BENCH_tunnel.fresh.json > /dev/null
+  python3 scripts/bench_compare.py build/BENCH_tunnel.fresh.json BENCH_tunnel.json \
+    --metric new_mb_s
 fi
 
 echo

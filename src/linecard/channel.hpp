@@ -56,6 +56,19 @@ class Channel {
   [[nodiscard]] SpscRing<FrameDesc>& fabric_ring() { return fabric_; }
   [[nodiscard]] SpscRing<FrameDesc>& egress_ring() { return egress_; }
 
+  // Fabric-edge taps for an external transport (transport::Tunnel) that
+  // extends the MAPOS fabric across processes: the tunnel plays the fabric's
+  // role on these rings, so the SPSC discipline holds as long as nothing
+  // else consumes egress_/produces into fabric_ on this channel.
+  /// Take one delivered frame off the egress ring (what the fabric would
+  /// forward). nullopt when none is waiting.
+  [[nodiscard]] std::optional<FrameDesc> egress_take() { return egress_.try_pop(); }
+  /// Offer one frame toward this channel's link, exactly as the fabric
+  /// would. False = ring full; the caller owns the backpressure decision.
+  [[nodiscard]] bool ingress_offer(FrameDesc&& d) { return fabric_.try_push(std::move(d)); }
+  /// Frames waiting on the egress ring (approximate, exact at quiescence).
+  [[nodiscard]] std::size_t egress_pending() const { return egress_.size_approx(); }
+
   [[nodiscard]] core::P5SonetLink& link() { return *link_; }
   [[nodiscard]] const core::P5SonetLink& link() const { return *link_; }
   /// Scratch for the fabric's zero-alloc MAPOS encode of this channel's

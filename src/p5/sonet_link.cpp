@@ -2,6 +2,26 @@
 
 namespace p5::core {
 
+P5SonetEndpoint::P5SonetEndpoint(const P5Config& cfg, sonet::StsSpec sts)
+    : sts_(sts), dev_(std::make_unique<P5>(cfg)) {
+  framer_ = std::make_unique<sonet::SonetFramer>(sts, [this](std::size_t n) {
+    Bytes chunk = dev_->phy_pull_tx(n);
+    scr_tx_.scramble_in_place(chunk);
+    return chunk;
+  });
+  deframer_ = std::make_unique<sonet::SonetDeframer>(sts, [this](BytesView payload) {
+    rx_scratch_.assign(payload.begin(), payload.end());
+    scr_rx_.descramble_in_place(rx_scratch_);
+    dev_->phy_push_rx(rx_scratch_);
+  });
+}
+
+Bytes P5SonetEndpoint::pull_frame() { return framer_->next_frame(); }
+
+void P5SonetEndpoint::push_line(BytesView octets) { deframer_->push(octets); }
+
+bool P5SonetEndpoint::tx_pending() const { return dev_->tx_control().pending() > 0; }
+
 P5SonetLink::P5SonetLink(const P5Config& cfg, sonet::StsSpec sts,
                          const sonet::LineConfig& line_cfg)
     : P5SonetLink(cfg, cfg, sts, line_cfg) {}
@@ -9,46 +29,22 @@ P5SonetLink::P5SonetLink(const P5Config& cfg, sonet::StsSpec sts,
 P5SonetLink::P5SonetLink(const P5Config& a_cfg, const P5Config& b_cfg, sonet::StsSpec sts,
                          const sonet::LineConfig& line_cfg)
     : sts_(sts),
-      a_(std::make_unique<P5>(a_cfg)),
-      b_(std::make_unique<P5>(b_cfg)),
+      ep_a_(std::make_unique<P5SonetEndpoint>(a_cfg, sts)),
+      ep_b_(std::make_unique<P5SonetEndpoint>(b_cfg, sts)),
       host_engine_(a_cfg.accm),
       line_ab_(line_cfg),
       line_ba_(sonet::LineConfig{line_cfg.bit_error_rate, line_cfg.burst_enter,
                                  line_cfg.burst_exit, line_cfg.burst_error_rate,
-                                 line_cfg.seed + 1}) {
-  // Zero-alloc scrambling: TX scrambles the pulled chunk in place; RX reuses
-  // a per-direction scratch buffer whose capacity stabilises after the first
-  // SONET frame.
-  framer_a_ = std::make_unique<sonet::SonetFramer>(sts, [this](std::size_t n) {
-    Bytes chunk = a_->phy_pull_tx(n);
-    scr_a_tx_.scramble_in_place(chunk);
-    return chunk;
-  });
-  framer_b_ = std::make_unique<sonet::SonetFramer>(sts, [this](std::size_t n) {
-    Bytes chunk = b_->phy_pull_tx(n);
-    scr_b_tx_.scramble_in_place(chunk);
-    return chunk;
-  });
-  deframer_b_ = std::make_unique<sonet::SonetDeframer>(sts, [this](BytesView payload) {
-    rx_scratch_b_.assign(payload.begin(), payload.end());
-    scr_b_rx_.descramble_in_place(rx_scratch_b_);
-    b_->phy_push_rx(rx_scratch_b_);
-  });
-  deframer_a_ = std::make_unique<sonet::SonetDeframer>(sts, [this](BytesView payload) {
-    rx_scratch_a_.assign(payload.begin(), payload.end());
-    scr_a_rx_.descramble_in_place(rx_scratch_a_);
-    a_->phy_push_rx(rx_scratch_a_);
-  });
-}
+                                 line_cfg.seed + 1}) {}
 
 void P5SonetLink::exchange_frames(std::size_t frames) {
   for (std::size_t i = 0; i < frames; ++i) {
-    Bytes ab = line_ab_.transfer(framer_a_->next_frame());
+    Bytes ab = line_ab_.transfer(ep_a_->pull_frame());
     if (tap_ab_) tap_ab_(ab);
-    deframer_b_->push(ab);
-    Bytes ba = line_ba_.transfer(framer_b_->next_frame());
+    ep_b_->push_line(ab);
+    Bytes ba = line_ba_.transfer(ep_b_->pull_frame());
     if (tap_ba_) tap_ba_(ba);
-    deframer_a_->push(ba);
+    ep_a_->push_line(ba);
   }
 }
 

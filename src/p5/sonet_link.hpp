@@ -1,5 +1,5 @@
-// Full-stack integration: two P5 devices joined by an SDH/SONET path —
-// the "IP over SDH/SONET" of the paper's title.
+// Full-stack integration: P5 devices joined by an SDH/SONET path — the
+// "IP over SDH/SONET" of the paper's title.
 //
 //   P5(A).TX -> SPE framer -> scrambled STS-Nc frames -> optical line model
 //            -> deframer -> P5(B).RX          (and the mirror direction)
@@ -7,6 +7,13 @@
 // The x^43+1 self-synchronous payload scrambler (RFC 2615) runs over the
 // PPP octet stream inside the SPE. The line model injects seeded bit
 // errors, exercising the FCS/abort/delineation recovery paths end to end.
+//
+// The building block is P5SonetEndpoint — ONE end of the link: a P5 device
+// plus the framer/deframer/scrambler set that turns its PHY word stream
+// into the scrambled STS-Nc octet stream a line carries. P5SonetLink wires
+// two endpoints back to back through the in-memory optical line model;
+// transport::Tunnel (src/transport) binds a single endpoint to a real
+// socket so the far end can live in another process.
 #pragma once
 
 #include <functional>
@@ -20,6 +27,53 @@
 
 namespace p5::core {
 
+/// One end of a PPP-over-SONET link, exposing the stream attach points an
+/// external transport needs: pull scrambled SONET frames out of the local
+/// transmitter, push received line octets toward the local receiver.
+class P5SonetEndpoint {
+ public:
+  P5SonetEndpoint(const P5Config& cfg, sonet::StsSpec sts);
+  P5SonetEndpoint(const P5SonetEndpoint&) = delete;
+  P5SonetEndpoint& operator=(const P5SonetEndpoint&) = delete;
+
+  [[nodiscard]] P5& device() { return *dev_; }
+  [[nodiscard]] const P5& device() const { return *dev_; }
+
+  /// Next scrambled SONET frame from the local transmitter — always exactly
+  /// sts().frame_bytes() octets, advancing the device clock as the PHY
+  /// would. The line never starves: idle cycles produce flag fill.
+  [[nodiscard]] Bytes pull_frame();
+
+  /// Feed received line octets (whole frames or arbitrary fragments) toward
+  /// the local receiver. Frame alignment recovery, descrambling and HDLC
+  /// delineation all happen downstream, so a mid-stream attach, a lost
+  /// chunk or a reconnect costs a resync, never a crash — the x^43+1
+  /// payload scrambler is self-synchronising by construction.
+  void push_line(BytesView octets);
+
+  /// TX gate for paced pullers: true while datagrams are queued in shared
+  /// memory or a frame is mid-transmission. After it goes false the
+  /// pipeline still holds a handful of trailing octets (FCS, closing flag),
+  /// so pullers should linger for roughly one more SONET frame.
+  [[nodiscard]] bool tx_pending() const;
+
+  [[nodiscard]] u64 frames_pulled() const { return framer_->frames_built(); }
+  [[nodiscard]] bool rx_in_sync() const { return deframer_->in_sync(); }
+  [[nodiscard]] const sonet::DeframerStats& rx_stats() const { return deframer_->stats(); }
+  [[nodiscard]] const sonet::StsSpec& sts() const { return sts_; }
+
+ private:
+  sonet::StsSpec sts_;
+  std::unique_ptr<P5> dev_;
+
+  // Zero-alloc scrambling: TX scrambles the pulled chunk in place; RX reuses
+  // a scratch buffer whose capacity stabilises after the first SONET frame.
+  sonet::SelfSyncScrambler43 scr_tx_, scr_rx_;
+  Bytes rx_scratch_;
+  std::unique_ptr<sonet::SonetFramer> framer_;
+  std::unique_ptr<sonet::SonetDeframer> deframer_;
+};
+
 class P5SonetLink {
  public:
   P5SonetLink(const P5Config& cfg, sonet::StsSpec sts, const sonet::LineConfig& line_cfg);
@@ -28,8 +82,14 @@ class P5SonetLink {
   P5SonetLink(const P5Config& a_cfg, const P5Config& b_cfg, sonet::StsSpec sts,
               const sonet::LineConfig& line_cfg);
 
-  [[nodiscard]] P5& a() { return *a_; }
-  [[nodiscard]] P5& b() { return *b_; }
+  [[nodiscard]] P5& a() { return ep_a_->device(); }
+  [[nodiscard]] P5& b() { return ep_b_->device(); }
+
+  /// The endpoints themselves — the attach points transport::Tunnel binds
+  /// to a socket (exchange_frames and a socket pump must not drive the same
+  /// endpoint concurrently).
+  [[nodiscard]] P5SonetEndpoint& endpoint_a() { return *ep_a_; }
+  [[nodiscard]] P5SonetEndpoint& endpoint_b() { return *ep_b_; }
 
   /// Host-side software escape engine matching the A end's programmed ACCM:
   /// the dispatch tables are derived once here, at link construction (the
@@ -55,21 +115,16 @@ class P5SonetLink {
     tap_ba_ = std::move(b_to_a);
   }
 
-  [[nodiscard]] const sonet::DeframerStats& a_to_b_stats() const { return deframer_b_->stats(); }
-  [[nodiscard]] const sonet::DeframerStats& b_to_a_stats() const { return deframer_a_->stats(); }
+  [[nodiscard]] const sonet::DeframerStats& a_to_b_stats() const { return ep_b_->rx_stats(); }
+  [[nodiscard]] const sonet::DeframerStats& b_to_a_stats() const { return ep_a_->rx_stats(); }
   [[nodiscard]] const sonet::LineStats& line_ab_stats() const { return line_ab_.stats(); }
   [[nodiscard]] const sonet::StsSpec& sts() const { return sts_; }
 
  private:
   sonet::StsSpec sts_;
-  std::unique_ptr<P5> a_;
-  std::unique_ptr<P5> b_;
+  std::unique_ptr<P5SonetEndpoint> ep_a_;
+  std::unique_ptr<P5SonetEndpoint> ep_b_;
   fastpath::EscapeEngine host_engine_;  ///< derived once from the A-side ACCM
-
-  sonet::SelfSyncScrambler43 scr_a_tx_, scr_b_tx_, scr_a_rx_, scr_b_rx_;
-  Bytes rx_scratch_a_, rx_scratch_b_;  ///< reusable descramble buffers
-  std::unique_ptr<sonet::SonetFramer> framer_a_, framer_b_;
-  std::unique_ptr<sonet::SonetDeframer> deframer_a_, deframer_b_;
   sonet::Line line_ab_, line_ba_;
   LineTap tap_ab_, tap_ba_;
 };

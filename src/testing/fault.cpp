@@ -49,6 +49,13 @@ FaultSpec FaultSpec::pointer_events(double rate, sonet::StsSpec sts, u64 seed) {
   return s;
 }
 
+FaultSpec FaultSpec::drop(double rate, u64 seed) {
+  FaultSpec s;
+  s.drop_rate = rate;
+  s.seed = seed;
+  return s;
+}
+
 void FaultyLine::flip_bits(Bytes& chunk, bool& touched) {
   const double p = spec_.bit_error_rate;
   const u64 nbits = 8 * static_cast<u64>(chunk.size());
@@ -82,6 +89,15 @@ void FaultyLine::apply(Bytes& chunk) {
   if (index >= spec_.active_chunks) return;
 
   bool touched = false;
+
+  // Whole-chunk loss preempts everything else: there is nothing left to
+  // corrupt once the datagram is gone.
+  if (spec_.drop_rate > 0.0 && !chunk.empty() && rng_.chance(spec_.drop_rate)) {
+    chunk.clear();
+    ++stats_.drops;
+    ++stats_.faulted_chunks;
+    return;
+  }
 
   // Structural faults first (they change length), bit noise last so the BER
   // applies to the octets that actually go down the line.

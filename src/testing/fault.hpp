@@ -51,6 +51,10 @@ struct FaultSpec {
   /// set the slip lands just after the H3 octet of the frame, where a real
   /// justification moves payload; otherwise the position is random.
   double pointer_event_rate = 0.0;
+  /// Per-chunk probability of dropping the chunk entirely (cleared to zero
+  /// length). Models datagram loss on a packet transport; a transport rx
+  /// tap treats an emptied chunk as never delivered.
+  double drop_rate = 0.0;
   /// Frame geometry for pointer events (set when chunks are SONET frames).
   std::optional<sonet::StsSpec> sts;
 
@@ -67,6 +71,7 @@ struct FaultSpec {
   [[nodiscard]] static FaultSpec truncation(double rate, u64 seed = 1);
   [[nodiscard]] static FaultSpec aborts(double rate, u64 seed = 1);
   [[nodiscard]] static FaultSpec pointer_events(double rate, sonet::StsSpec sts, u64 seed = 1);
+  [[nodiscard]] static FaultSpec drop(double rate, u64 seed = 1);
 };
 
 struct FaultStats {
@@ -79,10 +84,12 @@ struct FaultStats {
   u64 truncations = 0;
   u64 aborts_injected = 0;
   u64 pointer_events = 0;
+  u64 drops = 0;  ///< chunks erased outright
 
   /// Total individual fault events of any class.
   [[nodiscard]] u64 events() const {
-    return bit_flips + inserts + deletes + truncations + aborts_injected + pointer_events;
+    return bit_flips + inserts + deletes + truncations + aborts_injected + pointer_events +
+           drops;
   }
 };
 

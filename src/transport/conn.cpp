@@ -1,0 +1,252 @@
+#include "transport/conn.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace p5::transport {
+
+// ---------------------------------------------------------------- StreamConn
+
+StreamConn::StreamConn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cfg, Fd fd,
+                       bool connecting)
+    : Conn(loop, stats, cfg), fd_(std::move(fd)) {
+  P5_EXPECTS(fd_.valid());
+  established_ = !connecting;
+  last_rx_ms_ = loop_.now_ms();
+  loop_.add_fd(fd_.get(), connecting ? kWritable : kReadable,
+               [this](u32 events) { handle_events(events); });
+  if (established_) {
+    loop_.add_timer(0, [this] {
+      if (open() && on_open_) on_open_();
+    });
+  }
+}
+
+bool StreamConn::send_frame(BytesView payload) {
+  if (!writable()) return false;
+  Bytes chunk;
+  chunk.reserve(4 + payload.size());
+  put_be32(chunk, static_cast<u32>(payload.size()));
+  append(chunk, payload);
+  queued_bytes_ += chunk.size();
+  queue_.push_back(std::move(chunk));
+  stats_.on_send_enqueued(payload.size());
+  stats_.note_queue_depth(queued_bytes_);
+  flush_write();
+  if (open()) update_interest();
+  return true;
+}
+
+void StreamConn::request_drain() {
+  if (!open() || draining_) return;
+  draining_ = true;
+  flush_write();
+  if (open()) update_interest();
+}
+
+void StreamConn::handle_events(u32 events) {
+  if (!established_) {
+    if (events & (kWritable | kIoError)) finish_connect();
+    return;
+  }
+  if (events & kIoError) {
+    close_internal(true);
+    return;
+  }
+  if (events & kWritable) {
+    flush_write();
+    if (!open()) return;
+  }
+  if (events & kReadable) {
+    read_some();
+    if (!open()) return;
+  }
+  update_interest();
+}
+
+void StreamConn::finish_connect() {
+  const int err = connect_error(fd_.get());
+  if (err != 0) {
+    close_internal(true);
+    return;
+  }
+  established_ = true;
+  last_rx_ms_ = loop_.now_ms();
+  update_interest();
+  if (on_open_) on_open_();
+}
+
+void StreamConn::flush_write() {
+  while (!queue_.empty()) {
+    const Bytes& head = queue_.front();
+    const ssize_t n = ::send(fd_.get(), head.data() + head_off_, head.size() - head_off_,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_internal(true);
+      return;
+    }
+    head_off_ += static_cast<std::size_t>(n);
+    queued_bytes_ -= static_cast<std::size_t>(n);
+    if (head_off_ < head.size()) return;  // kernel buffer full mid-chunk
+    stats_.on_sent(head.size() - 4);
+    head_off_ = 0;
+    queue_.pop_front();
+  }
+  if (draining_ && !drained_notified_) {
+    drained_notified_ = true;
+    (void)::shutdown(fd_.get(), SHUT_WR);
+    if (on_drained_) on_drained_();
+  }
+}
+
+void StreamConn::read_some() {
+  // Bounded burst: at most 4 slices per readable event so one fast peer
+  // cannot monopolise a run_once slice.
+  for (int burst = 0; burst < 4; ++burst) {
+    const std::size_t old_size = rx_buf_.size();
+    rx_buf_.resize(old_size + cfg_.read_chunk_bytes);
+    const ssize_t n = ::recv(fd_.get(), rx_buf_.data() + old_size, cfg_.read_chunk_bytes, 0);
+    if (n < 0) {
+      rx_buf_.resize(old_size);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_internal(true);
+      return;
+    }
+    if (n == 0) {  // orderly EOF from the peer
+      rx_buf_.resize(old_size);
+      close_internal(true);
+      return;
+    }
+    rx_buf_.resize(old_size + static_cast<std::size_t>(n));
+    last_rx_ms_ = loop_.now_ms();
+    if (!parse_frames()) return;  // proto error closed us
+    if (static_cast<std::size_t>(n) < cfg_.read_chunk_bytes) return;
+  }
+}
+
+bool StreamConn::parse_frames() {
+  std::size_t off = 0;
+  while (rx_buf_.size() - off >= 4) {
+    const u32 len = get_be32(rx_buf_, off);
+    if (len > cfg_.max_frame_bytes) {
+      stats_.proto_error();
+      close_internal(true);
+      return false;
+    }
+    if (rx_buf_.size() - off - 4 < len) break;
+    stats_.on_received(len);
+    if (on_frame_) on_frame_(BytesView(rx_buf_.data() + off + 4, len));
+    if (!open()) return false;  // callback closed us
+    off += 4 + len;
+  }
+  if (off > 0) rx_buf_.erase(rx_buf_.begin(), rx_buf_.begin() + static_cast<std::ptrdiff_t>(off));
+  return true;
+}
+
+void StreamConn::update_interest() {
+  u32 interest = kReadable;
+  if (!queue_.empty()) interest |= kWritable;
+  loop_.modify_fd(fd_.get(), interest);
+}
+
+void StreamConn::close_internal(bool notify) {
+  if (closing_ || !fd_.valid()) return;
+  closing_ = true;
+  loop_.remove_fd(fd_.get());
+  fd_.reset();
+  // Exact loss accounting: every enqueued chunk that never made it fully
+  // onto the wire (including a partially written head) is charged as lost.
+  stats_.add_frames_lost(queue_.size());
+  queue_.clear();
+  queued_bytes_ = 0;
+  head_off_ = 0;
+  established_ = false;
+  if (notify && on_closed_) on_closed_();
+  closing_ = false;
+}
+
+// ----------------------------------------------------------------- DgramConn
+
+DgramConn::DgramConn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cfg, Fd fd,
+                     bool learn_peer)
+    : Conn(loop, stats, cfg), fd_(std::move(fd)), has_peer_(!learn_peer) {
+  P5_EXPECTS(fd_.valid());
+  last_rx_ms_ = loop_.now_ms();
+  rx_buf_.resize(65536);
+  loop_.add_fd(fd_.get(), kReadable, [this](u32 events) {
+    if (events & kIoError) {
+      close_internal(true);
+      return;
+    }
+    if (events & kReadable) read_some();
+  });
+  loop_.add_timer(0, [this] {
+    if (writable() && on_open_) on_open_();  // learn_peer side opens on first RX
+  });
+}
+
+bool DgramConn::send_frame(BytesView payload) {
+  if (!writable()) return false;
+  stats_.on_send_enqueued(payload.size());
+  const ssize_t n = ::send(fd_.get(), payload.data(), payload.size(), MSG_NOSIGNAL);
+  if (n == static_cast<ssize_t>(payload.size())) {
+    stats_.on_sent(payload.size());
+  } else {
+    // Kernel refused or truncated — the datagram is gone. The self-sync
+    // scrambler on the far side absorbs the hole; we just account for it.
+    stats_.add_frames_lost(1);
+  }
+  return true;
+}
+
+void DgramConn::request_drain() {
+  // Nothing buffers; a datagram conn is always drained.
+  if (open() && on_drained_) on_drained_();
+}
+
+void DgramConn::read_some() {
+  for (int burst = 0; burst < 16; ++burst) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const ssize_t n = ::recvfrom(fd_.get(), rx_buf_.data(), rx_buf_.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN and transient ICMP errors alike: wait for the next event
+    }
+    last_rx_ms_ = loop_.now_ms();
+    if (!has_peer_) {
+      // Listener side: lock onto the first talker so sends have a target.
+      if (::connect(fd_.get(), reinterpret_cast<sockaddr*>(&peer), peer_len) == 0) {
+        has_peer_ = true;
+        if (on_open_) on_open_();
+        if (!open()) return;
+      }
+    }
+    if (n == 0) continue;  // zero-length datagram carries nothing useful
+    stats_.on_received(static_cast<std::size_t>(n));
+    if (on_frame_) on_frame_(BytesView(rx_buf_.data(), static_cast<std::size_t>(n)));
+    if (!open()) return;
+  }
+}
+
+void DgramConn::close_internal(bool notify) {
+  if (closing_ || !fd_.valid()) return;
+  closing_ = true;
+  loop_.remove_fd(fd_.get());
+  fd_.reset();
+  has_peer_ = false;
+  if (notify && on_closed_) on_closed_();
+  closing_ = false;
+}
+
+}  // namespace p5::transport

@@ -1,0 +1,157 @@
+// Framed, nonblocking connections over the event loop.
+//
+// Two concrete carriers share one interface:
+//   * StreamConn — TCP with a u32 big-endian length prefix per chunk and a
+//     bounded write queue. The queue is the backpressure coupling point: the
+//     tunnel stops pulling from its SpscRing-fed binding while queued bytes
+//     sit at the watermark, so socket stalls propagate back into the same
+//     flow control the line card already uses.
+//   * DgramConn — UDP, one SONET chunk per datagram. No queue and no
+//     delivery promise; a send the kernel refuses is counted lost on the
+//     spot, and the x^43+1 self-synchronous scrambler lets the far deframer
+//     ride through the gap.
+//
+// Callback discipline (the rules that keep use-after-free away):
+//   * A Conn never destroys itself; on_closed is invoked from the conn's own
+//     stack, so the owner must not reset its pointer there — it swaps the
+//     object out at the next establishment or in its destructor.
+//   * close() is idempotent and deregisters from the loop immediately;
+//     no callback fires after it returns.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "common/types.hpp"
+#include "transport/event_loop.hpp"
+#include "transport/socket.hpp"
+#include "transport/stats.hpp"
+
+namespace p5::transport {
+
+struct ConnConfig {
+  std::size_t send_watermark_bytes = 256 * 1024;  ///< queue cap before stalls
+  std::size_t max_frame_bytes = 4 * 1024 * 1024;  ///< length-prefix sanity bound
+  std::size_t read_chunk_bytes = 64 * 1024;       ///< per-readable recv slice
+};
+
+/// One framed bidirectional connection bound to an EventLoop.
+class Conn {
+ public:
+  using FrameCallback = std::function<void(BytesView)>;
+
+  Conn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cfg)
+      : loop_(loop), stats_(stats), cfg_(cfg) {}
+  virtual ~Conn() = default;
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  /// Accept one chunk for transmission. Returns false (without consuming the
+  /// chunk into the counters) when the connection cannot take it — closed, or
+  /// the write queue already at its watermark.
+  virtual bool send_frame(BytesView payload) = 0;
+
+  [[nodiscard]] virtual bool open() const = 0;
+  /// True when send_frame would accept a chunk right now.
+  [[nodiscard]] virtual bool writable() const = 0;
+  [[nodiscard]] virtual std::size_t queued_bytes() const { return 0; }
+  [[nodiscard]] virtual std::size_t queued_frames() const { return 0; }
+
+  /// Graceful shutdown: flush what is queued, then half-close the send side
+  /// and fire on_drained. Datagram carriers drain instantly.
+  virtual void request_drain() = 0;
+  /// Hard close: deregister, count still-queued chunks as lost, fire
+  /// on_closed (unless already closed).
+  virtual void close() = 0;
+
+  void set_on_frame(FrameCallback cb) { on_frame_ = std::move(cb); }
+  void set_on_open(std::function<void()> cb) { on_open_ = std::move(cb); }
+  void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+  void set_on_drained(std::function<void()> cb) { on_drained_ = std::move(cb); }
+
+  [[nodiscard]] u64 last_rx_ms() const { return last_rx_ms_; }
+
+ protected:
+  EventLoop& loop_;
+  TransportTelemetry& stats_;
+  ConnConfig cfg_;
+  FrameCallback on_frame_;
+  std::function<void()> on_open_;
+  std::function<void()> on_closed_;
+  std::function<void()> on_drained_;
+  u64 last_rx_ms_ = 0;
+};
+
+/// TCP carrier: [u32 BE length][payload] per chunk, write-queue backpressure.
+class StreamConn final : public Conn {
+ public:
+  /// Takes ownership of `fd`. `connecting` marks an EINPROGRESS socket: the
+  /// conn watches for writability, checks SO_ERROR, then fires on_open (or
+  /// on_closed if the handshake failed). Accepted / already-established
+  /// sockets pass false and are open immediately; on_open is deferred
+  /// through a zero-delay timer so the owner can finish wiring callbacks.
+  StreamConn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cfg, Fd fd, bool connecting);
+  ~StreamConn() override { close_internal(false); }
+
+  bool send_frame(BytesView payload) override;
+  [[nodiscard]] bool open() const override { return fd_.valid() && established_; }
+  [[nodiscard]] bool writable() const override {
+    return open() && !draining_ && queued_bytes_ < cfg_.send_watermark_bytes;
+  }
+  [[nodiscard]] std::size_t queued_bytes() const override { return queued_bytes_; }
+  [[nodiscard]] std::size_t queued_frames() const override { return queue_.size(); }
+  void request_drain() override;
+  void close() override { close_internal(true); }
+
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+ private:
+  void handle_events(u32 events);
+  void finish_connect();
+  void flush_write();
+  void read_some();
+  bool parse_frames();
+  void update_interest();
+  void close_internal(bool notify);
+
+  Fd fd_;
+  bool established_ = false;
+  bool draining_ = false;
+  bool drained_notified_ = false;
+  bool closing_ = false;  ///< re-entrancy latch for close_internal
+
+  std::deque<Bytes> queue_;
+  std::size_t head_off_ = 0;  ///< octets of the queue head already written
+  std::size_t queued_bytes_ = 0;
+
+  Bytes rx_buf_;  ///< accumulated unparsed inbound octets
+};
+
+/// UDP carrier: one chunk per datagram, fire-and-forget.
+class DgramConn final : public Conn {
+ public:
+  /// `learn_peer` is the listener side: the socket is bound but unconnected,
+  /// and the first datagram's source becomes the send destination.
+  DgramConn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cfg, Fd fd, bool learn_peer);
+  ~DgramConn() override { close_internal(false); }
+
+  bool send_frame(BytesView payload) override;
+  [[nodiscard]] bool open() const override { return fd_.valid(); }
+  [[nodiscard]] bool writable() const override { return open() && has_peer_; }
+  void request_drain() override;
+  void close() override { close_internal(true); }
+
+  [[nodiscard]] int fd() const { return fd_.get(); }
+  [[nodiscard]] bool has_peer() const { return has_peer_; }
+
+ private:
+  void read_some();
+  void close_internal(bool notify);
+
+  Fd fd_;
+  bool has_peer_ = false;
+  bool closing_ = false;
+  Bytes rx_buf_;
+};
+
+}  // namespace p5::transport

@@ -1,0 +1,56 @@
+#include "transport/stats.hpp"
+
+namespace p5::transport {
+
+TransportSnapshot& TransportSnapshot::operator+=(const TransportSnapshot& o) {
+  frames_in += o.frames_in;
+  bytes_in += o.bytes_in;
+  frames_out += o.frames_out;
+  bytes_out += o.bytes_out;
+  frames_lost += o.frames_lost;
+  frames_rcvd += o.frames_rcvd;
+  bytes_rcvd += o.bytes_rcvd;
+  rx_drops += o.rx_drops;
+  connects += o.connects;
+  reconnects += o.reconnects;
+  disconnects += o.disconnects;
+  backoff_waits += o.backoff_waits;
+  idle_timeouts += o.idle_timeouts;
+  backpressure_stalls += o.backpressure_stalls;
+  send_queue_hwm = send_queue_hwm > o.send_queue_hwm ? send_queue_hwm : o.send_queue_hwm;
+  proto_errors += o.proto_errors;
+  return *this;
+}
+
+TransportSnapshot TransportTelemetry::read_once() const {
+  TransportSnapshot s;
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.frames_out = frames_out_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.frames_lost = frames_lost_.load(std::memory_order_relaxed);
+  s.frames_rcvd = frames_rcvd_.load(std::memory_order_relaxed);
+  s.bytes_rcvd = bytes_rcvd_.load(std::memory_order_relaxed);
+  s.rx_drops = rx_drops_.load(std::memory_order_relaxed);
+  s.connects = connects_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.disconnects = disconnects_.load(std::memory_order_relaxed);
+  s.backoff_waits = backoff_waits_.load(std::memory_order_relaxed);
+  s.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
+  s.backpressure_stalls = backpressure_stalls_.load(std::memory_order_relaxed);
+  s.send_queue_hwm = send_queue_hwm_.load(std::memory_order_relaxed);
+  s.proto_errors = proto_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+TransportSnapshot TransportTelemetry::snapshot() const {
+  TransportSnapshot prev = read_once();
+  for (int i = 0; i < 8; ++i) {
+    TransportSnapshot cur = read_once();
+    if (cur == prev) return cur;
+    prev = cur;
+  }
+  return prev;
+}
+
+}  // namespace p5::transport

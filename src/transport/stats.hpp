@@ -1,0 +1,114 @@
+// Per-connection transport telemetry, following the linecard::Telemetry
+// discipline: relaxed atomics with exactly one writer (the event-loop
+// thread), read from any thread via a stabilising double-read snapshot.
+//
+// Loss accounting is exact at the wire-chunk level:
+//
+//     frames_in == frames_out + frames_lost + (chunks still queued)
+//
+// Every chunk the tunnel accepts from its bound object (frames_in) is
+// either fully written to the socket (frames_out) or counted lost
+// (frames_lost: dropped with the write queue at disconnect, or a datagram
+// the kernel refused). Once the connection is drained the queue term is
+// zero and the invariant holds with equality — the transport never loses a
+// chunk silently.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.hpp"
+
+namespace p5::transport {
+
+/// Plain-value copy of one connection's counters (or an aggregate roll-up).
+struct TransportSnapshot {
+  // TX path: bound object -> send queue -> wire.
+  u64 frames_in = 0;   ///< chunks accepted for transmission
+  u64 bytes_in = 0;    ///< their payload octets (length prefix excluded)
+  u64 frames_out = 0;  ///< chunks fully written to the socket
+  u64 bytes_out = 0;
+  u64 frames_lost = 0;  ///< accepted chunks dropped before full transmission
+
+  // RX path: wire -> bound object.
+  u64 frames_rcvd = 0;
+  u64 bytes_rcvd = 0;
+  u64 rx_drops = 0;  ///< received chunks the bound object refused (ring full)
+
+  // Connection lifecycle.
+  u64 connects = 0;       ///< first-time establishments (connect or accept)
+  u64 reconnects = 0;     ///< re-establishments after a drop
+  u64 disconnects = 0;    ///< connection losses (error, EOF, idle, kill)
+  u64 backoff_waits = 0;  ///< reconnect backoff sleeps taken
+  u64 idle_timeouts = 0;  ///< connections dropped for receive silence
+
+  // Flow control and framing health.
+  u64 backpressure_stalls = 0;  ///< pump deferred: write queue at watermark
+  u64 send_queue_hwm = 0;       ///< peak queued send bytes observed
+  u64 proto_errors = 0;         ///< bad length prefixes / unusable datagrams
+
+  bool operator==(const TransportSnapshot&) const = default;
+  TransportSnapshot& operator+=(const TransportSnapshot& o);
+};
+
+/// Live counters for one tunnel/connection. Single writer (the loop
+/// thread), any number of readers.
+class TransportTelemetry {
+ public:
+  void on_send_enqueued(std::size_t payload_bytes) {
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    bytes_in_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  void on_sent(std::size_t payload_bytes) {
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+    bytes_out_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  void add_frames_lost(u64 n) {
+    if (n) frames_lost_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_received(std::size_t payload_bytes) {
+    frames_rcvd_.fetch_add(1, std::memory_order_relaxed);
+    bytes_rcvd_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  void rx_drop() { rx_drops_.fetch_add(1, std::memory_order_relaxed); }
+  void on_connect(bool reconnect) {
+    (reconnect ? reconnects_ : connects_).fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_disconnect() { disconnects_.fetch_add(1, std::memory_order_relaxed); }
+  void backoff_wait() { backoff_waits_.fetch_add(1, std::memory_order_relaxed); }
+  void idle_timeout() { idle_timeouts_.fetch_add(1, std::memory_order_relaxed); }
+  void backpressure_stall() { backpressure_stalls_.fetch_add(1, std::memory_order_relaxed); }
+  void note_queue_depth(std::size_t bytes) { raise(send_queue_hwm_, bytes); }
+  void proto_error() { proto_errors_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Consistent point-in-time copy: reads the block twice until two
+  /// consecutive reads agree (bounded retries; the counters are monotonic,
+  /// so even the fallback is a valid momentary mixture, never garbage).
+  [[nodiscard]] TransportSnapshot snapshot() const;
+
+ private:
+  static void raise(std::atomic<u64>& hwm, u64 v) {
+    u64 cur = hwm.load(std::memory_order_relaxed);
+    while (v > cur && !hwm.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] TransportSnapshot read_once() const;
+
+  std::atomic<u64> frames_in_{0};
+  std::atomic<u64> bytes_in_{0};
+  std::atomic<u64> frames_out_{0};
+  std::atomic<u64> bytes_out_{0};
+  std::atomic<u64> frames_lost_{0};
+  std::atomic<u64> frames_rcvd_{0};
+  std::atomic<u64> bytes_rcvd_{0};
+  std::atomic<u64> rx_drops_{0};
+  std::atomic<u64> connects_{0};
+  std::atomic<u64> reconnects_{0};
+  std::atomic<u64> disconnects_{0};
+  std::atomic<u64> backoff_waits_{0};
+  std::atomic<u64> idle_timeouts_{0};
+  std::atomic<u64> backpressure_stalls_{0};
+  std::atomic<u64> send_queue_hwm_{0};
+  std::atomic<u64> proto_errors_{0};
+};
+
+}  // namespace p5::transport

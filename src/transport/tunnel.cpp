@@ -1,0 +1,314 @@
+#include "transport/tunnel.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "linecard/channel.hpp"
+#include "p5/sonet_link.hpp"
+
+namespace p5::transport {
+
+// ------------------------------------------------------------ TunnelBinding
+
+TunnelBinding TunnelBinding::endpoint(core::P5SonetEndpoint& ep) {
+  // Pacing: pull only while the endpoint has traffic queued, then linger for
+  // two more SONET frames so the trailing FCS/closing-flag octets flush.
+  // Without the gate an idle endpoint would saturate the wire with flag fill.
+  auto linger = std::make_shared<unsigned>(0);
+  TunnelBinding b;
+  b.pull = [&ep, linger]() -> Bytes {
+    if (ep.tx_pending()) {
+      *linger = 2;
+      return ep.pull_frame();
+    }
+    if (*linger > 0) {
+      --*linger;
+      return ep.pull_frame();
+    }
+    return {};
+  };
+  b.pull_raw = [&ep] { return ep.pull_frame(); };
+  b.ready = [&ep, linger] { return ep.tx_pending() || *linger > 0; };
+  b.push = [&ep](BytesView v) {
+    ep.push_line(v);
+    return true;
+  };
+  return b;
+}
+
+TunnelBinding TunnelBinding::channel(linecard::Channel& ch) {
+  // Chunk codec for fabric extension: [u16 protocol BE][u8 fabric_dest]
+  // [u8 source_channel][payload].
+  TunnelBinding b;
+  b.pull = [&ch]() -> Bytes {
+    auto d = ch.egress_take();
+    if (!d) return {};
+    Bytes out;
+    out.reserve(4 + d->payload.size());
+    put_be16(out, d->protocol);
+    out.push_back(d->fabric_dest);
+    out.push_back(d->source_channel);
+    append(out, d->payload);
+    return out;
+  };
+  b.ready = [&ch] { return ch.egress_pending() > 0; };
+  b.push = [&ch](BytesView v) -> bool {
+    if (v.size() < 4) return false;
+    linecard::FrameDesc d;
+    d.protocol = get_be16(v, 0);
+    d.fabric_dest = v[2];
+    d.source_channel = v[3];
+    d.payload.assign(v.begin() + 4, v.end());
+    return ch.ingress_offer(std::move(d));
+  };
+  b.step = [&ch] { (void)ch.step(); };
+  return b;
+}
+
+const char* to_string(TunnelState s) {
+  switch (s) {
+    case TunnelState::kIdle: return "idle";
+    case TunnelState::kListening: return "listening";
+    case TunnelState::kConnecting: return "connecting";
+    case TunnelState::kBackoff: return "backoff";
+    case TunnelState::kConnected: return "connected";
+    case TunnelState::kDraining: return "draining";
+    case TunnelState::kClosed: return "closed";
+    case TunnelState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------------- Tunnel
+
+Tunnel::Tunnel(EventLoop& loop, TunnelBinding binding, TunnelConfig cfg)
+    : loop_(loop), binding_(std::move(binding)), cfg_(std::move(cfg)), rng_(cfg_.seed) {}
+
+Tunnel::~Tunnel() {
+  *alive_ = false;
+  if (idle_timer_) loop_.cancel_timer(idle_timer_);
+  if (listen_fd_.valid()) loop_.remove_fd(listen_fd_.get());
+  // conn_ destructs with notify=false: no callbacks fire from here.
+}
+
+void Tunnel::start() {
+  P5_EXPECTS(state_ == TunnelState::kIdle);
+  if (cfg_.listen) {
+    begin_listen();
+  } else {
+    begin_connect();
+  }
+}
+
+u16 Tunnel::bound_port() const { return bound_port_; }
+
+void Tunnel::begin_listen() {
+  const SocketAddr addr{cfg_.host, cfg_.port};
+  if (cfg_.udp) {
+    Fd fd = udp_bind(addr);
+    P5_ENSURES(fd.valid());
+    bound_port_ = local_port(fd.get());
+    state_ = TunnelState::kListening;
+    adopt(std::make_unique<DgramConn>(loop_, tel_, cfg_.conn, std::move(fd),
+                                      /*learn_peer=*/true));
+    return;
+  }
+  listen_fd_ = tcp_listen(addr);
+  P5_ENSURES(listen_fd_.valid());
+  bound_port_ = local_port(listen_fd_.get());
+  state_ = TunnelState::kListening;
+  loop_.add_fd(listen_fd_.get(), kReadable, [this](u32) {
+    Fd c = tcp_accept(listen_fd_.get());
+    if (!c.valid()) return;
+    // Latest peer wins: a reconnecting far end replaces a stale connection.
+    adopt(std::make_unique<StreamConn>(loop_, tel_, cfg_.conn, std::move(c),
+                                       /*connecting=*/false));
+  });
+}
+
+void Tunnel::begin_connect() {
+  state_ = TunnelState::kConnecting;
+  if (cfg_.udp) {
+    Fd fd = udp_connect(SocketAddr{cfg_.host, cfg_.port});
+    if (!fd.valid()) {
+      schedule_reconnect();
+      return;
+    }
+    adopt(std::make_unique<DgramConn>(loop_, tel_, cfg_.conn, std::move(fd),
+                                      /*learn_peer=*/false));
+    return;
+  }
+  bool in_progress = false;
+  Fd fd = tcp_connect(SocketAddr{cfg_.host, cfg_.port}, in_progress);
+  if (!fd.valid()) {
+    schedule_reconnect();
+    return;
+  }
+  adopt(std::make_unique<StreamConn>(loop_, tel_, cfg_.conn, std::move(fd), in_progress));
+}
+
+void Tunnel::adopt(std::unique_ptr<Conn> conn) {
+  if (conn_ && conn_->open()) conn_->close();  // not on conn_'s stack here
+  Conn* raw = conn.get();
+  raw->set_on_open([this] { on_established(); });
+  raw->set_on_closed([this] {
+    // Runs on the connection's own stack — account, then bounce the
+    // teardown through the loop so the conn finishes its slice first.
+    tel_.on_disconnect();
+    loop_.add_timer(0, [this, alive = alive_] {
+      if (*alive) on_conn_closed();
+    });
+  });
+  raw->set_on_drained([this] {
+    loop_.add_timer(0, [this, alive = alive_] {
+      if (*alive) finish_drain();
+    });
+  });
+  raw->set_on_frame([this](BytesView v) { deliver(v); });
+  conn_ = std::move(conn);
+}
+
+void Tunnel::on_established() {
+  state_ = TunnelState::kConnected;
+  tel_.on_connect(/*reconnect=*/ever_connected_);
+  ever_connected_ = true;
+  backoff_ms_ = 0;  // a fresh outage restarts the exponential ladder
+  backoff_spent_ms_ = 0;
+  last_tx_ms_ = loop_.now_ms();
+  arm_idle_timer();
+  pump();  // opportunistic first slice cuts establishment latency
+}
+
+void Tunnel::on_conn_closed() {
+  if (conn_ && conn_->open()) return;  // already replaced by a fresh peer
+  conn_.reset();
+  if (idle_timer_) {
+    loop_.cancel_timer(idle_timer_);
+    idle_timer_ = 0;
+  }
+  if (state_ == TunnelState::kDraining || state_ == TunnelState::kClosed) {
+    state_ = TunnelState::kClosed;
+    return;
+  }
+  if (state_ == TunnelState::kFailed) return;
+  if (cfg_.listen) {
+    if (cfg_.udp) {
+      begin_listen();  // re-bind and wait for the next talker
+    } else {
+      state_ = TunnelState::kListening;
+    }
+    return;
+  }
+  schedule_reconnect();
+}
+
+void Tunnel::schedule_reconnect() {
+  if (backoff_ms_ == 0) backoff_ms_ = std::max<u64>(1, cfg_.backoff_initial_ms);
+  u64 delay = backoff_ms_;
+  if (cfg_.backoff_jitter > 0.0) {
+    const double unit = static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;  // [0,1)
+    const double factor = 1.0 + cfg_.backoff_jitter * (2.0 * unit - 1.0);
+    delay = std::max<u64>(1, static_cast<u64>(static_cast<double>(delay) * factor));
+  }
+  if (cfg_.backoff_budget_ms != 0 && backoff_spent_ms_ + delay > cfg_.backoff_budget_ms) {
+    state_ = TunnelState::kFailed;
+    return;
+  }
+  backoff_spent_ms_ += delay;
+  backoff_ms_ = std::min(backoff_ms_ * 2, std::max<u64>(1, cfg_.backoff_max_ms));
+  tel_.backoff_wait();
+  state_ = TunnelState::kBackoff;
+  loop_.add_timer(delay, [this, alive = alive_] {
+    if (*alive && state_ == TunnelState::kBackoff) begin_connect();
+  });
+}
+
+void Tunnel::arm_idle_timer() {
+  if (cfg_.idle_timeout_ms == 0) return;
+  const u64 check = std::max<u64>(1, cfg_.idle_timeout_ms / 2);
+  idle_timer_ = loop_.add_timer(check, [this, alive = alive_] {
+    if (*alive) idle_check();
+  });
+}
+
+void Tunnel::idle_check() {
+  idle_timer_ = 0;
+  if (state_ != TunnelState::kConnected || !conn_ || !conn_->open()) return;
+  const u64 silent = loop_.now_ms() - conn_->last_rx_ms();
+  if (silent >= cfg_.idle_timeout_ms) {
+    tel_.idle_timeout();
+    conn_->close();  // timer context, not the conn's stack
+    return;
+  }
+  arm_idle_timer();
+}
+
+std::size_t Tunnel::pump() {
+  for (std::size_t i = 0; i < cfg_.steps_per_pump; ++i) {
+    if (binding_.step) binding_.step();
+  }
+  if (state_ != TunnelState::kConnected || !conn_) return 0;
+  std::size_t sent = 0;
+  while (sent < cfg_.frames_per_pump) {
+    if (!conn_->writable()) {
+      // The watermark is the coupling point: chunks stay in the binding's
+      // rings (SpscRing flow control) instead of ballooning the socket queue.
+      if (binding_.ready && binding_.ready()) tel_.backpressure_stall();
+      break;
+    }
+    Bytes chunk = binding_.pull ? binding_.pull() : Bytes{};
+    if (chunk.empty()) {
+      if (cfg_.keepalive_ms != 0 && binding_.pull_raw &&
+          loop_.now_ms() - last_tx_ms_ >= cfg_.keepalive_ms) {
+        chunk = binding_.pull_raw();
+      }
+      if (chunk.empty()) break;
+    }
+    if (!conn_->send_frame(chunk)) break;  // write error closed us mid-slice
+    last_tx_ms_ = loop_.now_ms();
+    ++sent;
+  }
+  if (conn_) tel_.note_queue_depth(conn_->queued_bytes());
+  return sent;
+}
+
+void Tunnel::deliver(BytesView chunk) {
+  if (rx_tap_) {
+    tap_scratch_.assign(chunk.begin(), chunk.end());
+    rx_tap_(tap_scratch_);
+    if (tap_scratch_.empty()) return;  // the tap ate it: injected loss
+    chunk = tap_scratch_;
+  }
+  if (binding_.push && !binding_.push(chunk)) tel_.rx_drop();
+}
+
+void Tunnel::request_drain() {
+  if (finished() || state_ == TunnelState::kDraining) return;
+  state_ = TunnelState::kDraining;
+  if (listen_fd_.valid()) {
+    loop_.remove_fd(listen_fd_.get());
+    listen_fd_.reset();
+  }
+  if (!conn_ || !conn_->open()) {
+    conn_.reset();
+    state_ = TunnelState::kClosed;
+    return;
+  }
+  conn_->request_drain();
+}
+
+void Tunnel::finish_drain() {
+  if (state_ != TunnelState::kDraining) return;
+  state_ = TunnelState::kClosed;
+  if (conn_) {
+    conn_->set_on_closed(nullptr);  // a drained goodbye is not a disconnect
+    conn_->close();
+    conn_.reset();
+  }
+}
+
+void Tunnel::kill_connection() {
+  if (conn_ && conn_->open()) conn_->close();
+}
+
+}  // namespace p5::transport

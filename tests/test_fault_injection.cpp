@@ -82,6 +82,27 @@ TEST(FaultyLineModel, CleanSpecIsAPassThrough) {
   EXPECT_EQ(line.stats().chunks, 50u);
 }
 
+TEST(FaultyLineModel, DropPresetErasesWholeChunksAndCountsThem) {
+  FaultyLine line(FaultSpec::drop(0.5, 3));
+  Xoshiro256 rng(5);
+  u64 dropped = 0, passed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Bytes chunk = rng.bytes(1 + rng.below(64));
+    const Bytes out = line.transfer(chunk);
+    if (out.empty()) {
+      ++dropped;
+    } else {
+      EXPECT_EQ(out, chunk);  // a surviving chunk is untouched
+      ++passed;
+    }
+  }
+  EXPECT_GT(dropped, 0u);
+  EXPECT_GT(passed, 0u);
+  EXPECT_EQ(line.stats().drops, dropped);
+  EXPECT_EQ(line.stats().faulted_chunks, dropped);
+  EXPECT_EQ(line.stats().events(), dropped);
+}
+
 TEST(FaultyLineModel, EveryFaultClassIsCountedAndShapedCorrectly) {
   Xoshiro256 rng(11);
   const Bytes chunk = rng.bytes(256);
