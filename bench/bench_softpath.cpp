@@ -217,7 +217,7 @@ int run(int argc, char** argv) {
       std::vector<hdlc::BatchFrame> bframes;
       for (std::size_t f = 0; f < kBurst; ++f) {
         burst.push_back(density_payload(size, density, 500 + f));
-        bframes.push_back({0x0021, burst.back(), {}});
+        bframes.push_back({0x0021, burst.back(), {}, {}});
       }
       hdlc::FrameArena batch_arena;
       const std::size_t batch_wire = hdlc::encode_batch_into(batch_arena, cfg, bframes).size();

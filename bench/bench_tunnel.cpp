@@ -1,20 +1,31 @@
 // bench_tunnel — socket-transport throughput for the P5 SONET stream.
 //
-// Three figures, all wall-clock (this bench measures the transport and the
-// host, not the cycle model's clock):
+// Rows, all wall-clock (this bench measures the transport and the host, not
+// the cycle model's clock):
 //
 //  * stream_echo — raw StreamConn loopback echo: length-prefixed frames out
 //    and back through the epoll loop with no P5 model attached. This is the
 //    transport's own ceiling; it should sit orders of magnitude above the
-//    model-bound figures.
-//  * tunnel_tcp / tunnel_udp — a socketed P5SonetEndpoint pair
-//    (transport::Tunnel at both ends over loopback) delivering datagrams
-//    end to end. Model-bound: the cycle-accurate P5 at each end simulates
-//    at roughly the speed BENCH_linecard.json records, so these rows gate
-//    "the tunnel does not get slower", not absolute socket speed.
+//    cycle-tier figures.
+//  * tunnel_tcp / tunnel_udp — a socketed endpoint pair (transport::Tunnel
+//    at both ends over loopback) delivering datagrams end to end at the
+//    cycle-accurate tier. Model-bound: the cycle P5 at each end simulates at
+//    roughly the speed BENCH_linecard.json records, so these rows gate "the
+//    tunnel does not get slower", not absolute socket speed.
+//  * tunnel_tcp_fast / tunnel_udp_fast — the same pair at DeviceTier::kFast
+//    (p5/fast_endpoint): the whole-frame batch datapath. These rows are the
+//    tentpole gate — the fastpath tier must close the tunnel gap to within
+//    the transport's own order of magnitude (>= 100 MB/s on the TCP row).
+//
+// Every tunnel row is duration-targeted: datagrams are submitted in bursts
+// (keeping the 64-entry device ring topped up) until the target wall time
+// elapses, then the tail drains. Throughput is delivered payload over the
+// time to the last delivery, so a row's figure does not depend on a guessed
+// frame count — the old fixed-150-frame rows under-ran the fast tier by
+// three orders of magnitude.
 //
 // Results go to stdout and BENCH_tunnel.json. The JSON rows carry the
-// bench_compare.py cell keys; gate with
+// bench_compare.py cell keys (now including the `tier` column); gate with
 //   scripts/bench_compare.py BENCH_tunnel.json <baseline> --metric new_mb_s
 // (the tunnel baseline tolerance is loose — wall time on shared CI swings).
 //
@@ -27,7 +38,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "p5/sonet_link.hpp"
+#include "p5/endpoint.hpp"
 #include "transport/conn.hpp"
 #include "transport/event_loop.hpp"
 #include "transport/tunnel.hpp"
@@ -54,6 +65,7 @@ struct Row {
   std::string kernel;
   std::size_t frame_bytes = 0;
   std::string dispatch;
+  std::string tier;  ///< "-" for rows with no P5 device in the path
   std::size_t frames = 0;
   u64 payload_bytes = 0;
   double wall_seconds = 0.0;
@@ -94,6 +106,7 @@ Row bench_stream_echo(std::size_t count, std::size_t frame_bytes) {
   r.kernel = "stream_echo";
   r.frame_bytes = frame_bytes;
   r.dispatch = "tcp";
+  r.tier = "-";
   r.frames = count;
   r.payload_bytes = static_cast<u64>(count) * frame_bytes;
   r.wall_seconds = seconds_since(t0);
@@ -103,47 +116,67 @@ Row bench_stream_echo(std::size_t count, std::size_t frame_bytes) {
   return r;
 }
 
-/// Socketed endpoint pair: `count` datagrams of `dgram_len` end to end.
-Row bench_tunnel_pair(bool udp, std::size_t count, std::size_t dgram_len) {
+/// Socketed endpoint pair at `tier`: submit datagrams of `dgram_len` in
+/// bursts for `target_seconds` of wall time, drain, report delivered
+/// payload over the time to the last delivery.
+Row bench_tunnel_pair(bool udp, core::DeviceTier tier, double target_seconds,
+                      std::size_t dgram_len) {
   EventLoop loop;
-  core::P5SonetEndpoint ep_a({}, sonet::kSts3c), ep_b({}, sonet::kSts3c);
+  auto ep_a = core::make_sonet_endpoint(tier, {}, sonet::kSts3c);
+  auto ep_b = core::make_sonet_endpoint(tier, {}, sonet::kSts3c);
   TunnelConfig ca;
   ca.listen = true;
   ca.udp = udp;
   ca.port = 0;
-  Tunnel tun_a(loop, TunnelBinding::endpoint(ep_a), ca);
+  Tunnel tun_a(loop, TunnelBinding::endpoint(*ep_a), ca);
   tun_a.start();
-  TunnelConfig cb;
+  TunnelConfig cb = ca;
+  cb.listen = false;
   cb.udp = udp;
   cb.port = tun_a.bound_port();
-  Tunnel tun_b(loop, TunnelBinding::endpoint(ep_b), cb);
+  Tunnel tun_b(loop, TunnelBinding::endpoint(*ep_b), cb);
   tun_b.start();
 
   const Bytes payload = density_payload(dgram_len, 0.05, 7);
   const auto t0 = std::chrono::steady_clock::now();
+  auto t_last = t0;
   std::size_t submitted = 0, delivered = 0;
   u64 delivered_bytes = 0;
+  bool draining = false;
   int settle = 0;
-  while (delivered < count && settle < 400) {
-    if (submitted < count && ep_b.device().submit_datagram(0x0021, payload)) ++submitted;
+  while (settle < 400) {
+    if (!draining) {
+      // Burst submission keeps the device's 64-entry transmit ring topped
+      // up, so the batch tier encodes whole batches per pull instead of one
+      // frame per pump slice.
+      while (ep_b->submit_datagram(0x0021, payload)) ++submitted;
+      if (seconds_since(t0) >= target_seconds) draining = true;
+    }
     tun_a.pump();
     tun_b.pump();
-    loop.run_once(1);
-    while (auto d = ep_a.device().reap_datagram()) {
+    loop.run_once(draining ? 1 : 0);
+    bool any = false;
+    while (auto d = ep_a->reap_datagram()) {
       ++delivered;
       delivered_bytes += d->payload.size();
+      any = true;
     }
+    if (any) t_last = std::chrono::steady_clock::now();
     // UDP on loopback is effectively loss-free, but don't hang on a miracle.
-    settle = (submitted == count && !ep_b.tx_pending()) ? settle + 1 : 0;
+    settle = (draining && !ep_b->tx_pending()) ? settle + 1 : 0;
   }
   Row r;
-  r.kernel = udp ? "tunnel_udp" : "tunnel_tcp";
+  r.kernel = std::string(udp ? "tunnel_udp" : "tunnel_tcp") +
+             (tier == core::DeviceTier::kFast ? "_fast" : "");
   r.frame_bytes = dgram_len;
   r.dispatch = udp ? "udp" : "tcp";
+  r.tier = core::to_string(tier);
   r.frames = delivered;
   r.payload_bytes = delivered_bytes;
-  r.wall_seconds = seconds_since(t0);
-  r.mb_s = static_cast<double>(delivered_bytes) / 1e6 / r.wall_seconds;
+  r.wall_seconds = std::chrono::duration<double>(t_last - t0).count();
+  r.mb_s = r.wall_seconds > 0.0
+               ? static_cast<double>(delivered_bytes) / 1e6 / r.wall_seconds
+               : 0.0;
   return r;
 }
 
@@ -156,7 +189,7 @@ int run(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
   }
   const std::size_t echo_frames = smoke ? 200 : quick ? 4000 : 20000;
-  const std::size_t dgrams = smoke ? 10 : quick ? 60 : 150;
+  const double target_s = smoke ? 0.05 : quick ? 0.4 : 1.5;
 
   banner("bench_tunnel — socket transport for P5 SONET streams",
          "carries the paper's STS-Nc byte stream between real processes");
@@ -165,12 +198,15 @@ int run(int argc, char** argv) {
   std::vector<Row> rows;
   for (const std::size_t fb : {std::size_t{256}, std::size_t{2048}})
     rows.push_back(bench_stream_echo(echo_frames, fb));
-  rows.push_back(bench_tunnel_pair(false, dgrams, 1024));
-  rows.push_back(bench_tunnel_pair(true, dgrams, 1024));
+  for (const core::DeviceTier tier : {core::DeviceTier::kCycle, core::DeviceTier::kFast}) {
+    rows.push_back(bench_tunnel_pair(false, tier, target_s, 1024));
+    rows.push_back(bench_tunnel_pair(true, tier, target_s, 1024));
+  }
 
   for (const Row& r : rows) {
-    std::printf("%-12s %5zuB x %6zu  %8.3fs  %10.2f MB/s (%s)\n", r.kernel.c_str(),
-                r.frame_bytes, r.frames, r.wall_seconds, r.mb_s, r.dispatch.c_str());
+    std::printf("%-16s %5zuB x %8zu  %8.3fs  %10.2f MB/s (%s, tier %s)\n", r.kernel.c_str(),
+                r.frame_bytes, r.frames, r.wall_seconds, r.mb_s, r.dispatch.c_str(),
+                r.tier.c_str());
   }
 
   JsonReport report("tunnel");
@@ -181,6 +217,7 @@ int run(int argc, char** argv) {
         .set("frame_bytes", r.frame_bytes)
         .set("escape_density", 0.05)
         .set("dispatch", r.dispatch)
+        .set("tier", r.tier)
         .set("pinned", false)
         .set("frames", r.frames)
         .set("payload_bytes", r.payload_bytes)
@@ -193,8 +230,9 @@ int run(int argc, char** argv) {
   }
   std::printf("wrote %s (%zu rows)%s\n", out_path.c_str(), rows.size(),
               smoke ? " [smoke mode: timings are not meaningful]" : "");
-  we_measure("tunnel TCP end-to-end: " + std::to_string(rows[2].mb_s) +
-             " MB/s wall (model-bound; see stream_echo for the transport ceiling)");
+  we_measure("tunnel TCP cycle tier: " + std::to_string(rows[2].mb_s) +
+             " MB/s wall; fast tier: " + std::to_string(rows[4].mb_s) +
+             " MB/s (see stream_echo for the transport ceiling)");
   return 0;
 }
 

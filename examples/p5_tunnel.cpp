@@ -11,16 +11,21 @@
 // The sender FNV-1a-hashes every payload out and back, so the final line
 // proves ≥100k frames crossed the wire byte-exact with zero CRC errors.
 //
+// --tier picks the device model driving each lane: `fast` (default) is the
+// whole-frame batch datapath, `cycle` the cycle-accurate pipeline — same
+// wire format, orders of magnitude apart in throughput. P5_DEVICE_TIER
+// overrides the default; an explicit --tier flag wins over the env.
+//
 // --channels N runs N independent tunnels (ports port..port+N-1), one
-// P5SonetEndpoint each — the line-card picture with the fabric replaced by
+// endpoint each — the line-card picture with the fabric replaced by
 // sockets. --udp swaps TCP for one-chunk-per-datagram UDP; losses then show
 // up in the stats dump as resyncs/frames_bad, never as corrupt deliveries.
 // SIGINT drains gracefully: the send queue flushes before the goodbye.
 //
 // Usage:
 //   p5_tunnel (--listen PORT | --connect HOST:PORT)
-//             [--channels N] [--frames N] [--udp] [--echo]
-//             [--stats-ms MS] [--seed N]
+//             [--tier cycle|fast] [--channels N] [--frames N] [--udp]
+//             [--echo] [--stats-ms MS] [--seed N]
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -30,7 +35,7 @@
 
 #include "common/rng.hpp"
 #include "net/traffic.hpp"
-#include "p5/sonet_link.hpp"
+#include "p5/endpoint.hpp"
 #include "transport/event_loop.hpp"
 #include "transport/tunnel.hpp"
 
@@ -58,6 +63,10 @@ struct Options {
   p5::u64 frames = 0;  // 0 on the listen side: just carry traffic
   p5::u64 stats_ms = 1000;
   p5::u64 seed = 7;
+  // Default-selection point: fast unless P5_DEVICE_TIER says otherwise.
+  // An explicit --tier flag overwrites this (and so beats the env).
+  p5::core::DeviceTier tier =
+      p5::core::resolve_device_tier(p5::core::DeviceTier::kFast);
 };
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -84,6 +93,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       }
       opt.host = addr->host;
       opt.port = addr->port;
+    } else if (std::strcmp(argv[i], "--tier") == 0) {
+      const char* v = need("--tier");
+      if (!v) return false;
+      if (std::strcmp(v, "cycle") == 0) {
+        opt.tier = p5::core::DeviceTier::kCycle;
+      } else if (std::strcmp(v, "fast") == 0) {
+        opt.tier = p5::core::DeviceTier::kFast;
+      } else {
+        std::fprintf(stderr, "error: --tier must be 'cycle' or 'fast', got '%s'\n", v);
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--channels") == 0) {
       const char* v = need("--channels");
       if (!v) return false;
@@ -111,8 +131,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
   }
   if (opt.port == 0 || opt.channels == 0) {
     std::fprintf(stderr,
-                 "usage: p5_tunnel (--listen PORT | --connect HOST:PORT) [--channels N]\n"
-                 "                 [--frames N] [--udp] [--echo] [--stats-ms MS] [--seed N]\n");
+                 "usage: p5_tunnel (--listen PORT | --connect HOST:PORT) [--tier cycle|fast]\n"
+                 "                 [--channels N] [--frames N] [--udp] [--echo]\n"
+                 "                 [--stats-ms MS] [--seed N]\n");
     return false;
   }
   return true;
@@ -120,16 +141,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
 
 /// One tributary: an endpoint, its tunnel, and the sender's bookkeeping.
 struct Lane {
-  p5::core::P5SonetEndpoint ep;
+  std::unique_ptr<p5::core::SonetEndpoint> ep;
   std::unique_ptr<p5::transport::Tunnel> tun;
   p5::net::ImixGenerator gen;
   p5::u64 submitted = 0;
   p5::u64 hash_out = 0;  // FNV over everything sent, order-sensitive
   p5::u64 hash_in = 0;   // FNV over everything received back
   p5::u64 reaped = 0;
+  p5::u64 reaped_bytes = 0;  // payload octets delivered, for the stats rate
 
   Lane(p5::transport::EventLoop& loop, const Options& opt, unsigned index)
-      : ep({}, p5::sonet::kSts3c), gen(opt.seed + index) {
+      : ep(p5::core::make_sonet_endpoint(opt.tier, {}, p5::sonet::kSts3c)),
+        gen(opt.seed + index) {
     p5::transport::TunnelConfig cfg;
     cfg.listen = opt.listen;
     cfg.udp = opt.udp;
@@ -138,7 +161,7 @@ struct Lane {
     cfg.keepalive_ms = 20;  // keep the far deframer fed across idle gaps
     cfg.seed = opt.seed + 100 + index;
     tun = std::make_unique<p5::transport::Tunnel>(
-        loop, p5::transport::TunnelBinding::endpoint(ep), cfg);
+        loop, p5::transport::TunnelBinding::endpoint(*ep), cfg);
   }
 };
 
@@ -155,50 +178,62 @@ int main(int argc, char** argv) {
   for (unsigned i = 0; i < opt.channels; ++i) lanes.push_back(std::make_unique<Lane>(loop, opt, i));
   for (auto& l : lanes) l->tun->start();
 
-  std::printf("p5_tunnel: %s %s:%u, %u channel%s, %s%s\n", opt.listen ? "listening on" : "connecting to",
-              opt.host.c_str(), opt.port, opt.channels, opt.channels > 1 ? "s" : "",
-              opt.udp ? "udp" : "tcp", opt.echo ? ", echoing" : "");
+  std::printf("p5_tunnel: %s %s:%u, %u channel%s, %s, tier %s%s\n",
+              opt.listen ? "listening on" : "connecting to", opt.host.c_str(), opt.port,
+              opt.channels, opt.channels > 1 ? "s" : "", opt.udp ? "udp" : "tcp",
+              core::to_string(opt.tier), opt.echo ? ", echoing" : "");
 
   u64 last_stats = loop.now_ms();
+  u64 last_stats_bytes = 0;  // summed reaped_bytes at the previous stats line
   bool draining = false;
   while (true) {
     for (auto& l : lanes) {
       // Sender: keep the device fed until the quota is met.
       if (!draining && opt.frames > 0 && l->submitted < opt.frames) {
         Bytes p = l->gen.next_datagram();
-        if (l->ep.device().submit_datagram(0x0021, p)) {
+        if (l->ep->submit_datagram(0x0021, p)) {
           l->hash_out ^= fnv1a(p) * (l->submitted + 1);  // order-sensitive mix
           ++l->submitted;
         }
       }
       l->tun->pump();
-      while (auto d = l->ep.device().reap_datagram()) {
+      while (auto d = l->ep->reap_datagram()) {
         l->hash_in ^= fnv1a(d->payload) * (l->reaped + 1);
         ++l->reaped;
-        if (opt.echo) (void)l->ep.device().submit_datagram(d->protocol, d->payload);
+        l->reaped_bytes += d->payload.size();
+        if (opt.echo) (void)l->ep->submit_datagram(d->protocol, d->payload);
       }
     }
     loop.run_once(1);
 
     if (opt.stats_ms > 0 && loop.now_ms() - last_stats >= opt.stats_ms) {
+      const u64 elapsed_ms = loop.now_ms() - last_stats;
       last_stats = loop.now_ms();
+      u64 total_bytes = 0;
+      for (const auto& l : lanes) total_bytes += l->reaped_bytes;
+      const double mb_s = elapsed_ms > 0
+                              ? static_cast<double>(total_bytes - last_stats_bytes) / 1e6 /
+                                    (static_cast<double>(elapsed_ms) / 1e3)
+                              : 0.0;
+      last_stats_bytes = total_bytes;
       for (unsigned i = 0; i < lanes.size(); ++i) {
         const auto& l = *lanes[i];
         const auto s = l.tun->stats();
         std::printf(
-            "[ch%u %s] out %llu dgrams / in %llu | chunks in=%llu out=%llu lost=%llu rcvd=%llu"
+            "[ch%u %s tier=%s] out %llu dgrams / in %llu | %.2f MB/s rx (all ch)"
+            " | chunks in=%llu out=%llu lost=%llu rcvd=%llu"
             " | conn=%llu reconn=%llu | rx bad=%llu resync=%llu\n",
-            i, transport::to_string(l.tun->state()),
+            i, transport::to_string(l.tun->state()), core::to_string(l.ep->tier()),
             static_cast<unsigned long long>(l.submitted),
-            static_cast<unsigned long long>(l.reaped),
+            static_cast<unsigned long long>(l.reaped), mb_s,
             static_cast<unsigned long long>(s.frames_in),
             static_cast<unsigned long long>(s.frames_out),
             static_cast<unsigned long long>(s.frames_lost),
             static_cast<unsigned long long>(s.frames_rcvd),
             static_cast<unsigned long long>(s.connects),
             static_cast<unsigned long long>(s.reconnects),
-            static_cast<unsigned long long>(l.ep.device().rx_control().counters().frames_bad),
-            static_cast<unsigned long long>(l.ep.rx_stats().resyncs));
+            static_cast<unsigned long long>(l.ep->rx_counters().frames_bad),
+            static_cast<unsigned long long>(l.ep->rx_stats().resyncs));
       }
     }
 
@@ -218,7 +253,7 @@ int main(int argc, char** argv) {
     if (!draining && opt.frames > 0 && opt.echo == false) {
       bool all_back = true;
       for (auto& l : lanes)
-        if (l->submitted < opt.frames || l->reaped < opt.frames || l->ep.tx_pending())
+        if (l->submitted < opt.frames || l->reaped < opt.frames || l->ep->tx_pending())
           all_back = false;
       if (all_back) {
         for (auto& l : lanes) l->tun->request_drain();
@@ -235,9 +270,10 @@ int main(int argc, char** argv) {
     const bool invariant = s.frames_in == s.frames_out + s.frames_lost;
     const bool hashes = opt.frames == 0 || l.reaped == 0 || l.hash_in == l.hash_out;
     ok = ok && invariant;
-    std::printf("[ch%u] dgrams out=%llu back=%llu  hash %s  chunk invariant %s"
+    std::printf("[ch%u tier=%s] dgrams out=%llu back=%llu  hash %s  chunk invariant %s"
                 " (in=%llu out=%llu lost=%llu)  crc_bad=%llu\n",
-                i, static_cast<unsigned long long>(l.submitted),
+                i, core::to_string(l.ep->tier()),
+                static_cast<unsigned long long>(l.submitted),
                 static_cast<unsigned long long>(l.reaped),
                 l.reaped == l.submitted && l.submitted > 0
                     ? (hashes ? "MATCH" : "MISMATCH")
@@ -246,8 +282,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.frames_in),
                 static_cast<unsigned long long>(s.frames_out),
                 static_cast<unsigned long long>(s.frames_lost),
-                static_cast<unsigned long long>(
-                    l.ep.device().rx_control().counters().frames_bad));
+                static_cast<unsigned long long>(l.ep->rx_counters().frames_bad));
     if (l.reaped == l.submitted && l.submitted > 0 && !hashes) ok = false;
   }
   return ok ? 0 : 1;

@@ -44,15 +44,18 @@ def cell_key(row):
         row.get("frame_bytes"),
         row.get("escape_density"),
         row.get("dispatch", ""),
+        row.get("tier", ""),
         bool(row.get("pinned", False)),
     )
 
 
 def fmt_key(key):
-    kernel, size, density, dispatch, pinned = key
+    kernel, size, density, dispatch, tier, pinned = key
     s = f"{kernel} @ {size}B density={density}"
     if dispatch:
         s += f" dispatch={dispatch}"
+    if tier and tier != "-":
+        s += f" tier={tier}"
     if pinned:
         s += " [pinned]"
     return s

@@ -3,6 +3,9 @@
 #   tier-1    configure + build + full ctest          (build/)
 #   fault     the fault-injection/conformance label    (build/, ctest -L fault)
 #   transport the socket-transport label               (build/, ctest -L transport)
+#   tier      device-tier matrix: transport+conformance suites re-run with
+#             P5_DEVICE_TIER forced to cycle, then fast, then fast with
+#             P5_ESCAPE_TIER=scalar (fast tier on the scalar escape engine)
 #   asan      ASan+UBSan build + full ctest            (build-asan/)
 #   tsan      TSan build + the threaded suites         (build-tsan/)
 #   bench     smoke run of every registered bench      (build/, ctest -L bench)
@@ -17,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault transport asan tsan bench)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault transport tier asan tsan bench)
 
 want() {
   local s
@@ -46,6 +49,21 @@ if want transport; then
   cmake -B build -S .
   cmake --build build -j
   (cd build && ctest -L transport --output-on-failure -j)
+fi
+
+if want tier; then
+  echo
+  echo "== tier: device-tier matrix over the transport + conformance suites =="
+  cmake -B build -S .
+  cmake --build build -j
+  # Force every default-selected endpoint to each tier in turn. The suites
+  # include the tier-pinned tests either way; the env legs prove the
+  # default-selection points all route through resolve_device_tier() and
+  # that the fast tier holds up with the escape engine clamped to scalar.
+  (cd build && P5_DEVICE_TIER=cycle ctest -R 'Transport|Conformance' --output-on-failure -j)
+  (cd build && P5_DEVICE_TIER=fast ctest -R 'Transport|Conformance' --output-on-failure -j)
+  (cd build && P5_DEVICE_TIER=fast P5_ESCAPE_TIER=scalar \
+    ctest -R 'Transport|Conformance' --output-on-failure -j)
 fi
 
 if want asan; then

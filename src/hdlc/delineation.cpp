@@ -1,6 +1,35 @@
 #include "hdlc/delineation.hpp"
 
+#include <algorithm>
+#include <cstring>
+
 namespace p5::hdlc {
+
+void Delineator::push(BytesView octets) {
+  const u8* base = octets.data();
+  const std::size_t n = octets.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const void* hit = std::memchr(base + i, kFlag, n - i);
+    const std::size_t flag_at = hit ? static_cast<std::size_t>(static_cast<const u8*>(hit) - base) : n;
+    if (const std::size_t span = flag_at - i; span > 0) {
+      stats_.octets += span;
+      if (in_frame_) {
+        const std::size_t room = current_.size() >= max_frame_ ? 0 : max_frame_ - current_.size();
+        const std::size_t take = std::min(span, room);
+        current_.insert(current_.end(), base + i, base + i + take);
+        if (take < span) overflowed_ = true;
+      }
+      i = flag_at;
+    }
+    if (i < n) {
+      ++stats_.octets;
+      end_frame();
+      in_frame_ = true;
+      ++i;
+    }
+  }
+}
 
 void Delineator::push(u8 octet) {
   ++stats_.octets;

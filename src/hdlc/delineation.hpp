@@ -38,9 +38,9 @@ class Delineator {
       : sink_(std::move(sink)), min_frame_(min_frame), max_frame_(max_frame_octets) {}
 
   void push(u8 octet);
-  void push(BytesView octets) {
-    for (const u8 b : octets) push(b);
-  }
+  /// Bulk push: memchr-scans between flags and appends whole spans, with
+  /// byte-for-byte the same state transitions and stats as the octet loop.
+  void push(BytesView octets);
 
   /// Treat the stream as ended: any partial frame is dropped.
   void flush();

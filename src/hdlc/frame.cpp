@@ -121,6 +121,7 @@ BytesView encode_batch_into(FrameArena& arena, const FrameConfig& cfg,
   FrameConfig fcfg = cfg;
   for (const BatchFrame& f : frames) {
     fcfg.address = f.address ? *f.address : cfg.address;
+    fcfg.control = f.control ? *f.control : cfg.control;
     const std::size_t start = wire.size();
     encode_append(wire, eng, crc, fcfg, f.protocol, f.payload);
     arena.spans_.emplace_back(start, wire.size());

@@ -41,13 +41,15 @@ struct FrameConfig {
 /// [address control] protocol payload fcs.
 [[nodiscard]] Bytes encapsulate(const FrameConfig& cfg, u16 protocol, BytesView payload);
 
-/// One frame of a batched encode: protocol + payload, with an optional
-/// per-frame Address override (MAPOS gives every frame its own destination
-/// while the rest of the config is shared).
+/// One frame of a batched encode: protocol + payload, with optional
+/// per-frame Address and Control overrides (MAPOS gives every frame its own
+/// destination; numbered mode carries sequence numbers in Control) while the
+/// rest of the config is shared.
 struct BatchFrame {
   u16 protocol = 0;
   BytesView payload;
   std::optional<u8> address;
+  std::optional<u8> control;
 };
 
 /// Reusable scratch for the zero-allocation encoder. Steady state (same-size

@@ -6,11 +6,12 @@ namespace {
 
 /// Every way the far end can eat a frame without delivering it: receiver
 /// dispositions (FCS/abort, address filter, malformed, oversize) plus the
-/// shared-memory receive ring dropping a finished frame.
+/// shared-memory receive ring dropping a finished frame. Tier-agnostic: both
+/// device tiers keep the identical ledger (enforced by the DiffOracle).
 u64 far_end_losses(core::P5SonetLink& link) {
-  const core::RxCounters& c = link.b().rx_control().counters();
+  const core::RxCounters c = link.endpoint_b().rx_counters();
   return c.frames_bad + c.addr_filtered + c.malformed + c.oversize +
-         link.b().memory().stats().rx_dropped;
+         link.endpoint_b().rx_overflow_drops();
 }
 
 }  // namespace
@@ -19,7 +20,8 @@ Channel::Channel(unsigned index, const ChannelConfig& cfg, ChannelTelemetry& tel
     : index_(index),
       cfg_(cfg),
       tel_(telemetry),
-      link_(std::make_unique<core::P5SonetLink>(cfg.p5, cfg.sts, cfg.line)),
+      link_(std::make_unique<core::P5SonetLink>(cfg.p5, cfg.sts, cfg.line,
+                                                core::resolve_device_tier(cfg.tier))),
       source_(cfg.ring_capacity),
       fabric_(cfg.ring_capacity),
       egress_(cfg.ring_capacity) {
@@ -54,10 +56,11 @@ bool Channel::step() {
     }
   }
   if (pending_) {
-    if (link_->a().memory().tx_has_room(pending_->payload.size())) {
+    if (link_->endpoint_a().tx_has_room(pending_->payload.size())) {
       const std::size_t n = pending_->payload.size();
       inflight_dest_.push_back(pending_->fabric_dest ? pending_->fabric_dest : egress_dest_);
-      (void)link_->a().submit_datagram(pending_->protocol, std::move(pending_->payload));
+      (void)link_->endpoint_a().submit_datagram(pending_->protocol,
+                                                std::move(pending_->payload));
       tel_.on_ingress(n);
       ++submitted_;
       pending_.reset();
@@ -103,7 +106,7 @@ bool Channel::step() {
   // in reap()), so frames_lost is exact: frames_in == frames_out +
   // frames_lost once the channel is idle.
   if (in_flight() > 0 && stale_exchanges_ > cfg_.flush_bound &&
-      link_->a().tx_control().pending() == 0) {
+      !link_->endpoint_a().tx_pending()) {
     tel_.add_frames_lost(in_flight());
     delivered_ = submitted_;
     inflight_dest_.clear();
@@ -114,7 +117,7 @@ bool Channel::step() {
 }
 
 void Channel::reap() {
-  while (auto rx = link_->b().reap_datagram()) {
+  while (auto rx = link_->endpoint_b().reap_datagram()) {
     ++delivered_;
     stale_exchanges_ = 0;
     tel_.on_egress(rx->payload.size());

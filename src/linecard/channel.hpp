@@ -32,6 +32,9 @@ struct ChannelConfig {
   core::P5Config p5;                    ///< applied to both ends of the link
   sonet::StsSpec sts = sonet::kSts3c;   ///< tributary pipe (STS-3c, -12c, -48c)
   sonet::LineConfig line;               ///< optical line model (seed offset per channel)
+  /// Datapath tier for both link ends (default-selection point: the
+  /// P5_DEVICE_TIER environment override applies here).
+  core::DeviceTier tier = core::DeviceTier::kCycle;
   std::size_t ring_capacity = 256;      ///< each of source/fabric/egress rings
   /// SONET exchanges tolerated with traffic in flight but nothing delivered
   /// before the in-flight count is written off (line errors eat frames;

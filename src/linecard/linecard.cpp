@@ -87,7 +87,7 @@ std::size_t LineCard::fabric_round() {
 
     fabric_batch_frames_.clear();
     for (const FrameDesc& d : fabric_batch_)
-      fabric_batch_frames_.push_back({d.protocol, d.payload, d.fabric_dest});
+      fabric_batch_frames_.push_back({d.protocol, d.payload, d.fabric_dest, {}});
 
     // The switch delineates the concatenated stream and runs every sink it
     // triggers (uplink or another channel's fabric ring) synchronously in

@@ -92,6 +92,7 @@ struct RxCounters {
   u64 addr_filtered = 0;    ///< MAPOS address mismatch
   u64 malformed = 0;        ///< header too short
   u64 oversize = 0;         ///< payload above the negotiated maximum
+  bool operator==(const RxCounters&) const = default;
 };
 
 class RxControl final : public rtl::Module {

@@ -1,5 +1,7 @@
 #include "p5/sonet_link.hpp"
 
+#include "common/check.hpp"
+
 namespace p5::core {
 
 P5SonetEndpoint::P5SonetEndpoint(const P5Config& cfg, sonet::StsSpec sts)
@@ -23,19 +25,30 @@ void P5SonetEndpoint::push_line(BytesView octets) { deframer_->push(octets); }
 bool P5SonetEndpoint::tx_pending() const { return dev_->tx_control().pending() > 0; }
 
 P5SonetLink::P5SonetLink(const P5Config& cfg, sonet::StsSpec sts,
-                         const sonet::LineConfig& line_cfg)
-    : P5SonetLink(cfg, cfg, sts, line_cfg) {}
+                         const sonet::LineConfig& line_cfg, DeviceTier tier)
+    : P5SonetLink(cfg, cfg, sts, line_cfg, tier) {}
 
 P5SonetLink::P5SonetLink(const P5Config& a_cfg, const P5Config& b_cfg, sonet::StsSpec sts,
-                         const sonet::LineConfig& line_cfg)
+                         const sonet::LineConfig& line_cfg, DeviceTier tier)
     : sts_(sts),
-      ep_a_(std::make_unique<P5SonetEndpoint>(a_cfg, sts)),
-      ep_b_(std::make_unique<P5SonetEndpoint>(b_cfg, sts)),
+      tier_(tier),
+      ep_a_(make_sonet_endpoint(tier, a_cfg, sts)),
+      ep_b_(make_sonet_endpoint(tier, b_cfg, sts)),
       host_engine_(a_cfg.accm),
       line_ab_(line_cfg),
       line_ba_(sonet::LineConfig{line_cfg.bit_error_rate, line_cfg.burst_enter,
                                  line_cfg.burst_exit, line_cfg.burst_error_rate,
                                  line_cfg.seed + 1}) {}
+
+P5& P5SonetLink::a() {
+  P5_EXPECTS(tier_ == DeviceTier::kCycle);
+  return static_cast<P5SonetEndpoint&>(*ep_a_).device();
+}
+
+P5& P5SonetLink::b() {
+  P5_EXPECTS(tier_ == DeviceTier::kCycle);
+  return static_cast<P5SonetEndpoint&>(*ep_b_).device();
+}
 
 void P5SonetLink::exchange_frames(std::size_t frames) {
   for (std::size_t i = 0; i < frames; ++i) {

@@ -20,6 +20,7 @@
 #include <memory>
 
 #include "fastpath/escape_simd.hpp"
+#include "p5/endpoint.hpp"
 #include "p5/p5.hpp"
 #include "sonet/line.hpp"
 #include "sonet/scrambler.hpp"
@@ -27,40 +28,71 @@
 
 namespace p5::core {
 
-/// One end of a PPP-over-SONET link, exposing the stream attach points an
-/// external transport needs: pull scrambled SONET frames out of the local
-/// transmitter, push received line octets toward the local receiver.
-class P5SonetEndpoint {
+/// One end of a PPP-over-SONET link at the cycle-accurate tier
+/// (DeviceTier::kCycle): a P5 device behind the SONET framer/deframer,
+/// exposing the tier-agnostic SonetEndpoint surface an external transport
+/// binds to.
+class P5SonetEndpoint final : public SonetEndpoint {
  public:
   P5SonetEndpoint(const P5Config& cfg, sonet::StsSpec sts);
   P5SonetEndpoint(const P5SonetEndpoint&) = delete;
   P5SonetEndpoint& operator=(const P5SonetEndpoint&) = delete;
 
+  [[nodiscard]] DeviceTier tier() const override { return DeviceTier::kCycle; }
+
   [[nodiscard]] P5& device() { return *dev_; }
   [[nodiscard]] const P5& device() const { return *dev_; }
+
+  // ---- host-side API (forwarded to the cycle device) ----
+  bool submit_datagram(u16 protocol, Bytes payload) override {
+    return dev_->submit_datagram(protocol, std::move(payload));
+  }
+  bool submit_frame(TxRequest req) override { return dev_->submit_frame(std::move(req)); }
+  [[nodiscard]] bool tx_has_room(std::size_t payload_bytes) const override {
+    return dev_->memory().tx_has_room(payload_bytes);
+  }
+  [[nodiscard]] std::optional<RxDelivery> reap_datagram() override {
+    return dev_->reap_datagram();
+  }
+  void set_rx_sink(std::function<void(RxDelivery)> sink) override {
+    dev_->set_rx_sink(std::move(sink));
+  }
 
   /// Next scrambled SONET frame from the local transmitter — always exactly
   /// sts().frame_bytes() octets, advancing the device clock as the PHY
   /// would. The line never starves: idle cycles produce flag fill.
-  [[nodiscard]] Bytes pull_frame();
+  [[nodiscard]] Bytes pull_frame() override;
 
   /// Feed received line octets (whole frames or arbitrary fragments) toward
   /// the local receiver. Frame alignment recovery, descrambling and HDLC
   /// delineation all happen downstream, so a mid-stream attach, a lost
   /// chunk or a reconnect costs a resync, never a crash — the x^43+1
   /// payload scrambler is self-synchronising by construction.
-  void push_line(BytesView octets);
+  void push_line(BytesView octets) override;
+
+  void drain_rx() override { dev_->drain_rx(); }
 
   /// TX gate for paced pullers: true while datagrams are queued in shared
   /// memory or a frame is mid-transmission. After it goes false the
   /// pipeline still holds a handful of trailing octets (FCS, closing flag),
   /// so pullers should linger for roughly one more SONET frame.
-  [[nodiscard]] bool tx_pending() const;
+  [[nodiscard]] bool tx_pending() const override;
 
-  [[nodiscard]] u64 frames_pulled() const { return framer_->frames_built(); }
-  [[nodiscard]] bool rx_in_sync() const { return deframer_->in_sync(); }
-  [[nodiscard]] const sonet::DeframerStats& rx_stats() const { return deframer_->stats(); }
-  [[nodiscard]] const sonet::StsSpec& sts() const { return sts_; }
+  [[nodiscard]] std::size_t tx_queue_depth() const override {
+    return dev_->memory().tx_pending();
+  }
+  [[nodiscard]] u64 frames_pulled() const override { return framer_->frames_built(); }
+  [[nodiscard]] bool rx_in_sync() const override { return deframer_->in_sync(); }
+  [[nodiscard]] const sonet::DeframerStats& rx_stats() const override {
+    return deframer_->stats();
+  }
+  [[nodiscard]] const sonet::StsSpec& sts() const override { return sts_; }
+  [[nodiscard]] RxCounters rx_counters() const override {
+    return dev_->rx_control().counters();
+  }
+  [[nodiscard]] u64 rx_overflow_drops() const override {
+    return dev_->memory().stats().rx_dropped;
+  }
 
  private:
   sonet::StsSpec sts_;
@@ -76,20 +108,25 @@ class P5SonetEndpoint {
 
 class P5SonetLink {
  public:
-  P5SonetLink(const P5Config& cfg, sonet::StsSpec sts, const sonet::LineConfig& line_cfg);
+  P5SonetLink(const P5Config& cfg, sonet::StsSpec sts, const sonet::LineConfig& line_cfg,
+              DeviceTier tier = DeviceTier::kCycle);
   /// Asymmetric link: distinct configurations per end (e.g. a line-card
   /// tributary whose two ends carry different programmed MAPOS addresses).
   P5SonetLink(const P5Config& a_cfg, const P5Config& b_cfg, sonet::StsSpec sts,
-              const sonet::LineConfig& line_cfg);
+              const sonet::LineConfig& line_cfg, DeviceTier tier = DeviceTier::kCycle);
 
-  [[nodiscard]] P5& a() { return ep_a_->device(); }
-  [[nodiscard]] P5& b() { return ep_b_->device(); }
+  [[nodiscard]] DeviceTier tier() const { return tier_; }
+
+  /// The cycle-level devices. Only valid on a kCycle link — tier-generic
+  /// code goes through endpoint_a()/endpoint_b() instead.
+  [[nodiscard]] P5& a();
+  [[nodiscard]] P5& b();
 
   /// The endpoints themselves — the attach points transport::Tunnel binds
   /// to a socket (exchange_frames and a socket pump must not drive the same
   /// endpoint concurrently).
-  [[nodiscard]] P5SonetEndpoint& endpoint_a() { return *ep_a_; }
-  [[nodiscard]] P5SonetEndpoint& endpoint_b() { return *ep_b_; }
+  [[nodiscard]] SonetEndpoint& endpoint_a() { return *ep_a_; }
+  [[nodiscard]] SonetEndpoint& endpoint_b() { return *ep_b_; }
 
   /// Host-side software escape engine matching the A end's programmed ACCM:
   /// the dispatch tables are derived once here, at link construction (the
@@ -122,8 +159,9 @@ class P5SonetLink {
 
  private:
   sonet::StsSpec sts_;
-  std::unique_ptr<P5SonetEndpoint> ep_a_;
-  std::unique_ptr<P5SonetEndpoint> ep_b_;
+  DeviceTier tier_;
+  std::unique_ptr<SonetEndpoint> ep_a_;
+  std::unique_ptr<SonetEndpoint> ep_b_;
   fastpath::EscapeEngine host_engine_;  ///< derived once from the A-side ACCM
   sonet::Line line_ab_, line_ba_;
   LineTap tap_ab_, tap_ba_;

@@ -27,6 +27,13 @@ u8 Line::transfer(u8 octet) {
 }
 
 Bytes Line::transfer(BytesView octets) {
+  // Error-free configuration with no chance of entering the burst state:
+  // nothing stochastic can happen, so skip the per-octet RNG draws. The
+  // observable stream and stats are identical to the octet loop.
+  if (cfg_.bit_error_rate <= 0.0 && cfg_.burst_enter <= 0.0 && !bad_state_) {
+    stats_.octets += octets.size();
+    return Bytes(octets.begin(), octets.end());
+  }
   Bytes out;
   out.reserve(octets.size());
   for (const u8 b : octets) out.push_back(transfer(b));

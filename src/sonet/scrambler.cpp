@@ -1,8 +1,42 @@
 #include "sonet/scrambler.hpp"
 
+#include <algorithm>
+#include <array>
+
 #include "fastpath/scrambler_tables.hpp"
 
 namespace p5::sonet {
+
+namespace {
+
+// Bulk path for the frame-synchronous scrambler: the x^7+x^6+1 keystream is
+// data-independent and, stepping 8 bits per octet over the 127 nonzero LFSR
+// states (127 is prime, so the walk visits all of them), repeats every 127
+// octets. Applying it is a periodic XOR — precompute one period plus the
+// state<->position maps and the per-octet table walk disappears from the
+// per-frame cost.
+struct FrameKeystream {
+  std::array<u8, 127> ks{};        ///< keystream from the all-ones seed
+  std::array<u8, 128> idx_of{};    ///< LFSR state -> position in the cycle
+  std::array<u8, 127> state_of{};  ///< position -> LFSR state
+  FrameKeystream() {
+    const auto& table = fastpath::frame_scrambler_steps();
+    u8 s = 0x7F;
+    for (std::size_t i = 0; i < 127; ++i) {
+      state_of[i] = s;
+      idx_of[s] = static_cast<u8>(i);
+      ks[i] = table[s].keystream;
+      s = table[s].next;
+    }
+  }
+};
+
+const FrameKeystream& frame_keystream() {
+  static const FrameKeystream k;
+  return k;
+}
+
+}  // namespace
 
 u8 FrameScrambler::next_keystream() {
   const auto& step = fastpath::frame_scrambler_steps()[state_];
@@ -11,12 +45,20 @@ u8 FrameScrambler::next_keystream() {
 }
 
 void FrameScrambler::apply(Bytes& data, std::size_t begin, std::size_t end) {
-  const auto& table = fastpath::frame_scrambler_steps();
-  for (std::size_t i = begin; i < end && i < data.size(); ++i) {
-    const auto& step = table[state_];
-    data[i] ^= step.keystream;
-    state_ = step.next;
+  const auto& k = frame_keystream();
+  std::size_t i = begin;
+  const std::size_t stop = std::min(end, data.size());
+  std::size_t idx = k.idx_of[state_];
+  while (i < stop) {
+    const std::size_t run = std::min<std::size_t>(127 - idx, stop - i);
+    u8* __restrict__ d = data.data() + i;
+    const u8* __restrict__ s = k.ks.data() + idx;
+    for (std::size_t j = 0; j < run; ++j) d[j] ^= s[j];
+    i += run;
+    idx += run;
+    if (idx == 127) idx = 0;
   }
+  state_ = k.state_of[idx];
 }
 
 Bytes SelfSyncScrambler43::scramble(BytesView data) {
@@ -33,12 +75,47 @@ Bytes SelfSyncScrambler43::descramble(BytesView data) {
   return out;
 }
 
+// Bulk x^43+1 paths. The 43-bit delay is 5 octets + 3 bits, so the keystream
+// octet at position i is a bit-splice of the stream octets at i-6 and i-5:
+//   K[i] = (s[i-6] << 5) | (s[i-5] >> 3)
+// where s is the *output* stream when scrambling and the *received* stream
+// when descrambling (self-synchronous). That turns the serial 64-bit history
+// shift — a loop-carried dependency every octet — into plain array reads:
+// descrambling has no dependency at all (run backward so the raw lookback
+// octets survive in place), scrambling's dependency is 5 octets away, far
+// enough for the CPU to overlap iterations. The first 6 octets still splice
+// against the pre-call history, and the history register is reconstituted
+// from the stream tail afterwards, so state across calls is bit-identical to
+// the per-octet path.
+
 void SelfSyncScrambler43::scramble_in_place(Bytes& data) {
-  for (u8& b : data) b = scramble(b);
+  const std::size_t n = data.size();
+  if (n < 12) {
+    for (u8& b : data) b = scramble(b);
+    return;
+  }
+  for (std::size_t i = 0; i < 6; ++i) data[i] = scramble(data[i]);
+  u8* d = data.data();
+  for (std::size_t i = 6; i < n; ++i)
+    d[i] = static_cast<u8>(d[i] ^ static_cast<u8>((d[i - 6] << 5) | (d[i - 5] >> 3)));
+  u64 h = 0;
+  for (std::size_t i = n - 6; i < n; ++i) h = (h << 8) | d[i];
+  history_ = h & kMask;
 }
 
 void SelfSyncScrambler43::descramble_in_place(Bytes& data) {
-  for (u8& b : data) b = descramble(b);
+  const std::size_t n = data.size();
+  if (n < 12) {
+    for (u8& b : data) b = descramble(b);
+    return;
+  }
+  u8* d = data.data();
+  u64 h = 0;
+  for (std::size_t i = n - 6; i < n; ++i) h = (h << 8) | d[i];  // raw tail, pre-overwrite
+  for (std::size_t i = n; i-- > 6;)
+    d[i] = static_cast<u8>(d[i] ^ static_cast<u8>((d[i - 6] << 5) | (d[i - 5] >> 3)));
+  for (std::size_t i = 0; i < 6; ++i) d[i] = descramble(d[i]);  // pre-call history
+  history_ = h & kMask;
 }
 
 }  // namespace p5::sonet

@@ -1,5 +1,6 @@
 #include "sonet/spe.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace p5::sonet {
@@ -29,8 +30,20 @@ constexpr std::size_t kPohC2 = 2;
 }  // namespace
 
 u8 bip8(BytesView data) {
-  u8 p = 0;
-  for (const u8 b : data) p ^= b;
+  // XOR is associative and order-free: fold eight octets at a time, then
+  // collapse the word — identical parity to the octet loop.
+  u64 acc = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    u64 w;
+    std::memcpy(&w, data.data() + i, 8);
+    acc ^= w;
+  }
+  acc ^= acc >> 32;
+  acc ^= acc >> 16;
+  acc ^= acc >> 8;
+  u8 p = static_cast<u8>(acc);
+  for (; i < data.size(); ++i) p ^= data[i];
   return p;
 }
 
@@ -67,20 +80,18 @@ Bytes SonetFramer::next_frame() {
   const std::size_t payload_per_row = spec_.payload_columns();
   const Bytes payload = payload_source_(kRows * payload_per_row);
   P5_ENSURES(payload.size() == kRows * payload_per_row);
-  std::size_t p = 0;
   for (std::size_t row = 0; row < kRows; ++row)
-    for (std::size_t col = toh + 1 + stuff; col < cols; ++col) at(row, col) = payload[p++];
+    std::memcpy(&at(row, toh + 1 + stuff), payload.data() + row * payload_per_row,
+                payload_per_row);
 
   // --- Path BIP-8 for the *next* frame: over this SPE (TOH excluded) ---
   u8 b3 = 0;
   for (std::size_t row = 0; row < kRows; ++row)
-    for (std::size_t col = toh; col < cols; ++col) b3 ^= at(row, col);
+    b3 ^= bip8(BytesView(&at(row, toh), cols - toh));
   b3_ = b3;
 
   // --- Line BIP-8 (B2) over rows 3..8 of this frame pre-scramble ---
-  u8 b2 = 0;
-  for (std::size_t row = kRowH1; row < kRows; ++row)
-    for (std::size_t col = 0; col < cols; ++col) b2 ^= at(row, col);
+  const u8 b2 = bip8(BytesView(&at(kRowH1, 0), (kRows - kRowH1) * cols));
   at(kRowB2, 0) = b2;
 
   // --- Frame-synchronous scrambling: everything except row-0 TOH ---
@@ -129,7 +140,22 @@ void SonetDeframer::push(u8 octet) {
 }
 
 void SonetDeframer::push(BytesView octets) {
-  for (const u8 b : octets) push(b);
+  std::size_t i = 0;
+  while (i < octets.size()) {
+    if (state_ == State::kHunt) {
+      // Alignment search stays octet-at-a-time (it is rare and stateful).
+      push(octets[i++]);
+      continue;
+    }
+    // In sync the per-octet path only appends until a whole frame is
+    // buffered: bulk-copy straight to the frame boundary instead.
+    const std::size_t need = spec_.frame_bytes() - window_.size();
+    const std::size_t take = std::min(need, octets.size() - i);
+    window_.insert(window_.end(), octets.begin() + static_cast<std::ptrdiff_t>(i),
+                   octets.begin() + static_cast<std::ptrdiff_t>(i + take));
+    i += take;
+    if (window_.size() >= spec_.frame_bytes()) process_frame();
+  }
 }
 
 void SonetDeframer::process_frame() {
@@ -175,15 +201,15 @@ void SonetDeframer::process_frame() {
   if (stats_.frames_in_sync > 0 && frame[1 * cols + toh] != expected_b3_) ++stats_.b3_errors;
   u8 b3 = 0;
   for (std::size_t row = 0; row < kRows; ++row)
-    for (std::size_t col = toh; col < cols; ++col) b3 ^= frame[row * cols + col];
+    b3 ^= bip8(BytesView(frame.data() + row * cols + toh, cols - toh));
   expected_b3_ = b3;
 
-  // Extract the PPP payload stream.
-  Bytes payload;
-  payload.reserve(spec_.payload_bytes_per_frame());
+  // Extract the PPP payload stream (one contiguous run per row).
+  const std::size_t payload_per_row = spec_.payload_columns();
+  Bytes payload(spec_.payload_bytes_per_frame());
   for (std::size_t row = 0; row < kRows; ++row)
-    for (std::size_t col = toh + 1 + stuff; col < cols; ++col)
-      payload.push_back(frame[row * cols + col]);
+    std::memcpy(payload.data() + row * payload_per_row,
+                frame.data() + row * cols + toh + 1 + stuff, payload_per_row);
 
   ++stats_.frames_in_sync;
   payload_sink_(payload);

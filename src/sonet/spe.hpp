@@ -86,6 +86,7 @@ struct DeframerStats {
   u64 b1_errors = 0;
   u64 b3_errors = 0;
   u64 discarded_octets = 0; ///< octets consumed while hunting
+  bool operator==(const DeframerStats&) const = default;
 };
 
 /// Recovers frame alignment from a raw octet stream and extracts the PPP

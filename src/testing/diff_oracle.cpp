@@ -3,10 +3,13 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/check.hpp"
 #include "fastpath/stuff_fast.hpp"
 #include "hdlc/delineation.hpp"
 #include "hdlc/stuffing.hpp"
+#include "p5/endpoint.hpp"
 #include "p5/p5.hpp"
+#include "sonet/scrambler.hpp"
 
 namespace p5::testing {
 
@@ -367,6 +370,230 @@ DiffOracle::ReceiveResult DiffOracle::receive(BytesView raw_wire) {
   compare("dispatched SIMD engine", sw_simd);
   compare("p5 device", hw);
   r.delivered = sw_scalar;
+  return r;
+}
+
+// ---- fifth leg: whole-endpoint device-tier equivalence ------------------
+
+namespace {
+
+/// Drain a transmit endpoint: interleave submits with pull_frame so the
+/// 64-entry device tx ring never wedges, then flush the tail (tx_pending
+/// clears with the closing FCS/flag octets still inside the cycle pipeline;
+/// three more SONET frames of line time flushes either tier).
+Bytes tier_pull_stream(core::SonetEndpoint& ep,
+                       std::span<const DiffOracle::TierPacket> packets) {
+  Bytes stream;
+  for (const auto& p : packets) {
+    u64 guard = 0;
+    while (!ep.tx_has_room(p.payload.size())) {
+      append(stream, ep.pull_frame());
+      P5_ASSERT(++guard < (u64{1} << 16));  // payload larger than the tx pool
+    }
+    core::TxRequest req;
+    req.protocol = p.protocol;
+    req.payload = p.payload;
+    req.control = p.control;
+    (void)ep.submit_frame(std::move(req));
+  }
+  while (ep.tx_pending()) append(stream, ep.pull_frame());
+  for (int i = 0; i < 3; ++i) append(stream, ep.pull_frame());
+  return stream;
+}
+
+/// Reduce a chunk stream to its canonical content: SONET-deframe,
+/// descramble, HDLC-delineate. Inter-frame flag fill (where the cycle
+/// pipeline's restart latency shows up) and scrambler state cancel out,
+/// leaving exactly the stuffed-frame sequence the stream carries.
+std::vector<Bytes> tier_canonical_frames(BytesView stream, sonet::StsSpec sts) {
+  std::vector<Bytes> frames;
+  hdlc::Delineator delin(
+      [&frames](BytesView f) { frames.emplace_back(f.begin(), f.end()); },
+      /*min_frame=*/4, /*max_frame_octets=*/std::size_t{1} << 20);
+  sonet::SelfSyncScrambler43 descr;
+  Bytes scratch;
+  sonet::SonetDeframer deframer(sts, [&](BytesView payload) {
+    scratch.assign(payload.begin(), payload.end());
+    descr.descramble_in_place(scratch);
+    delin.push(BytesView{scratch});
+  });
+  deframer.push(stream);
+  return frames;
+}
+
+/// A receiver of one tier plus everything it reported about a stream.
+struct TierRxRig {
+  std::unique_ptr<core::SonetEndpoint> ep;
+  std::vector<DiffOracle::TierDelivery> got;
+
+  TierRxRig(core::DeviceTier tier, const core::P5Config& cfg, sonet::StsSpec sts)
+      : ep(core::make_sonet_endpoint(tier, cfg, sts)) {
+    ep->set_rx_sink([this](core::RxDelivery d) {
+      got.push_back({d.protocol, d.control, std::move(d.payload)});
+    });
+  }
+  void feed(const std::vector<Bytes>& chunks) {
+    for (const Bytes& c : chunks) {
+      if (!c.empty()) ep->push_line(c);  // an emptied chunk was dropped in flight
+    }
+    ep->drain_rx();
+  }
+  [[nodiscard]] DiffOracle::TierLedger ledger() const {
+    return {ep->rx_counters(), ep->rx_overflow_drops(), ep->rx_stats()};
+  }
+};
+
+std::string tier_delivery_diff(const std::vector<DiffOracle::TierDelivery>& a,
+                               const std::vector<DiffOracle::TierDelivery>& b) {
+  if (a == b) return {};
+  std::ostringstream o;
+  o << a.size() << " vs " << b.size() << " deliveries";
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) continue;
+    o << "; first divergence at delivery " << i;
+    if (a[i].protocol != b[i].protocol) {
+      o << " (protocol " << a[i].protocol << " vs " << b[i].protocol << ")";
+    } else if (a[i].control != b[i].control) {
+      o << " (control " << hex_octet(a[i].control) << " vs " << hex_octet(b[i].control)
+        << ")";
+    } else {
+      o << " (" << diff_bytes("payload a", a[i].payload, "payload b", b[i].payload) << ")";
+    }
+    break;
+  }
+  return o.str();
+}
+
+std::string tier_ledger_diff(const DiffOracle::TierLedger& a,
+                             const DiffOracle::TierLedger& b) {
+  std::ostringstream o;
+  auto field = [&o](const char* name, u64 x, u64 y) {
+    if (x != y) o << (o.tellp() > 0 ? "; " : "") << name << " " << x << " vs " << y;
+  };
+  field("frames_ok", a.counters.frames_ok, b.counters.frames_ok);
+  field("frames_bad", a.counters.frames_bad, b.counters.frames_bad);
+  field("addr_filtered", a.counters.addr_filtered, b.counters.addr_filtered);
+  field("malformed", a.counters.malformed, b.counters.malformed);
+  field("oversize", a.counters.oversize, b.counters.oversize);
+  field("rx_overflow_drops", a.rx_overflow_drops, b.rx_overflow_drops);
+  field("frames_in_sync", a.deframer.frames_in_sync, b.deframer.frames_in_sync);
+  field("resyncs", a.deframer.resyncs, b.deframer.resyncs);
+  field("b1_errors", a.deframer.b1_errors, b.deframer.b1_errors);
+  field("b3_errors", a.deframer.b3_errors, b.deframer.b3_errors);
+  field("discarded_octets", a.deframer.discarded_octets, b.deframer.discarded_octets);
+  return o.str();
+}
+
+}  // namespace
+
+DiffOracle::TierEquivalenceResult DiffOracle::tier_equivalence(
+    const core::P5Config& cfg, sonet::StsSpec sts, std::span<const TierPacket> packets,
+    const FaultSpec* fault) {
+  TierEquivalenceResult r;
+  auto flunk = [&r](std::string why) {
+    if (r.agree) {
+      r.agree = false;
+      r.diagnosis = std::move(why);
+    }
+  };
+
+  // Transmit the identical packet sequence through both tiers.
+  auto cyc_tx = core::make_sonet_endpoint(core::DeviceTier::kCycle, cfg, sts);
+  auto fast_tx = core::make_sonet_endpoint(core::DeviceTier::kFast, cfg, sts);
+  const Bytes cyc_stream = tier_pull_stream(*cyc_tx, packets);
+  const Bytes fast_stream = tier_pull_stream(*fast_tx, packets);
+
+  // Leg A: canonical wire equality. The raw chunk streams may differ only in
+  // inter-frame flag fill (and its knock-on scrambler state); the delineated
+  // stuffed-frame sequences must match byte for byte.
+  const std::vector<Bytes> cyc_frames = tier_canonical_frames(cyc_stream, sts);
+  const std::vector<Bytes> fast_frames = tier_canonical_frames(fast_stream, sts);
+  r.canonical_frames = fast_frames.size();
+  if (cyc_frames.size() != fast_frames.size()) {
+    std::ostringstream o;
+    o << "canonical wire: cycle tier carries " << cyc_frames.size()
+      << " stuffed frames, fast tier " << fast_frames.size();
+    flunk(o.str());
+  } else {
+    for (std::size_t i = 0; i < cyc_frames.size(); ++i) {
+      if (cyc_frames[i] == fast_frames[i]) continue;
+      std::ostringstream o;
+      o << "canonical wire frame " << i << ": "
+        << diff_bytes("cycle tier", cyc_frames[i], "fast tier", fast_frames[i]);
+      flunk(o.str());
+      break;
+    }
+  }
+
+  // Chunk each stream the way a transport carries it: whole SONET frames.
+  auto chunked = [&sts](const Bytes& s) {
+    std::vector<Bytes> chunks;
+    const std::size_t n = sts.frame_bytes();
+    for (std::size_t off = 0; off < s.size(); off += n) {
+      const std::size_t take = std::min(n, s.size() - off);
+      chunks.emplace_back(s.begin() + static_cast<std::ptrdiff_t>(off),
+                          s.begin() + static_cast<std::ptrdiff_t>(off + take));
+    }
+    return chunks;
+  };
+  const std::vector<Bytes> stream_chunks[2] = {chunked(cyc_stream), chunked(fast_stream)};
+  const char* stream_names[2] = {"cycle-tier stream", "fast-tier stream"};
+
+  // Leg B: clean cross-decode — each tier's stream into BOTH tiers'
+  // receivers; same-stream receiver pairs must agree on every delivery and
+  // on the complete loss ledger, and the deliveries must be the submitted
+  // packets, exactly.
+  for (int s = 0; s < 2; ++s) {
+    TierRxRig rc(core::DeviceTier::kCycle, cfg, sts);
+    TierRxRig rf(core::DeviceTier::kFast, cfg, sts);
+    rc.feed(stream_chunks[s]);
+    rf.feed(stream_chunks[s]);
+    if (std::string d = tier_delivery_diff(rc.got, rf.got); !d.empty()) {
+      flunk(std::string("clean cross-decode of ") + stream_names[s] + ": " + d);
+    }
+    if (!(rc.ledger() == rf.ledger())) {
+      flunk(std::string("clean cross-decode of ") + stream_names[s] +
+            " ledgers: " + tier_ledger_diff(rc.ledger(), rf.ledger()));
+    }
+    if (s == 1) {
+      r.delivered = rf.got;
+      r.clean_ledger = rf.ledger();
+      std::vector<TierDelivery> expected;
+      expected.reserve(packets.size());
+      for (const auto& p : packets) {
+        expected.push_back({p.protocol, p.control.value_or(cfg.control), p.payload});
+      }
+      if (std::string d = tier_delivery_diff(expected, rf.got); !d.empty()) {
+        flunk(std::string("clean deliveries vs submitted packets: ") + d);
+      }
+    }
+  }
+
+  // Leg C: fault parity — corrupt each stream ONCE, then feed the identical
+  // corrupted chunks to both tiers' receivers. Junk/abort verdicts, resync
+  // points and surviving deliveries must all match. (The two streams are
+  // corrupted independently — the noise lands on different octets — so only
+  // same-stream receiver pairs are comparable here.)
+  if (fault != nullptr) {
+    for (int s = 0; s < 2; ++s) {
+      FaultyLine line(*fault);
+      std::vector<Bytes> noisy = stream_chunks[s];
+      for (Bytes& c : noisy) line.apply(c);
+      TierRxRig rc(core::DeviceTier::kCycle, cfg, sts);
+      TierRxRig rf(core::DeviceTier::kFast, cfg, sts);
+      rc.feed(noisy);
+      rf.feed(noisy);
+      if (std::string d = tier_delivery_diff(rc.got, rf.got); !d.empty()) {
+        flunk(std::string("faulted cross-decode of ") + stream_names[s] + ": " + d);
+      }
+      if (!(rc.ledger() == rf.ledger())) {
+        flunk(std::string("faulted cross-decode of ") + stream_names[s] +
+              " ledgers: " + tier_ledger_diff(rc.ledger(), rf.ledger()));
+      }
+      if (s == 1) r.fault_ledger = rf.ledger();
+    }
+  }
   return r;
 }
 

@@ -29,16 +29,22 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "fastpath/scalar_ref.hpp"
 #include "hdlc/frame.hpp"
+#include "p5/config.hpp"
+#include "p5/control.hpp"
 #include "p5/escape_detect.hpp"
 #include "p5/escape_generate.hpp"
 #include "rtl/fifo.hpp"
 #include "rtl/simulator.hpp"
+#include "sonet/spe.hpp"
+#include "testing/fault.hpp"
 
 namespace p5::testing {
 
@@ -103,6 +109,57 @@ class DiffOracle {
   /// The stream is padded with flag fill to a whole number of `lanes`-octet
   /// words (the P5 PHY moves whole words), identically for every engine.
   [[nodiscard]] ReceiveResult receive(BytesView wire);
+
+  // ---- fifth leg: whole-endpoint device-tier equivalence -----------------
+
+  /// One packet of a tier-equivalence run (mirrors core::TxRequest).
+  struct TierPacket {
+    u16 protocol = 0x0021;
+    Bytes payload;
+    std::optional<u8> control;  ///< numbered-mode Control override
+  };
+  /// One accepted frame as a receiver tier reported it.
+  struct TierDelivery {
+    u16 protocol = 0;
+    u8 control = 0;
+    Bytes payload;
+    bool operator==(const TierDelivery&) const = default;
+  };
+  /// Everything a receiver tier can say about a stream: the full loss ledger.
+  /// Two tiers agree only when every field matches.
+  struct TierLedger {
+    core::RxCounters counters;
+    u64 rx_overflow_drops = 0;
+    sonet::DeframerStats deframer;
+    bool operator==(const TierLedger&) const = default;
+  };
+  struct TierEquivalenceResult {
+    bool agree = true;
+    std::string diagnosis;  ///< first divergence, leg-labelled
+    /// Deliveries all four receiver rigs agreed on (clean leg).
+    std::vector<TierDelivery> delivered;
+    TierLedger clean_ledger;     ///< agreed ledger of the clean cross-decode
+    TierLedger fault_ledger;     ///< agreed ledger of the faulted leg (if any)
+    u64 canonical_frames = 0;    ///< delineated stuffed frames on the wire
+  };
+  /// Whole-endpoint differential leg: drive the same packet sequence through
+  /// a cycle-level P5SonetEndpoint and a batch FastP5Endpoint and prove
+  /// canonical equivalence:
+  ///   * the two SONET chunk streams carry the identical delineated
+  ///     stuffed-frame sequence (inter-frame flag fill — pipeline restart
+  ///     latency — is the only permitted difference; the x^43+1 scrambler
+  ///     makes the raw streams incomparable byte-for-byte);
+  ///   * each stream, cross-decoded by BOTH tiers' receivers, yields
+  ///     identical deliveries (protocol, control, payload) and identical
+  ///     loss ledgers, and on a clean line the deliveries equal the
+  ///     submitted packets;
+  ///   * with `fault`, the SAME corrupted chunk sequence is fed to both
+  ///     tiers' receivers, which must agree on every delivery, every junk /
+  ///     abort verdict and every resync — the ledgers match field-for-field.
+  /// Static: builds fresh endpoints per call (state is the point here).
+  [[nodiscard]] static TierEquivalenceResult tier_equivalence(
+      const core::P5Config& cfg, sonet::StsSpec sts,
+      std::span<const TierPacket> packets, const FaultSpec* fault = nullptr);
 
   [[nodiscard]] const hdlc::FrameConfig& config() const { return cfg_; }
   [[nodiscard]] unsigned lanes() const { return lanes_; }

@@ -4,13 +4,13 @@
 
 #include "common/check.hpp"
 #include "linecard/channel.hpp"
-#include "p5/sonet_link.hpp"
+#include "p5/endpoint.hpp"
 
 namespace p5::transport {
 
 // ------------------------------------------------------------ TunnelBinding
 
-TunnelBinding TunnelBinding::endpoint(core::P5SonetEndpoint& ep) {
+TunnelBinding TunnelBinding::endpoint(core::SonetEndpoint& ep) {
   // Pacing: pull only while the endpoint has traffic queued, then linger for
   // two more SONET frames so the trailing FCS/closing-flag octets flush.
   // Without the gate an idle endpoint would saturate the wire with flag fill.

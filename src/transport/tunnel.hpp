@@ -37,7 +37,7 @@
 #include "transport/event_loop.hpp"
 
 namespace p5::core {
-class P5SonetEndpoint;
+class SonetEndpoint;
 }
 namespace p5::linecard {
 class Channel;
@@ -58,7 +58,9 @@ struct TunnelBinding {
   std::function<bool(BytesView)> push;
   std::function<void()> step;
 
-  static TunnelBinding endpoint(core::P5SonetEndpoint& ep);
+  /// Bind either device tier: cycle-accurate P5SonetEndpoint or the batch
+  /// FastP5Endpoint — the binding only touches the SonetEndpoint surface.
+  static TunnelBinding endpoint(core::SonetEndpoint& ep);
   static TunnelBinding channel(linecard::Channel& ch);
 };
 

@@ -192,6 +192,111 @@ TEST(Conformance, DensityFlipFramesAgreeAtEveryDispatchTier) {
   }
 }
 
+// ---- fifth leg: whole-endpoint device-tier equivalence ------------------
+
+// A mixed-density packet batch for the tier-equivalence legs: uniform
+// random, escape-saturated (worst case for the SIMD escape engine), clean
+// ASCII (zero escapes — the fast path's best case), and byte-noise, with an
+// occasional numbered-mode Control override thrown in.
+std::vector<DiffOracle::TierPacket> gen_tier_batch(Xoshiro256& rng, std::size_t packets,
+                                                   std::size_t max_size) {
+  std::vector<DiffOracle::TierPacket> batch;
+  batch.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    DiffOracle::TierPacket p;
+    p.protocol = gen_protocol(rng);
+    const std::size_t n = rng.below(max_size + 1);
+    switch (rng.below(4)) {
+      case 0:
+        p.payload = gen_payload(rng, n);
+        break;
+      case 1:  // every octet needs stuffing
+        p.payload.resize(n);
+        for (auto& b : p.payload) b = rng.below(2) ? hdlc::kFlag : hdlc::kEscape;
+        break;
+      case 2:  // zero escapes
+        p.payload.resize(n);
+        for (auto& b : p.payload) b = static_cast<u8>(0x20 + rng.below(95));
+        break;
+      default:
+        p.payload.resize(n);
+        for (auto& b : p.payload) b = static_cast<u8>(rng.below(256));
+        break;
+    }
+    if (rng.below(8) == 0) p.control = static_cast<u8>(rng.below(256));
+    batch.push_back(std::move(p));
+  }
+  return batch;
+}
+
+// The tentpole guarantee: the batch FastP5Endpoint and the cycle-accurate
+// P5SonetEndpoint are interchangeable on the wire. Every case transmits a
+// mixed-density batch through both tiers and requires (a) the identical
+// delineated stuffed-frame sequence on the SONET path, (b) identical
+// deliveries and loss ledgers when each stream is cross-decoded by BOTH
+// tiers' receivers, and (c) deliveries that match the submitted packets.
+// Together with the fault sweep below this drives ~100k packets through
+// whole endpoints of both tiers per run; P5_TEST_CASES scales it for soaks.
+TEST(Conformance, DeviceTierEquivalenceCleanSweep) {
+  PropertyOptions opt;
+  opt.cases = 350;
+  opt.seed = 0xC0FFEE10ull;
+  opt.min_size = 0;
+  opt.max_size = 300;
+  constexpr std::size_t kPacketsPerCase = 250;
+  u64 packets_run = 0;
+  const auto res = check_property("tier_equivalence_clean", opt, [&](CaseContext& c) {
+    const core::P5Config cfg;  // stock framing: FCS-32, MAPOS defaults
+    const auto batch = gen_tier_batch(c.rng, kPacketsPerCase, std::min(c.size, cfg.max_payload));
+    const auto r = DiffOracle::tier_equivalence(cfg, sonet::kSts3c, batch);
+    packets_run += batch.size();
+    if (!r.agree) return c.fail("tier equivalence: " + r.diagnosis);
+    if (r.delivered.size() != batch.size())
+      return c.fail("clean run delivered a different packet count than submitted");
+    const auto& led = r.clean_ledger;
+    if (led.counters.frames_bad + led.counters.addr_filtered + led.counters.malformed +
+            led.counters.oversize + led.rx_overflow_drops !=
+        0)
+      return c.fail("clean run charged the loss ledger");
+  });
+  EXPECT_TRUE(res.ok) << res.message;
+  EXPECT_GE(packets_run, resolved_cases(350) * kPacketsPerCase);
+}
+
+// Fault parity: a corrupted chunk stream fed identically to both tiers'
+// receivers must produce the identical deliveries, the identical junk/abort
+// verdicts and the identical resync points — the ledgers match field for
+// field. Sweeps BER, byte slips, HDLC-abort overwrites, truncations,
+// pointer-adjustment events and whole-chunk drops.
+TEST(Conformance, DeviceTierEquivalenceUnderFaults) {
+  PropertyOptions opt;
+  opt.cases = 100;
+  opt.seed = 0xC0FFEE11ull;
+  opt.min_size = 0;
+  opt.max_size = 300;
+  constexpr std::size_t kPacketsPerCase = 150;
+  const auto res = check_property("tier_equivalence_faults", opt, [&](CaseContext& c) {
+    const core::P5Config cfg;
+    const auto batch = gen_tier_batch(c.rng, kPacketsPerCase, std::min(c.size, cfg.max_payload));
+    FaultSpec spec;
+    spec.seed = c.seed ^ 0x5EEDull;
+    switch (c.rng.below(6)) {
+      case 0: spec.bit_error_rate = 1e-5 * static_cast<double>(1 + c.rng.below(20)); break;
+      case 1: spec.slip_insert_rate = 0.05; spec.slip_delete_rate = 0.05; break;
+      case 2: spec.abort_rate = 0.2; break;
+      case 3: spec.truncate_rate = 0.05; break;
+      case 4: spec.pointer_event_rate = 0.1; spec.sts = sonet::kSts3c; break;
+      default:
+        spec.drop_rate = 0.1;
+        spec.bit_error_rate = 5e-5;
+        break;
+    }
+    const auto r = DiffOracle::tier_equivalence(cfg, sonet::kSts3c, batch, &spec);
+    if (!r.agree) return c.fail("tier equivalence under faults: " + r.diagnosis);
+  });
+  EXPECT_TRUE(res.ok) << res.message;
+}
+
 // The oracle itself must be deterministic: the same base seed replays the
 // identical stream (this is what makes P5_TEST_SEED reproduction trustworthy).
 TEST(Conformance, SameSeedReplaysTheIdenticalStream) {

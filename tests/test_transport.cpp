@@ -13,6 +13,11 @@
 //    loss (testing::FaultSpec::drop as the rx tap) costs resyncs, never
 //    corrupt deliveries; a linecard::Channel's fabric edge bridges across
 //    the socket; the backoff budget fails closed.
+//
+// The tunnel tests run at both device tiers: the TunnelHarness default is a
+// P5_DEVICE_TIER selection point (the CI matrix forces the whole suite
+// through each tier), and the FastTier* tests pin DeviceTier::kFast so the
+// batch datapath is socket-tested even in a default run.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -209,22 +214,29 @@ TEST(TransportStream, WatermarkRefusesFramesAndLossIsExactOnClose) {
 
 struct TunnelHarness {
   EventLoop loop;
-  core::P5SonetEndpoint ep_a, ep_b;
+  /// Tier-generic endpoints: the harness default is a selection point for
+  /// the P5_DEVICE_TIER override (the CI matrix forces both tiers through
+  /// this whole suite); tests that pin a tier pass it explicitly.
+  std::unique_ptr<core::SonetEndpoint> ep_a, ep_b;
   std::unique_ptr<Tunnel> tun_a, tun_b;  // a listens, b connects
 
-  explicit TunnelHarness(bool udp, TunnelConfig extra = {}) : ep_a({}, sonet::kSts3c), ep_b({}, sonet::kSts3c) {
+  explicit TunnelHarness(
+      bool udp, TunnelConfig extra = {},
+      core::DeviceTier tier = core::resolve_device_tier(core::DeviceTier::kCycle))
+      : ep_a(core::make_sonet_endpoint(tier, {}, sonet::kSts3c)),
+        ep_b(core::make_sonet_endpoint(tier, {}, sonet::kSts3c)) {
     TunnelConfig ca = extra;
     ca.listen = true;
     ca.udp = udp;
     ca.port = 0;
-    tun_a = std::make_unique<Tunnel>(loop, TunnelBinding::endpoint(ep_a), ca);
+    tun_a = std::make_unique<Tunnel>(loop, TunnelBinding::endpoint(*ep_a), ca);
     tun_a->start();
     TunnelConfig cb = extra;
     cb.listen = false;
     cb.udp = udp;
     cb.port = tun_a->bound_port();
     cb.seed = extra.seed + 1;
-    tun_b = std::make_unique<Tunnel>(loop, TunnelBinding::endpoint(ep_b), cb);
+    tun_b = std::make_unique<Tunnel>(loop, TunnelBinding::endpoint(*ep_b), cb);
     tun_b->start();
   }
 
@@ -247,29 +259,32 @@ std::vector<Bytes> direct_deliveries(const std::vector<Bytes>& payloads) {
   return out;
 }
 
-TEST(TransportTunnel, TcpDeliveryByteExactVsDirectWiringZeroCrcErrors) {
+/// TCP echo at a given device tier: socketed deliveries must match a
+/// directly wired cycle-level P5SonetLink byte for byte (for the fast tier
+/// this is also a cross-tier equivalence check over a real socket).
+void tcp_echo_byte_exact(core::DeviceTier tier) {
   constexpr std::size_t kDatagrams = 40;
   Xoshiro256 rng(11);
   std::vector<Bytes> payloads;
   for (u32 i = 0; i < kDatagrams; ++i)
     payloads.push_back(stamped_payload(rng, i, rng.range(40, 400)));
 
-  TunnelHarness h(/*udp=*/false);
-  for (const Bytes& p : payloads) ASSERT_TRUE(h.ep_b.device().submit_datagram(0x0021, p));
+  TunnelHarness h(/*udp=*/false, {}, tier);
+  for (const Bytes& p : payloads) ASSERT_TRUE(h.ep_b->submit_datagram(0x0021, p));
 
   std::vector<Bytes> delivered;
   for (int guard = 0; guard < 20000 && delivered.size() < kDatagrams; ++guard) {
     h.pump();
-    while (auto d = h.ep_a.device().reap_datagram()) delivered.push_back(std::move(d->payload));
+    while (auto d = h.ep_a->reap_datagram()) delivered.push_back(std::move(d->payload));
   }
   ASSERT_EQ(delivered.size(), kDatagrams);
   EXPECT_EQ(delivered, direct_deliveries(payloads));
 
   // Zero CRC/BIP errors across the socketed path.
-  EXPECT_EQ(h.ep_a.device().rx_control().counters().frames_bad, 0u);
-  EXPECT_EQ(h.ep_a.rx_stats().b3_errors, 0u);
-  EXPECT_EQ(h.ep_a.rx_stats().resyncs, 0u);
-  EXPECT_TRUE(h.ep_a.rx_in_sync());
+  EXPECT_EQ(h.ep_a->rx_counters().frames_bad, 0u);
+  EXPECT_EQ(h.ep_a->rx_stats().b3_errors, 0u);
+  EXPECT_EQ(h.ep_a->rx_stats().resyncs, 0u);
+  EXPECT_TRUE(h.ep_a->rx_in_sync());
 
   // Chunk accounting is exact on both sides of the wire.
   const TransportSnapshot sa = h.tun_a->stats(), sb = h.tun_b->stats();
@@ -279,6 +294,14 @@ TEST(TransportTunnel, TcpDeliveryByteExactVsDirectWiringZeroCrcErrors) {
   EXPECT_EQ(sa.rx_drops, 0u);
   EXPECT_EQ(sb.connects, 1u);
   EXPECT_EQ(sb.reconnects, 0u);
+}
+
+TEST(TransportTunnel, TcpDeliveryByteExactVsDirectWiringZeroCrcErrors) {
+  tcp_echo_byte_exact(core::resolve_device_tier(core::DeviceTier::kCycle));
+}
+
+TEST(TransportTunnel, FastTierTcpDeliveryByteExactVsCycleDirectWiring) {
+  tcp_echo_byte_exact(core::DeviceTier::kFast);
 }
 
 TEST(TransportTunnel, KillAndReconnectRunsBackoffAndKeepsLossInvariant) {
@@ -298,7 +321,7 @@ TEST(TransportTunnel, KillAndReconnectRunsBackoffAndKeepsLossInvariant) {
   int settle = 0;
   for (int guard = 0; guard < 20000; ++guard) {
     if (h.tun_b->established() && submitted < payloads.size()) {
-      if (h.ep_b.device().submit_datagram(0x0021, payloads[submitted])) ++submitted;
+      if (h.ep_b->submit_datagram(0x0021, payloads[submitted])) ++submitted;
     }
     h.pump();
     // Sever mid-stream once traffic is moving, then let the ladder recover.
@@ -306,14 +329,14 @@ TEST(TransportTunnel, KillAndReconnectRunsBackoffAndKeepsLossInvariant) {
       h.tun_b->kill_connection();
       killed = true;
     }
-    while (auto d = h.ep_a.device().reap_datagram()) {
+    while (auto d = h.ep_a->reap_datagram()) {
       ASSERT_GE(d->payload.size(), 4u);
       delivered[get_be32(d->payload, 0)] = d->payload;
     }
     // Everything submitted, reconnected, TX quiesced: give the tail a few
     // hundred slices to flush, then stop.
     if (submitted == payloads.size() && killed && h.tun_b->stats().reconnects >= 1 &&
-        h.tun_b->established() && !h.ep_b.tx_pending()) {
+        h.tun_b->established() && !h.ep_b->tx_pending()) {
       if (++settle > 300) break;
     } else {
       settle = 0;
@@ -338,8 +361,10 @@ TEST(TransportTunnel, KillAndReconnectRunsBackoffAndKeepsLossInvariant) {
   EXPECT_TRUE(h.tun_b->established());
 }
 
-TEST(TransportTunnel, UdpToleratesInjectedDatagramLoss) {
-  TunnelHarness h(/*udp=*/true);
+/// UDP with a 40% chunk-drop tap at a given device tier: losses cost
+/// resyncs and junked frames, never corrupt deliveries.
+void udp_tolerates_datagram_loss(core::DeviceTier tier) {
+  TunnelHarness h(/*udp=*/true, {}, tier);
   // 40% chunk loss over ~20 data-carrying chunks: some datagrams certainly
   // die, some certainly survive (deterministic tap stream, seed 31).
   testing::FaultyLine drops(testing::FaultSpec::drop(0.4, 31));
@@ -355,14 +380,14 @@ TEST(TransportTunnel, UdpToleratesInjectedDatagramLoss) {
   int settle = 0;
   for (int guard = 0; guard < 20000; ++guard) {
     if (submitted < payloads.size() &&
-        h.ep_b.device().submit_datagram(0x0021, payloads[submitted]))
+        h.ep_b->submit_datagram(0x0021, payloads[submitted]))
       ++submitted;
     h.pump();
-    while (auto d = h.ep_a.device().reap_datagram()) {
+    while (auto d = h.ep_a->reap_datagram()) {
       ASSERT_GE(d->payload.size(), 4u);
       delivered[get_be32(d->payload, 0)] = d->payload;
     }
-    if (submitted == payloads.size() && !h.ep_b.tx_pending()) {
+    if (submitted == payloads.size() && !h.ep_b->tx_pending()) {
       if (++settle > 300) break;
     } else {
       settle = 0;
@@ -381,7 +406,7 @@ TEST(TransportTunnel, UdpToleratesInjectedDatagramLoss) {
   }
   // A dropped chunk tears the HDLC frame spanning it; the FCS catches every
   // tear and junks it (frames_bad) instead of delivering garbage.
-  EXPECT_GT(h.ep_a.device().rx_control().counters().frames_bad, 0u);
+  EXPECT_GT(h.ep_a->rx_counters().frames_bad, 0u);
 
   // Datagram accounting: everything B sent was either received by A's
   // tunnel or vanished in the (loss-free loopback) kernel path — and the
@@ -389,6 +414,14 @@ TEST(TransportTunnel, UdpToleratesInjectedDatagramLoss) {
   const TransportSnapshot sa = h.tun_a->stats(), sb = h.tun_b->stats();
   EXPECT_EQ(sb.frames_in, sb.frames_out + sb.frames_lost);
   EXPECT_LE(sa.frames_rcvd, sb.frames_out);
+}
+
+TEST(TransportTunnel, UdpToleratesInjectedDatagramLoss) {
+  udp_tolerates_datagram_loss(core::resolve_device_tier(core::DeviceTier::kCycle));
+}
+
+TEST(TransportTunnel, FastTierUdpToleratesFortyPercentDatagramLoss) {
+  udp_tolerates_datagram_loss(core::DeviceTier::kFast);
 }
 
 TEST(TransportTunnel, ChannelBindingBridgesFabricAcrossTheSocket) {
