@@ -24,8 +24,12 @@
 //
 // Usage:
 //   p5_tunnel (--listen PORT | --connect HOST:PORT)
-//             [--tier cycle|fast] [--channels N] [--frames N] [--udp]
-//             [--echo] [--stats-ms MS] [--seed N]
+//             [--tier cycle|fast] [--channels N] [--frames N | --duration SEC]
+//             [--udp] [--echo] [--stats-ms MS] [--seed N]
+//
+// --frames bounds the run by work, --duration by wall clock: after SEC
+// seconds the sender stops submitting and drains, so soak runs against a
+// live server don't need a frame-count guess.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -60,7 +64,8 @@ struct Options {
   std::string host = "127.0.0.1";
   p5::u16 port = 0;
   unsigned channels = 1;
-  p5::u64 frames = 0;  // 0 on the listen side: just carry traffic
+  p5::u64 frames = 0;    // 0 on the listen side: just carry traffic
+  p5::u64 duration_s = 0;  // wall-clock bound; 0 = unbounded
   p5::u64 stats_ms = 1000;
   p5::u64 seed = 7;
   // Default-selection point: fast unless P5_DEVICE_TIER says otherwise.
@@ -112,6 +117,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = need("--frames");
       if (!v) return false;
       opt.frames = static_cast<p5::u64>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--duration") == 0) {
+      const char* v = need("--duration");
+      if (!v) return false;
+      opt.duration_s = static_cast<p5::u64>(std::atoll(v));
     } else if (std::strcmp(argv[i], "--stats-ms") == 0) {
       const char* v = need("--stats-ms");
       if (!v) return false;
@@ -132,8 +141,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
   if (opt.port == 0 || opt.channels == 0) {
     std::fprintf(stderr,
                  "usage: p5_tunnel (--listen PORT | --connect HOST:PORT) [--tier cycle|fast]\n"
-                 "                 [--channels N] [--frames N] [--udp] [--echo]\n"
-                 "                 [--stats-ms MS] [--seed N]\n");
+                 "                 [--channels N] [--frames N | --duration SEC] [--udp]\n"
+                 "                 [--echo] [--stats-ms MS] [--seed N]\n");
     return false;
   }
   return true;
@@ -185,11 +194,15 @@ int main(int argc, char** argv) {
 
   u64 last_stats = loop.now_ms();
   u64 last_stats_bytes = 0;  // summed reaped_bytes at the previous stats line
+  const u64 deadline_ms = opt.duration_s > 0 ? loop.now_ms() + opt.duration_s * 1000 : 0;
   bool draining = false;
   while (true) {
     for (auto& l : lanes) {
-      // Sender: keep the device fed until the quota is met.
-      if (!draining && opt.frames > 0 && l->submitted < opt.frames) {
+      // Sender: keep the device fed until the quota is met (--frames) or the
+      // clock runs out (--duration, submission gated below by the deadline).
+      const bool feeding = opt.frames > 0 ? l->submitted < opt.frames
+                                          : (opt.duration_s > 0 && !opt.listen);
+      if (!draining && feeding) {
         Bytes p = l->gen.next_datagram();
         if (l->ep->submit_datagram(0x0021, p)) {
           l->hash_out ^= fnv1a(p) * (l->submitted + 1);  // order-sensitive mix
@@ -239,6 +252,11 @@ int main(int argc, char** argv) {
 
     if (g_interrupted && !draining) {
       std::printf("\nSIGINT: draining...\n");
+      draining = true;
+      for (auto& l : lanes) l->tun->request_drain();
+    }
+    if (!draining && deadline_ms != 0 && loop.now_ms() >= deadline_ms) {
+      std::printf("\n--duration elapsed: draining...\n");
       draining = true;
       for (auto& l : lanes) l->tun->request_drain();
     }

@@ -35,6 +35,7 @@ import sys
 # benches get loose gates, ratio benches tight ones.
 PER_BENCH_TOLERANCE = {
     "tunnel": 0.80,
+    "server": 0.80,
 }
 
 

@@ -3,14 +3,18 @@
 #   tier-1    configure + build + full ctest          (build/)
 #   fault     the fault-injection/conformance label    (build/, ctest -L fault)
 #   transport the socket-transport label               (build/, ctest -L transport)
+#   server    the sharded TunnelServer label           (build/, ctest -L server)
+#             + a full-scale churn leg (P5_SERVER_CHURN=1000) of the
+#             kill/reconnect test that tier-1 runs at its default
 #   tier      device-tier matrix: transport+conformance suites re-run with
 #             P5_DEVICE_TIER forced to cycle, then fast, then fast with
 #             P5_ESCAPE_TIER=scalar (fast tier on the scalar escape engine)
 #   asan      ASan+UBSan build + full ctest            (build-asan/)
 #   tsan      TSan build + the threaded suites         (build-tsan/)
 #   bench     smoke run of every registered bench      (build/, ctest -L bench)
-#             + bench_compare.py regression gates: --quick bench_softpath and
-#             bench_tunnel sweeps diffed against the committed BENCH_*.json
+#             + bench_compare.py regression gates: --quick bench_softpath,
+#             bench_tunnel and bench_server sweeps diffed against the
+#             committed BENCH_*.json
 #
 # Usage: scripts/check.sh [stage...]   (default: all stages in order)
 #   e.g. scripts/check.sh tier-1 fault     # skip the sanitizer rebuilds
@@ -20,7 +24,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault transport tier asan tsan bench)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault transport server tier asan tsan bench)
 
 want() {
   local s
@@ -49,6 +53,18 @@ if want transport; then
   cmake -B build -S .
   cmake --build build -j
   (cd build && ctest -L transport --output-on-failure -j)
+fi
+
+if want server; then
+  echo
+  echo "== server: sharded TunnelServer suite (ctest -L server) =="
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && ctest -L server --output-on-failure -j)
+  # The churn test's full-default target already runs in tier-1; this leg
+  # re-runs it explicitly so a `scripts/check.sh server` in isolation still
+  # covers the kill/reconnect path at scale.
+  (cd build && P5_SERVER_CHURN=1000 ctest -R 'ServerChurn' --output-on-failure)
 fi
 
 if want tier; then
@@ -81,7 +97,7 @@ if want tsan; then
   cmake --build build-tsan -j
   # TSan's value is the threaded runtime; run the suites that spin threads
   # plus the whole fault label (cheap, and proves the harness is race-free).
-  (cd build-tsan && ctest -R 'LineCard|SpscRing|SharedMemory|Transport' --output-on-failure -j)
+  (cd build-tsan && ctest -R 'LineCard|SpscRing|SharedMemory|Transport|Server' --output-on-failure -j)
   (cd build-tsan && ctest -L fault --output-on-failure -j)
 fi
 
@@ -107,6 +123,15 @@ if want bench; then
   # it only trips when the transport collapses, not when the runner is busy.
   ./build/bench/bench_tunnel --quick --out build/BENCH_tunnel.fresh.json > /dev/null
   python3 scripts/bench_compare.py build/BENCH_tunnel.fresh.json BENCH_tunnel.json \
+    --metric new_mb_s
+  echo
+  echo "== bench gate: quick server sweep vs committed baseline =="
+  # Same reasoning as the tunnel gate (80% per-bench tolerance): the figure
+  # is wall-clock socket+decode throughput and host-count dependent; the
+  # gate exists to catch a collapsed termination path, and the bench itself
+  # exits nonzero if any ledger fails to close.
+  ./build/bench/bench_server --quick --out build/BENCH_server.fresh.json > /dev/null
+  python3 scripts/bench_compare.py build/BENCH_server.fresh.json BENCH_server.json \
     --metric new_mb_s
 fi
 

@@ -83,6 +83,22 @@ class SpscRing {
     return v;
   }
 
+  /// Consumer side, bounded batch: pop up to `max` items, handing each to
+  /// `fn` by rvalue. Returns the number consumed. The bound keeps a caller's
+  /// slice a slice — a server shard drains its adoption/handoff rings with
+  /// this without letting a hot producer starve the rest of the loop.
+  template <typename Fn>
+  std::size_t drain(std::size_t max, Fn&& fn) {
+    std::size_t n = 0;
+    while (n < max) {
+      auto v = try_pop();
+      if (!v) break;
+      fn(std::move(*v));
+      ++n;
+    }
+    return n;
+  }
+
   /// Blocking consumer pop: spins (yielding) until an item arrives.
   [[nodiscard]] T pop() {
     for (;;) {

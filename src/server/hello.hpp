@@ -1,0 +1,57 @@
+// Tenant hello codec: the first chunk a client sends on a multi-tenant
+// listener names its tenant — magic "P5TS" plus a u32 BE tenant id, 8 octets
+// total. A SONET chunk is always sts.frame_bytes() octets (2430 for STS-3c),
+// so the hello is unambiguous on the wire; anything else first is a protocol
+// error and the server closes the connection.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "transport/tunnel.hpp"
+
+namespace p5::server {
+
+inline constexpr std::array<u8, 4> kHelloMagic{'P', '5', 'T', 'S'};
+inline constexpr std::size_t kHelloBytes = 8;
+
+[[nodiscard]] inline Bytes hello_chunk(u32 tenant_id) {
+  Bytes b;
+  b.reserve(kHelloBytes);
+  b.insert(b.end(), kHelloMagic.begin(), kHelloMagic.end());
+  put_be32(b, tenant_id);
+  return b;
+}
+
+[[nodiscard]] inline std::optional<u32> parse_hello(BytesView chunk) {
+  if (chunk.size() != kHelloBytes) return std::nullopt;
+  for (std::size_t i = 0; i < kHelloMagic.size(); ++i) {
+    if (chunk[i] != kHelloMagic[i]) return std::nullopt;
+  }
+  return get_be32(chunk, 4);
+}
+
+/// Client-side wrapper: emit the hello as the very first chunk, then defer
+/// to the inner binding. For single-connection clients (fresh Tunnel per
+/// connect) — the hello is not re-sent across a Tunnel's own reconnects, so
+/// reconnecting fleets should use port-based tenancy instead.
+[[nodiscard]] inline transport::TunnelBinding with_hello(transport::TunnelBinding inner,
+                                                         u32 tenant_id) {
+  auto sent = std::make_shared<bool>(false);
+  transport::TunnelBinding b = inner;
+  b.pull = [inner, sent, tenant_id]() -> Bytes {
+    if (!*sent) {
+      *sent = true;
+      return hello_chunk(tenant_id);
+    }
+    return inner.pull ? inner.pull() : Bytes{};
+  };
+  b.ready = [inner, sent] {
+    return !*sent || (inner.ready && inner.ready());
+  };
+  return b;
+}
+
+}  // namespace p5::server

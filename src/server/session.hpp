@@ -1,0 +1,94 @@
+// One accepted tunnel inside a shard: an adopted StreamConn feeding a
+// fast-tier SonetEndpoint, bound to a tenant, routed per the server policy.
+//
+// Lifecycle (all on the owning shard's loop thread):
+//
+//   adopted -> [awaiting hello] -> bound(tenant) -> carrying -> dead
+//                     \-> bad hello / admission reject -> dead
+//
+// RX path per inbound chunk: hello/tenant binding on the first chunk when
+// the listener carries no tenant; then the tenant policer; then
+// endpoint.push_line() and an immediate datagram reap that dispositions
+// every decoded datagram (echo / uplink handoff / sink — see RouteMode).
+// TX path per slice: the tx_pending()-gated, 2-frame-linger paced pull the
+// Tunnel binding uses, into the conn until its watermark pushes back.
+//
+// A Session never destroys its conn from the conn's own callback stack:
+// on_closed only marks dead_, and the shard sweeps dead sessions after its
+// run_once() returns.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "p5/endpoint.hpp"
+#include "server/tenant.hpp"
+#include "transport/conn.hpp"
+#include "transport/event_loop.hpp"
+
+namespace p5::server {
+
+enum class RouteMode : u8 {
+  kEcho,    ///< resubmit each decoded datagram to the session's own endpoint
+  kSink,    ///< count and drop (goodput measurement / pure termination)
+  kUplink,  ///< hand off to the shared uplink (cross-shard SpscRing + DRR)
+};
+
+/// What a session needs from its shard, minus the shard type itself.
+struct SessionEnv {
+  transport::EventLoop* loop = nullptr;
+  transport::TransportTelemetry* transport_tel = nullptr;  ///< shard-shared
+  TenantRegistry* tenants = nullptr;
+  RouteMode route = RouteMode::kEcho;
+  std::size_t frames_per_pump = 8;
+  /// Device factory, invoked only after the session binds — a rejected
+  /// connection never allocates an endpoint (pools, arenas, scramblers).
+  std::function<std::unique_ptr<core::SonetEndpoint>()> make_endpoint;
+  /// Admission gate beyond the tenant's own (server-wide session cap).
+  /// Returns false to refuse; the session then closes before binding.
+  std::function<bool()> admit_global;
+  /// Uplink handoff: push one decoded datagram toward the shared uplink.
+  /// False = ring full; the session counts the datagram lost. Unset when
+  /// route != kUplink.
+  std::function<bool(u32 tenant, u16 protocol, Bytes&& payload)> uplink_offer;
+  /// Called once when a bound session closes (global slot release).
+  std::function<void()> release_global;
+};
+
+class Session {
+ public:
+  /// `fixed_tenant` binds immediately (listener-port tenancy); nullopt means
+  /// the first chunk must be a hello (hello.hpp codec) naming the tenant.
+  /// Admission rejection closes the conn from inside the constructor; the
+  /// shard sees dead() and sweeps.
+  Session(SessionEnv env, std::unique_ptr<transport::Conn> conn,
+          std::optional<u32> fixed_tenant);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// One TX slice; returns chunks handed to the conn.
+  std::size_t slice();
+
+  [[nodiscard]] bool dead() const { return dead_; }
+  [[nodiscard]] bool bound() const { return tenant_ != nullptr; }
+  [[nodiscard]] u32 tenant_id() const { return tenant_ ? tenant_->id() : 0; }
+  [[nodiscard]] core::SonetEndpoint* endpoint() { return ep_.get(); }
+
+ private:
+  void on_chunk(BytesView chunk);
+  bool bind_tenant(u32 tenant_id);
+  void reap_and_route();
+  void mark_dead();
+
+  SessionEnv env_;
+  std::unique_ptr<transport::Conn> conn_;
+  std::unique_ptr<core::SonetEndpoint> ep_;
+  TenantState* tenant_ = nullptr;  ///< registry-owned, stable address
+  bool awaiting_hello_ = false;
+  bool dead_ = false;
+  bool global_slot_held_ = false;
+  unsigned tx_linger_ = 0;  ///< trailing frames after tx_pending() clears
+};
+
+}  // namespace p5::server

@@ -22,7 +22,10 @@ StreamConn::StreamConn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cf
   loop_.add_fd(fd_.get(), connecting ? kWritable : kReadable,
                [this](u32 events) { handle_events(events); });
   if (established_) {
-    loop_.add_timer(0, [this] {
+    // The timer must not outlive the conn: an owner may close()/destroy an
+    // accepted conn (e.g. admission reject) before the zero-delay fires.
+    open_timer_ = loop_.add_timer(0, [this] {
+      open_timer_ = 0;
       if (open() && on_open_) on_open_();
     });
   }
@@ -161,6 +164,10 @@ void StreamConn::update_interest() {
 void StreamConn::close_internal(bool notify) {
   if (closing_ || !fd_.valid()) return;
   closing_ = true;
+  if (open_timer_ != 0) {
+    loop_.cancel_timer(open_timer_);
+    open_timer_ = 0;
+  }
   loop_.remove_fd(fd_.get());
   fd_.reset();
   // Exact loss accounting: every enqueued chunk that never made it fully
@@ -189,7 +196,8 @@ DgramConn::DgramConn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cfg,
     }
     if (events & kReadable) read_some();
   });
-  loop_.add_timer(0, [this] {
+  open_timer_ = loop_.add_timer(0, [this] {
+    open_timer_ = 0;
     if (writable() && on_open_) on_open_();  // learn_peer side opens on first RX
   });
 }
@@ -242,6 +250,10 @@ void DgramConn::read_some() {
 void DgramConn::close_internal(bool notify) {
   if (closing_ || !fd_.valid()) return;
   closing_ = true;
+  if (open_timer_ != 0) {
+    loop_.cancel_timer(open_timer_);
+    open_timer_ = 0;
+  }
   loop_.remove_fd(fd_.get());
   fd_.reset();
   has_peer_ = false;

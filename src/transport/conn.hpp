@@ -115,6 +115,7 @@ class StreamConn final : public Conn {
   void close_internal(bool notify);
 
   Fd fd_;
+  EventLoop::TimerId open_timer_ = 0;  ///< deferred on_open; cancelled on close
   bool established_ = false;
   bool draining_ = false;
   bool drained_notified_ = false;
@@ -149,6 +150,7 @@ class DgramConn final : public Conn {
   void close_internal(bool notify);
 
   Fd fd_;
+  EventLoop::TimerId open_timer_ = 0;  ///< deferred on_open; cancelled on close
   bool has_peer_ = false;
   bool closing_ = false;
   Bytes rx_buf_;

@@ -219,21 +219,51 @@ std::size_t EventLoop::run_once(int timeout_ms) {
 
 void EventLoop::run() {
   while (!stopped_.load(std::memory_order_acquire)) run_once(100);
+  // A post() that won the race against stop() has already enqueued its task
+  // but run_once may never see it; drain here so "post returned true" always
+  // means "the task ran" (the shutdown-ordering contract in the header).
+  drain_posted();
 }
 
 void EventLoop::stop() {
-  stopped_.store(true, std::memory_order_release);
+  {
+    // Taking the task lock linearizes stop() against concurrent post():
+    // every post() either completed its enqueue before this store (run()'s
+    // final drain executes it) or observes stopped_ and rejects.
+    std::lock_guard<std::mutex> lock(task_mu_);
+    stopped_.store(true, std::memory_order_release);
+  }
   const char byte = 0;
   (void)!::write(wake_wr_.get(), &byte, 1);
 }
 
-void EventLoop::post(std::function<void()> fn) {
+bool EventLoop::post(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(task_mu_);
+    if (stopped_.load(std::memory_order_acquire)) return false;
     tasks_.push_back(std::move(fn));
   }
   const char byte = 0;
   (void)!::write(wake_wr_.get(), &byte, 1);
+  return true;
+}
+
+std::size_t EventLoop::drain_posted() {
+  std::size_t ran = 0;
+  // Loop: a drained task may itself post (its post still succeeds only
+  // pre-stop; after stop the enqueue is rejected, so this terminates).
+  for (;;) {
+    std::vector<std::function<void()>> tasks;
+    {
+      std::lock_guard<std::mutex> lock(task_mu_);
+      tasks.swap(tasks_);
+    }
+    if (tasks.empty()) return ran;
+    for (auto& fn : tasks) {
+      fn();
+      ++ran;
+    }
+  }
 }
 
 }  // namespace p5::transport

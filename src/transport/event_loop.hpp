@@ -15,6 +15,15 @@
 // Thread contract: add_fd/modify_fd/remove_fd/add_timer/cancel_timer and
 // run_once are loop-context only (the run() thread, or inside callbacks and
 // posted tasks). post(), stop() and stopped() are thread-safe.
+//
+// Shutdown ordering: post() and stop() are linearized against each other
+// (both take the task lock), so every post() either lands before the stop —
+// in which case run() executes it before returning (final drain) — or lands
+// after, in which case post() returns false and enqueues nothing. A task is
+// never silently stranded in the queue by a racing stop(): it runs, or its
+// producer observed the drop. Custom drivers that call run_once() in their
+// own loop get the same guarantee by calling drain_posted() after their
+// stop flag trips.
 #pragma once
 
 #include <atomic>
@@ -70,13 +79,20 @@ class EventLoop {
   /// the next timer deadline; manual-time loops never block), then dispatch
   /// ready fds, due timers and posted tasks. Returns callbacks dispatched.
   std::size_t run_once(int timeout_ms = 0);
-  /// run_once(100) until stop(). One-shot: construct a fresh loop to rerun.
+  /// run_once(100) until stop(), then drain_posted() — tasks accepted before
+  /// the stop still run. One-shot: construct a fresh loop to rerun.
   void run();
   void stop();  // thread-safe; wakes a blocked run_once
   [[nodiscard]] bool stopped() const { return stopped_.load(std::memory_order_acquire); }
 
-  /// Thread-safe: queue `fn` for execution on the loop context.
-  void post(std::function<void()> fn);
+  /// Thread-safe: queue `fn` for execution on the loop context. Returns
+  /// false — and enqueues nothing — once the loop has been stopped; the
+  /// caller has then observed the drop (see the shutdown-ordering contract
+  /// in the header comment).
+  bool post(std::function<void()> fn);
+  /// Loop-context: execute every task queued so far and return how many ran.
+  /// run() calls this after its stop; custom run_once() drivers should too.
+  std::size_t drain_posted();
 
  private:
   struct FdEntry {

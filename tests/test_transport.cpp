@@ -102,13 +102,75 @@ TEST(TransportEventLoop, PostAndStopAreThreadSafe) {
   std::atomic<int> ran{0};
   std::thread runner([&] { loop.run(); });
   for (int i = 0; i < 100; ++i) {
-    loop.post([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_TRUE(loop.post([&] { ran.fetch_add(1, std::memory_order_relaxed); }));
   }
   while (ran.load(std::memory_order_relaxed) < 100) std::this_thread::yield();
   loop.stop();
   runner.join();
   EXPECT_EQ(ran.load(), 100);
   EXPECT_TRUE(loop.stopped());
+}
+
+TEST(TransportEventLoop, PostAfterStopIsObservablyDropped) {
+  EventLoop loop;
+  loop.stop();
+  bool ran = false;
+  EXPECT_FALSE(loop.post([&] { ran = true; }));  // rejected, nothing enqueued
+  loop.run_once();  // only the self-pipe wake drain may dispatch here
+  EXPECT_EQ(loop.drain_posted(), 0u);
+  EXPECT_FALSE(ran);
+}
+
+// The shutdown-ordering contract (event_loop.hpp): a post() racing stop()
+// either runs before run() returns or returns false. Producer threads hammer
+// post() while the main thread stops the loop mid-stream; every accepted
+// task must have executed once the runner joins — none stranded, no
+// deadlock, no double-run.
+TEST(TransportEventLoop, PostRacingStopRunsOrIsDropped) {
+  for (int round = 0; round < 8; ++round) {
+    EventLoop loop;
+    std::atomic<int> ran{0};
+    std::atomic<int> accepted{0};
+    std::atomic<bool> go{false};
+    std::thread runner([&] { loop.run(); });
+    constexpr int kProducers = 4;
+    constexpr int kPostsEach = 200;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (int i = 0; i < kPostsEach; ++i) {
+          if (loop.post([&] { ran.fetch_add(1, std::memory_order_relaxed); })) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    while (accepted.load(std::memory_order_relaxed) < kProducers * kPostsEach / 4) {
+      std::this_thread::yield();
+    }
+    loop.stop();  // races the still-running producers
+    for (auto& t : producers) t.join();
+    runner.join();
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+    EXPECT_FALSE(loop.post([] {}));  // stays rejected after shutdown
+  }
+}
+
+TEST(TransportEventLoop, DrainPostedCoversCustomDrivers) {
+  // A custom driver (a server shard) loops run_once() on its own stop flag;
+  // drain_posted() after the flag trips gives it the same no-stranded-task
+  // guarantee run() has. Tasks posted from within a drained task also run.
+  EventLoop loop;
+  int ran = 0;
+  ASSERT_TRUE(loop.post([&] {
+    ++ran;
+    ASSERT_TRUE(loop.post([&] { ++ran; }));  // nested re-post, pre-stop
+  }));
+  EXPECT_EQ(loop.drain_posted(), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(loop.drain_posted(), 0u);
 }
 
 // --------------------------------------------------------------- StreamConn
