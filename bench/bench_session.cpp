@@ -1,0 +1,191 @@
+// bench_session — the PPP session plane under load: VJ header compression
+// throughput and broker-driven negotiation storms.
+//
+// Rows, all wall-clock (this bench measures control-plane and header-path
+// software, not the cycle model's clock):
+//
+//  * vj_compress — Compressor alone over the synthetic TCP flow mix
+//    (TcpFlowGen: bulk + interactive flows with realistic seq/ack/window
+//    progressions). Reports MB/s of datagrams in and the header compression
+//    ratio actually achieved — the RFC 1144 payoff the paper's PPP engine
+//    banks on for interactive traffic.
+//  * vj_roundtrip — compress + decompress back to back with byte-identity
+//    checked on every delivery; the full header-path cost per datagram.
+//  * storm_chap — negotiation storm: sessions through LCP → CHAP → IPCP
+//    (with VJ negotiated) against the broker to quiescence on clean wires.
+//    Reports sessions/s brought to ip_ready — the BRAS-style churn figure.
+//  * storm_chap_flap — the same storm with renegotiation flaps (every open
+//    subscriber redials up to twice), gating the re-open path.
+//
+// Results go to stdout and BENCH_session.json; gate with
+//   scripts/bench_compare.py BENCH_session.json <baseline> --metric new_mb_s
+// (storm rows report sessions/s in the same metric column — the comparison
+// is within-row, so units only need to be stable per kernel).
+//
+// Usage: bench_session [--smoke] [--quick] [--out <path>]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ppp/broker.hpp"
+#include "ppp/vj.hpp"
+
+namespace p5::bench {
+namespace {
+
+using ppp::broker::run_negotiation_storm;
+using ppp::broker::StormConfig;
+using ppp::broker::StormReport;
+using ppp::vj::Compressor;
+using ppp::vj::Decompressor;
+using ppp::vj::PacketClass;
+using ppp::vj::TcpFlowGen;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct Row {
+  std::string kernel;
+  std::size_t items = 0;       ///< datagrams or sessions
+  u64 bytes = 0;               ///< datagram octets in (0 for storm rows)
+  double wall_seconds = 0.0;
+  double rate = 0.0;           ///< MB/s (vj rows) or sessions/s (storm rows)
+  double header_ratio = 0.0;   ///< header_bytes_out / header_bytes_in
+};
+
+Row bench_vj(bool roundtrip, std::size_t datagrams) {
+  TcpFlowGen gen(12, 0xbe9c5e55, 512);
+  std::vector<Bytes> work;
+  work.reserve(datagrams);
+  u64 bytes = 0;
+  for (std::size_t i = 0; i < datagrams; ++i) {
+    work.push_back(gen.next());
+    bytes += work.back().size();
+  }
+
+  Compressor comp;
+  Decompressor decomp;
+  u64 sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Bytes& dg : work) {
+    auto out = comp.compress(dg);
+    if (!roundtrip) {
+      sink += out.packet.size();
+      continue;
+    }
+    const auto back = decomp.decompress(out.cls, out.packet);
+    // Clean wire: every delivery must reconstruct exactly.
+    if (!back || *back != dg) {
+      std::fprintf(stderr, "fatal: VJ round-trip mismatch\n");
+      std::abort();
+    }
+    sink += back->size();
+  }
+  Row r;
+  r.kernel = roundtrip ? "vj_roundtrip" : "vj_compress";
+  r.items = datagrams;
+  r.bytes = bytes;
+  r.wall_seconds = seconds_since(t0);
+  r.rate = r.wall_seconds > 0.0 ? static_cast<double>(bytes) / 1e6 / r.wall_seconds : 0.0;
+  const auto& st = comp.stats();
+  r.header_ratio = st.header_bytes_in
+                       ? static_cast<double>(st.header_bytes_out) /
+                             static_cast<double>(st.header_bytes_in)
+                       : 0.0;
+  (void)sink;
+  return r;
+}
+
+Row bench_storm(bool flaps, unsigned sessions) {
+  StormConfig cfg;
+  cfg.sessions = sessions;
+  cfg.admit_per_tick = std::max(1u, sessions / 10);
+  cfg.seed = 0x5e551c4a;
+  cfg.max_ticks = 2000;
+  if (flaps) {
+    cfg.flap_chance = 0.05;
+    cfg.max_flaps_per_session = 2;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const StormReport rep = run_negotiation_storm(cfg);
+  Row r;
+  r.kernel = flaps ? "storm_chap_flap" : "storm_chap";
+  r.items = sessions;
+  r.wall_seconds = seconds_since(t0);
+  if (!rep.ledger.closed() || rep.ledger.negotiated != sessions) {
+    std::fprintf(stderr, "fatal: storm did not converge (negotiated %llu of %u)\n",
+                 static_cast<unsigned long long>(rep.ledger.negotiated), sessions);
+    std::abort();
+  }
+  r.rate = r.wall_seconds > 0.0
+               ? static_cast<double>(rep.ledger.negotiated) / r.wall_seconds
+               : 0.0;
+  return r;
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false, quick = false;
+  std::string out_path = "BENCH_session.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+  const std::size_t dgrams = smoke ? 2000 : quick ? 100000 : 400000;
+  const unsigned sessions = smoke ? 60 : quick ? 400 : 1000;
+
+  banner("bench_session — PPP session plane: VJ header path and CHAP churn",
+         "the paper's programmable PPP engine terminating subscriber sessions");
+  paper_says("per-session option negotiation in software; headers squeezed on the wire");
+
+  std::vector<Row> rows;
+  rows.push_back(bench_vj(false, dgrams));
+  rows.push_back(bench_vj(true, dgrams));
+  rows.push_back(bench_storm(false, sessions));
+  rows.push_back(bench_storm(true, sessions));
+
+  for (const Row& r : rows) {
+    const bool storm = r.bytes == 0;
+    std::printf("%-16s %8zu %-9s  %8.3fs  %10.2f %s", r.kernel.c_str(), r.items,
+                storm ? "sessions" : "datagrams", r.wall_seconds, r.rate,
+                storm ? "sessions/s" : "MB/s");
+    if (!storm) std::printf("  (header ratio %.3f)", r.header_ratio);
+    std::printf("\n");
+  }
+
+  JsonReport report("session");
+  report.header.set("unit", "MB/s or sessions/s")
+      .set("mode", smoke ? "smoke" : quick ? "quick" : "full");
+  for (const Row& r : rows) {
+    report.row()
+        .set("kernel", r.kernel)
+        .set("frame_bytes", std::size_t{0})
+        .set("escape_density", 0.0)
+        .set("dispatch", "inproc")
+        .set("pinned", false)
+        .set("items", static_cast<u64>(r.items))
+        .set("bytes", r.bytes)
+        .set("wall_seconds", r.wall_seconds)
+        .set("header_ratio", r.header_ratio)
+        .set("new_mb_s", r.rate);
+  }
+  if (!report.write(out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu rows)%s\n", out_path.c_str(), rows.size(),
+              smoke ? " [smoke mode: timings are not meaningful]" : "");
+  we_measure("VJ round-trip " + std::to_string(rows[1].rate) + " MB/s at header ratio " +
+             std::to_string(rows[1].header_ratio) + "; CHAP storm " +
+             std::to_string(rows[2].rate) + " sessions/s");
+  return 0;
+}
+
+}  // namespace
+}  // namespace p5::bench
+
+int main(int argc, char** argv) { return p5::bench::run(argc, argv); }

@@ -36,6 +36,7 @@ import sys
 PER_BENCH_TOLERANCE = {
     "tunnel": 0.80,
     "server": 0.80,
+    "session": 0.80,
 }
 
 

@@ -6,6 +6,8 @@
 #   server    the sharded TunnelServer label           (build/, ctest -L server)
 #             + a full-scale churn leg (P5_SERVER_CHURN=1000) of the
 #             kill/reconnect test that tier-1 runs at its default
+#   session   the PPP session plane label               (build/, ctest -L session)
+#             auth FSMs, VJ compression, and the broker negotiation storms
 #   tier      device-tier matrix: transport+conformance suites re-run with
 #             P5_DEVICE_TIER forced to cycle, then fast, then fast with
 #             P5_ESCAPE_TIER=scalar (fast tier on the scalar escape engine)
@@ -13,8 +15,8 @@
 #   tsan      TSan build + the threaded suites         (build-tsan/)
 #   bench     smoke run of every registered bench      (build/, ctest -L bench)
 #             + bench_compare.py regression gates: --quick bench_softpath,
-#             bench_tunnel and bench_server sweeps diffed against the
-#             committed BENCH_*.json
+#             bench_tunnel, bench_server and bench_session sweeps diffed
+#             against the committed BENCH_*.json
 #
 # Usage: scripts/check.sh [stage...]   (default: all stages in order)
 #   e.g. scripts/check.sh tier-1 fault     # skip the sanitizer rebuilds
@@ -24,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault transport server tier asan tsan bench)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault transport server session tier asan tsan bench)
 
 want() {
   local s
@@ -67,6 +69,14 @@ if want server; then
   (cd build && P5_SERVER_CHURN=1000 ctest -R 'ServerChurn' --output-on-failure)
 fi
 
+if want session; then
+  echo
+  echo "== session: PPP auth + VJ + broker storm suite (ctest -L session) =="
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && ctest -L session --output-on-failure -j)
+fi
+
 if want tier; then
   echo
   echo "== tier: device-tier matrix over the transport + conformance suites =="
@@ -96,8 +106,9 @@ if want tsan; then
   cmake -B build-tsan -S . -DP5_SANITIZE=thread
   cmake --build build-tsan -j
   # TSan's value is the threaded runtime; run the suites that spin threads
-  # plus the whole fault label (cheap, and proves the harness is race-free).
-  (cd build-tsan && ctest -R 'LineCard|SpscRing|SharedMemory|Transport|Server' --output-on-failure -j)
+  # (including the sharded broker storm) plus the whole fault label (cheap,
+  # and proves the harness is race-free).
+  (cd build-tsan && ctest -R 'LineCard|SpscRing|SharedMemory|Transport|Server|Broker' --output-on-failure -j)
   (cd build-tsan && ctest -L fault --output-on-failure -j)
 fi
 
@@ -132,6 +143,14 @@ if want bench; then
   # exits nonzero if any ledger fails to close.
   ./build/bench/bench_server --quick --out build/BENCH_server.fresh.json > /dev/null
   python3 scripts/bench_compare.py build/BENCH_server.fresh.json BENCH_server.json \
+    --metric new_mb_s
+  echo
+  echo "== bench gate: quick session sweep vs committed baseline =="
+  # Wall-clock like the tunnel/server gates (80% per-bench tolerance): the
+  # rows are VJ MB/s and storm sessions/s, and the bench aborts on its own
+  # if any storm ledger fails to close, so the gate only catches collapses.
+  ./build/bench/bench_session --quick --out build/BENCH_session.fresh.json > /dev/null
+  python3 scripts/bench_compare.py build/BENCH_session.fresh.json BENCH_session.json \
     --metric new_mb_s
 fi
 

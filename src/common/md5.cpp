@@ -1,0 +1,129 @@
+#include "common/md5.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace p5 {
+
+namespace {
+
+// Per-round left-rotation amounts (RFC 1321 §3.4).
+constexpr u32 kShift[64] = {7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+                            5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+                            4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+                            6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// T[i] = floor(2^32 * abs(sin(i+1))) — the RFC's sine-derived constants.
+constexpr u32 kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613,
+    0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193,
+    0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d,
+    0x02441453, 0xd8a1e681, 0xe7d3fbc8, 0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122,
+    0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665, 0xf4292244,
+    0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb,
+    0xeb86d391};
+
+[[nodiscard]] constexpr u32 rotl32(u32 v, u32 n) { return (v << n) | (v >> (32 - n)); }
+
+}  // namespace
+
+void Md5::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Md5::process_block(const u8* block) {
+  u32 m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<u32>(block[4 * i]) | (static_cast<u32>(block[4 * i + 1]) << 8) |
+           (static_cast<u32>(block[4 * i + 2]) << 16) | (static_cast<u32>(block[4 * i + 3]) << 24);
+  }
+
+  u32 a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  for (u32 i = 0; i < 64; ++i) {
+    u32 f = 0, g = 0;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    const u32 tmp = d;
+    d = c;
+    c = b;
+    b += rotl32(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(BytesView data) {
+  length_ += data.size();
+  std::size_t off = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    off = take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (data.size() - off >= 64) {
+    process_block(data.data() + off);
+    off += 64;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+}
+
+Md5::Digest Md5::finish() {
+  // Padding: 0x80, zeros to 56 mod 64, then the bit length little-endian.
+  const u64 bit_length = length_ * 8;
+  const u8 pad_byte = 0x80;
+  update(BytesView(&pad_byte, 1));
+  const u8 zero = 0x00;
+  while (buffered_ != 56) update(BytesView(&zero, 1));
+  u8 len_le[8];
+  for (int i = 0; i < 8; ++i) len_le[i] = static_cast<u8>(bit_length >> (8 * i));
+  update(BytesView(len_le, 8));
+
+  Digest out{};
+  for (int i = 0; i < 4; ++i) {
+    out[4 * i] = static_cast<u8>(state_[i]);
+    out[4 * i + 1] = static_cast<u8>(state_[i] >> 8);
+    out[4 * i + 2] = static_cast<u8>(state_[i] >> 16);
+    out[4 * i + 3] = static_cast<u8>(state_[i] >> 24);
+  }
+  return out;
+}
+
+std::string md5_hex(const Md5::Digest& d) {
+  static const char* hex = "0123456789abcdef";
+  std::string s;
+  s.reserve(32);
+  for (const u8 b : d) {
+    s.push_back(hex[b >> 4]);
+    s.push_back(hex[b & 15]);
+  }
+  return s;
+}
+
+}  // namespace p5

@@ -1,0 +1,49 @@
+// MD5 message digest (RFC 1321), implemented from the specification.
+//
+// Cryptographically broken for signatures, but exactly what CHAP (RFC 1994)
+// mandates: the response value is MD5(identifier ‖ secret ‖ challenge).
+// Incremental update() interface so the CHAP layer can hash the three parts
+// without concatenating them first.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace p5 {
+
+class Md5 {
+ public:
+  using Digest = std::array<u8, 16>;
+
+  Md5() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  void update(const u8* data, std::size_t len) { update(BytesView(data, len)); }
+
+  /// Finalize and return the 16-octet digest. The object must be reset()
+  /// before further use.
+  [[nodiscard]] Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest digest(BytesView data) {
+    Md5 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const u8* block);
+
+  std::array<u32, 4> state_{};
+  u64 length_ = 0;               ///< total message octets so far
+  std::array<u8, 64> buffer_{};  ///< partial block
+  std::size_t buffered_ = 0;
+};
+
+/// Lowercase hex rendering of a digest (test vectors, failure messages).
+[[nodiscard]] std::string md5_hex(const Md5::Digest& d);
+
+}  // namespace p5

@@ -1,0 +1,281 @@
+#include "ppp/auth.hpp"
+
+#include "common/md5.hpp"
+#include "ppp/protocols.hpp"
+
+namespace p5::ppp {
+
+const char* to_string(AuthProto p) {
+  switch (p) {
+    case AuthProto::kNone: return "none";
+    case AuthProto::kPap: return "PAP";
+    case AuthProto::kChap: return "CHAP";
+  }
+  return "?";
+}
+
+const char* to_string(AuthResult r) {
+  switch (r) {
+    case AuthResult::kPending: return "pending";
+    case AuthResult::kSuccess: return "success";
+    case AuthResult::kFailed: return "failed";
+  }
+  return "?";
+}
+
+Bytes chap_md5_response(u8 identifier, const std::string& secret, BytesView challenge) {
+  Md5 h;
+  h.update(BytesView(&identifier, 1));
+  h.update(BytesView(reinterpret_cast<const u8*>(secret.data()), secret.size()));
+  h.update(challenge);
+  const Md5::Digest d = h.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+namespace {
+
+Bytes text_message(const char* msg) {
+  // Ack/Nak/Success/Failure carry Msg-Length + Message (human-readable).
+  Bytes b;
+  const std::string s(msg);
+  b.push_back(static_cast<u8>(s.size()));
+  b.insert(b.end(), s.begin(), s.end());
+  return b;
+}
+
+Packet make_packet(u8 code, u8 identifier, Bytes data) {
+  Packet p;
+  p.code = code;
+  p.identifier = identifier;
+  p.data = std::move(data);
+  return p;
+}
+
+}  // namespace
+
+// ---- PAP client --------------------------------------------------------
+
+PapClient::PapClient(std::string identity, std::string secret, TxHook tx, AuthTimeouts timeouts)
+    : identity_(std::move(identity)), secret_(std::move(secret)), tx_(std::move(tx)),
+      timeouts_(timeouts) {}
+
+u16 PapClient::protocol() const { return kProtoPap; }
+
+void PapClient::start() {
+  result_ = AuthResult::kPending;
+  retries_left_ = timeouts_.max_retries;
+  send_request();
+}
+
+void PapClient::send_request() {
+  // Peer-ID-Length | Peer-Id | Passwd-Length | Passwd (RFC 1334 §2.1.1).
+  Bytes data;
+  data.push_back(static_cast<u8>(identity_.size()));
+  data.insert(data.end(), identity_.begin(), identity_.end());
+  data.push_back(static_cast<u8>(secret_.size()));
+  data.insert(data.end(), secret_.begin(), secret_.end());
+  ++counters_.tx_requests;
+  timer_ = timeouts_.retry_ticks;
+  tx_(kProtoPap, make_packet(kPapAuthRequest, ++request_id_, std::move(data)));
+}
+
+void PapClient::tick() {
+  if (result_ != AuthResult::kPending || timer_ == 0) return;
+  if (--timer_ > 0) return;
+  ++counters_.timeouts;
+  if (retries_left_ == 0) {
+    // Retry exhaustion: the authenticator never answered.
+    result_ = AuthResult::kFailed;
+    return;
+  }
+  --retries_left_;
+  send_request();
+}
+
+void PapClient::receive(const Packet& pkt) {
+  if (pkt.identifier != request_id_) return;  // stale response
+  if (pkt.code == kPapAuthAck) {
+    result_ = AuthResult::kSuccess;
+    timer_ = 0;
+  } else if (pkt.code == kPapAuthNak) {
+    result_ = AuthResult::kFailed;
+    timer_ = 0;
+  }
+}
+
+// ---- PAP server --------------------------------------------------------
+
+PapServer::PapServer(AuthPolicy policy, TxHook tx)
+    : policy_(std::move(policy)), tx_(std::move(tx)) {}
+
+u16 PapServer::protocol() const { return kProtoPap; }
+
+void PapServer::receive(const Packet& pkt) {
+  if (pkt.code != kPapAuthRequest) return;
+  // Parse Peer-ID-Length | Peer-Id | Passwd-Length | Passwd.
+  const Bytes& d = pkt.data;
+  if (d.size() < 2) return;
+  const std::size_t id_len = d[0];
+  if (1 + id_len + 1 > d.size()) return;
+  const std::size_t pw_off = 1 + id_len + 1;
+  const std::size_t pw_len = d[1 + id_len];
+  if (pw_off + pw_len > d.size()) return;
+
+  const std::string id(d.begin() + 1, d.begin() + 1 + id_len);
+  const std::string pw(d.begin() + static_cast<long>(pw_off),
+                       d.begin() + static_cast<long>(pw_off + pw_len));
+
+  // After a final verdict, keep answering retransmissions consistently.
+  if (result_ == AuthResult::kSuccess) {
+    tx_(kProtoPap, make_packet(kPapAuthAck, pkt.identifier, text_message("welcome")));
+    return;
+  }
+  if (result_ == AuthResult::kFailed) {
+    tx_(kProtoPap, make_packet(kPapAuthNak, pkt.identifier, text_message("rejected")));
+    return;
+  }
+
+  const auto secret = policy_.lookup ? policy_.lookup(id) : std::nullopt;
+  if (secret.has_value() && *secret == pw) {
+    peer_identity_ = id;
+    result_ = AuthResult::kSuccess;
+    tx_(kProtoPap, make_packet(kPapAuthAck, pkt.identifier, text_message("welcome")));
+    return;
+  }
+
+  ++counters_.bad_attempts;
+  if (++bad_attempts_ > policy_.max_bad_attempts) result_ = AuthResult::kFailed;
+  tx_(kProtoPap, make_packet(kPapAuthNak, pkt.identifier, text_message("bad credentials")));
+}
+
+// ---- CHAP server -------------------------------------------------------
+
+ChapServer::ChapServer(std::string name, AuthPolicy policy, TxHook tx, AuthTimeouts timeouts,
+                       u64 challenge_seed)
+    : name_(std::move(name)), policy_(std::move(policy)), tx_(std::move(tx)),
+      timeouts_(timeouts), rng_(challenge_seed) {}
+
+u16 ChapServer::protocol() const { return kProtoChap; }
+
+void ChapServer::send_challenge(bool fresh_value) {
+  if (fresh_value) {
+    challenge_.clear();
+    for (int i = 0; i < 16; ++i) challenge_.push_back(rng_.byte());
+    ++challenge_id_;
+  }
+  // Value-Size | Value | Name (RFC 1994 §4.1).
+  Bytes data;
+  data.push_back(static_cast<u8>(challenge_.size()));
+  append(data, challenge_);
+  data.insert(data.end(), name_.begin(), name_.end());
+  ++counters_.tx_requests;
+  timer_ = timeouts_.retry_ticks;
+  tx_(kProtoChap, make_packet(kChapChallenge, challenge_id_, std::move(data)));
+}
+
+void ChapServer::start() {
+  result_ = AuthResult::kPending;
+  retries_left_ = timeouts_.max_retries;
+  send_challenge(/*fresh_value=*/true);
+}
+
+void ChapServer::tick() {
+  if (result_ == AuthResult::kPending && timer_ > 0 && --timer_ == 0) {
+    ++counters_.timeouts;
+    if (retries_left_ == 0) {
+      // The peer never produced a response: authentication fails closed.
+      result_ = AuthResult::kFailed;
+    } else {
+      --retries_left_;
+      send_challenge(/*fresh_value=*/false);
+    }
+  }
+  // Periodic rechallenge keeps a long-lived session honest (RFC 1994 §2).
+  if (result_ == AuthResult::kSuccess && policy_.rechallenge_ticks > 0) {
+    if (++rechallenge_timer_ >= policy_.rechallenge_ticks) {
+      rechallenge_timer_ = 0;
+      ++rechallenges_;
+      result_ = AuthResult::kPending;
+      retries_left_ = timeouts_.max_retries;
+      send_challenge(/*fresh_value=*/true);
+    }
+  }
+}
+
+void ChapServer::receive(const Packet& pkt) {
+  if (pkt.code != kChapResponse) return;
+  if (pkt.identifier != challenge_id_) return;  // response to a stale challenge
+  if (result_ == AuthResult::kFailed) return;   // verdict already final
+  const Bytes& d = pkt.data;
+  if (d.empty()) return;
+  const std::size_t value_size = d[0];
+  if (1 + value_size > d.size()) return;
+  const BytesView value(d.data() + 1, value_size);
+  const std::string id(d.begin() + static_cast<long>(1 + value_size), d.end());
+
+  const auto secret = policy_.lookup ? policy_.lookup(id) : std::nullopt;
+  bool ok = false;
+  if (secret.has_value() && value_size == 16) {
+    const Bytes expected = chap_md5_response(pkt.identifier, *secret, challenge_);
+    ok = std::equal(expected.begin(), expected.end(), value.begin());
+  }
+
+  if (ok) {
+    peer_identity_ = id;
+    result_ = AuthResult::kSuccess;
+    timer_ = 0;
+    rechallenge_timer_ = 0;
+    tx_(kProtoChap, make_packet(kChapSuccess, pkt.identifier, text_message("ok")));
+    return;
+  }
+
+  ++counters_.bad_attempts;
+  tx_(kProtoChap, make_packet(kChapFailure, pkt.identifier, text_message("bad response")));
+  if (++bad_attempts_ > policy_.max_bad_attempts) {
+    result_ = AuthResult::kFailed;
+    timer_ = 0;
+  } else {
+    // Tolerated attempt: issue a fresh challenge so the peer can retry.
+    retries_left_ = timeouts_.max_retries;
+    send_challenge(/*fresh_value=*/true);
+  }
+}
+
+// ---- CHAP client -------------------------------------------------------
+
+ChapClient::ChapClient(std::string identity, std::string secret, TxHook tx)
+    : identity_(std::move(identity)), secret_(std::move(secret)), tx_(std::move(tx)) {}
+
+u16 ChapClient::protocol() const { return kProtoChap; }
+
+void ChapClient::receive(const Packet& pkt) {
+  switch (pkt.code) {
+    case kChapChallenge: {
+      const Bytes& d = pkt.data;
+      if (d.empty()) return;
+      const std::size_t value_size = d[0];
+      if (1 + value_size > d.size()) return;
+      const BytesView value(d.data() + 1, value_size);
+      // A fresh challenge reopens the verdict (rechallenge of a live session).
+      result_ = AuthResult::kPending;
+      Bytes response_value = chap_md5_response(pkt.identifier, secret_, value);
+      Bytes data;
+      data.push_back(static_cast<u8>(response_value.size()));
+      append(data, response_value);
+      data.insert(data.end(), identity_.begin(), identity_.end());
+      ++counters_.tx_requests;
+      tx_(kProtoChap, make_packet(kChapResponse, pkt.identifier, std::move(data)));
+      break;
+    }
+    case kChapSuccess:
+      result_ = AuthResult::kSuccess;
+      break;
+    case kChapFailure:
+      result_ = AuthResult::kFailed;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace p5::ppp

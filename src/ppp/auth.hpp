@@ -1,0 +1,200 @@
+// PPP authentication phase: PAP (RFC 1334) and CHAP with MD5 (RFC 1994).
+//
+// Authentication is negotiated through the LCP Authentication-Protocol
+// option (type 3): the side that *demands* authentication carries the option
+// in its Configure-Request, and once LCP opens, runs the authenticator role
+// here while the peer runs the corresponding responder. Each protocol is a
+// small explicit state machine with the same deterministic tick()-driven
+// retry/timeout discipline as the RFC 1661 automaton:
+//
+//   * PapClient       — retransmits Authenticate-Requests up to max_retries;
+//   * PapServer       — checks id/secret against a lookup, Ack or Nak, with
+//                       a configurable bad-attempt budget;
+//   * ChapServer      — sends the challenge (retransmitted on timeout),
+//                       verifies MD5(id ‖ secret ‖ challenge), Success or
+//                       Failure, optional periodic rechallenge;
+//   * ChapClient      — answers any challenge; outcome set by Success/Failure.
+//
+// All four report AuthResult::{kPending,kSuccess,kFailed} so the endpoint's
+// auth phase and the SessionBroker ledger can classify sessions exactly.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "ppp/packet.hpp"
+
+namespace p5::ppp {
+
+enum class AuthProto : u8 { kNone = 0, kPap, kChap };
+[[nodiscard]] const char* to_string(AuthProto p);
+
+enum class AuthResult : u8 { kPending = 0, kSuccess, kFailed };
+[[nodiscard]] const char* to_string(AuthResult r);
+
+// PAP packet codes (RFC 1334 §2.1).
+inline constexpr u8 kPapAuthRequest = 1;
+inline constexpr u8 kPapAuthAck = 2;
+inline constexpr u8 kPapAuthNak = 3;
+
+// CHAP packet codes (RFC 1994 §4).
+inline constexpr u8 kChapChallenge = 1;
+inline constexpr u8 kChapResponse = 2;
+inline constexpr u8 kChapSuccess = 3;
+inline constexpr u8 kChapFailure = 4;
+
+/// CHAP algorithm identifier carried in the LCP option (RFC 1994 §3).
+inline constexpr u8 kChapAlgorithmMd5 = 5;
+
+/// Shared timing/limits for every auth machine.
+struct AuthTimeouts {
+  unsigned max_retries = 4;  ///< request/challenge (re)transmission budget
+  unsigned retry_ticks = 3;  ///< retransmission timer period, in tick() units
+};
+
+/// Authenticator-side policy: how id/secret pairs are checked and how many
+/// bad attempts are tolerated before the peer is rejected for good.
+struct AuthPolicy {
+  /// Return the secret for `id`, or nullopt for an unknown identity.
+  using SecretLookup = std::function<std::optional<std::string>(const std::string& id)>;
+  SecretLookup lookup;
+  /// Bad attempts (wrong secret / unknown id) tolerated before the final
+  /// verdict. With 0, the first bad attempt fails the session outright —
+  /// the "configurable reject behavior".
+  unsigned max_bad_attempts = 0;
+  /// CHAP only: re-challenge period in ticks once authenticated (0 = never).
+  unsigned rechallenge_ticks = 0;
+};
+
+/// Common shape: feed received packets, drive time, observe the verdict.
+class AuthMachine {
+ public:
+  using TxHook = std::function<void(u16 protocol, const Packet&)>;
+
+  virtual ~AuthMachine() = default;
+
+  virtual void start() = 0;
+  virtual void tick() = 0;
+  virtual void receive(const Packet& pkt) = 0;
+
+  [[nodiscard]] AuthResult result() const { return result_; }
+  [[nodiscard]] virtual u16 protocol() const = 0;
+
+  /// Identity the peer authenticated as (authenticator-side machines only;
+  /// empty until success).
+  [[nodiscard]] const std::string& peer_identity() const { return peer_identity_; }
+
+  struct Counters {
+    u64 tx_requests = 0;   ///< requests/challenges/responses sent
+    u64 timeouts = 0;      ///< retransmission timer firings
+    u64 bad_attempts = 0;  ///< authenticator: failed verifications seen
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ protected:
+  AuthResult result_ = AuthResult::kPending;
+  Counters counters_;
+  std::string peer_identity_;
+};
+
+// ---- PAP --------------------------------------------------------------
+
+/// The peer being authenticated: sends Authenticate-Request until Ack/Nak
+/// or retry exhaustion (exhaustion counts as failure, RFC 1334 §2.1.1).
+class PapClient final : public AuthMachine {
+ public:
+  PapClient(std::string identity, std::string secret, TxHook tx,
+            AuthTimeouts timeouts = AuthTimeouts());
+
+  void start() override;
+  void tick() override;
+  void receive(const Packet& pkt) override;
+  [[nodiscard]] u16 protocol() const override;
+
+ private:
+  void send_request();
+
+  std::string identity_;
+  std::string secret_;
+  TxHook tx_;
+  AuthTimeouts timeouts_;
+  unsigned retries_left_ = 0;
+  unsigned timer_ = 0;
+  u8 request_id_ = 0;
+};
+
+/// The authenticator: validates Authenticate-Requests against the policy.
+class PapServer final : public AuthMachine {
+ public:
+  PapServer(AuthPolicy policy, TxHook tx);
+
+  void start() override {}
+  void tick() override {}
+  void receive(const Packet& pkt) override;
+  [[nodiscard]] u16 protocol() const override;
+
+ private:
+  AuthPolicy policy_;
+  TxHook tx_;
+  unsigned bad_attempts_ = 0;
+};
+
+// ---- CHAP -------------------------------------------------------------
+
+/// The authenticator: issues the challenge, verifies the MD5 response.
+class ChapServer final : public AuthMachine {
+ public:
+  /// `name` is our system name carried in the Challenge (RFC 1994 §4.1);
+  /// `challenge_seed` keeps challenge values deterministic per session.
+  ChapServer(std::string name, AuthPolicy policy, TxHook tx,
+             AuthTimeouts timeouts = AuthTimeouts(), u64 challenge_seed = 0xC4A11E46E5EEDull);
+
+  void start() override;
+  void tick() override;
+  void receive(const Packet& pkt) override;
+  [[nodiscard]] u16 protocol() const override;
+
+  [[nodiscard]] u64 rechallenges() const { return rechallenges_; }
+
+ private:
+  void send_challenge(bool fresh_value);
+
+  std::string name_;
+  AuthPolicy policy_;
+  TxHook tx_;
+  AuthTimeouts timeouts_;
+  Xoshiro256 rng_;
+  Bytes challenge_;  ///< outstanding challenge value
+  u8 challenge_id_ = 0;
+  unsigned retries_left_ = 0;
+  unsigned timer_ = 0;
+  unsigned rechallenge_timer_ = 0;
+  unsigned bad_attempts_ = 0;
+  u64 rechallenges_ = 0;
+};
+
+/// The peer being authenticated: answers every Challenge with
+/// MD5(identifier ‖ secret ‖ challenge-value) (RFC 1994 §2, §4.1).
+class ChapClient final : public AuthMachine {
+ public:
+  ChapClient(std::string identity, std::string secret, TxHook tx);
+
+  void start() override {}
+  void tick() override {}
+  void receive(const Packet& pkt) override;
+  [[nodiscard]] u16 protocol() const override;
+
+ private:
+  std::string identity_;
+  std::string secret_;
+  TxHook tx_;
+};
+
+/// The CHAP/MD5 response value: MD5(id ‖ secret ‖ challenge). Exposed so
+/// tests can pin golden vectors against an independent computation.
+[[nodiscard]] Bytes chap_md5_response(u8 identifier, const std::string& secret,
+                                      BytesView challenge);
+
+}  // namespace p5::ppp

@@ -1,0 +1,186 @@
+// SessionBroker: a BRAS/NSP-style PPP session aggregator — the control-plane
+// counterpart of the TunnelServer's C10K data plane. One broker terminates
+// thousands of concurrent subscriber sessions, each a full PppEndpoint
+// running LCP → authentication (PAP/CHAP) → IPCP (with address assignment
+// and VJ compression) over whatever wire the caller attaches.
+//
+// The broker's contract is the *ledger*: every session it admits is
+// eventually classified exactly once —
+//
+//     negotiated + failed + abandoned == started
+//
+// at quiescence, no matter what the wire or the peers did: bit errors,
+// truncation, half-open floods (peers that never speak), renegotiation
+// flaps, wrong secrets, option-rejection fuzzing. The storm tests pin this
+// closure property under all of the above simultaneously.
+//
+// Also here: run_negotiation_storm(), the churn harness that drives N
+// client endpoints against broker shards (optionally across threads —
+// sessions are fully independent, so sharding changes wall-clock, never
+// outcomes) with injectable wire taps. Taps are plain callables mutating the
+// octet stream, so testing::FaultyLine plugs in without this library
+// depending on the testing substrate.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ppp/endpoint.hpp"
+
+namespace p5::ppp::broker {
+
+/// Final classification of an admitted session.
+enum class Outcome : u8 {
+  kPending = 0,  ///< still negotiating
+  kNegotiated,   ///< reached Network phase with IPCP open
+  kFailed,       ///< definitive protocol failure (auth reject, FSM gave up)
+  kAbandoned,    ///< timed out with a silent peer, or force-settled
+};
+[[nodiscard]] const char* to_string(Outcome o);
+
+struct BrokerConfig {
+  /// Authentication demanded of every subscriber (kNone = open access).
+  AuthProto require_auth = AuthProto::kChap;
+  /// Identity → secret table for the authenticator.
+  AuthPolicy::SecretLookup accounts;
+  unsigned max_bad_attempts = 0;
+  std::string chap_name = "p5-bras";
+
+  u32 gateway_address = 0x0A3F0001;  ///< 10.63.0.1, our side of every session
+  u32 address_base = 0x0A400001;     ///< assigned subscriber addresses start here
+
+  bool request_vj = true;  ///< ask subscribers to send us VJ-compressed TCP
+  u8 vj_max_slot_id = 15;
+
+  /// Admission cap on concurrently *pending* (not yet classified) sessions;
+  /// 0 = unlimited. This is the half-open flood valve.
+  std::size_t max_half_open = 0;
+
+  /// Ticks before a still-pending session is force-classified.
+  unsigned session_deadline_ticks = 240;
+
+  FsmTimeouts fsm_timeouts;
+  AuthTimeouts auth_timeouts;
+  u16 mru = 1500;
+};
+
+/// Exact accounting of every admission decision and session fate.
+struct SessionLedger {
+  u64 started = 0;     ///< sessions admitted
+  u64 negotiated = 0;  ///< reached Network phase at least once
+  u64 failed = 0;
+  u64 abandoned = 0;
+  u64 rejected_half_open = 0;  ///< refused at admission by max_half_open
+  u64 renegotiations = 0;      ///< re-opens of an already-negotiated session
+  u64 auth_failures = 0;       ///< failures attributable to authentication
+  /// The closure invariant: every started session has exactly one fate.
+  [[nodiscard]] bool closed() const { return negotiated + failed + abandoned == started; }
+  SessionLedger& operator+=(const SessionLedger& o);
+};
+
+class SessionBroker {
+ public:
+  /// Transmit raw wire octets toward the session's subscriber.
+  using WireTx = std::function<void(BytesView)>;
+
+  explicit SessionBroker(BrokerConfig cfg);
+  ~SessionBroker();
+
+  /// Admit a new subscriber line and start negotiating. Returns the session
+  /// id, or nullopt when the half-open cap refuses admission.
+  std::optional<u64> open_session(WireTx tx);
+
+  /// Feed octets received from a session's subscriber.
+  void wire_rx(u64 session, BytesView octets);
+
+  /// Advance every session's timers one tick (and age pending sessions).
+  void tick();
+  /// Shard-friendly variant: advance exactly one session.
+  void tick_session(u64 session);
+
+  /// Administratively tear a session down (classifies it if still pending).
+  void close_session(u64 session);
+
+  /// Force-classify every still-pending session as abandoned (used by
+  /// drivers at their tick bound to guarantee ledger closure).
+  void abandon_pending();
+
+  [[nodiscard]] PppEndpoint* endpoint(u64 session);
+  [[nodiscard]] Outcome outcome(u64 session) const;
+  [[nodiscard]] const SessionLedger& ledger() const { return ledger_; }
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  /// Sessions admitted but not yet classified.
+  [[nodiscard]] std::size_t pending_sessions() const { return pending_; }
+  /// True when no session is pending (the ledger is closed by construction).
+  [[nodiscard]] bool quiescent() const { return pending_ == 0; }
+
+ private:
+  struct Session {
+    std::unique_ptr<PppEndpoint> endpoint;
+    Outcome outcome = Outcome::kPending;
+    unsigned age_ticks = 0;
+    bool was_ready = false;  ///< edge detector for (re)negotiation
+  };
+
+  void poll(u64 id, Session& s);
+  void settle(u64 id, Session& s, Outcome o);
+
+  BrokerConfig cfg_;
+  std::vector<Session> sessions_;  ///< index == session id
+  std::size_t pending_ = 0;
+  SessionLedger ledger_;
+};
+
+// ---- negotiation storm harness -----------------------------------------
+
+struct StormConfig {
+  unsigned sessions = 1000;
+  unsigned shards = 1;         ///< worker threads; outcomes are shard-invariant
+  unsigned max_ticks = 600;    ///< hard bound before abandon_pending()
+  unsigned admit_per_tick = 50;///< staggered arrival rate
+  u64 seed = 1;
+
+  double half_open_fraction = 0.0;   ///< subscribers that never send a frame
+  double flap_chance = 0.0;          ///< per-ready-tick flap chance; the whole
+                                     ///< flap plan is drawn at admission from
+                                     ///< the session's RNG (shard-invariant)
+  unsigned max_flaps_per_session = 2;
+  double bad_secret_fraction = 0.0;  ///< subscribers with a wrong secret
+  double unknown_id_fraction = 0.0;  ///< subscribers unknown to the account table
+
+  bool client_request_vj = true;
+
+  BrokerConfig broker;
+
+  /// Wire impairment: (session, server_to_client) → callable mutating the
+  /// octet buffer in flight. Null = clean wire. testing::FaultyLine is
+  /// directly usable via a capturing lambda.
+  std::function<std::function<void(Bytes&)>(u64 session, bool server_to_client)> make_tap;
+
+  /// Option fuzz: mutate a client's LCP/IPCP configs before it starts.
+  std::function<void(u64 session, LcpConfig&, IpcpConfig&)> client_config_hook;
+};
+
+struct StormReport {
+  SessionLedger ledger;   ///< aggregated over all shards
+  u64 clients_open = 0;   ///< clients that reached ip_ready at quiescence
+  u64 vj_sessions = 0;    ///< sessions with VJ active in at least one direction
+  u64 ticks = 0;          ///< max ticks any shard needed
+  u64 client_auth_failures = 0;
+};
+
+/// Drive `cfg.sessions` subscriber endpoints against broker shards to
+/// quiescence. Deterministic for a given config+seed regardless of shard
+/// count (shards partition sessions; they share nothing until the final
+/// aggregation).
+[[nodiscard]] StormReport run_negotiation_storm(const StormConfig& cfg);
+
+/// Convenience: build a SecretLookup over an owned id→secret table.
+[[nodiscard]] AuthPolicy::SecretLookup
+make_account_table(std::unordered_map<std::string, std::string> accounts);
+
+}  // namespace p5::ppp::broker

@@ -9,6 +9,7 @@ const char* to_string(Phase p) {
   switch (p) {
     case Phase::kDead: return "Dead";
     case Phase::kEstablish: return "Establish";
+    case Phase::kAuth: return "Authenticate";
     case Phase::kNetwork: return "Network";
     case Phase::kTerminate: return "Terminate";
   }
@@ -17,9 +18,19 @@ const char* to_string(Phase p) {
 
 PppEndpoint::PppEndpoint(std::string name, Config cfg, std::function<void(BytesView)> wire_tx)
     : name_(std::move(name)),
-      frame_(cfg.frame),
       wire_tx_(std::move(wire_tx)),
       delineator_([this](BytesView f) { on_frame(f); }) {
+  init(std::move(cfg));
+}
+
+PppEndpoint::PppEndpoint(std::string name, Config cfg, PacketTx packet_tx)
+    : name_(std::move(name)),
+      packet_tx_(std::move(packet_tx)),
+      delineator_([this](BytesView f) { on_frame(f); }) {
+  init(std::move(cfg));
+}
+
+void PppEndpoint::init(Config cfg) {
   // RFC 1661 §6: LCP negotiation always runs over default framing — no
   // header compression, 16-bit FCS — so that the two ends can talk before
   // agreeing on anything.
@@ -35,13 +46,22 @@ PppEndpoint::PppEndpoint(std::string name, Config cfg, std::function<void(BytesV
   cfg.lcp.magic_seed ^= std::hash<std::string>{}(name_);
 
   requested_lqr_period_ = cfg.lcp.request_lqr_period;
+  auth_cfg_ = std::move(cfg.auth);
 
   lcp_ = std::make_unique<Lcp>(cfg.lcp,
-                               [this](u16 proto, const Packet& p) { send_control(proto, p); });
+                               [this](u16 proto, const Packet& p) { send_control(proto, p); },
+                               cfg.fsm_timeouts);
   lcp_->set_up_hook([this](const LcpResult& r) { on_lcp_up(r); });
   lcp_->set_down_hook([this]() { on_lcp_down(); });
   ipcp_ = std::make_unique<Ipcp>(cfg.ipcp,
-                                 [this](u16 proto, const Packet& p) { send_control(proto, p); });
+                                 [this](u16 proto, const Packet& p) { send_control(proto, p); },
+                                 cfg.fsm_timeouts);
+  ipcp_->set_up_hook([this](u32, u32) {
+    // IPCP opened: instantiate the negotiated VJ engines, per direction.
+    const VjNegotiation& vj = ipcp_->vj();
+    vj_comp_ = vj.tx ? std::make_unique<vj::Compressor>(vj.tx_config) : nullptr;
+    vj_decomp_ = vj.rx ? std::make_unique<vj::Decompressor>(vj.rx_config) : nullptr;
+  });
 }
 
 void PppEndpoint::lower_up() {
@@ -70,6 +90,9 @@ void PppEndpoint::tick() {
   lcp_->tick();
   ipcp_->tick();
   if (lqm_) lqm_->tick();
+  if (auth_server_) auth_server_->tick();
+  if (auth_client_) auth_client_->tick();
+  check_auth_progress();
 }
 
 void PppEndpoint::send_control(u16 protocol, const Packet& pkt) {
@@ -77,12 +100,18 @@ void PppEndpoint::send_control(u16 protocol, const Packet& pkt) {
 }
 
 void PppEndpoint::send_frame(u16 protocol, BytesView info) {
+  ++stats_.frames_tx;
+  if (packet_tx_) {
+    // Packet mode: the device underneath owns framing and FCS.
+    if (lqm_ && protocol != kProtoLqr) lqm_->count_tx(info.size() + 4);
+    packet_tx_(protocol, info);
+    return;
+  }
   // LCP always travels in default framing; everything else uses the
   // currently negotiated configuration.
   const hdlc::FrameConfig& cfg = (protocol == kProtoLcp) ? negotiating_frame_ : frame_;
   // Zero-alloc fused encode: the arena's wire buffer is reused across frames.
   const BytesView wire = hdlc::encode_into(tx_arena_, cfg, protocol, info);
-  ++stats_.frames_tx;
   if (lqm_ && protocol != kProtoLqr) lqm_->count_tx(wire.size());
   wire_tx_(wire);
 }
@@ -97,11 +126,24 @@ bool PppEndpoint::send_ip(BytesView datagram) {
     return false;
   }
   ++stats_.datagrams_tx;
+  if (vj_comp_) {
+    const vj::Compressor::Result r = vj_comp_->compress(datagram);
+    u16 protocol = kProtoIpv4;
+    if (r.cls == vj::PacketClass::kCompressedTcp) protocol = kProtoVjComp;
+    if (r.cls == vj::PacketClass::kUncompressedTcp) protocol = kProtoVjUncomp;
+    send_frame(protocol, r.packet);
+    return true;
+  }
   send_frame(kProtoIpv4, datagram);
   return true;
 }
 
 void PppEndpoint::wire_rx(BytesView octets) { delineator_.push(octets); }
+
+void PppEndpoint::deliver_packet(u16 protocol, BytesView info) {
+  ++stats_.frames_rx;
+  dispatch(protocol, info);
+}
 
 void PppEndpoint::on_frame(BytesView stuffed_content) {
   // Destuff into the endpoint-owned scratch through the endpoint's cached
@@ -125,17 +167,21 @@ void PppEndpoint::on_frame(BytesView stuffed_content) {
     return;
   }
   ++stats_.frames_rx;
+  dispatch(result.frame->protocol, result.frame->payload);
+}
 
-  const u16 protocol = result.frame->protocol;
-  const Bytes& info = result.frame->payload;
-
+void PppEndpoint::dispatch(u16 protocol, BytesView info) {
   switch (protocol) {
     case kProtoLcp:
       lcp_->receive(info);
       break;
+    case kProtoPap:
+    case kProtoChap:
+      deliver_auth(protocol, info);
+      break;
     case kProtoIpcp:
       // NCP packets before the Network phase are silently discarded
-      // (RFC 1661 §3.4).
+      // (RFC 1661 §3.4) — this covers the Authentication phase too.
       if (phase_ == Phase::kNetwork) ipcp_->receive(info);
       break;
     case kProtoIpv4:
@@ -147,6 +193,24 @@ void PppEndpoint::on_frame(BytesView stuffed_content) {
         lqm_->count_rx_discard();
       }
       break;
+    case kProtoVjComp:
+    case kProtoVjUncomp: {
+      if (phase_ != Phase::kNetwork || !ipcp_->is_opened() || !vj_decomp_) {
+        ++stats_.vj_dropped;
+        break;
+      }
+      const auto cls = protocol == kProtoVjComp ? vj::PacketClass::kCompressedTcp
+                                                : vj::PacketClass::kUncompressedTcp;
+      const auto datagram = vj_decomp_->decompress(cls, info);
+      if (!datagram) {
+        ++stats_.vj_dropped;
+        break;
+      }
+      ++stats_.datagrams_rx;
+      if (lqm_) lqm_->count_rx_good(datagram->size());
+      if (ip_sink_) ip_sink_(*datagram);
+      break;
+    }
     case kProtoLqr:
       if (lqm_) lqm_->on_lqr(info);
       break;
@@ -166,8 +230,22 @@ void PppEndpoint::on_frame(BytesView stuffed_content) {
   }
 }
 
+void PppEndpoint::deliver_auth(u16 protocol, BytesView info) {
+  if (phase_ != Phase::kAuth && phase_ != Phase::kNetwork) return;
+  const auto parsed = Packet::parse(info);
+  if (!parsed) return;
+  // Both directions can run the same protocol, so route by packet code, not
+  // protocol number: requests/responses go to the authenticator, verdicts
+  // and challenges to the authenticatee.
+  const bool to_server = (protocol == kProtoPap && parsed->code == kPapAuthRequest) ||
+                         (protocol == kProtoChap && parsed->code == kChapResponse);
+  AuthMachine* m = to_server ? auth_server_.get() : auth_client_.get();
+  if (!m || m->protocol() != protocol) return;
+  m->receive(*parsed);
+  check_auth_progress();
+}
+
 void PppEndpoint::on_lcp_up(const LcpResult& result) {
-  phase_ = Phase::kNetwork;
   // Bring up link-quality monitoring if either direction negotiated it:
   // emitting reports when the peer asked for them, measuring inbound loss
   // from the peer's reports when we asked.
@@ -185,12 +263,94 @@ void PppEndpoint::on_lcp_up(const LcpResult& result) {
   frame_.acfc = result.tx_acfc;
   frame_.fcs = result.fcs32 ? hdlc::FcsKind::kFcs32 : hdlc::FcsKind::kFcs16;
   frame_.max_payload = result.peer_mru;
+
+  // We demanded authentication but the peer refused the option outright:
+  // unless configured as optional, that is a session failure (RFC 1661
+  // §3.3: "the link SHOULD be terminated").
+  if (lcp_->auth_refused_by_peer() && !auth_cfg_.auth_optional) {
+    auth_result_ = AuthResult::kFailed;
+    lcp_->close();
+    return;
+  }
+
+  start_auth_phase(result);
+}
+
+void PppEndpoint::start_auth_phase(const LcpResult& result) {
+  auth_server_.reset();
+  auth_client_.reset();
+  const auto tx = [this](u16 proto, const Packet& p) { send_control(proto, p); };
+
+  if (result.auth_from_peer != AuthProto::kNone) {
+    // Peer acked our demand: we are the authenticator.
+    if (result.auth_from_peer == AuthProto::kChap) {
+      // Challenge values stay deterministic per endpoint, distinct across them.
+      const u64 seed = 0xC4A11E46ull ^ std::hash<std::string>{}(name_);
+      auth_server_ = std::make_unique<ChapServer>(auth_cfg_.name, auth_cfg_.policy, tx,
+                                                  auth_cfg_.timeouts, seed);
+    } else {
+      auth_server_ = std::make_unique<PapServer>(auth_cfg_.policy, tx);
+    }
+  }
+  if (result.auth_to_peer != AuthProto::kNone) {
+    // The peer demands we authenticate ourselves.
+    if (result.auth_to_peer == AuthProto::kChap) {
+      auth_client_ = std::make_unique<ChapClient>(auth_cfg_.identity, auth_cfg_.secret, tx);
+    } else {
+      auth_client_ = std::make_unique<PapClient>(auth_cfg_.identity, auth_cfg_.secret, tx,
+                                                 auth_cfg_.timeouts);
+    }
+  }
+
+  if (!auth_server_ && !auth_client_) {
+    auth_result_ = AuthResult::kSuccess;
+    enter_network_phase();
+    return;
+  }
+  phase_ = Phase::kAuth;
+  auth_result_ = AuthResult::kPending;
+  if (auth_server_) auth_server_->start();
+  if (auth_client_) auth_client_->start();
+}
+
+void PppEndpoint::check_auth_progress() {
+  if (phase_ == Phase::kAuth) {
+    const bool server_failed = auth_server_ && auth_server_->result() == AuthResult::kFailed;
+    const bool client_failed = auth_client_ && auth_client_->result() == AuthResult::kFailed;
+    if (server_failed || client_failed) {
+      auth_result_ = AuthResult::kFailed;
+      lcp_->close();
+      return;
+    }
+    const bool server_done = !auth_server_ || auth_server_->result() == AuthResult::kSuccess;
+    const bool client_done = !auth_client_ || auth_client_->result() == AuthResult::kSuccess;
+    if (server_done && client_done) {
+      auth_result_ = AuthResult::kSuccess;
+      if (auth_server_) authenticated_peer_ = auth_server_->peer_identity();
+      enter_network_phase();
+    }
+    return;
+  }
+  if (phase_ == Phase::kNetwork && auth_server_ &&
+      auth_server_->result() == AuthResult::kFailed) {
+    // A CHAP rechallenge of the live session failed: tear the link down.
+    auth_result_ = AuthResult::kFailed;
+    lcp_->close();
+  }
+}
+
+void PppEndpoint::enter_network_phase() {
+  phase_ = Phase::kNetwork;
   ipcp_->up();
 }
 
 void PppEndpoint::on_lcp_down() {
-  if (phase_ == Phase::kNetwork) phase_ = Phase::kTerminate;
+  if (phase_ == Phase::kNetwork || phase_ == Phase::kAuth) phase_ = Phase::kTerminate;
   lqm_.reset();
+  auth_server_.reset();
+  auth_client_.reset();
+  vj_comp_.reset();
+  vj_decomp_.reset();
   ipcp_->down();
   frame_ = negotiating_frame_;
 }

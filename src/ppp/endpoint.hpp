@@ -1,4 +1,5 @@
-// A complete software PPP endpoint: LCP + IPCP over HDLC-like framing.
+// A complete software PPP endpoint: LCP + authentication + IPCP (with VJ
+// header compression) over HDLC-like framing.
 //
 // This is the control-plane companion to the P5 datapath: examples and the
 // end-to-end tests connect two PppEndpoints back to back (directly, or
@@ -6,6 +7,19 @@
 // move IPv4 datagrams. The negotiated LCP result is applied to the frame
 // configuration the same way the paper's host microprocessor would program
 // the OAM registers.
+//
+// Phase progression follows RFC 1661 §3.2: Establish (LCP), then an
+// Authentication phase when either side carried the Authentication-Protocol
+// option, then Network (IPCP + IP traffic). When IPCP negotiated VJ
+// compression, TCP datagrams ride protocols 0x002d/0x002f transparently —
+// send_ip() compresses, the receive path decompresses before the ip sink.
+//
+// Two wire modes:
+//   * octet mode (default): the endpoint owns HDLC framing — wire_tx emits
+//     flag-delimited octets, wire_rx feeds a delineator.
+//   * packet mode: framing belongs to the device underneath (a
+//     core::SonetEndpoint); the endpoint exchanges (protocol, information)
+//     pairs via a PacketTx hook and deliver_packet().
 #pragma once
 
 #include <functional>
@@ -14,13 +28,15 @@
 #include "common/types.hpp"
 #include "hdlc/delineation.hpp"
 #include "hdlc/frame.hpp"
+#include "ppp/auth.hpp"
 #include "ppp/ipcp.hpp"
 #include "ppp/lcp.hpp"
 #include "ppp/lqm.hpp"
+#include "ppp/vj.hpp"
 
 namespace p5::ppp {
 
-enum class Phase : u8 { kDead, kEstablish, kNetwork, kTerminate };
+enum class Phase : u8 { kDead, kEstablish, kAuth, kNetwork, kTerminate };
 
 [[nodiscard]] const char* to_string(Phase p);
 
@@ -32,18 +48,37 @@ struct EndpointStats {
   u64 datagrams_tx = 0;
   u64 datagrams_rx = 0;
   u64 dropped_not_open = 0;
+  u64 vj_dropped = 0;  ///< VJ packets tossed by the decompressor
 };
 
 class PppEndpoint {
  public:
+  /// Authentication-phase material; which machines actually run is decided
+  /// by the LCP negotiation (lcp.require_auth and the peer's demand).
+  struct AuthConfig {
+    std::string identity;       ///< credentials we present when challenged
+    std::string secret;
+    std::string name = "p5";    ///< our system name in CHAP Challenges
+    AuthPolicy policy;          ///< authenticator side: lookup + reject budget
+    AuthTimeouts timeouts;
+    bool auth_optional = false; ///< tolerate the peer rejecting our demand
+  };
+
   struct Config {
     hdlc::FrameConfig frame;  ///< initial (pre-negotiation) framing
     LcpConfig lcp;
     IpcpConfig ipcp;
+    AuthConfig auth;
+    FsmTimeouts fsm_timeouts;  ///< restart/Max-* discipline for LCP and IPCP
   };
 
-  /// `wire_tx` transmits raw octets (flags included) toward the peer.
+  /// Octet mode: `wire_tx` transmits raw octets (flags included) toward the peer.
   PppEndpoint(std::string name, Config cfg, std::function<void(BytesView)> wire_tx);
+
+  /// Packet mode: framing is external; `packet_tx` carries (protocol,
+  /// information) toward the device, deliver_packet() feeds the reverse path.
+  using PacketTx = std::function<void(u16 protocol, BytesView info)>;
+  PppEndpoint(std::string name, Config cfg, PacketTx packet_tx);
 
   /// Deliver received IPv4 datagrams here.
   void set_ip_sink(std::function<void(BytesView)> sink) { ip_sink_ = std::move(sink); }
@@ -59,8 +94,12 @@ class PppEndpoint {
   /// Encapsulate and transmit one IPv4 datagram (drops unless Network phase).
   bool send_ip(BytesView datagram);
 
-  /// Feed raw octets received from the wire.
+  /// Feed raw octets received from the wire (octet mode).
   void wire_rx(BytesView octets);
+
+  /// Feed one deframed (protocol, information) pair (packet mode — the
+  /// device already verified the FCS and stripped the framing).
+  void deliver_packet(u16 protocol, BytesView info);
 
   // ---- introspection ----
   [[nodiscard]] Phase phase() const { return phase_; }
@@ -74,22 +113,50 @@ class PppEndpoint {
   [[nodiscard]] const hdlc::FrameConfig& frame_config() const { return frame_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  /// Combined authentication verdict: kSuccess when every negotiated auth
+  /// machine succeeded (trivially so when none was negotiated and LCP is
+  /// up); kFailed is final and tears the link down.
+  [[nodiscard]] AuthResult auth_result() const { return auth_result_; }
+  /// Identity the peer authenticated as (authenticator side; empty until then).
+  [[nodiscard]] const std::string& authenticated_peer() const { return authenticated_peer_; }
+  /// Auth machines for counter inspection; null when not negotiated.
+  [[nodiscard]] AuthMachine* authenticator() { return auth_server_.get(); }
+  [[nodiscard]] AuthMachine* authenticatee() { return auth_client_.get(); }
+
+  /// VJ engines; null until IPCP opened with compression negotiated.
+  [[nodiscard]] vj::Compressor* vj_compressor() { return vj_comp_.get(); }
+  [[nodiscard]] vj::Decompressor* vj_decompressor() { return vj_decomp_.get(); }
+
  private:
+  void init(Config cfg);
   void send_control(u16 protocol, const Packet& pkt);
   void send_frame(u16 protocol, BytesView info);
   void on_frame(BytesView stuffed_content);
+  void dispatch(u16 protocol, BytesView info);
   void on_lcp_up(const LcpResult& result);
   void on_lcp_down();
+  void start_auth_phase(const LcpResult& result);
+  void deliver_auth(u16 protocol, BytesView info);
+  void check_auth_progress();
+  void enter_network_phase();
 
   std::string name_;
   hdlc::FrameConfig frame_;
   hdlc::FrameConfig negotiating_frame_;  ///< LCP always uses default framing
   std::function<void(BytesView)> wire_tx_;
+  PacketTx packet_tx_;  ///< non-null selects packet mode
   std::function<void(BytesView)> ip_sink_;
 
   std::unique_ptr<Lcp> lcp_;
   std::unique_ptr<Ipcp> ipcp_;
   std::unique_ptr<LqmMonitor> lqm_;
+  AuthConfig auth_cfg_;
+  std::unique_ptr<AuthMachine> auth_server_;  ///< authenticates the peer
+  std::unique_ptr<AuthMachine> auth_client_;  ///< authenticates us to the peer
+  AuthResult auth_result_ = AuthResult::kPending;
+  std::string authenticated_peer_;
+  std::unique_ptr<vj::Compressor> vj_comp_;
+  std::unique_ptr<vj::Decompressor> vj_decomp_;
   u32 requested_lqr_period_ = 0;
   hdlc::FrameArena tx_arena_;  ///< reusable scratch for zero-alloc encoding
   fastpath::EscapeEngine rx_engine_{hdlc::Accm::sonet()};  ///< dispatch derived once

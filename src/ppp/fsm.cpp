@@ -29,6 +29,9 @@ void Fsm::enter(State s) {
   if (s == State::kInitial || s == State::kStarting || s == State::kClosed ||
       s == State::kStopped || s == State::kOpened) {
     stop_timer();
+    // Leaving active negotiation (converged or gave up) re-arms Max-Failure.
+    naks_received_ = 0;
+    naks_sent_ = 0;
   }
 }
 
@@ -51,6 +54,12 @@ void Fsm::action_irc(TimeoutKind kind) {
 
 void Fsm::action_zrc() {
   restart_counter_ = 0;
+  // zrc arms the restart timer so the state it guards (Stopping after a peer
+  // Terminate-Request) can expire. Entered from Opened the timer is stopped,
+  // so without setting the kind here the timeout would never fire and the
+  // automaton would hang in Stopping (RFC 1661 §4.4, zrc = "zero restart
+  // counter *and start timer*").
+  timeout_kind_ = TimeoutKind::kTerminate;
   timer_remaining_ = timeouts_.restart_ticks;
 }
 
@@ -291,9 +300,35 @@ void Fsm::rcv_configure_request(const Packet& pkt) {
       break;
   }
 
-  const ConfigureVerdict verdict = judge_configure_request(*options);
+  ConfigureVerdict verdict = judge_configure_request(*options);
+
+  // Max-Failure (RFC 1661 §4.6): after `max_failure` consecutive Naks the
+  // peer is clearly not converging toward our hints — escalate to
+  // Configure-Reject so it drops the contested options instead of looping.
+  if (!verdict.ack && verdict.response_code == Code::kConfigureNak) {
+    if (naks_sent_ >= timeouts_.max_failure) {
+      ++counters_.nak_loops_broken;
+      verdict.response_code = Code::kConfigureReject;
+    } else {
+      ++naks_sent_;
+    }
+  } else if (verdict.ack) {
+    naks_sent_ = 0;
+  }
 
   if (state_ == State::kStopped) action_irc(TimeoutKind::kConfigure);
+
+  // RFC 1661's Opened-row action order is tld, scr, THEN sca/scn: when a
+  // renegotiation begins, our new Configure-Request must precede the
+  // Ack/Nak on the wire. Answer-first looks harmless but livelocks: the
+  // peer (in Ack-Sent) processes our Ack, opens, and then treats our
+  // trailing Configure-Request as yet another renegotiation — two Opened
+  // peers ping-pong down/up forever off a single spurious request.
+  if (state_ == State::kOpened) {
+    this_layer_down();
+    action_irc(TimeoutKind::kConfigure);
+    action_scr();
+  }
 
   if (verdict.ack) {
     // sca: echo the request's options back in a Configure-Ack.
@@ -312,10 +347,6 @@ void Fsm::rcv_configure_request(const Packet& pkt) {
         enter(State::kOpened);
         break;
       case State::kOpened:
-        // tld, scr (the Ack was already sent above), renegotiate.
-        this_layer_down();
-        action_irc(TimeoutKind::kConfigure);
-        action_scr();
         enter(State::kAckSent);
         break;
       default:
@@ -332,12 +363,7 @@ void Fsm::rcv_configure_request(const Packet& pkt) {
       case State::kAckRcvd:
         break;  // remain
       case State::kAckSent:
-        enter(State::kReqSent);
-        break;
       case State::kOpened:
-        this_layer_down();
-        action_irc(TimeoutKind::kConfigure);
-        action_scr();
         enter(State::kReqSent);
         break;
       default:
@@ -389,6 +415,19 @@ void Fsm::rcv_configure_nak_rej(const Packet& pkt) {
   if (!options) return;
 
   const bool is_nak = static_cast<Code>(pkt.code) == Code::kConfigureNak;
+
+  // Max-Failure, receive side: every Nak re-initializes the restart counter,
+  // so a peer that Naks forever would otherwise keep this automaton spinning
+  // with no bound at all. Give up and stop after `max_failure` of them.
+  if (is_nak && (state_ == State::kReqSent || state_ == State::kAckRcvd ||
+                 state_ == State::kAckSent)) {
+    if (++naks_received_ > timeouts_.max_failure) {
+      ++counters_.nak_loops_broken;
+      this_layer_finished();
+      enter(State::kStopped);
+      return;
+    }
+  }
 
   switch (state_) {
     case State::kClosed:

@@ -46,6 +46,12 @@ struct FsmTimeouts {
   unsigned max_configure = 10;  ///< Configure-Request retransmission limit
   unsigned max_terminate = 2;
   unsigned restart_ticks = 3;   ///< restart timer period, in tick() units
+  /// RFC 1661 §4.6 Max-Failure: bound on Configure-Naks before the
+  /// negotiation is declared non-converging — Naks we *send* escalate to
+  /// Configure-Reject, Naks we *receive* stop the automaton. Without this a
+  /// peer that Naks every request resets the restart counter each round and
+  /// the two ends ping-pong forever.
+  unsigned max_failure = 5;
 };
 
 class Fsm {
@@ -77,6 +83,7 @@ class Fsm {
     u64 rx_configure_requests = 0;
     u64 timeouts = 0;
     u64 code_rejects_sent = 0;
+    u64 nak_loops_broken = 0;  ///< Max-Failure guard firings (either direction)
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -142,6 +149,8 @@ class Fsm {
   unsigned restart_counter_ = 0;
   TimeoutKind timeout_kind_ = TimeoutKind::kNone;
   unsigned timer_remaining_ = 0;
+  unsigned naks_received_ = 0;  ///< consecutive Configure-Naks from the peer
+  unsigned naks_sent_ = 0;      ///< consecutive Configure-Naks we answered with
 
   u8 next_identifier_ = 1;
   u8 current_request_id_ = 0;  ///< identifier of our outstanding Configure-Request

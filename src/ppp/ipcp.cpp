@@ -1,5 +1,7 @@
 #include "ppp/ipcp.hpp"
 
+#include <optional>
+
 #include "ppp/protocols.hpp"
 
 namespace p5::ppp {
@@ -11,15 +13,36 @@ Option address_option(u32 addr) {
   put_be32(o.data, addr);
   return o;
 }
+Option vj_option(u8 max_slot_id, bool comp_slot_id) {
+  // RFC 1332 §4: IP-Compression-Protocol (2-octet protocol number) followed
+  // by the RFC 1144 §5 parameters Max-Slot-Id and Comp-Slot-Id.
+  Option o;
+  o.type = kOptIpCompression;
+  put_be16(o.data, kProtoVjComp);
+  o.data.push_back(max_slot_id);
+  o.data.push_back(comp_slot_id ? 1 : 0);
+  return o;
+}
+/// Decode a VJ IP-Compression-Protocol option; nullopt = not VJ / malformed.
+std::optional<vj::VjConfig> parse_vj_option(const Option& o) {
+  if (o.data.size() != 4 || get_be16(o.data, 0) != kProtoVjComp) return std::nullopt;
+  vj::VjConfig cfg;
+  cfg.max_slot_id = o.data[2];
+  cfg.comp_slot_id = o.data[3] != 0;
+  return cfg;
+}
 }  // namespace
 
 Ipcp::Ipcp(const IpcpConfig& cfg, TxHook tx, Timeouts timeouts)
-    : Fsm("IPCP", kProtoIpcp, timeouts), cfg_(cfg), tx_(std::move(tx)) {}
+    : Fsm("IPCP", kProtoIpcp, timeouts), cfg_(cfg), tx_(std::move(tx)) {
+  ask_vj_ = cfg_.request_vj;
+}
 
 void Ipcp::send_packet(const Packet& pkt) { tx_(kProtoIpcp, pkt); }
 
 std::vector<Option> Ipcp::build_configure_options() {
   std::vector<Option> opts;
+  if (ask_vj_) opts.push_back(vj_option(cfg_.vj_max_slot_id, cfg_.vj_comp_slot_id));
   if (ask_address_) opts.push_back(address_option(cfg_.local_address));
   return opts;
 }
@@ -28,6 +51,7 @@ ConfigureVerdict Ipcp::judge_configure_request(const std::vector<Option>& option
   std::vector<Option> rejected;
   std::vector<Option> naked;
   u32 requested = 0;
+  std::optional<vj::VjConfig> peer_vj;
 
   for (const Option& o : options) {
     if (o.type == kOptIpAddress && o.data.size() == 4) {
@@ -46,6 +70,17 @@ ConfigureVerdict Ipcp::judge_configure_request(const std::vector<Option>& option
           rejected.push_back(o);
         }
       }
+    } else if (o.type == kOptIpCompression) {
+      // The peer asks to *receive* compressed TCP: this option sizes our
+      // compressor. Steer oversized slot tables down to what we offer.
+      const auto vj_cfg = parse_vj_option(o);
+      if (!vj_cfg || !cfg_.accept_vj) {
+        rejected.push_back(o);
+      } else if (vj_cfg->max_slot_id > cfg_.vj_max_slot_id) {
+        naked.push_back(vj_option(cfg_.vj_max_slot_id, vj_cfg->comp_slot_id));
+      } else {
+        peer_vj = vj_cfg;
+      }
     } else {
       rejected.push_back(o);
     }
@@ -61,11 +96,24 @@ ConfigureVerdict Ipcp::judge_configure_request(const std::vector<Option>& option
   } else {
     v.ack = true;
     peer_address_ = requested;
+    if (peer_vj) {
+      vj_.tx = true;
+      vj_.tx_config = *peer_vj;
+    }
   }
   return v;
 }
 
-void Ipcp::on_configure_ack(const std::vector<Option>&) {}
+void Ipcp::on_configure_ack(const std::vector<Option>& options) {
+  for (const Option& o : options) {
+    if (o.type == kOptIpCompression) {
+      if (const auto vj_cfg = parse_vj_option(o)) {
+        vj_.rx = true;
+        vj_.rx_config = *vj_cfg;
+      }
+    }
+  }
+}
 
 void Ipcp::on_configure_nak(const std::vector<Option>& options) {
   for (const Option& o : options) {
@@ -73,12 +121,22 @@ void Ipcp::on_configure_nak(const std::vector<Option>& options) {
       const u32 suggested = get_be32(o.data, 0);
       if (suggested != 0) cfg_.local_address = suggested;
     }
+    if (o.type == kOptIpCompression) {
+      // Adopt the peer's (smaller) slot table suggestion.
+      if (const auto vj_cfg = parse_vj_option(o)) {
+        cfg_.vj_max_slot_id = vj_cfg->max_slot_id;
+        cfg_.vj_comp_slot_id = vj_cfg->comp_slot_id;
+      } else {
+        ask_vj_ = false;
+      }
+    }
   }
 }
 
 void Ipcp::on_configure_reject(const std::vector<Option>& options) {
   for (const Option& o : options) {
     if (o.type == kOptIpAddress) ask_address_ = false;
+    if (o.type == kOptIpCompression) ask_vj_ = false;
   }
 }
 

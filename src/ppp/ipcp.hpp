@@ -1,20 +1,39 @@
 // IP Control Protocol (RFC 1332) — the NCP that brings IPv4 up over the
 // link, demonstrating the paper's "family of Network Control Protocols"
-// component. Option implemented: IP-Address (3), including address
-// assignment by Nak for a 0.0.0.0 requester.
+// component. Options implemented: IP-Address (3), including address
+// assignment by Nak for a 0.0.0.0 requester, and IP-Compression-Protocol
+// (2) negotiating Van Jacobson TCP/IP header compression (RFC 1332 §4).
 #pragma once
 
 #include <functional>
 
 #include "ppp/fsm.hpp"
+#include "ppp/vj.hpp"
 
 namespace p5::ppp {
 
+inline constexpr u8 kOptIpCompression = 2;
 inline constexpr u8 kOptIpAddress = 3;
 
 struct IpcpConfig {
   u32 local_address = 0;       ///< 0 = ask the peer to assign one
   u32 assign_peer_address = 0; ///< address to hand a 0.0.0.0 peer (0 = refuse)
+
+  // VJ compression: `request_vj` asks the peer to *send us* compressed TCP
+  // (sizing our decompressor); `accept_vj` lets the peer ask the reverse
+  // (sizing our compressor). Slot parameters per RFC 1332 §4 / RFC 1144 §5.
+  bool request_vj = false;
+  bool accept_vj = true;
+  u8 vj_max_slot_id = 15;
+  bool vj_comp_slot_id = true;
+};
+
+/// Outcome of the IP-Compression-Protocol negotiation, per direction.
+struct VjNegotiation {
+  bool rx = false;          ///< peer may send us VJ-compressed TCP
+  vj::VjConfig rx_config;   ///< parameters our decompressor must honor
+  bool tx = false;          ///< we may send the peer VJ-compressed TCP
+  vj::VjConfig tx_config;   ///< parameters our compressor must honor
 };
 
 class Ipcp final : public Fsm {
@@ -28,6 +47,7 @@ class Ipcp final : public Fsm {
 
   [[nodiscard]] u32 local_address() const { return cfg_.local_address; }
   [[nodiscard]] u32 peer_address() const { return peer_address_; }
+  [[nodiscard]] const VjNegotiation& vj() const { return vj_; }
 
  protected:
   std::vector<Option> build_configure_options() override;
@@ -44,6 +64,8 @@ class Ipcp final : public Fsm {
   UpHook up_hook_;
   u32 peer_address_ = 0;
   bool ask_address_ = true;
+  bool ask_vj_ = false;
+  VjNegotiation vj_;
 };
 
 }  // namespace p5::ppp

@@ -43,6 +43,24 @@ Option numbered_option(u8 window) {
   o.data.push_back(window);
   return o;
 }
+Option auth_option(AuthProto proto) {
+  // Authentication-Protocol (RFC 1661 §6.2): 2-octet protocol number, plus
+  // the algorithm octet for CHAP (RFC 1994 §3: 5 = MD5).
+  Option o;
+  o.type = kOptAuthProtocol;
+  put_be16(o.data, proto == AuthProto::kChap ? kProtoChap : kProtoPap);
+  if (proto == AuthProto::kChap) o.data.push_back(kChapAlgorithmMd5);
+  return o;
+}
+/// Decode an Authentication-Protocol option payload; kNone = unsupported.
+AuthProto parse_auth_option(const Option& o) {
+  if (o.data.size() < 2) return AuthProto::kNone;
+  const u16 proto = get_be16(o.data, 0);
+  if (proto == kProtoPap && o.data.size() == 2) return AuthProto::kPap;
+  if (proto == kProtoChap && o.data.size() == 3 && o.data[2] == kChapAlgorithmMd5)
+    return AuthProto::kChap;
+  return AuthProto::kNone;
+}
 }  // namespace
 
 Lcp::Lcp(const LcpConfig& cfg, TxHook tx, Timeouts timeouts)
@@ -53,6 +71,7 @@ Lcp::Lcp(const LcpConfig& cfg, TxHook tx, Timeouts timeouts)
   ask_fcs32_ = cfg_.request_fcs32;
   ask_lqm_ = cfg_.request_lqr_period != 0;
   ask_numbered_ = cfg_.request_numbered_window != 0;
+  ask_auth_ = cfg_.require_auth != AuthProto::kNone;
 }
 
 void Lcp::send_packet(const Packet& pkt) { tx_(kProtoLcp, pkt); }
@@ -64,6 +83,7 @@ std::vector<Option> Lcp::build_configure_options() {
   if (ask_pfc_) opts.push_back(flag_option(kOptPfc));
   if (ask_acfc_) opts.push_back(flag_option(kOptAcfc));
   if (ask_fcs32_) opts.push_back(fcs_option(kFcsAlt32));
+  if (ask_auth_) opts.push_back(auth_option(cfg_.require_auth));
   if (ask_lqm_) opts.push_back(quality_option(cfg_.request_lqr_period));
   if (ask_numbered_) opts.push_back(numbered_option(cfg_.request_numbered_window));
   return opts;
@@ -103,6 +123,22 @@ ConfigureVerdict Lcp::judge_configure_request(const std::vector<Option>& options
       case kOptAcfc:
         // Always willing to receive compressed headers.
         break;
+      case kOptAuthProtocol: {
+        // The peer demands we authenticate ourselves. Accept an allowed
+        // protocol; steer a disallowed/unknown one toward our preference;
+        // reject when we are not willing to authenticate at all.
+        const AuthProto proto = parse_auth_option(o);
+        const bool acceptable = (proto == AuthProto::kPap && cfg_.allow_pap) ||
+                                (proto == AuthProto::kChap && cfg_.allow_chap);
+        if (acceptable) break;
+        if (cfg_.allow_chap)
+          naked.push_back(auth_option(AuthProto::kChap));
+        else if (cfg_.allow_pap)
+          naked.push_back(auth_option(AuthProto::kPap));
+        else
+          rejected.push_back(o);
+        break;
+      }
       case kOptQualityProtocol: {
         if (o.data.size() != 6 || get_be16(o.data, 0) != kProtoLqr || !cfg_.accept_lqm) {
           rejected.push_back(o);
@@ -162,6 +198,9 @@ ConfigureVerdict Lcp::judge_configure_request(const std::vector<Option>& options
         case kOptAcfc:
           result_.tx_acfc = true;
           break;
+        case kOptAuthProtocol:
+          result_.auth_to_peer = parse_auth_option(o);
+          break;
         case kOptFcsAlternatives:
           result_.fcs32 = o.data[0] == kFcsAlt32;
           break;
@@ -187,6 +226,7 @@ void Lcp::on_configure_ack(const std::vector<Option>& options) {
       result_.fcs32 = o.data[0] == kFcsAlt32;
     if (o.type == kOptNumberedMode && o.data.size() == 1)
       result_.numbered_window = o.data[0];
+    if (o.type == kOptAuthProtocol) result_.auth_from_peer = parse_auth_option(o);
   }
 }
 
@@ -203,6 +243,13 @@ void Lcp::on_configure_nak(const std::vector<Option>& options) {
       case kOptFcsAlternatives:
         if (o.data.size() == 1 && o.data[0] == kFcsAlt16) ask_fcs32_ = false;
         break;
+      case kOptAuthProtocol: {
+        // The peer steers us toward a protocol it is willing to speak; adopt
+        // it when we implement it (the authenticator may still refuse later).
+        const AuthProto suggested = parse_auth_option(o);
+        if (suggested != AuthProto::kNone) cfg_.require_auth = suggested;
+        break;
+      }
       case kOptNumberedMode:
         if (o.data.size() == 1 && o.data[0] >= 1 && o.data[0] <= 7)
           cfg_.request_numbered_window = o.data[0];
@@ -221,6 +268,10 @@ void Lcp::on_configure_reject(const std::vector<Option>& options) {
       case kOptPfc: ask_pfc_ = false; break;
       case kOptAcfc: ask_acfc_ = false; break;
       case kOptFcsAlternatives: ask_fcs32_ = false; break;
+      case kOptAuthProtocol:
+        ask_auth_ = false;
+        auth_refused_ = true;
+        break;
       case kOptQualityProtocol: ask_lqm_ = false; break;
       case kOptNumberedMode: ask_numbered_ = false; break;
       default: break;

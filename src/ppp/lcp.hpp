@@ -12,12 +12,14 @@
 #include <optional>
 
 #include "common/rng.hpp"
+#include "ppp/auth.hpp"
 #include "ppp/fsm.hpp"
 
 namespace p5::ppp {
 
 // LCP option type codes.
 inline constexpr u8 kOptMru = 1;
+inline constexpr u8 kOptAuthProtocol = 3;     ///< RFC 1334/1994: PAP or CHAP
 inline constexpr u8 kOptQualityProtocol = 4;  ///< RFC 1989: LQR + period
 inline constexpr u8 kOptMagic = 5;
 inline constexpr u8 kOptPfc = 7;
@@ -47,6 +49,15 @@ struct LcpConfig {
   // (1..7); 0 = don't request.
   u8 request_numbered_window = 0;
   bool accept_numbered_mode = true;
+
+  // Authentication-Protocol (option 3). `require_auth` carries the option in
+  // our Configure-Request: the peer must authenticate itself to us with that
+  // protocol once LCP opens. The allow_* flags govern the other direction —
+  // which protocols we are willing to run as the authenticatee when the peer
+  // demands (unallowed ones are Nak'd toward an allowed one, or Rejected).
+  AuthProto require_auth = AuthProto::kNone;
+  bool allow_pap = true;
+  bool allow_chap = true;
 };
 
 /// What both sides agreed on once LCP reaches Opened.
@@ -57,6 +68,8 @@ struct LcpResult {
   bool fcs32 = false;    ///< 32-bit FCS in effect (both directions)
   u32 tx_lqr_period = 0; ///< the peer asked us to emit LQRs this often (0 = no)
   u8 numbered_window = 0;///< numbered mode agreed with this window (0 = UI mode)
+  AuthProto auth_to_peer = AuthProto::kNone;    ///< we must authenticate ourselves
+  AuthProto auth_from_peer = AuthProto::kNone;  ///< the peer must authenticate to us
 };
 
 class Lcp final : public Fsm {
@@ -73,6 +86,9 @@ class Lcp final : public Fsm {
   [[nodiscard]] const LcpResult& result() const { return result_; }
   [[nodiscard]] u32 magic() const { return magic_; }
   [[nodiscard]] u64 loopbacks_detected() const { return loopbacks_; }
+  /// The peer Configure-Rejected our authentication demand (the owner
+  /// decides whether the link may continue unauthenticated).
+  [[nodiscard]] bool auth_refused_by_peer() const { return auth_refused_; }
 
   /// Send an LCP Echo-Request carrying our magic number (link quality probe).
   void send_echo_request();
@@ -105,6 +121,8 @@ class Lcp final : public Fsm {
   bool ask_fcs32_ = false;
   bool ask_lqm_ = false;
   bool ask_numbered_ = false;
+  bool ask_auth_ = false;
+  bool auth_refused_ = false;
 
   LcpResult result_;
   u64 loopbacks_ = 0;

@@ -9,6 +9,8 @@ namespace p5::ppp {
 
 // Network-layer protocols (0x0***).
 inline constexpr u16 kProtoIpv4 = 0x0021;
+inline constexpr u16 kProtoVjComp = 0x002D;    ///< VJ compressed TCP (RFC 1144)
+inline constexpr u16 kProtoVjUncomp = 0x002F;  ///< VJ uncompressed TCP (RFC 1144)
 inline constexpr u16 kProtoIpx = 0x002B;
 inline constexpr u16 kProtoIpv6 = 0x0057;
 inline constexpr u16 kProtoMplsUnicast = 0x0281;

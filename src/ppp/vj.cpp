@@ -1,0 +1,519 @@
+#include "ppp/vj.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace p5::ppp::vj {
+
+namespace {
+
+// IPv4 header field offsets.
+constexpr std::size_t kIpTos = 1;
+constexpr std::size_t kIpLen = 2;
+constexpr std::size_t kIpId = 4;
+constexpr std::size_t kIpFrag = 6;
+constexpr std::size_t kIpTtl = 8;
+constexpr std::size_t kIpProto = 9;
+constexpr std::size_t kIpCksum = 10;
+constexpr std::size_t kIpSrc = 12;
+constexpr std::size_t kIpDst = 16;
+
+// TCP header field offsets (relative to the TCP header start).
+constexpr std::size_t kTcpSeqOff = 4;
+constexpr std::size_t kTcpAckOff = 8;
+constexpr std::size_t kTcpOff = 12;
+constexpr std::size_t kTcpFlags = 13;
+constexpr std::size_t kTcpWin = 14;
+constexpr std::size_t kTcpCksum = 16;
+constexpr std::size_t kTcpUrp = 18;
+
+constexpr u8 kIpProtoTcp = 6;
+
+[[nodiscard]] u16 rd16(BytesView b, std::size_t off) { return get_be16(b, off); }
+[[nodiscard]] u32 rd32(BytesView b, std::size_t off) { return get_be32(b, off); }
+void wr16(Bytes& b, std::size_t off, u16 v) {
+  b[off] = static_cast<u8>(v >> 8);
+  b[off + 1] = static_cast<u8>(v);
+}
+void wr32(Bytes& b, std::size_t off, u32 v) {
+  b[off] = static_cast<u8>(v >> 24);
+  b[off + 1] = static_cast<u8>(v >> 16);
+  b[off + 2] = static_cast<u8>(v >> 8);
+  b[off + 3] = static_cast<u8>(v);
+}
+
+/// RFC 1071 ones-complement sum (local copy: p5_ppp does not link p5_net).
+[[nodiscard]] u16 ones_complement_checksum(BytesView data) {
+  u32 sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) sum += rd16(data, i);
+  if (i < data.size()) sum += static_cast<u32>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<u16>(~sum);
+}
+
+/// Parsed geometry of an IPv4+TCP datagram (views into the buffer).
+struct TcpIpView {
+  std::size_t ihl = 0;   ///< IP header octets
+  std::size_t thl = 0;   ///< TCP header octets
+  std::size_t hlen = 0;  ///< ihl + thl
+  u8 flags = 0;
+};
+
+[[nodiscard]] std::optional<TcpIpView> parse_tcpip(BytesView b) {
+  if (b.size() < 20 || (b[0] >> 4) != 4) return std::nullopt;
+  TcpIpView v;
+  v.ihl = static_cast<std::size_t>(b[0] & 0x0F) * 4;
+  if (v.ihl < 20 || b.size() < v.ihl + 20) return std::nullopt;
+  if (b[kIpProto] != kIpProtoTcp) return std::nullopt;
+  if ((rd16(b, kIpFrag) & 0x3FFF) != 0) return std::nullopt;  // fragment
+  v.thl = static_cast<std::size_t>(b[v.ihl + kTcpOff] >> 4) * 4;
+  if (v.thl < 20 || b.size() < v.ihl + v.thl) return std::nullopt;
+  v.hlen = v.ihl + v.thl;
+  v.flags = b[v.ihl + kTcpFlags];
+  return v;
+}
+
+/// RFC 1144 delta encoding: 1 octet for 1..255, else 0x00 + 2 octets BE.
+void encode_delta(Bytes& out, u16 v) {
+  if (v >= 256) {
+    out.push_back(0);
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v));
+  } else {
+    out.push_back(static_cast<u8>(v));
+  }
+}
+
+/// Variant used where 0 is a legal value (IP ID, urgent pointer).
+void encode_delta_z(Bytes& out, u16 v) {
+  if (v >= 256 || v == 0) {
+    out.push_back(0);
+    out.push_back(static_cast<u8>(v >> 8));
+    out.push_back(static_cast<u8>(v));
+  } else {
+    out.push_back(static_cast<u8>(v));
+  }
+}
+
+/// Bounds-checked reader for the compressed header.
+struct Cursor {
+  BytesView b;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  u8 byte() {
+    if (pos >= b.size()) {
+      ok = false;
+      return 0;
+    }
+    return b[pos++];
+  }
+  u16 delta() {
+    const u8 first = byte();
+    if (!ok) return 0;
+    if (first != 0) return first;
+    const u8 hi = byte();
+    const u8 lo = byte();
+    return static_cast<u16>((hi << 8) | lo);
+  }
+};
+
+/// The (src, dst, sport, dport) connection tuple of a header image.
+struct ConnKey {
+  u32 src, dst;
+  u16 sport, dport;
+  bool operator==(const ConnKey&) const = default;
+};
+
+[[nodiscard]] ConnKey conn_key(BytesView header) {
+  const std::size_t ihl = static_cast<std::size_t>(header[0] & 0x0F) * 4;
+  return ConnKey{rd32(header, kIpSrc), rd32(header, kIpDst), rd16(header, ihl),
+                 rd16(header, ihl + 2)};
+}
+
+void refresh_ip_checksum(Bytes& header, std::size_t ihl) {
+  header[kIpCksum] = 0;
+  header[kIpCksum + 1] = 0;
+  wr16(header, kIpCksum, ones_complement_checksum(BytesView(header.data(), ihl)));
+}
+
+}  // namespace
+
+// ---- Compressor --------------------------------------------------------
+
+Compressor::Compressor(VjConfig cfg) : cfg_(cfg) {
+  slots_.resize(std::min<std::size_t>(cfg_.max_slot_id + 1u, kMaxSlotLimit));
+}
+
+Compressor::Result Compressor::compress(BytesView datagram) {
+  ++stats_.packets;
+  Result out;
+  const auto view = parse_tcpip(datagram);
+  // Non-TCP, fragments, and connection-management segments (SYN/FIN/RST or
+  // a missing ACK) travel as plain IP without touching any slot state.
+  if (!view || (view->flags & (kTcpFin | kTcpSyn | kTcpRst)) != 0 ||
+      (view->flags & kTcpAck) == 0) {
+    ++stats_.passthrough;
+    out.cls = PacketClass::kIp;
+    out.packet.assign(datagram.begin(), datagram.end());
+    return out;
+  }
+
+  const std::size_t hlen = view->hlen;
+  const std::size_t ihl = view->ihl;
+  stats_.header_bytes_in += hlen;
+  const BytesView header(datagram.data(), hlen);
+  const ConnKey key = conn_key(header);
+
+  // Slot lookup; miss takes the first free slot, else evicts the least
+  // recently used connection.
+  int idx = -1;
+  int victim = -1;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.in_use && conn_key(s.header) == key) {
+      idx = static_cast<int>(i);
+      break;
+    }
+    if (victim >= 0 && !slots_[static_cast<std::size_t>(victim)].in_use) continue;
+    if (!s.in_use || victim < 0 ||
+        s.last_used < slots_[static_cast<std::size_t>(victim)].last_used) {
+      victim = static_cast<int>(i);
+    }
+  }
+
+  const auto send_uncompressed = [&](int slot) {
+    Slot& s = slots_[static_cast<std::size_t>(slot)];
+    s.in_use = true;
+    s.last_used = ++use_clock_;
+    s.header.assign(header.begin(), header.end());
+    last_slot_ = slot;
+    ++stats_.uncompressed_sync;
+    stats_.header_bytes_out += hlen;
+    out.cls = PacketClass::kUncompressedTcp;
+    out.packet.assign(datagram.begin(), datagram.end());
+    out.packet[kIpProto] = static_cast<u8>(slot);
+    return out;
+  };
+
+  if (idx < 0) return send_uncompressed(victim);
+
+  Slot& slot = slots_[static_cast<std::size_t>(idx)];
+  const Bytes& old = slot.header;
+
+  // Everything outside the delta'd fields must be byte-identical, including
+  // IP and TCP options and any flag other than PUSH/URG (RFC 1144 §3.2.2).
+  const bool same_shape =
+      old.size() == hlen && old[0] == datagram[0] && old[kIpTos] == datagram[kIpTos] &&
+      old[kIpFrag] == datagram[kIpFrag] && old[kIpFrag + 1] == datagram[kIpFrag + 1] &&
+      old[kIpTtl] == datagram[kIpTtl] && old[ihl + kTcpOff] == datagram[ihl + kTcpOff] &&
+      (old[ihl + kTcpFlags] & ~(kTcpPsh | kTcpUrg)) == (view->flags & ~(kTcpPsh | kTcpUrg)) &&
+      std::equal(old.begin() + 20, old.begin() + static_cast<long>(ihl), datagram.begin() + 20) &&
+      std::equal(old.begin() + static_cast<long>(ihl + 20), old.end(),
+                 datagram.begin() + static_cast<long>(ihl + 20));
+  if (!same_shape) return send_uncompressed(idx);
+
+  Bytes deltas;
+  u8 changes = 0;
+
+  const u16 old_urp = rd16(old, ihl + kTcpUrp);
+  if ((view->flags & kTcpUrg) != 0) {
+    encode_delta_z(deltas, rd16(datagram, ihl + kTcpUrp));
+    changes |= kNewU;
+  } else if (rd16(datagram, ihl + kTcpUrp) != old_urp) {
+    return send_uncompressed(idx);
+  }
+
+  const u16 dwin = static_cast<u16>(rd16(datagram, ihl + kTcpWin) - rd16(old, ihl + kTcpWin));
+  if (dwin != 0) {
+    encode_delta(deltas, dwin);
+    changes |= kNewW;
+  }
+
+  const u32 dack = rd32(datagram, ihl + kTcpAckOff) - rd32(old, ihl + kTcpAckOff);
+  if (dack != 0) {
+    if (dack > 0xFFFF) return send_uncompressed(idx);
+    encode_delta(deltas, static_cast<u16>(dack));
+    changes |= kNewA;
+  }
+
+  const u32 dseq = rd32(datagram, ihl + kTcpSeqOff) - rd32(old, ihl + kTcpSeqOff);
+  if (dseq != 0) {
+    if (dseq > 0xFFFF) return send_uncompressed(idx);
+    encode_delta(deltas, static_cast<u16>(dseq));
+    changes |= kNewS;
+  }
+
+  const u16 old_ip_len = rd16(old, kIpLen);
+  const u16 old_data = static_cast<u16>(old_ip_len - old.size());
+  switch (changes) {
+    case 0:
+      // Retransmission, duplicate ack or window probe — unless this is a
+      // data packet right after a pure ack, send it uncompressed so a peer
+      // that missed the original stays in sync.
+      if (rd16(datagram, kIpLen) != old_ip_len && old_ip_len == old.size()) break;
+      return send_uncompressed(idx);
+    case kSpecialI:
+    case kSpecialD:
+      // The reserved mask values must never appear by accident.
+      return send_uncompressed(idx);
+    case kNewS | kNewA:
+      if (dseq == dack && dseq == old_data) {
+        changes = kSpecialI;  // echoed interactive traffic
+        deltas.clear();
+      }
+      break;
+    case kNewS:
+      if (dseq == old_data) {
+        changes = kSpecialD;  // unidirectional data transfer
+        deltas.clear();
+      }
+      break;
+    default:
+      break;
+  }
+
+  const u16 did = static_cast<u16>(rd16(datagram, kIpId) - rd16(old, kIpId));
+  if (did != 1) {
+    encode_delta_z(deltas, did);
+    changes |= kNewI;
+  }
+  if ((view->flags & kTcpPsh) != 0) changes |= kPush;
+
+  slot.header.assign(header.begin(), header.end());
+  slot.last_used = ++use_clock_;
+
+  const u8 cksum_hi = datagram[ihl + kTcpCksum];
+  const u8 cksum_lo = datagram[ihl + kTcpCksum + 1];
+  out.cls = PacketClass::kCompressedTcp;
+  if (idx != last_slot_ || !cfg_.comp_slot_id) {
+    out.packet.push_back(changes | kNewC);
+    out.packet.push_back(static_cast<u8>(idx));
+  } else {
+    out.packet.push_back(changes);
+  }
+  last_slot_ = idx;
+  out.packet.push_back(cksum_hi);
+  out.packet.push_back(cksum_lo);
+  append(out.packet, deltas);
+  append(out.packet, BytesView(datagram.data() + hlen, datagram.size() - hlen));
+  ++stats_.compressed;
+  stats_.header_bytes_out += out.packet.size() - (datagram.size() - hlen);
+  return out;
+}
+
+// ---- Decompressor ------------------------------------------------------
+
+Decompressor::Decompressor(VjConfig cfg) : cfg_(cfg) {
+  slots_.resize(std::min<std::size_t>(cfg_.max_slot_id + 1u, kMaxSlotLimit));
+}
+
+std::optional<Bytes> Decompressor::decompress(PacketClass cls, BytesView packet) {
+  if (cls == PacketClass::kIp) return Bytes(packet.begin(), packet.end());
+
+  if (cls == PacketClass::kUncompressedTcp) {
+    ++stats_.uncompressed_in;
+    // A full datagram whose IP protocol octet carries the slot id.
+    if (packet.size() < 20) {
+      ++stats_.errors;
+      toss_ = true;
+      return std::nullopt;
+    }
+    const u8 slot_id = packet[kIpProto];
+    Bytes datagram(packet.begin(), packet.end());
+    datagram[kIpProto] = kIpProtoTcp;
+    const auto view = parse_tcpip(datagram);
+    if (!view || slot_id >= slots_.size()) {
+      ++stats_.errors;
+      toss_ = true;
+      return std::nullopt;
+    }
+    Slot& s = slots_[slot_id];
+    s.in_use = true;
+    s.header.assign(datagram.begin(), datagram.begin() + static_cast<long>(view->hlen));
+    last_slot_ = slot_id;
+    toss_ = false;
+    return datagram;
+  }
+
+  // Compressed TCP.
+  ++stats_.compressed_in;
+  Cursor cur{packet};
+  const u8 changes = cur.byte();
+  int slot = last_slot_;
+  if ((changes & kNewC) != 0) {
+    const u8 id = cur.byte();
+    if (!cur.ok || id >= slots_.size() || !slots_[id].in_use) {
+      ++stats_.errors;
+      toss_ = true;
+      return std::nullopt;
+    }
+    slot = id;
+    toss_ = false;
+  } else if (toss_ || slot < 0 || !slots_[static_cast<std::size_t>(slot)].in_use) {
+    // Out of sync: drop until an explicit slot id resynchronizes us.
+    ++stats_.tossed;
+    return std::nullopt;
+  }
+
+  Bytes& hdr = slots_[static_cast<std::size_t>(slot)].header;
+  const std::size_t ihl = static_cast<std::size_t>(hdr[0] & 0x0F) * 4;
+
+  // TCP checksum rides the wire unmodified.
+  const u8 cksum_hi = cur.byte();
+  const u8 cksum_lo = cur.byte();
+  hdr[ihl + kTcpCksum] = cksum_hi;
+  hdr[ihl + kTcpCksum + 1] = cksum_lo;
+
+  u8 flags = hdr[ihl + kTcpFlags];
+  flags = (changes & kPush) != 0 ? (flags | kTcpPsh) : (flags & ~kTcpPsh);
+
+  const u16 old_ip_len = rd16(hdr, kIpLen);
+  const u16 old_data = static_cast<u16>(old_ip_len - hdr.size());
+  switch (changes & kSpecialsMask) {
+    case kSpecialI:
+      wr32(hdr, ihl + kTcpAckOff, rd32(hdr, ihl + kTcpAckOff) + old_data);
+      wr32(hdr, ihl + kTcpSeqOff, rd32(hdr, ihl + kTcpSeqOff) + old_data);
+      break;
+    case kSpecialD:
+      wr32(hdr, ihl + kTcpSeqOff, rd32(hdr, ihl + kTcpSeqOff) + old_data);
+      break;
+    default:
+      if ((changes & kNewU) != 0) {
+        flags |= kTcpUrg;
+        wr16(hdr, ihl + kTcpUrp, cur.delta());
+      } else {
+        flags &= ~kTcpUrg;
+      }
+      if ((changes & kNewW) != 0)
+        wr16(hdr, ihl + kTcpWin, static_cast<u16>(rd16(hdr, ihl + kTcpWin) + cur.delta()));
+      if ((changes & kNewA) != 0)
+        wr32(hdr, ihl + kTcpAckOff, rd32(hdr, ihl + kTcpAckOff) + cur.delta());
+      if ((changes & kNewS) != 0)
+        wr32(hdr, ihl + kTcpSeqOff, rd32(hdr, ihl + kTcpSeqOff) + cur.delta());
+      break;
+  }
+  if ((changes & kNewI) != 0) {
+    wr16(hdr, kIpId, static_cast<u16>(rd16(hdr, kIpId) + cur.delta()));
+  } else {
+    wr16(hdr, kIpId, static_cast<u16>(rd16(hdr, kIpId) + 1));
+  }
+  hdr[ihl + kTcpFlags] = flags;
+
+  if (!cur.ok) {
+    ++stats_.errors;
+    toss_ = true;
+    return std::nullopt;
+  }
+
+  const std::size_t data_len = packet.size() - cur.pos;
+  wr16(hdr, kIpLen, static_cast<u16>(hdr.size() + data_len));
+  refresh_ip_checksum(hdr, ihl);
+
+  last_slot_ = slot;
+  Bytes datagram;
+  datagram.reserve(hdr.size() + data_len);
+  append(datagram, hdr);
+  append(datagram, BytesView(packet.data() + cur.pos, data_len));
+  return datagram;
+}
+
+// ---- synthesis ---------------------------------------------------------
+
+Bytes build_tcp_datagram(u32 src, u32 dst, u16 ip_id, u8 ttl, const TcpFields& tcp,
+                         BytesView payload) {
+  Bytes segment;
+  segment.reserve(20 + payload.size());
+  put_be16(segment, tcp.src_port);
+  put_be16(segment, tcp.dst_port);
+  put_be32(segment, tcp.seq);
+  put_be32(segment, tcp.ack);
+  segment.push_back(5 << 4);  // data offset: 5 words, no options
+  segment.push_back(tcp.flags);
+  put_be16(segment, tcp.window);
+  put_be16(segment, 0);  // checksum placeholder
+  put_be16(segment, tcp.urgent);
+  append(segment, payload);
+
+  // TCP checksum over the RFC 793 pseudo-header + segment.
+  Bytes pseudo;
+  pseudo.reserve(12 + segment.size());
+  put_be32(pseudo, src);
+  put_be32(pseudo, dst);
+  pseudo.push_back(0);
+  pseudo.push_back(kIpProtoTcp);
+  put_be16(pseudo, static_cast<u16>(segment.size()));
+  append(pseudo, segment);
+  const u16 tcp_cksum = ones_complement_checksum(pseudo);
+  wr16(segment, kTcpCksum, tcp_cksum);
+
+  Bytes datagram;
+  datagram.reserve(20 + segment.size());
+  datagram.push_back(0x45);  // v4, ihl 5
+  datagram.push_back(0);     // tos
+  put_be16(datagram, static_cast<u16>(20 + segment.size()));
+  put_be16(datagram, ip_id);
+  put_be16(datagram, 0x4000);  // DF, offset 0
+  datagram.push_back(ttl);
+  datagram.push_back(kIpProtoTcp);
+  put_be16(datagram, 0);  // checksum placeholder
+  put_be32(datagram, src);
+  put_be32(datagram, dst);
+  wr16(datagram, kIpCksum, ones_complement_checksum(BytesView(datagram.data(), 20)));
+  append(datagram, segment);
+  return datagram;
+}
+
+TcpFlowGen::TcpFlowGen(unsigned flows, u64 seed, std::size_t max_payload)
+    : rng_(seed), max_payload_(std::max<std::size_t>(max_payload, 16)) {
+  for (unsigned i = 0; i < flows; ++i) {
+    Flow f;
+    f.src = 0x0A000000u + i + 1;
+    f.dst = 0x0A800000u + i + 1;
+    f.fields.src_port = static_cast<u16>(1024 + rng_.below(40000));
+    f.fields.dst_port = (i % 2) == 0 ? 443 : 22;
+    f.fields.seq = static_cast<u32>(rng_.next());
+    f.fields.ack = static_cast<u32>(rng_.next());
+    f.fields.window = static_cast<u16>(4096 + rng_.below(32768));
+    f.ip_id = static_cast<u16>(rng_.below(0x10000));
+    f.bulk = (i % 2) == 0;
+    f.burst = 1 + rng_.below(8);
+    flows_.push_back(f);
+  }
+}
+
+Bytes TcpFlowGen::next() {
+  Flow& f = flows_[cursor_];
+  if (--f.burst == 0) {
+    f.burst = 1 + rng_.below(8);
+    cursor_ = (cursor_ + 1) % flows_.size();
+  }
+
+  std::size_t payload_len;
+  if (f.bulk) {
+    // Steady unidirectional transfer: full segments, seq walks by payload.
+    payload_len = max_payload_;
+  } else {
+    // Interactive: tiny segments, the peer's echo advances our ack too.
+    payload_len = 1 + rng_.below(16);
+    f.fields.ack += static_cast<u32>(payload_len);
+  }
+
+  f.fields.flags = kTcpAck;
+  if (rng_.chance(0.2)) f.fields.flags |= kTcpPsh;
+  if (rng_.chance(0.05))
+    f.fields.window = static_cast<u16>(4096 + rng_.below(32768));  // window update
+
+  Bytes payload;
+  payload.reserve(payload_len);
+  for (std::size_t i = 0; i < payload_len; ++i) payload.push_back(rng_.byte());
+
+  const Bytes datagram =
+      build_tcp_datagram(f.src, f.dst, f.ip_id, 64, f.fields, payload);
+  f.fields.seq += static_cast<u32>(payload_len);
+  ++f.ip_id;
+  return datagram;
+}
+
+}  // namespace p5::ppp::vj

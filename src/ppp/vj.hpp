@@ -1,0 +1,188 @@
+// Van Jacobson TCP/IP header compression (RFC 1144), the payload companion
+// to the control plane: negotiated through the IPCP IP-Compression-Protocol
+// option, carried over PPP as protocols 0x002d (VJ compressed TCP) and
+// 0x002f (VJ uncompressed TCP) — Pvjctcp/Pvjutcp in both exemplars.
+//
+// The compressor keeps per-connection slots holding the last transmitted
+// IP+TCP header; a packet whose headers changed only in the expected ways
+// (sequence/ack/window/id deltas, PUSH toggling) is sent as a change mask
+// plus 1-2 octet deltas. Everything else falls back to an uncompressed-TCP
+// sync packet (full headers, IP protocol field carrying the slot id) or to
+// a plain IP packet. The decompressor reverses the process byte-exactly —
+// compress→decompress is the identity on the datagram, which is what the
+// DiffOracle VJ leg and the tests/test_vj.cpp property suite pin.
+//
+// Loss safety: the TCP checksum rides every compressed packet unmodified,
+// and a decompressor that loses sync (a dropped frame between two
+// compressed packets) *tosses* until the next explicit-slot packet arrives.
+//
+// Also here: a deterministic synthetic TCP flow generator so benches and
+// storm tests drive the compressor with realistic header progressions
+// (real seq/ack/window walks, interleaved flows) instead of random bytes.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace p5::ppp::vj {
+
+// Change-mask bits in the first octet of a compressed packet (RFC 1144
+// §3.2.2: |0|C|I|P|S|A|W|U|, msb to lsb).
+inline constexpr u8 kNewC = 0x40;  ///< connection slot id present
+inline constexpr u8 kNewI = 0x20;  ///< IP ID delta present (absent: ID += 1)
+inline constexpr u8 kPush = 0x10;  ///< TCP PUSH flag set
+inline constexpr u8 kNewS = 0x08;  ///< sequence delta present
+inline constexpr u8 kNewA = 0x04;  ///< ack delta present
+inline constexpr u8 kNewW = 0x02;  ///< window delta present
+inline constexpr u8 kNewU = 0x01;  ///< urgent pointer present
+
+/// Reserved mask values (RFC 1144 §3.2.3): seq and ack both advanced by the
+/// last packet's data (echoed interactive traffic) / seq alone advanced
+/// (unidirectional transfer). No delta octets follow for S/A/W/U.
+inline constexpr u8 kSpecialI = kNewS | kNewW | kNewU;
+inline constexpr u8 kSpecialD = kNewS | kNewA | kNewW | kNewU;
+inline constexpr u8 kSpecialsMask = kNewS | kNewA | kNewW | kNewU;
+
+inline constexpr std::size_t kMaxSlotLimit = 256;
+
+/// Negotiated parameters (the IPCP option payload, RFC 1332 §4 as updated
+/// by RFC 1144 §5): highest slot id in use and whether the slot id may be
+/// compressed out (the C bit omitted when the connection is unchanged).
+struct VjConfig {
+  u8 max_slot_id = 15;
+  bool comp_slot_id = true;
+};
+
+// TCP flag bits (only what the compressor needs).
+inline constexpr u8 kTcpFin = 0x01;
+inline constexpr u8 kTcpSyn = 0x02;
+inline constexpr u8 kTcpRst = 0x04;
+inline constexpr u8 kTcpPsh = 0x08;
+inline constexpr u8 kTcpAck = 0x10;
+inline constexpr u8 kTcpUrg = 0x20;
+
+/// How a datagram left the compressor.
+enum class PacketClass : u8 {
+  kIp,               ///< unchanged IPv4 datagram (protocol 0x0021)
+  kUncompressedTcp,  ///< slot sync: full headers, proto field = slot (0x002f)
+  kCompressedTcp,    ///< change mask + deltas (0x002d)
+};
+
+struct CompressorStats {
+  u64 packets = 0;
+  u64 compressed = 0;
+  u64 uncompressed_sync = 0;  ///< sent as uncompressed-TCP to (re)sync a slot
+  u64 passthrough = 0;        ///< non-TCP / fragments / control segments
+  u64 header_bytes_in = 0;    ///< IP+TCP header octets entering
+  u64 header_bytes_out = 0;   ///< header + mask/delta octets leaving
+};
+
+class Compressor {
+ public:
+  explicit Compressor(VjConfig cfg = VjConfig());
+
+  struct Result {
+    PacketClass cls = PacketClass::kIp;
+    Bytes packet;
+  };
+  /// Compress one IPv4 datagram. The result's packet is what travels in the
+  /// PPP information field under the protocol implied by `cls`.
+  [[nodiscard]] Result compress(BytesView datagram);
+
+  [[nodiscard]] const CompressorStats& stats() const { return stats_; }
+  [[nodiscard]] const VjConfig& config() const { return cfg_; }
+
+ private:
+  struct Slot {
+    bool in_use = false;
+    u64 last_used = 0;  ///< LRU stamp
+    Bytes header;       ///< last transmitted IP+TCP header image
+  };
+
+  VjConfig cfg_;
+  std::vector<Slot> slots_;
+  u64 use_clock_ = 0;
+  int last_slot_ = -1;  ///< slot of the previous compressed packet
+  CompressorStats stats_;
+};
+
+struct DecompressorStats {
+  u64 compressed_in = 0;
+  u64 uncompressed_in = 0;
+  u64 tossed = 0;  ///< packets dropped while out of sync
+  u64 errors = 0;  ///< malformed / bad slot
+};
+
+class Decompressor {
+ public:
+  explicit Decompressor(VjConfig cfg = VjConfig());
+
+  /// Reconstruct the original IPv4 datagram from an uncompressed-TCP packet
+  /// (cls kUncompressedTcp) or a compressed one (kCompressedTcp). nullopt:
+  /// the packet was tossed or malformed; the caller drops it (TCP
+  /// retransmission recovers end to end).
+  [[nodiscard]] std::optional<Bytes> decompress(PacketClass cls, BytesView packet);
+
+  [[nodiscard]] const DecompressorStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    bool in_use = false;
+    Bytes header;
+  };
+
+  VjConfig cfg_;
+  std::vector<Slot> slots_;
+  int last_slot_ = -1;
+  bool toss_ = true;  ///< out of sync until the first explicit slot id
+  DecompressorStats stats_;
+};
+
+// ---- synthesis helpers (tests, benches, storm payload) -----------------
+
+/// Scalar TCP header for datagram synthesis.
+struct TcpFields {
+  u16 src_port = 0;
+  u16 dst_port = 0;
+  u32 seq = 0;
+  u32 ack = 0;
+  u8 flags = kTcpAck;
+  u16 window = 8192;
+  u16 urgent = 0;
+};
+
+/// Build a full IPv4+TCP datagram (real IP header checksum, real TCP
+/// checksum over the pseudo-header).
+[[nodiscard]] Bytes build_tcp_datagram(u32 src, u32 dst, u16 ip_id, u8 ttl,
+                                       const TcpFields& tcp, BytesView payload);
+
+/// Deterministic bidirectional TCP flow set: `next()` produces the next
+/// datagram of a seeded mix of bulk-transfer and interactive flows with
+/// realistic seq/ack/id/window progressions — the compressible workload the
+/// benches use in place of random bytes.
+class TcpFlowGen {
+ public:
+  TcpFlowGen(unsigned flows, u64 seed, std::size_t max_payload = 512);
+
+  [[nodiscard]] Bytes next();
+
+ private:
+  struct Flow {
+    u32 src, dst;
+    TcpFields fields;
+    u16 ip_id;
+    bool bulk;          ///< bulk transfer (data one way) vs interactive echo
+    std::size_t burst;  ///< segments left before the flow yields
+  };
+
+  Xoshiro256 rng_;
+  std::vector<Flow> flows_;
+  std::size_t max_payload_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace p5::ppp::vj

@@ -597,4 +597,93 @@ DiffOracle::TierEquivalenceResult DiffOracle::tier_equivalence(
   return r;
 }
 
+// ---- VJ header-compression round-trip leg --------------------------------
+
+namespace {
+
+/// Ones-complement sum over `data` (RFC 1071), seeded with `sum`.
+u32 ones_sum(BytesView data, u32 sum) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) sum += static_cast<u32>((data[i] << 8) | data[i + 1]);
+  if (i < data.size()) sum += static_cast<u32>(data[i]) << 8;
+  return sum;
+}
+
+/// Verify the TCP checksum of a parsed IPv4+TCP datagram (assumes geometry
+/// was already validated by the compressor on the way in).
+bool tcp_checksum_valid(BytesView datagram) {
+  if (datagram.size() < 40) return false;
+  const std::size_t ihl = static_cast<std::size_t>(datagram[0] & 0x0F) * 4;
+  if (datagram.size() < ihl + 20) return false;
+  const std::size_t tcp_len = datagram.size() - ihl;
+  // Pseudo-header: src, dst, zero, proto, TCP length.
+  u32 sum = 0;
+  sum = ones_sum(datagram.subspan(12, 8), sum);  // src + dst
+  sum += 6;                                      // zero + protocol
+  sum += static_cast<u32>(tcp_len);
+  sum = ones_sum(datagram.subspan(ihl), sum);  // TCP header (cksum included) + data
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<u16>(~sum) == 0;
+}
+
+}  // namespace
+
+DiffOracle::VjRoundTripResult DiffOracle::vj_roundtrip(const ppp::vj::VjConfig& cfg,
+                                                       std::span<const Bytes> datagrams,
+                                                       double drop_chance, u64 seed) {
+  using ppp::vj::PacketClass;
+  VjRoundTripResult r;
+  ppp::vj::Compressor comp(cfg);
+  ppp::vj::Decompressor decomp(cfg);
+  Xoshiro256 rng(seed);
+
+  const auto flunk = [&r](std::string d) {
+    if (r.agree) {
+      r.agree = false;
+      r.diagnosis = std::move(d);
+    }
+  };
+
+  // Note: desync is NOT per-connection — a dropped packet that carried a
+  // slot *switch* makes the decompressor misapply the next implicit-slot
+  // deltas to a different connection's slot, corrupting it too. The honest
+  // RFC 1144 §4 guarantee is therefore global: before the first drop every
+  // delivery is exact; after any drop a wrong delivery is legal only if the
+  // end-to-end TCP checksum catches it.
+  bool any_drop = false;
+
+  for (std::size_t i = 0; i < datagrams.size(); ++i) {
+    const Bytes& in = datagrams[i];
+    ++r.packets;
+    const auto out = comp.compress(in);
+    if (drop_chance > 0.0 && out.cls == PacketClass::kCompressedTcp && rng.chance(drop_chance)) {
+      ++r.dropped_on_wire;
+      any_drop = true;
+      continue;
+    }
+    const auto back = decomp.decompress(out.cls, out.packet);
+    if (!back) {
+      // Tossed: legal only after loss has put the decompressor out of sync.
+      if (!any_drop) flunk("packet " + std::to_string(i) + ": tossed on a clean wire");
+      continue;
+    }
+    ++r.delivered;
+    if (*back == in) continue;
+    ++r.stale_delivered;
+    if (!any_drop) {
+      flunk("packet " + std::to_string(i) + ": wrong delivery with no loss in flight");
+    } else if (out.cls == PacketClass::kUncompressedTcp) {
+      // A full-header sync packet reconstructs exactly regardless of state.
+      flunk("packet " + std::to_string(i) + ": uncompressed-TCP sync delivered wrong");
+    } else if (tcp_checksum_valid(*back)) {
+      flunk("packet " + std::to_string(i) +
+            ": stale delivery carries a VALID TCP checksum (silent corruption)");
+    }
+  }
+
+  r.header_bytes_in = comp.stats().header_bytes_in;
+  r.header_bytes_out = comp.stats().header_bytes_out;
+  return r;
+}
+
 }  // namespace p5::testing

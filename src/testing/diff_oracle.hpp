@@ -41,6 +41,7 @@
 #include "p5/control.hpp"
 #include "p5/escape_detect.hpp"
 #include "p5/escape_generate.hpp"
+#include "ppp/vj.hpp"
 #include "rtl/fifo.hpp"
 #include "rtl/simulator.hpp"
 #include "sonet/spe.hpp"
@@ -160,6 +161,31 @@ class DiffOracle {
   [[nodiscard]] static TierEquivalenceResult tier_equivalence(
       const core::P5Config& cfg, sonet::StsSpec sts,
       std::span<const TierPacket> packets, const FaultSpec* fault = nullptr);
+
+  // ---- VJ header-compression round-trip leg ------------------------------
+
+  struct VjRoundTripResult {
+    bool agree = true;
+    std::string diagnosis;  ///< first violation, packet-indexed
+    u64 packets = 0;
+    u64 delivered = 0;       ///< datagrams the decompressor reconstructed
+    u64 dropped_on_wire = 0; ///< compressed packets the fault model discarded
+    u64 stale_delivered = 0; ///< post-drop deliveries caught by the TCP checksum
+    u64 header_bytes_in = 0;
+    u64 header_bytes_out = 0;
+  };
+  /// RFC 1144 conformance leg: stream `datagrams` through a fresh
+  /// Compressor → Decompressor pair. On a clean wire (drop_chance = 0) every
+  /// delivery must be byte-identical to its input — compress∘decompress is
+  /// the identity. With injected loss the RFC 1144 §4 guarantee is checked
+  /// instead: every delivery is either byte-identical to its input or
+  /// carries an invalid TCP checksum (so end-to-end TCP would discard it —
+  /// desync never yields a silently-accepted wrong datagram), and the next
+  /// uncompressed-TCP sync restores exact delivery.
+  [[nodiscard]] static VjRoundTripResult vj_roundtrip(const ppp::vj::VjConfig& cfg,
+                                                      std::span<const Bytes> datagrams,
+                                                      double drop_chance = 0.0,
+                                                      u64 seed = 1);
 
   [[nodiscard]] const hdlc::FrameConfig& config() const { return cfg_; }
   [[nodiscard]] unsigned lanes() const { return lanes_; }

@@ -1,0 +1,442 @@
+// SessionBroker under mass churn: the ledger-closure contract
+// (negotiated + failed + abandoned == started) pinned under a 1000-session
+// CHAP negotiation storm over a faulty wire, half-open floods against the
+// admission valve, wrong-secret/unknown-identity mixes, renegotiation
+// flaps, option-rejection fuzzing, shard-count invariance (the TSan leg),
+// and a device-tier leg where packet-mode PPP endpoints negotiate through
+// real SONET endpoints frame by frame.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "p5/endpoint.hpp"
+#include "ppp/broker.hpp"
+#include "ppp/endpoint.hpp"
+#include "ppp/protocols.hpp"
+#include "ppp/vj.hpp"
+#include "sonet/spe.hpp"
+#include "testing/fault.hpp"
+#include "testing/property.hpp"
+
+namespace p5::ppp::broker {
+namespace {
+
+// ---- direct SessionBroker API ----
+
+/// One hand-driven subscriber against a broker (store-and-forward queues).
+struct DirectSession {
+  SessionBroker broker;
+  std::unique_ptr<PppEndpoint> client;
+  std::vector<Bytes> to_client, to_server;
+  u64 id = 0;
+
+  explicit DirectSession(BrokerConfig bc, const std::string& identity = "alice",
+                         const std::string& secret = "pw") : broker(std::move(bc)) {
+    const auto sid =
+        broker.open_session([this](BytesView b) { to_client.emplace_back(b.begin(), b.end()); });
+    EXPECT_TRUE(sid.has_value());
+    id = sid.value_or(0);
+    PppEndpoint::Config ec;
+    ec.ipcp.local_address = 0;  // ask the BRAS for an address
+    ec.auth.identity = identity;
+    ec.auth.secret = secret;
+    client = std::make_unique<PppEndpoint>(
+        "cli", ec, [this](BytesView b) { to_server.emplace_back(b.begin(), b.end()); });
+    client->open();
+    client->lower_up();
+  }
+  void run(int ticks = 60) {
+    for (int t = 0; t < ticks; ++t) {
+      pump();
+      broker.tick();
+      client->tick();
+    }
+    pump();
+  }
+  void pump() {
+    for (int round = 0; round < 100 && (!to_client.empty() || !to_server.empty()); ++round) {
+      std::vector<Bytes> qc, qs;
+      qc.swap(to_client);
+      qs.swap(to_server);
+      for (const Bytes& b : qs) broker.wire_rx(id, b);
+      for (const Bytes& b : qc) client->wire_rx(b);
+    }
+  }
+};
+
+BrokerConfig chap_broker() {
+  BrokerConfig bc;
+  bc.accounts = make_account_table({{"alice", "pw"}});
+  return bc;
+}
+
+TEST(Broker, SingleSessionNegotiatesChapAndAssignsAddress) {
+  DirectSession s(chap_broker());
+  s.run();
+  EXPECT_EQ(s.broker.outcome(s.id), Outcome::kNegotiated);
+  EXPECT_TRUE(s.broker.ledger().closed());
+  EXPECT_EQ(s.broker.ledger().negotiated, 1u);
+  EXPECT_EQ(s.broker.endpoint(s.id)->authenticated_peer(), "alice");
+  // The BRAS handed out address_base + id.
+  EXPECT_TRUE(s.client->ip_ready());
+  EXPECT_EQ(s.client->ipcp().local_address(), s.broker.endpoint(s.id)->ipcp().peer_address());
+  EXPECT_TRUE(s.broker.quiescent());
+}
+
+TEST(Broker, WrongSecretFailsWithAuthAttribution) {
+  DirectSession s(chap_broker(), "alice", "WRONG");
+  s.run();
+  EXPECT_EQ(s.broker.outcome(s.id), Outcome::kFailed);
+  EXPECT_EQ(s.broker.ledger().failed, 1u);
+  EXPECT_EQ(s.broker.ledger().auth_failures, 1u);
+  EXPECT_TRUE(s.broker.ledger().closed());
+  EXPECT_FALSE(s.client->ip_ready());
+}
+
+TEST(Broker, HalfOpenCapRefusesAdmission) {
+  BrokerConfig bc = chap_broker();
+  bc.max_half_open = 2;
+  SessionBroker broker(bc);
+  const auto sink = [](BytesView) {};
+  EXPECT_TRUE(broker.open_session(sink).has_value());
+  EXPECT_TRUE(broker.open_session(sink).has_value());
+  EXPECT_FALSE(broker.open_session(sink).has_value());  // valve closed
+  EXPECT_EQ(broker.ledger().started, 2u);
+  EXPECT_EQ(broker.ledger().rejected_half_open, 1u);
+  EXPECT_EQ(broker.pending_sessions(), 2u);
+}
+
+TEST(Broker, SilentPeerAbandonedAtDeadline) {
+  BrokerConfig bc = chap_broker();
+  bc.session_deadline_ticks = 12;
+  SessionBroker broker(bc);
+  const u64 id = *broker.open_session([](BytesView) {});
+  for (int t = 0; t < 12; ++t) broker.tick();
+  EXPECT_EQ(broker.outcome(id), Outcome::kAbandoned);
+  EXPECT_EQ(broker.ledger().abandoned, 1u);
+  EXPECT_TRUE(broker.ledger().closed());
+  EXPECT_TRUE(broker.quiescent());
+}
+
+TEST(Broker, SpeakingButNonConvergingPeerFailsAtDeadline) {
+  BrokerConfig bc = chap_broker();
+  bc.session_deadline_ticks = 12;
+  SessionBroker broker(bc);
+  std::vector<Bytes> to_client;
+  const u64 id =
+      *broker.open_session([&](BytesView b) { to_client.emplace_back(b.begin(), b.end()); });
+  // A subscriber that speaks valid frames but never progresses: replay the
+  // broker's own Configure-Requests back at it unanswered (it will keep
+  // renegotiating, never open, and must classify as failed, not abandoned).
+  for (int t = 0; t < 12; ++t) {
+    for (const Bytes& b : to_client) broker.wire_rx(id, b);
+    to_client.clear();
+    broker.tick();
+  }
+  EXPECT_EQ(broker.outcome(id), Outcome::kFailed);
+  EXPECT_TRUE(broker.ledger().closed());
+}
+
+TEST(Broker, CloseSessionSettlesPending) {
+  SessionBroker broker(chap_broker());
+  const u64 id = *broker.open_session([](BytesView) {});
+  broker.close_session(id);
+  EXPECT_EQ(broker.outcome(id), Outcome::kAbandoned);
+  EXPECT_TRUE(broker.ledger().closed());
+  EXPECT_TRUE(broker.quiescent());
+}
+
+TEST(Broker, AbandonPendingForcesClosure) {
+  SessionBroker broker(chap_broker());
+  for (int i = 0; i < 5; ++i) (void)broker.open_session([](BytesView) {});
+  EXPECT_EQ(broker.pending_sessions(), 5u);
+  broker.abandon_pending();
+  EXPECT_TRUE(broker.quiescent());
+  EXPECT_TRUE(broker.ledger().closed());
+  EXPECT_EQ(broker.ledger().abandoned, 5u);
+}
+
+// ---- negotiation storms ----
+
+/// Per-session FaultyLine taps, deterministically seeded by session id.
+std::function<std::function<void(Bytes&)>(u64, bool)> faulty_taps(double ber, double trunc,
+                                                                  u64 seed) {
+  return [ber, trunc, seed](u64 session, bool server_to_client) -> std::function<void(Bytes&)> {
+    testing::FaultSpec spec;
+    spec.bit_error_rate = ber;
+    spec.truncate_rate = trunc;
+    spec.seed = seed ^ (session * 2 + (server_to_client ? 1 : 0)) * 0x9E3779B97F4A7C15ull;
+    auto line = std::make_shared<testing::FaultyLine>(spec);
+    return [line](Bytes& b) { (*line)(b); };
+  };
+}
+
+TEST(BrokerStorm, ThousandSessionChapStormOverFaultyLine) {
+  StormConfig cfg;
+  cfg.sessions = 1000;
+  cfg.admit_per_tick = 50;
+  cfg.max_ticks = 600;
+  cfg.seed = testing::resolved_seed(0x5709A1);
+  // Mild but real line noise: a handful of sessions will need LCP/CHAP
+  // retransmissions; the ledger must close regardless.
+  cfg.make_tap = faulty_taps(2e-6, 2e-4, cfg.seed);
+  const StormReport r = run_negotiation_storm(cfg);
+
+  EXPECT_TRUE(r.ledger.closed()) << "started=" << r.ledger.started
+                                 << " negotiated=" << r.ledger.negotiated
+                                 << " failed=" << r.ledger.failed
+                                 << " abandoned=" << r.ledger.abandoned;
+  EXPECT_EQ(r.ledger.started, 1000u);
+  // The noise is mild: the overwhelming majority must converge, over CHAP,
+  // with VJ negotiated on every converged session (both sides request it).
+  EXPECT_GE(r.ledger.negotiated, 950u);
+  EXPECT_EQ(r.vj_sessions, r.ledger.negotiated);
+  EXPECT_GE(r.clients_open, r.ledger.negotiated - r.ledger.renegotiations);
+  EXPECT_LT(r.ticks, 600u);  // reached quiescence, not the bound
+}
+
+TEST(BrokerStorm, DeterministicPerSeed) {
+  StormConfig cfg;
+  cfg.sessions = 150;
+  cfg.admit_per_tick = 25;
+  cfg.seed = 42;
+  cfg.bad_secret_fraction = 0.1;
+  cfg.half_open_fraction = 0.1;
+  cfg.broker.session_deadline_ticks = 60;
+  cfg.make_tap = faulty_taps(1e-5, 5e-4, cfg.seed);
+  const StormReport a = run_negotiation_storm(cfg);
+  const StormReport b = run_negotiation_storm(cfg);
+  EXPECT_EQ(a.ledger.started, b.ledger.started);
+  EXPECT_EQ(a.ledger.negotiated, b.ledger.negotiated);
+  EXPECT_EQ(a.ledger.failed, b.ledger.failed);
+  EXPECT_EQ(a.ledger.abandoned, b.ledger.abandoned);
+  EXPECT_EQ(a.ledger.auth_failures, b.ledger.auth_failures);
+  EXPECT_EQ(a.clients_open, b.clients_open);
+  EXPECT_EQ(a.vj_sessions, b.vj_sessions);
+
+  // A different seed reshuffles fates (it is not a constant function).
+  StormConfig other = cfg;
+  other.seed = 43;
+  const StormReport c = run_negotiation_storm(other);
+  EXPECT_TRUE(c.ledger.closed());
+}
+
+TEST(BrokerStorm, ShardInvariantAcrossThreads) {
+  // The TSan leg: 4 worker threads, outcomes identical to the single-thread
+  // run because every per-session decision is keyed on the global id.
+  StormConfig cfg;
+  cfg.sessions = 200;
+  cfg.admit_per_tick = 25;
+  cfg.seed = 7;
+  cfg.bad_secret_fraction = 0.15;
+  cfg.flap_chance = 0.02;
+  cfg.broker.session_deadline_ticks = 80;
+  cfg.make_tap = faulty_taps(5e-6, 2e-4, cfg.seed);
+
+  cfg.shards = 1;
+  const StormReport solo = run_negotiation_storm(cfg);
+  cfg.shards = 4;
+  const StormReport sharded = run_negotiation_storm(cfg);
+
+  EXPECT_TRUE(solo.ledger.closed());
+  EXPECT_TRUE(sharded.ledger.closed());
+  EXPECT_EQ(solo.ledger.started, sharded.ledger.started);
+  EXPECT_EQ(solo.ledger.negotiated, sharded.ledger.negotiated);
+  EXPECT_EQ(solo.ledger.failed, sharded.ledger.failed);
+  EXPECT_EQ(solo.ledger.abandoned, sharded.ledger.abandoned);
+  EXPECT_EQ(solo.ledger.auth_failures, sharded.ledger.auth_failures);
+  EXPECT_EQ(solo.ledger.renegotiations, sharded.ledger.renegotiations);
+  EXPECT_EQ(solo.clients_open, sharded.clients_open);
+  EXPECT_EQ(solo.vj_sessions, sharded.vj_sessions);
+}
+
+TEST(BrokerStorm, HalfOpenFloodAgainstAdmissionValve) {
+  StormConfig cfg;
+  cfg.sessions = 300;
+  cfg.admit_per_tick = 60;
+  cfg.seed = 11;
+  cfg.half_open_fraction = 0.6;
+  cfg.broker.max_half_open = 40;
+  cfg.broker.session_deadline_ticks = 50;
+  cfg.max_ticks = 400;
+  const StormReport r = run_negotiation_storm(cfg);
+
+  EXPECT_TRUE(r.ledger.closed());
+  // The valve had to refuse some arrivals while half-open probes aged out...
+  EXPECT_GT(r.ledger.rejected_half_open, 0u);
+  EXPECT_EQ(r.ledger.started + r.ledger.rejected_half_open, 300u);
+  // ...and every admitted half-open probe was classified abandoned.
+  EXPECT_GT(r.ledger.abandoned, 0u);
+  EXPECT_GT(r.ledger.negotiated, 0u);  // real subscribers still got through
+}
+
+TEST(BrokerStorm, CredentialMixAttributedExactly) {
+  StormConfig cfg;
+  cfg.sessions = 200;
+  cfg.admit_per_tick = 40;
+  cfg.seed = 13;
+  cfg.bad_secret_fraction = 0.25;
+  cfg.unknown_id_fraction = 0.25;
+  const StormReport r = run_negotiation_storm(cfg);
+
+  EXPECT_TRUE(r.ledger.closed());
+  EXPECT_EQ(r.ledger.started, 200u);
+  EXPECT_GT(r.ledger.auth_failures, 0u);
+  // Every failure in this storm is an auth failure (clean wire, no fuzz),
+  // and both sides agree on who failed.
+  EXPECT_EQ(r.ledger.failed, r.ledger.auth_failures);
+  EXPECT_EQ(r.client_auth_failures, r.ledger.auth_failures);
+  EXPECT_EQ(r.ledger.negotiated + r.ledger.failed, 200u);
+}
+
+TEST(BrokerStorm, RenegotiationFlapsKeepLedgerClosed) {
+  StormConfig cfg;
+  cfg.sessions = 120;
+  cfg.admit_per_tick = 30;
+  cfg.seed = 17;
+  cfg.flap_chance = 0.10;
+  cfg.max_flaps_per_session = 2;
+  const StormReport r = run_negotiation_storm(cfg);
+
+  EXPECT_TRUE(r.ledger.closed());
+  EXPECT_EQ(r.ledger.started, 120u);
+  EXPECT_GT(r.ledger.renegotiations, 0u);
+  // A flap re-opens an already-negotiated session: fates stay per-session.
+  EXPECT_EQ(r.ledger.negotiated, 120u);
+}
+
+TEST(BrokerStorm, OptionRejectionFuzzNeverBreaksClosure) {
+  // Clients with randomized LCP/IPCP appetites — VJ on/off with odd slot
+  // counts, PAP/CHAP refusals, ACFC/PFC, LQM, tiny MRUs. Whatever mix of
+  // Ack/Nak/Reject the negotiations take, every session must settle.
+  testing::PropertyOptions opt;
+  opt.cases = testing::resolved_cases(6);
+  opt.seed = testing::resolved_seed(0x0F72F522);
+  const auto result = testing::check_property("broker-option-fuzz", opt, [](testing::CaseContext& c) {
+    StormConfig cfg;
+    cfg.sessions = 40;
+    cfg.admit_per_tick = 20;
+    cfg.seed = c.rng.next();
+    cfg.broker.session_deadline_ticks = 120;
+    const u64 fuzz_seed = c.rng.next();
+    cfg.client_config_hook = [fuzz_seed](u64 session, LcpConfig& lcp, IpcpConfig& ipcp) {
+      Xoshiro256 rng(fuzz_seed ^ (session * 0x9E3779B97F4A7C15ull));
+      lcp.allow_chap = rng.chance(0.8);
+      lcp.allow_pap = rng.chance(0.5);
+      lcp.request_pfc = rng.chance(0.5);
+      lcp.request_acfc = rng.chance(0.5);
+      lcp.request_fcs32 = rng.chance(0.5);
+      if (rng.chance(0.3)) lcp.request_lqr_period = 1 + rng.below(8);
+      if (rng.chance(0.3)) lcp.mru = static_cast<u16>(128 + rng.below(3000));
+      ipcp.request_vj = rng.chance(0.5);
+      ipcp.accept_vj = rng.chance(0.7);
+      ipcp.vj_max_slot_id = static_cast<u8>(rng.below(256));
+      ipcp.vj_comp_slot_id = rng.chance(0.5);
+    };
+    const StormReport r = run_negotiation_storm(cfg);
+    if (!r.ledger.closed()) {
+      c.fail("ledger not closed: started=" + std::to_string(r.ledger.started) +
+             " negotiated=" + std::to_string(r.ledger.negotiated) +
+             " failed=" + std::to_string(r.ledger.failed) +
+             " abandoned=" + std::to_string(r.ledger.abandoned));
+      return;
+    }
+    if (r.ledger.started != cfg.sessions) {
+      c.fail("admission lost sessions: " + std::to_string(r.ledger.started));
+    }
+  });
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+// ---- device-tier leg: packet-mode PPP over real SONET endpoints ----
+
+/// A PPP session terminated on core::SonetEndpoint devices: the endpoints
+/// own framing/FCS (packet mode), PPP rides submit_datagram/RxDelivery, and
+/// the wire is the scrambled SONET byte stream moved whole frames at a time.
+struct DeviceLink {
+  std::unique_ptr<core::SonetEndpoint> dev_a, dev_b;
+  std::unique_ptr<PppEndpoint> ppp_a, ppp_b;
+  std::vector<Bytes> a_rx, b_rx;
+
+  DeviceLink(core::DeviceTier tier, PppEndpoint::Config ca, PppEndpoint::Config cb)
+      : dev_a(core::make_sonet_endpoint(tier, {}, sonet::kSts3c)),
+        dev_b(core::make_sonet_endpoint(tier, {}, sonet::kSts3c)) {
+    ppp_a = std::make_unique<PppEndpoint>("A", ca, [this](u16 proto, BytesView info) {
+      ASSERT_TRUE(dev_a->submit_datagram(proto, Bytes(info.begin(), info.end())));
+    });
+    ppp_b = std::make_unique<PppEndpoint>("B", cb, [this](u16 proto, BytesView info) {
+      ASSERT_TRUE(dev_b->submit_datagram(proto, Bytes(info.begin(), info.end())));
+    });
+    dev_a->set_rx_sink(
+        [this](core::RxDelivery d) { ppp_a->deliver_packet(d.protocol, d.payload); });
+    dev_b->set_rx_sink(
+        [this](core::RxDelivery d) { ppp_b->deliver_packet(d.protocol, d.payload); });
+    ppp_a->set_ip_sink([this](BytesView d) { a_rx.emplace_back(d.begin(), d.end()); });
+    ppp_b->set_ip_sink([this](BytesView d) { b_rx.emplace_back(d.begin(), d.end()); });
+  }
+  /// Move one SONET frame each way and run the protocol timers.
+  void exchange() {
+    dev_b->push_line(dev_a->pull_frame());
+    dev_a->push_line(dev_b->pull_frame());
+    dev_a->drain_rx();
+    dev_b->drain_rx();
+    ppp_a->tick();
+    ppp_b->tick();
+  }
+  void bring_up() {
+    ppp_a->open();
+    ppp_b->open();
+    ppp_a->lower_up();
+    ppp_b->lower_up();
+    for (int i = 0; i < 400 && !(ppp_a->ip_ready() && ppp_b->ip_ready()); ++i) exchange();
+  }
+};
+
+void device_session_end_to_end(core::DeviceTier tier) {
+  PppEndpoint::Config ca, cb;
+  ca.ipcp.local_address = 0x0A000001;
+  ca.lcp.require_auth = AuthProto::kChap;
+  ca.auth.policy.lookup = [](const std::string& id) -> std::optional<std::string> {
+    if (id == "subscriber") return "s3cret";
+    return std::nullopt;
+  };
+  ca.ipcp.request_vj = true;
+  cb.ipcp.local_address = 0x0A000002;
+  cb.auth.identity = "subscriber";
+  cb.auth.secret = "s3cret";
+  cb.ipcp.request_vj = true;
+
+  DeviceLink link(tier, ca, cb);
+  link.bring_up();
+  ASSERT_TRUE(link.ppp_a->ip_ready());
+  ASSERT_TRUE(link.ppp_b->ip_ready());
+  EXPECT_EQ(link.ppp_a->auth_result(), AuthResult::kSuccess);
+  EXPECT_EQ(link.ppp_a->authenticated_peer(), "subscriber");
+
+  // Compressed TCP over the negotiated session, through real SONET frames.
+  vj::TcpFlowGen gen(2, 99, 64);
+  std::vector<Bytes> sent;
+  for (int i = 0; i < 40; ++i) {
+    sent.push_back(gen.next());
+    ASSERT_TRUE(link.ppp_b->send_ip(sent.back()));
+    link.exchange();
+  }
+  for (int i = 0; i < 20; ++i) link.exchange();
+  ASSERT_EQ(link.a_rx.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) EXPECT_EQ(link.a_rx[i], sent[i]) << i;
+  ASSERT_NE(link.ppp_b->vj_compressor(), nullptr);
+  EXPECT_GT(link.ppp_b->vj_compressor()->stats().compressed, 0u);
+}
+
+TEST(BrokerDevice, ChapVjSessionOverFastTier) {
+  device_session_end_to_end(core::DeviceTier::kFast);
+}
+
+TEST(BrokerDevice, ChapVjSessionOverCycleTier) {
+  device_session_end_to_end(core::DeviceTier::kCycle);
+}
+
+}  // namespace
+}  // namespace p5::ppp::broker

@@ -268,6 +268,140 @@ TEST(Fsm, MalformedPacketSilentlyDiscarded) {
   EXPECT_EQ(f.state(), before);
 }
 
+// ---- RFC 1661 §4.6 restart-counter / Max-Failure discipline ----
+
+TEST(Fsm, StoppingAfterPeerTerminateTimesOutToStopped) {
+  // RFC 1661 §4.3 Opened + RTR: zrc must *arm* the restart timer with the
+  // counter at zero, so one timeout period later tlf fires and the automaton
+  // lands in Stopped. (Regression pin: zrc used to zero the counter without
+  // arming the timer, hanging Stopping forever.)
+  Fsm::Timeouts t;
+  t.restart_ticks = 3;
+  TestProto f(t);
+  f.up();
+  f.open();
+  f.receive(make_pkt(Code::kConfigureRequest, 7).serialize());
+  f.receive(make_pkt(Code::kConfigureAck, f.sent[0].identifier).serialize());
+  ASSERT_EQ(f.state(), State::kOpened);
+  f.receive(make_pkt(Code::kTerminateRequest, 3).serialize());
+  ASSERT_EQ(f.state(), State::kStopping);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.state(), State::kStopping);
+    f.tick();
+  }
+  EXPECT_EQ(f.state(), State::kStopped);
+  EXPECT_EQ(f.finished, 1);
+}
+
+TEST(Fsm, SpuriousRequestWhileOpenedRenegotiatesOnce) {
+  // RFC 1661's Opened + RCR action order is tld, scr, sca — the new
+  // Configure-Request must precede the Ack on the wire. With the Ack first,
+  // the peer (waiting in Ack-Sent) opens on the Ack and then treats the
+  // trailing Request as yet another renegotiation: two Opened automatons
+  // ping-pong down/up forever off one duplicated request. (Regression pin:
+  // found as a broker-storm livelock under line truncation.)
+  TestProto a, b;
+  a.up();
+  a.open();
+  b.up();
+  b.open();
+  // In-order wire pump: each side's sent vector is the wire.
+  const auto pump = [&]() {
+    int rounds = 0;
+    while ((!a.sent.empty() || !b.sent.empty()) && rounds < 50) {
+      ++rounds;
+      std::vector<Packet> qa, qb;
+      qa.swap(a.sent);
+      qb.swap(b.sent);
+      for (const Packet& p : qa) b.receive(p.serialize());
+      for (const Packet& p : qb) a.receive(p.serialize());
+    }
+    return rounds;
+  };
+  pump();
+  ASSERT_EQ(a.state(), State::kOpened);
+  ASSERT_EQ(b.state(), State::kOpened);
+  const u64 baseline_tx = a.counters().tx_configure_requests;
+
+  // A stale duplicate of a's last Configure-Request arrives at b.
+  b.receive(make_pkt(Code::kConfigureRequest, 99).serialize());
+  const int rounds = pump();
+  EXPECT_LT(rounds, 50);  // converged, not the cap
+  EXPECT_EQ(a.state(), State::kOpened);
+  EXPECT_EQ(b.state(), State::kOpened);
+  // One renegotiation: each side sent exactly one more Configure-Request.
+  EXPECT_EQ(a.counters().tx_configure_requests, baseline_tx + 1);
+  EXPECT_EQ(b.counters().tx_configure_requests, baseline_tx + 1);
+  EXPECT_EQ(a.down_calls, 1);
+  EXPECT_EQ(b.down_calls, 1);
+}
+
+TEST(Fsm, ReceivedNakFloodStopsTheAutomaton) {
+  // A peer that Naks every Configure-Request re-initializes the restart
+  // counter each round, so Max-Configure alone never fires. The §4.6
+  // Max-Failure budget on *received* Naks must stop the loop.
+  Fsm::Timeouts t;
+  t.max_failure = 3;
+  TestProto f(t);
+  f.up();
+  f.open();
+  for (int round = 0; round < 10 && f.state() != State::kStopped; ++round) {
+    const u8 id = f.sent.back().identifier;
+    f.receive(make_pkt(Code::kConfigureNak, id, Bytes{}).serialize());
+  }
+  EXPECT_EQ(f.state(), State::kStopped);
+  EXPECT_EQ(f.counters().nak_loops_broken, 1u);
+  EXPECT_EQ(f.finished, 1);
+  // The budget allows exactly max_failure Naks before giving up: the initial
+  // request plus one retransmission per tolerated Nak.
+  EXPECT_EQ(f.counters().tx_configure_requests, 1u + t.max_failure);
+}
+
+/// Judge hook that Naks every request (suggesting an empty option list).
+class NakkingProto final : public Fsm {
+ public:
+  explicit NakkingProto(Timeouts t = Timeouts()) : Fsm("NAK", 0xC021, t) {}
+  std::vector<Packet> sent;
+  using Fsm::receive;
+
+ protected:
+  std::vector<Option> build_configure_options() override { return {}; }
+  ConfigureVerdict judge_configure_request(const std::vector<Option>& opts) override {
+    ConfigureVerdict v;
+    v.ack = false;
+    v.response_code = Code::kConfigureNak;
+    v.response_options = opts;
+    return v;
+  }
+  void on_configure_ack(const std::vector<Option>&) override {}
+  void on_configure_nak(const std::vector<Option>&) override {}
+  void on_configure_reject(const std::vector<Option>&) override {}
+  void send_packet(const Packet& p) override { sent.push_back(p); }
+};
+
+TEST(Fsm, SentNakBudgetEscalatesToReject) {
+  // The transmit-side half of §4.6: after max_failure Naks of the same
+  // conversation, stop hinting and Configure-Reject instead, so the peer's
+  // automaton gets a definitive verdict it can converge on.
+  Fsm::Timeouts t;
+  t.max_failure = 3;
+  NakkingProto f(t);
+  f.up();
+  f.open();
+  const std::vector<Option> opts{Option{1, {0x05, 0xDC}}};
+  for (u8 id = 1; id <= 5; ++id) {
+    f.receive(make_pkt(Code::kConfigureRequest, id, serialize_options(opts)).serialize());
+  }
+  unsigned naks = 0, rejects = 0;
+  for (const Packet& p : f.sent) {
+    if (p.code == static_cast<u8>(Code::kConfigureNak)) ++naks;
+    if (p.code == static_cast<u8>(Code::kConfigureReject)) ++rejects;
+  }
+  EXPECT_EQ(naks, 3u);
+  EXPECT_EQ(rejects, 2u);
+  EXPECT_GE(f.counters().nak_loops_broken, 1u);
+}
+
 // ---- paired-FSM convergence ----
 
 /// Wire two TestProtos through queues and pump until quiescent.

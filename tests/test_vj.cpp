@@ -1,0 +1,452 @@
+// VJ header compression (RFC 1144): golden wire vectors for the change-mask
+// encodings (special-D/special-I, explicit deltas, the 0x00 escape), slot
+// sync and toss discipline, the compress→decompress identity pinned as a
+// seeded property over realistic TCP flows, and the DiffOracle round-trip
+// leg's loss guarantee (a desynced delivery must fail the TCP checksum).
+// Finishes with two full endpoints negotiating VJ through IPCP and moving
+// compressed TCP end to end.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "ppp/endpoint.hpp"
+#include "ppp/protocols.hpp"
+#include "ppp/vj.hpp"
+#include "testing/diff_oracle.hpp"
+#include "testing/property.hpp"
+
+namespace p5::ppp::vj {
+namespace {
+
+constexpr u32 kSrc = 0x0A000001;  // 10.0.0.1
+constexpr u32 kDst = 0x0A800001;  // 10.128.0.1
+
+Bytes flow_packet(u16 ip_id, u32 seq, u32 ack, u16 window, u8 flags, BytesView payload) {
+  TcpFields t;
+  t.src_port = 1000;
+  t.dst_port = 2000;
+  t.seq = seq;
+  t.ack = ack;
+  t.flags = flags;
+  t.window = window;
+  return build_tcp_datagram(kSrc, kDst, ip_id, 64, t, payload);
+}
+
+Bytes ascii(const char* s) {
+  const std::string str(s);
+  return Bytes(str.begin(), str.end());
+}
+
+/// Validate the TCP checksum of an IPv4+TCP datagram (RFC 793 pseudo-header).
+bool tcp_checksum_ok(const Bytes& dg) {
+  const std::size_t ihl = static_cast<std::size_t>(dg[0] & 0x0F) * 4;
+  u32 sum = 0;
+  const auto add16 = [&](std::size_t off, std::size_t len) {
+    std::size_t i = off;
+    for (; i + 1 < off + len; i += 2) sum += static_cast<u32>((dg[i] << 8) | dg[i + 1]);
+    if (i < off + len) sum += static_cast<u32>(dg[i]) << 8;
+  };
+  add16(12, 8);  // src + dst
+  sum += 6;      // zero ‖ protocol
+  sum += static_cast<u32>(dg.size() - ihl);
+  add16(ihl, dg.size() - ihl);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<u16>(~sum) == 0;
+}
+
+TEST(VjSynthesis, DatagramHasValidChecksums) {
+  const Bytes dg = flow_packet(100, 1000, 2000, 8192, kTcpAck, ascii("hello"));
+  ASSERT_EQ(dg.size(), 45u);
+  EXPECT_TRUE(tcp_checksum_ok(dg));
+  // IP header checksum: the ones-complement sum of the header must be ~0.
+  u32 sum = 0;
+  for (std::size_t i = 0; i < 20; i += 2) sum += static_cast<u32>((dg[i] << 8) | dg[i + 1]);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  EXPECT_EQ(static_cast<u16>(sum), 0xFFFF);
+}
+
+// ---- golden wire vectors ----
+
+TEST(VjGolden, FirstPacketIsUncompressedSlotSync) {
+  Compressor comp;
+  const Bytes dg = flow_packet(100, 1000, 2000, 8192, kTcpAck, ascii("hello"));
+  const auto out = comp.compress(dg);
+  EXPECT_EQ(out.cls, PacketClass::kUncompressedTcp);
+  ASSERT_EQ(out.packet.size(), dg.size());
+  // RFC 1144 §3.2.1: the original datagram, IP protocol field = slot id.
+  EXPECT_EQ(out.packet[9], 0);  // slot 0
+  Bytes restored = out.packet;
+  restored[9] = 6;
+  EXPECT_EQ(restored, dg);
+}
+
+TEST(VjGolden, UnidirectionalDataIsSpecialDMaskOnly) {
+  Compressor comp;
+  (void)comp.compress(flow_packet(100, 1000, 2000, 8192, kTcpAck, ascii("hello")));
+  // Next segment: seq advanced by exactly the previous payload, ip_id by 1 —
+  // the RFC's unidirectional-transfer special: one mask octet, the two TCP
+  // checksum octets, payload. Nothing else.
+  const Bytes dg2 = flow_packet(101, 1005, 2000, 8192, kTcpAck, ascii("world"));
+  const auto out = comp.compress(dg2);
+  ASSERT_EQ(out.cls, PacketClass::kCompressedTcp);
+  ASSERT_EQ(out.packet.size(), 3u + 5u);
+  EXPECT_EQ(out.packet[0], kSpecialD);  // 0x0F, no C bit (same slot as last)
+  EXPECT_EQ(out.packet[1], dg2[20 + 16]);  // TCP checksum rides unmodified
+  EXPECT_EQ(out.packet[2], dg2[20 + 17]);
+  EXPECT_EQ(Bytes(out.packet.begin() + 3, out.packet.end()), ascii("world"));
+}
+
+TEST(VjGolden, EchoedInteractiveIsSpecialI) {
+  Compressor comp;
+  (void)comp.compress(flow_packet(100, 1000, 2000, 8192, kTcpAck, ascii("ab")));
+  // seq and ack both advance by the previous payload length (2): terminal
+  // echo. Special-I, again mask + checksum + payload only.
+  const auto out = comp.compress(flow_packet(101, 1002, 2002, 8192, kTcpAck, ascii("cd")));
+  ASSERT_EQ(out.cls, PacketClass::kCompressedTcp);
+  ASSERT_EQ(out.packet.size(), 3u + 2u);
+  EXPECT_EQ(out.packet[0], kSpecialI);  // 0x0B
+}
+
+TEST(VjGolden, PureAckCarriesOneByteAckDelta) {
+  Compressor comp;
+  (void)comp.compress(flow_packet(100, 1000, 2000, 8192, kTcpAck, ascii("hello")));
+  const auto out = comp.compress(flow_packet(101, 1005, 2100, 8192, kTcpAck, {}));
+  ASSERT_EQ(out.cls, PacketClass::kCompressedTcp);
+  // seq advanced by the old payload (5) AND ack moved: S+A, not a special
+  // (dseq != dack), so explicit deltas: ack first, then seq (RFC order
+  // U, W, A, S as emitted; decoded the same way).
+  ASSERT_EQ(out.packet.size(), 5u);
+  EXPECT_EQ(out.packet[0], kNewS | kNewA);
+  EXPECT_EQ(out.packet[3], 100);  // dack
+  EXPECT_EQ(out.packet[4], 5);    // dseq
+}
+
+TEST(VjGolden, LargeDeltaUsesZeroEscape) {
+  Compressor comp;
+  (void)comp.compress(flow_packet(100, 1000, 2000, 8192, kTcpAck, {}));
+  // Window jump of 1000: one-octet deltas only reach 255, so the encoding
+  // escapes with 0x00 + 16-bit big-endian value (RFC 1144 §3.2.2).
+  const auto out = comp.compress(flow_packet(101, 1000, 2000, 9192, kTcpAck, {}));
+  ASSERT_EQ(out.cls, PacketClass::kCompressedTcp);
+  ASSERT_EQ(out.packet.size(), 6u);
+  EXPECT_EQ(out.packet[0], kNewW);
+  EXPECT_EQ(out.packet[3], 0x00);
+  EXPECT_EQ(out.packet[4], 0x03);
+  EXPECT_EQ(out.packet[5], 0xE8);
+}
+
+TEST(VjGolden, PushBitTravelsInMask) {
+  Compressor comp;
+  (void)comp.compress(flow_packet(100, 1000, 2000, 8192, kTcpAck, ascii("hello")));
+  const auto out =
+      comp.compress(flow_packet(101, 1005, 2000, 8192, kTcpAck | kTcpPsh, ascii("xyz")));
+  ASSERT_EQ(out.cls, PacketClass::kCompressedTcp);
+  EXPECT_EQ(out.packet[0], kSpecialD | kPush);
+}
+
+TEST(VjGolden, SlotChangeCarriesConnectionByte) {
+  Compressor comp;
+  TcpFields other;
+  other.src_port = 3000;
+  other.dst_port = 4000;
+  other.seq = 50;
+  other.ack = 60;
+  (void)comp.compress(flow_packet(100, 1000, 2000, 8192, kTcpAck, ascii("aa")));
+  (void)comp.compress(build_tcp_datagram(kSrc + 1, kDst, 7, 64, other, ascii("bb")));
+  // Back to the first flow: different slot than the last compressed packet,
+  // so the C bit and the slot octet must appear.
+  const auto out = comp.compress(flow_packet(101, 1002, 2000, 8192, kTcpAck, ascii("cc")));
+  ASSERT_EQ(out.cls, PacketClass::kCompressedTcp);
+  EXPECT_EQ(out.packet[0] & kNewC, kNewC);
+  EXPECT_EQ(out.packet[1], 0);  // first flow lives in slot 0
+}
+
+TEST(VjGolden, CompSlotIdOffAlwaysCarriesConnectionByte) {
+  VjConfig cfg;
+  cfg.comp_slot_id = false;
+  Compressor comp(cfg);
+  (void)comp.compress(flow_packet(100, 1000, 2000, 8192, kTcpAck, ascii("aa")));
+  const auto out = comp.compress(flow_packet(101, 1002, 2000, 8192, kTcpAck, ascii("bb")));
+  ASSERT_EQ(out.cls, PacketClass::kCompressedTcp);
+  EXPECT_EQ(out.packet[0] & kNewC, kNewC);
+}
+
+// ---- fallback discipline ----
+
+TEST(VjFallback, ConnectionManagementGoesAsPlainIp) {
+  Compressor comp;
+  const auto syn = comp.compress(flow_packet(1, 0, 0, 8192, kTcpSyn, {}));
+  EXPECT_EQ(syn.cls, PacketClass::kIp);
+  const auto fin = comp.compress(flow_packet(2, 9, 9, 8192, kTcpFin | kTcpAck, {}));
+  EXPECT_EQ(fin.cls, PacketClass::kIp);
+  const auto rst = comp.compress(flow_packet(3, 9, 9, 8192, kTcpRst, {}));
+  EXPECT_EQ(rst.cls, PacketClass::kIp);
+  EXPECT_EQ(comp.stats().passthrough, 3u);
+}
+
+TEST(VjFallback, NonTcpGoesAsPlainIp) {
+  Compressor comp;
+  Bytes udp = flow_packet(1, 0, 0, 8192, kTcpAck, {});
+  udp[9] = 17;  // protocol: UDP
+  const auto out = comp.compress(udp);
+  EXPECT_EQ(out.cls, PacketClass::kIp);
+  EXPECT_EQ(out.packet, udp);
+}
+
+TEST(VjFallback, RetransmissionResyncsUncompressed) {
+  Compressor comp;
+  const Bytes dg = flow_packet(100, 1000, 2000, 8192, kTcpAck, ascii("hello"));
+  (void)comp.compress(dg);
+  // Identical header progression (nothing moved): must go uncompressed so a
+  // receiver that missed the original re-syncs (RFC 1144 §3.2.2 rule).
+  const auto out = comp.compress(dg);
+  EXPECT_EQ(out.cls, PacketClass::kUncompressedTcp);
+}
+
+TEST(VjFallback, HugeSeqJumpResyncsUncompressed) {
+  Compressor comp;
+  (void)comp.compress(flow_packet(100, 1000, 2000, 8192, kTcpAck, {}));
+  const auto out = comp.compress(flow_packet(101, 1000 + 0x20000, 2000, 8192, kTcpAck, {}));
+  EXPECT_EQ(out.cls, PacketClass::kUncompressedTcp);
+}
+
+TEST(VjDecompress, TossesUntilExplicitSlot) {
+  Decompressor decomp;
+  // A mask-only compressed packet with no C bit arrives before any sync.
+  const auto out = decomp.decompress(PacketClass::kCompressedTcp, Bytes{kSpecialD, 0, 0});
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(decomp.stats().tossed, 1u);
+}
+
+TEST(VjDecompress, MalformedCompressedPacketIsAnError) {
+  Compressor comp;
+  Decompressor decomp;
+  const Bytes sync = comp.compress(flow_packet(100, 1000, 2000, 8192, kTcpAck, {})).packet;
+  ASSERT_TRUE(decomp.decompress(PacketClass::kUncompressedTcp, sync).has_value());
+  // Truncated: mask promises a window delta that is not there.
+  const auto out = decomp.decompress(PacketClass::kCompressedTcp, Bytes{kNewW, 0, 0});
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(decomp.stats().errors, 1u);
+}
+
+// ---- round-trip identity ----
+
+TEST(VjRoundTrip, GoldenSequenceIdentity) {
+  Compressor comp;
+  Decompressor decomp;
+  const std::vector<Bytes> stream = {
+      flow_packet(100, 1000, 2000, 8192, kTcpAck, ascii("hello")),
+      flow_packet(101, 1005, 2000, 8192, kTcpAck, ascii("world")),
+      flow_packet(102, 1010, 2000, 8192, kTcpAck | kTcpPsh, ascii("!")),
+      flow_packet(103, 1011, 2100, 9192, kTcpAck, {}),
+      flow_packet(104, 1011, 2100, 9192, kTcpAck, ascii("again")),
+  };
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const auto out = comp.compress(stream[i]);
+    const auto back = decomp.decompress(out.cls, out.packet);
+    ASSERT_TRUE(back.has_value()) << "packet " << i;
+    EXPECT_EQ(*back, stream[i]) << "packet " << i;
+  }
+  EXPECT_GT(comp.stats().compressed, 0u);
+}
+
+TEST(VjRoundTrip, PropertyIdentityOverSyntheticFlows) {
+  testing::PropertyOptions opt;
+  opt.cases = testing::resolved_cases(60);
+  opt.seed = testing::resolved_seed(0x76ACC0DE);
+  const auto result = testing::check_property("vj-roundtrip-identity", opt, [](testing::CaseContext& c) {
+    VjConfig cfg;
+    cfg.max_slot_id = static_cast<u8>(1 + c.rng.below(16));
+    cfg.comp_slot_id = c.rng.chance(0.5);
+    Compressor comp(cfg);
+    Decompressor decomp(cfg);
+    TcpFlowGen gen(1 + static_cast<unsigned>(c.rng.below(6)), c.rng.next(), 64);
+    const std::size_t n = 2 + c.size;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Bytes dg = gen.next();
+      const auto out = comp.compress(dg);
+      const auto back = decomp.decompress(out.cls, out.packet);
+      if (!back.has_value()) {
+        c.fail("packet " + std::to_string(i) + " tossed on a clean wire");
+        return;
+      }
+      if (*back != dg) {
+        c.fail("packet " + std::to_string(i) + " round-trip mismatch");
+        return;
+      }
+    }
+  });
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(VjRoundTrip, BulkFlowCompressesHeadersHard) {
+  Compressor comp;
+  Decompressor decomp;
+  TcpFields t;
+  t.src_port = 1000;
+  t.dst_port = 443;
+  t.seq = 1;
+  t.ack = 1;
+  u16 id = 1;
+  const Bytes payload(512, 0x55);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes dg = build_tcp_datagram(kSrc, kDst, id++, 64, t, payload);
+    const auto out = comp.compress(dg);
+    ASSERT_EQ(*decomp.decompress(out.cls, out.packet), dg);
+    t.seq += static_cast<u32>(payload.size());
+  }
+  const auto& s = comp.stats();
+  // Steady-state bulk transfer: 40-octet headers become 3-octet masks.
+  EXPECT_GE(s.compressed, 198u);
+  EXPECT_LT(s.header_bytes_out * 10, s.header_bytes_in);
+}
+
+TEST(VjRoundTrip, DiffOracleCleanWire) {
+  std::vector<Bytes> stream;
+  vj::TcpFlowGen gen(4, 0xFEED, 128);
+  for (int i = 0; i < 400; ++i) stream.push_back(gen.next());
+  const auto r = testing::DiffOracle::vj_roundtrip(VjConfig(), stream);
+  EXPECT_TRUE(r.agree) << r.diagnosis;
+  EXPECT_EQ(r.delivered, 400u);
+  EXPECT_EQ(r.stale_delivered, 0u);
+  EXPECT_EQ(r.dropped_on_wire, 0u);
+  EXPECT_LT(r.header_bytes_out, r.header_bytes_in);
+}
+
+TEST(VjRoundTrip, DiffOracleLossyWireNeverSilentlyCorrupts) {
+  // RFC 1144 §4: after a drop the decompressor may emit wrong datagrams
+  // until the next sync, but every one of them must fail the TCP checksum.
+  testing::PropertyOptions opt;
+  opt.cases = testing::resolved_cases(30);
+  opt.seed = testing::resolved_seed(0x76ACC0DF);
+  const auto result = testing::check_property("vj-lossy-honesty", opt, [](testing::CaseContext& c) {
+    std::vector<Bytes> stream;
+    vj::TcpFlowGen gen(1 + static_cast<unsigned>(c.rng.below(4)), c.rng.next(), 96);
+    const std::size_t n = 16 + c.size;
+    for (std::size_t i = 0; i < n; ++i) stream.push_back(gen.next());
+    const auto r = testing::DiffOracle::vj_roundtrip(VjConfig(), stream,
+                                                     /*drop_chance=*/0.15, c.rng.next());
+    if (!r.agree) c.fail(r.diagnosis);
+  });
+  EXPECT_TRUE(result.ok) << result.message;
+}
+
+// ---- endpoint integration: IPCP-negotiated VJ ----
+
+struct VjEndpointPair {
+  std::unique_ptr<PppEndpoint> a, b;
+  std::vector<Bytes> a_rx, b_rx;
+  std::deque<Bytes> to_a, to_b;
+
+  VjEndpointPair() {
+    PppEndpoint::Config ca, cb;
+    ca.ipcp.local_address = 0x0A000001;
+    ca.ipcp.request_vj = true;
+    cb.ipcp.local_address = 0x0A000002;
+    cb.ipcp.request_vj = true;
+    a = std::make_unique<PppEndpoint>(
+        "A", ca, [this](BytesView w) { to_b.emplace_back(w.begin(), w.end()); });
+    b = std::make_unique<PppEndpoint>(
+        "B", cb, [this](BytesView w) { to_a.emplace_back(w.begin(), w.end()); });
+    a->set_ip_sink([this](BytesView d) { a_rx.emplace_back(d.begin(), d.end()); });
+    b->set_ip_sink([this](BytesView d) { b_rx.emplace_back(d.begin(), d.end()); });
+  }
+  void pump() {
+    for (int round = 0; round < 100 && (!to_a.empty() || !to_b.empty()); ++round) {
+      std::deque<Bytes> qa, qb;
+      std::swap(qa, to_a);
+      std::swap(qb, to_b);
+      for (const Bytes& w : qb) b->wire_rx(w);
+      for (const Bytes& w : qa) a->wire_rx(w);
+    }
+  }
+  void bring_up() {
+    a->open();
+    b->open();
+    a->lower_up();
+    b->lower_up();
+    for (int i = 0; i < 20 && !(a->ip_ready() && b->ip_ready()); ++i) {
+      pump();
+      a->tick();
+      b->tick();
+    }
+    pump();
+  }
+};
+
+TEST(VjEndpoint, NegotiatedAndTransparent) {
+  VjEndpointPair pair;
+  pair.bring_up();
+  ASSERT_TRUE(pair.a->ip_ready());
+  ASSERT_NE(pair.a->vj_compressor(), nullptr);
+  ASSERT_NE(pair.a->vj_decompressor(), nullptr);
+  EXPECT_TRUE(pair.a->ipcp().vj().tx);
+  EXPECT_TRUE(pair.a->ipcp().vj().rx);
+
+  vj::TcpFlowGen gen(2, 0xBEEF, 64);
+  std::vector<Bytes> sent;
+  for (int i = 0; i < 100; ++i) {
+    sent.push_back(gen.next());
+    ASSERT_TRUE(pair.a->send_ip(sent.back()));
+  }
+  pair.pump();
+  ASSERT_EQ(pair.b_rx.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) EXPECT_EQ(pair.b_rx[i], sent[i]) << i;
+  // It actually ran compressed on the wire, not as plain IP.
+  EXPECT_GT(pair.a->vj_compressor()->stats().compressed, 50u);
+  EXPECT_EQ(pair.b->vj_decompressor()->stats().tossed, 0u);
+  EXPECT_EQ(pair.b->stats().vj_dropped, 0u);
+}
+
+TEST(VjEndpoint, OneSidedRefusalStaysPlainIp) {
+  VjEndpointPair pair;
+  PppEndpoint::Config ca, cb;
+  ca.ipcp.local_address = 0x0A000001;
+  ca.ipcp.request_vj = true;   // A wants compressed TCP from B
+  cb.ipcp.local_address = 0x0A000002;
+  cb.ipcp.request_vj = false;  // B neither asks...
+  cb.ipcp.accept_vj = false;   // ...nor accepts
+  pair.a = std::make_unique<PppEndpoint>(
+      "A", ca, [&pair](BytesView w) { pair.to_b.emplace_back(w.begin(), w.end()); });
+  pair.b = std::make_unique<PppEndpoint>(
+      "B", cb, [&pair](BytesView w) { pair.to_a.emplace_back(w.begin(), w.end()); });
+  pair.b->set_ip_sink([&pair](BytesView d) { pair.b_rx.emplace_back(d.begin(), d.end()); });
+  pair.bring_up();
+  ASSERT_TRUE(pair.a->ip_ready());
+  EXPECT_EQ(pair.a->vj_compressor(), nullptr);
+  EXPECT_FALSE(pair.a->ipcp().vj().tx);
+
+  // TCP still flows, as plain 0x0021 IP.
+  const Bytes dg = flow_packet(1, 10, 20, 8192, kTcpAck, ascii("plain"));
+  ASSERT_TRUE(pair.a->send_ip(dg));
+  pair.pump();
+  ASSERT_EQ(pair.b_rx.size(), 1u);
+  EXPECT_EQ(pair.b_rx[0], dg);
+}
+
+TEST(VjEndpoint, SlotParametersNakDownToResponder) {
+  // A asks for 64 slots; B only supports 8. B Naks the option down and the
+  // agreed decompressor size on A's side must honor B's limit.
+  VjEndpointPair pair;
+  PppEndpoint::Config ca, cb;
+  ca.ipcp.local_address = 0x0A000001;
+  ca.ipcp.request_vj = true;
+  ca.ipcp.vj_max_slot_id = 63;
+  cb.ipcp.local_address = 0x0A000002;
+  cb.ipcp.request_vj = false;
+  cb.ipcp.vj_max_slot_id = 7;
+  pair.a = std::make_unique<PppEndpoint>(
+      "A", ca, [&pair](BytesView w) { pair.to_b.emplace_back(w.begin(), w.end()); });
+  pair.b = std::make_unique<PppEndpoint>(
+      "B", cb, [&pair](BytesView w) { pair.to_a.emplace_back(w.begin(), w.end()); });
+  pair.bring_up();
+  ASSERT_TRUE(pair.a->ip_ready());
+  ASSERT_TRUE(pair.a->ipcp().vj().rx);
+  EXPECT_EQ(pair.a->ipcp().vj().rx_config.max_slot_id, 7);
+  ASSERT_TRUE(pair.b->ipcp().vj().tx);
+  EXPECT_EQ(pair.b->ipcp().vj().tx_config.max_slot_id, 7);
+}
+
+}  // namespace
+}  // namespace p5::ppp::vj
