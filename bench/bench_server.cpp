@@ -116,6 +116,15 @@ struct Row {
   double conns_per_s = 0.0;
   bool has_goodput = true;
   bool ledger_ok = true;
+  u64 syscalls = 0;        ///< server-side socket send+recv calls
+  u64 pool_recycled = 0;   ///< chunk buffers served from shard pool free lists
+  double frames_per_syscall = 0.0;
+
+  void set_io(const transport::TransportSnapshot& xs) {
+    syscalls = xs.tx_syscalls + xs.rx_syscalls;
+    pool_recycled = xs.pool_recycled;
+    frames_per_syscall = xs.frames_per_syscall();
+  }
 };
 
 /// Steady-state goodput: `conns` tunnels replay `stream` into a kSink server
@@ -206,6 +215,7 @@ Row bench_goodput(std::size_t shards, std::size_t conns, double target_seconds,
   r.wall_seconds = std::chrono::duration<double>(t_last - t0).count();
   r.mb_s = r.wall_seconds > 0.0 ? static_cast<double>(ts.bytes_in) / 1e6 / r.wall_seconds : 0.0;
   r.ledger_ok = ts.ledger_exact() && xs.frames_in == xs.frames_out + xs.frames_lost;
+  r.set_io(xs);
   if (!r.ledger_ok) {
     std::fprintf(stderr, "bench_server: LEDGER VIOLATION in %s\n", r.kernel.c_str());
   }
@@ -293,6 +303,7 @@ Row bench_churn(std::size_t total, std::size_t concurrency, const std::vector<By
   r.has_goodput = false;
   r.ledger_ok = ts.ledger_exact() && xs.frames_in == xs.frames_out + xs.frames_lost &&
                 srv.sessions_active() == 0;
+  r.set_io(xs);
   if (!r.ledger_ok) {
     std::fprintf(stderr,
                  "bench_server: LEDGER VIOLATION after churn "
@@ -347,9 +358,10 @@ int run(int argc, char** argv) {
   for (const Row& r : rows) {
     ledgers_ok = ledgers_ok && r.ledger_ok;
     if (r.has_goodput) {
-      std::printf("%-22s %4zu conns %zu shard(s)  %8.3fs  %10.2f MB/s  x%.2f vs 1shard  %s\n",
+      std::printf("%-22s %4zu conns %zu shard(s)  %8.3fs  %10.2f MB/s  x%.2f vs 1shard  %5.1f fr/sys  %s\n",
                   r.kernel.c_str(), r.conns, r.shards, r.wall_seconds, r.mb_s,
-                  base_mb_s > 0.0 ? r.mb_s / base_mb_s : 0.0, r.ledger_ok ? "ledger OK" : "LEDGER FAIL");
+                  base_mb_s > 0.0 ? r.mb_s / base_mb_s : 0.0, r.frames_per_syscall,
+                  r.ledger_ok ? "ledger OK" : "LEDGER FAIL");
     } else {
       std::printf("%-22s %4zu conns %zu shard(s)  %8.3fs  %10.0f conns/s  %s\n", r.kernel.c_str(),
                   r.conns, r.shards, r.wall_seconds, r.conns_per_s,
@@ -374,6 +386,9 @@ int run(int argc, char** argv) {
                     .set("dgrams", r.dgrams)
                     .set("payload_bytes", r.payload_bytes)
                     .set("wall_seconds", r.wall_seconds)
+                    .set("syscalls", r.syscalls)
+                    .set("frames_per_syscall", r.frames_per_syscall)
+                    .set("pool_recycled", r.pool_recycled)
                     .set("ledger_ok", r.ledger_ok);
     if (r.has_goodput) {
       row.set("new_mb_s", r.mb_s)

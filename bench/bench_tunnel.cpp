@@ -52,6 +52,7 @@ using transport::Fd;
 using transport::kReadable;
 using transport::SocketAddr;
 using transport::StreamConn;
+using transport::TransportSnapshot;
 using transport::TransportTelemetry;
 using transport::Tunnel;
 using transport::TunnelBinding;
@@ -70,6 +71,17 @@ struct Row {
   u64 payload_bytes = 0;
   double wall_seconds = 0.0;
   double mb_s = 0.0;
+  u64 syscalls = 0;        ///< socket send+recv calls across every conn in the row
+  u64 pool_recycled = 0;   ///< chunk buffers served from pool free lists
+  double frames_per_syscall = 0.0;
+
+  /// Fill the batching-amortisation columns from the row's aggregated
+  /// transport counters (both sides of the pair summed).
+  void set_io(TransportSnapshot total) {
+    syscalls = total.tx_syscalls + total.rx_syscalls;
+    pool_recycled = total.pool_recycled;
+    frames_per_syscall = total.frames_per_syscall();
+  }
 };
 
 /// Raw StreamConn echo: `count` frames of `frame_bytes` out and back.
@@ -112,6 +124,9 @@ Row bench_stream_echo(std::size_t count, std::size_t frame_bytes) {
   r.wall_seconds = seconds_since(t0);
   // Payload octets that crossed the loop twice (out and back).
   r.mb_s = 2.0 * static_cast<double>(r.payload_bytes) / 1e6 / r.wall_seconds;
+  TransportSnapshot io = ctel.snapshot();
+  io += stel.snapshot();
+  r.set_io(io);
   loop.remove_fd(listen_fd.get());
   return r;
 }
@@ -128,6 +143,10 @@ Row bench_tunnel_pair(bool udp, core::DeviceTier tier, double target_seconds,
   ca.listen = true;
   ca.udp = udp;
   ca.port = 0;
+  // Throughput posture: one pump slice drains the device's whole 64-entry
+  // TX ring, and the batched conn sends the slice as one scatter-gather
+  // syscall — the pooled-chunk path makes the bigger slice copy-free.
+  ca.frames_per_pump = 64;
   Tunnel tun_a(loop, TunnelBinding::endpoint(*ep_a), ca);
   tun_a.start();
   TunnelConfig cb = ca;
@@ -177,6 +196,9 @@ Row bench_tunnel_pair(bool udp, core::DeviceTier tier, double target_seconds,
   r.mb_s = r.wall_seconds > 0.0
                ? static_cast<double>(delivered_bytes) / 1e6 / r.wall_seconds
                : 0.0;
+  TransportSnapshot io = tun_a.stats();
+  io += tun_b.stats();
+  r.set_io(io);
   return r;
 }
 
@@ -204,9 +226,9 @@ int run(int argc, char** argv) {
   }
 
   for (const Row& r : rows) {
-    std::printf("%-16s %5zuB x %8zu  %8.3fs  %10.2f MB/s (%s, tier %s)\n", r.kernel.c_str(),
-                r.frame_bytes, r.frames, r.wall_seconds, r.mb_s, r.dispatch.c_str(),
-                r.tier.c_str());
+    std::printf("%-16s %5zuB x %8zu  %8.3fs  %10.2f MB/s  %6.1f fr/sys (%s, tier %s)\n",
+                r.kernel.c_str(), r.frame_bytes, r.frames, r.wall_seconds, r.mb_s,
+                r.frames_per_syscall, r.dispatch.c_str(), r.tier.c_str());
   }
 
   JsonReport report("tunnel");
@@ -222,6 +244,9 @@ int run(int argc, char** argv) {
         .set("frames", r.frames)
         .set("payload_bytes", r.payload_bytes)
         .set("wall_seconds", r.wall_seconds)
+        .set("syscalls", r.syscalls)
+        .set("frames_per_syscall", r.frames_per_syscall)
+        .set("pool_recycled", r.pool_recycled)
         .set("new_mb_s", r.mb_s);
   }
   if (!report.write(out_path)) {

@@ -247,6 +247,10 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(s.reconnects),
             static_cast<unsigned long long>(l.ep->rx_counters().frames_bad),
             static_cast<unsigned long long>(l.ep->rx_stats().resyncs));
+        std::printf(
+            "       io: %llu syscalls, %.1f chunks/syscall, pool recycled %llu\n",
+            static_cast<unsigned long long>(s.tx_syscalls + s.rx_syscalls),
+            s.frames_per_syscall(), static_cast<unsigned long long>(s.pool_recycled));
       }
     }
 

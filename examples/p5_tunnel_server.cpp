@@ -215,6 +215,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(xs.frames_out),
                 static_cast<unsigned long long>(xs.frames_lost),
                 static_cast<unsigned long long>(xs.frames_rcvd));
+    std::printf("      io: %llu syscalls, %.1f chunks/syscall, pool recycled %llu\n",
+                static_cast<unsigned long long>(xs.tx_syscalls + xs.rx_syscalls),
+                xs.frames_per_syscall(), static_cast<unsigned long long>(xs.pool_recycled));
   }
 
   std::printf("\nSIGINT: stopping shards...\n");
@@ -246,5 +249,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(xs.frames_out),
               static_cast<unsigned long long>(xs.frames_lost),
               static_cast<unsigned long long>(xs.frames_rcvd), chunk_ok ? "EXACT" : "VIOLATED");
+  std::printf("[io] %llu syscalls, %.1f chunks/syscall, pool recycled %llu\n",
+              static_cast<unsigned long long>(xs.tx_syscalls + xs.rx_syscalls),
+              xs.frames_per_syscall(), static_cast<unsigned long long>(xs.pool_recycled));
   return ok ? 0 : 1;
 }

@@ -89,8 +89,11 @@ def main():
                     help="allowed fractional drop per cell (default: per-bench, "
                          "0.15 unless listed in PER_BENCH_TOLERANCE)")
     ap.add_argument("--metric", default="speedup",
-                    choices=["speedup", "new_mb_s", "old_mb_s"],
-                    help="field compared per cell (default: speedup)")
+                    choices=["speedup", "new_mb_s", "old_mb_s", "frames_per_syscall"],
+                    help="field compared per cell (default: speedup). "
+                         "frames_per_syscall gates the batched transport's "
+                         "syscall amortisation (tunnel/server benches only); "
+                         "cells that never recorded the field are skipped")
     ap.add_argument("--strict", action="store_true",
                     help="baseline cells missing from the fresh run fail the gate")
     args = ap.parse_args()

@@ -73,8 +73,10 @@ FastP5Endpoint::FastP5Endpoint(const P5Config& cfg, sonet::StsSpec sts)
   framer_ = std::make_unique<sonet::SonetFramer>(
       sts, [this](std::size_t n) { return tx_take(n); });
   deframer_ = std::make_unique<sonet::SonetDeframer>(sts, [this](BytesView payload) {
-    rx_scratch_.assign(payload.begin(), payload.end());
-    scr_rx_.descramble_in_place(rx_scratch_);
+    // Fused copy+descramble: one vectorized pass from the SPE payload into
+    // the scratch buffer (the x^43+1 keystream is the received stream, so
+    // the descramble loop carries no dependency).
+    scr_rx_.descramble_to(rx_scratch_, payload);
     delineator_.push(BytesView(rx_scratch_));
   });
 }
@@ -112,13 +114,12 @@ Bytes FastP5Endpoint::tx_take(std::size_t n) {
   while (out.size() < n) {
     if (tx_head_ >= tx_wire_.size()) tx_refill();
     const std::size_t take = std::min(n - out.size(), tx_wire_.size() - tx_head_);
-    out.insert(out.end(), tx_wire_.begin() + static_cast<std::ptrdiff_t>(tx_head_),
-               tx_wire_.begin() + static_cast<std::ptrdiff_t>(tx_head_ + take));
+    // Fused copy+scramble straight out of the encode arena — the x^43+1
+    // delay line stays continuous across frames and across wire pieces,
+    // exactly as on the cycle endpoint's line.
+    scr_tx_.scramble_append(out, BytesView(tx_wire_.data() + tx_head_, take));
     tx_head_ += take;
   }
-  // One sequential scramble pass over the chunk — the x^43+1 delay line is
-  // continuous across frames, exactly as on the cycle endpoint's line.
-  scr_tx_.scramble_in_place(out);
   return out;
 }
 

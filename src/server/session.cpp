@@ -12,7 +12,7 @@ Session::Session(SessionEnv env, std::unique_ptr<transport::Conn> conn,
     : env_(std::move(env)), conn_(std::move(conn)) {
   P5_EXPECTS(env_.loop && env_.transport_tel && env_.tenants && env_.make_endpoint);
   P5_EXPECTS(conn_ != nullptr);
-  conn_->set_on_frame([this](BytesView chunk) { on_chunk(chunk); });
+  conn_->set_on_frames([this](std::span<const BytesView> chunks) { on_chunks(chunks); });
   conn_->set_on_closed([this] { mark_dead(); });
   env_.transport_tel->on_connect(false);
   if (fixed_tenant) {
@@ -44,28 +44,39 @@ bool Session::bind_tenant(u32 tenant_id) {
   return true;
 }
 
-void Session::on_chunk(BytesView chunk) {
-  if (dead_) return;
+void Session::on_chunks(std::span<const BytesView> chunks) {
+  // Per-chunk decisions (hello, policer, push_line) happen in order exactly
+  // as the frame-at-a-time path made them; the expensive device work —
+  // drain_rx and the datagram reap — runs once for the whole burst.
+  for (const BytesView& chunk : chunks) {
+    if (!on_chunk(chunk)) return;
+  }
+  if (dead_ || tenant_ == nullptr || ep_ == nullptr) return;
+  ep_->drain_rx();
+  reap_and_route();
+}
+
+bool Session::on_chunk(BytesView chunk) {
+  if (dead_) return false;
   if (awaiting_hello_) {
     const auto tenant_id = parse_hello(chunk);
     if (!tenant_id) {
       env_.transport_tel->proto_error();  // first chunk must name a tenant
       conn_->close();
-      return;
+      return false;
     }
     awaiting_hello_ = false;
     if (!bind_tenant(*tenant_id)) {
       conn_->close();
-      return;
+      return false;
     }
     ep_ = env_.make_endpoint();
-    return;  // the hello carries no line octets
+    return true;  // the hello carries no line octets
   }
-  if (tenant_ == nullptr || ep_ == nullptr) return;  // closing; late chunk
-  if (!tenant_->police_rx(chunk.size(), env_.loop->now_ms())) return;  // shaped away
+  if (tenant_ == nullptr || ep_ == nullptr) return true;  // closing; late chunk
+  if (!tenant_->police_rx(chunk.size(), env_.loop->now_ms())) return true;  // shaped away
   ep_->push_line(chunk);
-  ep_->drain_rx();
-  reap_and_route();
+  return true;
 }
 
 void Session::reap_and_route() {
@@ -119,7 +130,10 @@ std::size_t Session::slice() {
     if (!conn_->send_frame(frame)) break;  // write error closed us mid-slice
     ++sent;
   }
-  if (conn_->open()) env_.transport_tel->note_queue_depth(conn_->queued_bytes());
+  if (conn_->open()) {
+    conn_->flush();  // the whole slice rides one scatter-gather syscall
+    env_.transport_tel->note_queue_depth(conn_->queued_bytes());
+  }
   return sent;
 }
 

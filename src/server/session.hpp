@@ -6,10 +6,12 @@
 //   adopted -> [awaiting hello] -> bound(tenant) -> carrying -> dead
 //                     \-> bad hello / admission reject -> dead
 //
-// RX path per inbound chunk: hello/tenant binding on the first chunk when
-// the listener carries no tenant; then the tenant policer; then
-// endpoint.push_line() and an immediate datagram reap that dispositions
+// RX path per inbound burst (the conn's batched on_frames delivery): per
+// chunk, hello/tenant binding on the first chunk when the listener carries
+// no tenant, then the tenant policer, then endpoint.push_line(); after the
+// whole burst is in the deframer, one drain_rx() + reap that dispositions
 // every decoded datagram (echo / uplink handoff / sink — see RouteMode).
+// Batched or not, per-chunk decisions and dispositions are identical.
 // TX path per slice: the tx_pending()-gated, 2-frame-linger paced pull the
 // Tunnel binding uses, into the conn until its watermark pushes back.
 //
@@ -20,6 +22,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "p5/endpoint.hpp"
 #include "server/tenant.hpp"
@@ -76,7 +79,10 @@ class Session {
   [[nodiscard]] core::SonetEndpoint* endpoint() { return ep_.get(); }
 
  private:
-  void on_chunk(BytesView chunk);
+  void on_chunks(std::span<const BytesView> chunks);
+  /// One chunk of a burst: hello/tenant binding, policer, push_line. Returns
+  /// false when the session died (skip the rest of the burst).
+  bool on_chunk(BytesView chunk);
   bool bind_tenant(u32 tenant_id);
   void reap_and_route();
   void mark_dead();

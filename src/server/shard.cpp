@@ -46,7 +46,7 @@ bool Shard::offer(PendingConn pc, bool same_context) {
 
 void Shard::adopt_now(PendingConn pc) {
   auto conn = std::make_unique<transport::StreamConn>(loop_, tel_, cfg_.conn,
-                                                      transport::Fd(pc.fd), false);
+                                                      transport::Fd(pc.fd), false, &pool_);
   sessions_.push_back(std::make_unique<Session>(env_template_, std::move(conn), pc.tenant));
   adopted_.fetch_add(1, std::memory_order_relaxed);
   sessions_active_.store(sessions_.size(), std::memory_order_relaxed);

@@ -101,6 +101,7 @@ class Shard {
   [[nodiscard]] u64 slices() const { return slices_.load(std::memory_order_relaxed); }
   [[nodiscard]] transport::TransportSnapshot transport_stats() const { return tel_.snapshot(); }
   [[nodiscard]] transport::TransportTelemetry& transport_telemetry() { return tel_; }
+  [[nodiscard]] transport::ChunkPool::Counters pool_counters() const { return pool_.counters(); }
 
   /// Visit live sessions (shard context only).
   template <typename Fn>
@@ -123,6 +124,10 @@ class Shard {
   SessionEnv env_template_;
   transport::EventLoop loop_;
   transport::TransportTelemetry tel_;
+  /// One pool for every session conn the shard ever adopts — session churn
+  /// recycles chunk buffers instead of round-tripping the heap. Declared
+  /// before sessions_ so queued ChunkRefs release into a live pool.
+  transport::ChunkPool pool_{&tel_};
   linecard::SpscRing<PendingConn> adoption_ring_;
   linecard::SpscRing<UplinkItem> uplink_ring_;
   std::vector<std::unique_ptr<Session>> sessions_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 
 #include "fastpath/scrambler_tables.hpp"
 
@@ -16,9 +17,15 @@ namespace {
 // state<->position maps and the per-octet table walk disappears from the
 // per-frame cost.
 struct FrameKeystream {
-  std::array<u8, 127> ks{};        ///< keystream from the all-ones seed
-  std::array<u8, 128> idx_of{};    ///< LFSR state -> position in the cycle
-  std::array<u8, 127> state_of{};  ///< position -> LFSR state
+  /// XOR run length per inner-loop iteration of apply(). The keystream is
+  /// periodic in 127, so replicating the period lets one contiguous XOR span
+  /// many periods — long enough for the compiler's vector loop to dominate,
+  /// short enough that the replica table stays cache-resident.
+  static constexpr std::size_t kRun = 127 * 8;
+  std::array<u8, 127> ks{};          ///< keystream from the all-ones seed
+  std::array<u8, 128> idx_of{};      ///< LFSR state -> position in the cycle
+  std::array<u8, 127> state_of{};    ///< position -> LFSR state
+  std::array<u8, 127 + kRun> ext{};  ///< ks replicated: ext[i] = ks[i % 127]
   FrameKeystream() {
     const auto& table = fastpath::frame_scrambler_steps();
     u8 s = 0x7F;
@@ -28,6 +35,7 @@ struct FrameKeystream {
       ks[i] = table[s].keystream;
       s = table[s].next;
     }
+    for (std::size_t i = 0; i < ext.size(); ++i) ext[i] = ks[i % 127];
   }
 };
 
@@ -49,14 +57,16 @@ void FrameScrambler::apply(Bytes& data, std::size_t begin, std::size_t end) {
   std::size_t i = begin;
   const std::size_t stop = std::min(end, data.size());
   std::size_t idx = k.idx_of[state_];
+  // The replicated table is valid for kRun octets from any in-period offset,
+  // so each iteration XORs a multi-period contiguous run instead of stopping
+  // at the period boundary — one vectorized sweep per ~1 KiB.
   while (i < stop) {
-    const std::size_t run = std::min<std::size_t>(127 - idx, stop - i);
+    const std::size_t run = std::min<std::size_t>(FrameKeystream::kRun, stop - i);
     u8* __restrict__ d = data.data() + i;
-    const u8* __restrict__ s = k.ks.data() + idx;
+    const u8* __restrict__ s = k.ext.data() + idx;
     for (std::size_t j = 0; j < run; ++j) d[j] ^= s[j];
     i += run;
-    idx += run;
-    if (idx == 127) idx = 0;
+    idx = (idx + run) % 127;
   }
   state_ = k.state_of[idx];
 }
@@ -88,18 +98,80 @@ Bytes SelfSyncScrambler43::descramble(BytesView data) {
 // from the stream tail afterwards, so state across calls is bit-identical to
 // the per-octet path.
 
+namespace {
+
+// Word-at-a-time x^43+1 scramble. Pack eight octets MSB-first into a u64
+// (bit 63 = earliest stream bit); the keystream word is the output stream
+// delayed 43 bit positions, i.e. the previous word's low 43 bits shifted up
+// (w_prev << 21) followed by this word's own top 21 bits (out >> 43). The
+// self-reference collapses: out's top 21 bits cannot depend on out itself
+// (2*43 > 64), so with t = in ^ (w_prev << 21) the whole word is
+//   out = t ^ (t >> 43)
+// — a four-op dependence chain per eight octets instead of a store-forward
+// per octet. `history_`'s 43 live bits are exactly w_prev's low 43 bits
+// (bit 42 oldest in both), so the delay line enters and leaves the loop as
+// a plain u64 copy.
+inline u64 scramble43_words(u8* d, const u8* s, std::size_t words, u64 w_prev) {
+  for (std::size_t k = 0; k < words; ++k) {
+    u64 in;
+    std::memcpy(&in, s + k * 8, 8);
+    in = __builtin_bswap64(in);
+    const u64 t = in ^ (w_prev << 21);
+    const u64 out = t ^ (t >> 43);
+    w_prev = out;
+    const u64 be = __builtin_bswap64(out);
+    std::memcpy(d + k * 8, &be, 8);
+  }
+  return w_prev;
+}
+
+}  // namespace
+
 void SelfSyncScrambler43::scramble_in_place(Bytes& data) {
   const std::size_t n = data.size();
-  if (n < 12) {
+  if (n < 8) {
     for (u8& b : data) b = scramble(b);
     return;
   }
-  for (std::size_t i = 0; i < 6; ++i) data[i] = scramble(data[i]);
   u8* d = data.data();
+  const std::size_t words = n / 8;
+  history_ = scramble43_words(d, d, words, history_) & kMask;
+  for (std::size_t i = words * 8; i < n; ++i) d[i] = scramble(d[i]);
+}
+
+void SelfSyncScrambler43::scramble_append(Bytes& out, BytesView in) {
+  const std::size_t n = in.size();
+  const std::size_t base = out.size();
+  // Fused copy+scramble: words stream straight from `in` through the word
+  // loop into the appended region (no zero-fill, no second pass).
+  out.resize(base + n);
+  u8* d = out.data() + base;
+  const u8* s = in.data();
+  if (n < 8) {
+    for (std::size_t i = 0; i < n; ++i) d[i] = scramble(s[i]);
+    return;
+  }
+  const std::size_t words = n / 8;
+  history_ = scramble43_words(d, s, words, history_) & kMask;
+  for (std::size_t i = words * 8; i < n; ++i) d[i] = scramble(s[i]);
+}
+
+void SelfSyncScrambler43::descramble_to(Bytes& out, BytesView in) {
+  const std::size_t n = in.size();
+  out.resize(n);
+  u8* __restrict__ d = out.data();
+  const u8* __restrict__ s = in.data();
+  if (n < 12) {
+    for (std::size_t i = 0; i < n; ++i) d[i] = descramble(s[i]);
+    return;
+  }
+  for (std::size_t i = 0; i < 6; ++i) d[i] = descramble(s[i]);
+  // Keystream comes from the raw received octets, untouched in `in`: no
+  // loop-carried dependency, so this is a straight-line vector loop.
   for (std::size_t i = 6; i < n; ++i)
-    d[i] = static_cast<u8>(d[i] ^ static_cast<u8>((d[i - 6] << 5) | (d[i - 5] >> 3)));
+    d[i] = static_cast<u8>(s[i] ^ static_cast<u8>((s[i - 6] << 5) | (s[i - 5] >> 3)));
   u64 h = 0;
-  for (std::size_t i = n - 6; i < n; ++i) h = (h << 8) | d[i];
+  for (std::size_t i = n - 6; i < n; ++i) h = (h << 8) | s[i];
   history_ = h & kMask;
 }
 

@@ -75,6 +75,15 @@ class SelfSyncScrambler43 {
   void scramble_in_place(Bytes& data);
   void descramble_in_place(Bytes& data);
 
+  /// Fused copy+scramble: append scramble(in) to `out`. One pass where a
+  /// copy-then-scramble-in-place pair would take two.
+  void scramble_append(Bytes& out, BytesView in);
+  /// Fused copy+descramble: replace `out` with descramble(in). The keystream
+  /// for descrambling is the *received* stream itself, so the bulk loop has
+  /// no loop-carried dependency at all and vectorizes; `out` must not alias
+  /// `in`.
+  void descramble_to(Bytes& out, BytesView in);
+
  private:
   static constexpr u64 kMask = (u64{1} << 43) - 1;
   // 43-bit delay line stored in a 64-bit word; bit 42 is the oldest.

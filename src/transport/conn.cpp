@@ -1,22 +1,81 @@
 #include "transport/conn.hpp"
 
+#include <limits.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/check.hpp"
 
 namespace p5::transport {
 
+namespace {
+
+/// Iovecs per sendmsg: enough to drain several pump slices in one syscall
+/// without building kilobyte iovec arrays on the stack. IOV_MAX is the
+/// kernel's hard cap (1024 on Linux); we stay far inside it.
+constexpr std::size_t kMaxIov = IOV_MAX < 64 ? IOV_MAX : 64;
+
+/// Dead RX prefix tolerated before the live remainder is memmoved to the
+/// buffer front. Below this the cursor just advances — the common case
+/// (every frame parsed) resets the cursors without any copy at all.
+constexpr std::size_t kRxCompactBytes = 256 * 1024;
+
+}  // namespace
+
+bool resolve_io_batch(IoBatch configured) {
+  if (configured != IoBatch::kAuto) return configured == IoBatch::kOn;
+  if (const char* env = std::getenv("P5_TX_BATCH")) {
+    return std::strcmp(env, "0") != 0;
+  }
+  return true;
+}
+
+bool Conn::deliver_frames(std::span<const BytesView> frames, bool batched) {
+  if (frames.empty()) return true;
+  if (on_frames_) {
+    if (batched) {
+      on_frames_(frames);
+      return open();
+    }
+    // Batch leg off: same hook, single-element spans, frame-at-a-time order.
+    for (const BytesView& v : frames) {
+      on_frames_(std::span<const BytesView>(&v, 1));
+      if (!open()) return false;
+    }
+    return true;
+  }
+  if (on_frame_) {
+    for (const BytesView& v : frames) {
+      on_frame_(v);
+      if (!open()) return false;
+    }
+  }
+  return open();
+}
+
 // ---------------------------------------------------------------- StreamConn
 
 StreamConn::StreamConn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cfg, Fd fd,
-                       bool connecting)
+                       bool connecting, ChunkPool* pool)
     : Conn(loop, stats, cfg), fd_(std::move(fd)) {
   P5_EXPECTS(fd_.valid());
+  batch_ = resolve_io_batch(cfg_.batch);
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else {
+    own_pool_ = std::make_unique<ChunkPool>(&stats_);
+    pool_ = own_pool_.get();
+  }
+  if (cfg_.so_sndbuf_bytes > 0) {
+    (void)::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDBUF, &cfg_.so_sndbuf_bytes, sizeof(int));
+  }
   established_ = !connecting;
   last_rx_ms_ = loop_.now_ms();
   loop_.add_fd(fd_.get(), connecting ? kWritable : kReadable,
@@ -33,17 +92,25 @@ StreamConn::StreamConn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cf
 
 bool StreamConn::send_frame(BytesView payload) {
   if (!writable()) return false;
-  Bytes chunk;
-  chunk.reserve(4 + payload.size());
-  put_be32(chunk, static_cast<u32>(payload.size()));
-  append(chunk, payload);
-  queued_bytes_ += chunk.size();
+  ChunkRef chunk = pool_->acquire(4 + payload.size());
+  Bytes& wire = chunk.data();
+  put_be32(wire, static_cast<u32>(payload.size()));
+  append(wire, payload);
+  queued_bytes_ += wire.size();
   queue_.push_back(std::move(chunk));
   stats_.on_send_enqueued(payload.size());
   stats_.note_queue_depth(queued_bytes_);
-  flush_write();
+  // Batched mode stages: the queue drains through one scatter-gather syscall
+  // at the next flush()/writability event instead of one send per chunk.
+  if (!batch_ || queue_.size() >= kMaxIov) flush_write();
   if (open()) update_interest();
   return true;
+}
+
+void StreamConn::flush() {
+  if (!open()) return;
+  if (!queue_.empty()) flush_write();
+  if (open()) update_interest();
 }
 
 void StreamConn::request_drain() {
@@ -86,22 +153,51 @@ void StreamConn::finish_connect() {
 }
 
 void StreamConn::flush_write() {
+  // One scatter-gather sendmsg spans up to kMaxIov queued chunks (a single
+  // iovec — the exact legacy syscall pattern — when batching is off). A
+  // partial write leaves head_off_ mid-chunk and resumes there.
+  const std::size_t cap = batch_ ? kMaxIov : 1;
   while (!queue_.empty()) {
-    const Bytes& head = queue_.front();
-    const ssize_t n = ::send(fd_.get(), head.data() + head_off_, head.size() - head_off_,
-                             MSG_NOSIGNAL);
+    std::array<iovec, kMaxIov> iov;
+    std::size_t n_iov = 0;
+    std::size_t attempted = 0;
+    std::size_t off = head_off_;
+    for (const ChunkRef& c : queue_) {
+      if (n_iov == cap) break;
+      const Bytes& d = c.data();
+      iov[n_iov].iov_base = const_cast<u8*>(d.data() + off);
+      iov[n_iov].iov_len = d.size() - off;
+      attempted += iov[n_iov].iov_len;
+      ++n_iov;
+      off = 0;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data();
+    msg.msg_iovlen = n_iov;
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       close_internal(true);
       return;
     }
-    head_off_ += static_cast<std::size_t>(n);
-    queued_bytes_ -= static_cast<std::size_t>(n);
-    if (head_off_ < head.size()) return;  // kernel buffer full mid-chunk
-    stats_.on_sent(head.size() - 4);
-    head_off_ = 0;
-    queue_.pop_front();
+    stats_.tx_syscall();
+    std::size_t left = static_cast<std::size_t>(n);
+    queued_bytes_ -= left;
+    while (left > 0) {
+      const Bytes& head = queue_.front().data();
+      const std::size_t head_left = head.size() - head_off_;
+      if (left < head_left) {  // kernel buffer full mid-chunk: resume here
+        head_off_ += left;
+        left = 0;
+        break;
+      }
+      left -= head_left;
+      stats_.on_sent(head.size() - 4);
+      head_off_ = 0;
+      queue_.pop_front();
+    }
+    if (static_cast<std::size_t>(n) < attempted) return;
   }
   if (draining_ && !drained_notified_) {
     drained_notified_ = true;
@@ -110,48 +206,76 @@ void StreamConn::flush_write() {
   }
 }
 
+void StreamConn::ensure_rx_room() {
+  if (rx_off_ == rx_len_) {
+    rx_off_ = rx_len_ = 0;
+    // Fully drained: cap the capacity a large burst left behind so an idle
+    // conn doesn't pin megabytes.
+    const std::size_t retain = std::max(cfg_.rx_retain_bytes, cfg_.read_chunk_bytes);
+    if (rx_buf_.size() > retain) {
+      rx_buf_.resize(retain);
+      rx_buf_.shrink_to_fit();
+    }
+  } else if (rx_off_ > 0 &&
+             (rx_off_ >= kRxCompactBytes || rx_buf_.size() - rx_len_ < cfg_.read_chunk_bytes)) {
+    std::memmove(rx_buf_.data(), rx_buf_.data() + rx_off_, rx_len_ - rx_off_);
+    rx_len_ -= rx_off_;
+    rx_off_ = 0;
+  }
+  if (rx_buf_.size() < rx_len_ + cfg_.read_chunk_bytes) {
+    rx_buf_.resize(std::max(rx_len_ + cfg_.read_chunk_bytes, rx_buf_.size() * 2));
+  }
+}
+
 void StreamConn::read_some() {
   // Bounded burst: at most 4 slices per readable event so one fast peer
   // cannot monopolise a run_once slice.
   for (int burst = 0; burst < 4; ++burst) {
-    const std::size_t old_size = rx_buf_.size();
-    rx_buf_.resize(old_size + cfg_.read_chunk_bytes);
-    const ssize_t n = ::recv(fd_.get(), rx_buf_.data() + old_size, cfg_.read_chunk_bytes, 0);
+    ensure_rx_room();
+    const ssize_t n = ::recv(fd_.get(), rx_buf_.data() + rx_len_, cfg_.read_chunk_bytes, 0);
     if (n < 0) {
-      rx_buf_.resize(old_size);
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       close_internal(true);
       return;
     }
     if (n == 0) {  // orderly EOF from the peer
-      rx_buf_.resize(old_size);
       close_internal(true);
       return;
     }
-    rx_buf_.resize(old_size + static_cast<std::size_t>(n));
+    stats_.rx_syscall();
+    rx_len_ += static_cast<std::size_t>(n);
     last_rx_ms_ = loop_.now_ms();
-    if (!parse_frames()) return;  // proto error closed us
+    if (!parse_frames()) return;  // proto error / callback closed us
     if (static_cast<std::size_t>(n) < cfg_.read_chunk_bytes) return;
   }
 }
 
 bool StreamConn::parse_frames() {
-  std::size_t off = 0;
-  while (rx_buf_.size() - off >= 4) {
+  frame_views_.clear();
+  bool bad_length = false;
+  std::size_t off = rx_off_;
+  while (rx_len_ - off >= 4) {
     const u32 len = get_be32(rx_buf_, off);
     if (len > cfg_.max_frame_bytes) {
-      stats_.proto_error();
-      close_internal(true);
-      return false;
+      bad_length = true;
+      break;
     }
-    if (rx_buf_.size() - off - 4 < len) break;
+    if (rx_len_ - off - 4 < len) break;
     stats_.on_received(len);
-    if (on_frame_) on_frame_(BytesView(rx_buf_.data() + off + 4, len));
-    if (!open()) return false;  // callback closed us
+    frame_views_.emplace_back(rx_buf_.data() + off + 4, len);
     off += 4 + len;
   }
-  if (off > 0) rx_buf_.erase(rx_buf_.begin(), rx_buf_.begin() + static_cast<std::ptrdiff_t>(off));
+  rx_off_ = off;
+  if (rx_off_ == rx_len_) rx_off_ = rx_len_ = 0;  // nothing left: free reset
+  // The views alias rx_buf_, which nothing mutates until the callbacks
+  // return (send_frame only touches the TX queue).
+  if (!deliver_frames(frame_views_, batch_)) return false;
+  if (bad_length) {
+    stats_.proto_error();
+    close_internal(true);
+    return false;
+  }
   return true;
 }
 
@@ -184,17 +308,40 @@ void StreamConn::close_internal(bool notify) {
 // ----------------------------------------------------------------- DgramConn
 
 DgramConn::DgramConn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cfg, Fd fd,
-                     bool learn_peer)
+                     bool learn_peer, ChunkPool* pool)
     : Conn(loop, stats, cfg), fd_(std::move(fd)), has_peer_(!learn_peer) {
   P5_EXPECTS(fd_.valid());
+  batch_ = resolve_io_batch(cfg_.batch);
+  if (pool != nullptr) {
+    pool_ = pool;
+  } else {
+    own_pool_ = std::make_unique<ChunkPool>(&stats_);
+    pool_ = own_pool_.get();
+  }
+  if (cfg_.so_sndbuf_bytes > 0) {
+    (void)::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDBUF, &cfg_.so_sndbuf_bytes, sizeof(int));
+  }
   last_rx_ms_ = loop_.now_ms();
-  rx_buf_.resize(65536);
+  if (batch_) {
+    rx_slots_.resize(kDgramBatch);
+    for (Bytes& slot : rx_slots_) slot.resize(65536);
+  } else {
+    rx_buf_.resize(65536);
+  }
   loop_.add_fd(fd_.get(), kReadable, [this](u32 events) {
     if (events & kIoError) {
       close_internal(true);
       return;
     }
-    if (events & kReadable) read_some();
+    if (events & kWritable) {
+      flush_stage();
+      if (!open()) return;
+    }
+    if (events & kReadable) {
+      read_some();
+      if (!open()) return;
+    }
+    update_interest();
   });
   open_timer_ = loop_.add_timer(0, [this] {
     open_timer_ = 0;
@@ -205,23 +352,128 @@ DgramConn::DgramConn(EventLoop& loop, TransportTelemetry& stats, ConnConfig cfg,
 bool DgramConn::send_frame(BytesView payload) {
   if (!writable()) return false;
   stats_.on_send_enqueued(payload.size());
-  const ssize_t n = ::send(fd_.get(), payload.data(), payload.size(), MSG_NOSIGNAL);
-  if (n == static_cast<ssize_t>(payload.size())) {
-    stats_.on_sent(payload.size());
+  if (!batch_) {
+    const ssize_t n = ::send(fd_.get(), payload.data(), payload.size(), MSG_NOSIGNAL);
+    if (n >= 0) stats_.tx_syscall();
+    if (n == static_cast<ssize_t>(payload.size())) {
+      stats_.on_sent(payload.size());
+    } else {
+      // Kernel refused or truncated — the datagram is gone. The self-sync
+      // scrambler on the far side absorbs the hole; we just account for it.
+      stats_.add_frames_lost(1);
+    }
+    return true;
+  }
+  ChunkRef chunk = pool_->acquire(payload.size());
+  append(chunk.data(), payload);
+  stage_bytes_ += payload.size();
+  stage_.push_back(std::move(chunk));
+  if (stage_.size() >= kDgramBatch) {
+    flush_stage();
   } else {
-    // Kernel refused or truncated — the datagram is gone. The self-sync
-    // scrambler on the far side absorbs the hole; we just account for it.
-    stats_.add_frames_lost(1);
+    update_interest();  // the always-writable socket drains us next run_once
   }
   return true;
 }
 
+void DgramConn::flush() {
+  if (!open()) return;
+  flush_stage();
+  if (open()) update_interest();
+}
+
+void DgramConn::flush_stage() {
+  while (!stage_.empty()) {
+    const unsigned n_msgs = static_cast<unsigned>(std::min(stage_.size(), kDgramBatch));
+    std::array<mmsghdr, kDgramBatch> msgs{};
+    std::array<iovec, kDgramBatch> iovs;
+    for (unsigned i = 0; i < n_msgs; ++i) {
+      const Bytes& d = stage_[i].data();
+      iovs[i].iov_base = const_cast<u8*>(d.data());
+      iovs[i].iov_len = d.size();
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int sent = ::sendmmsg(fd_.get(), msgs.data(), n_msgs, 0);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      // Fire-and-forget: EAGAIN and hard errors alike cost the staged batch;
+      // the far deframer rides through the gap.
+      stats_.add_frames_lost(stage_.size());
+      stage_.clear();
+      stage_bytes_ = 0;
+      return;
+    }
+    stats_.tx_syscall();
+    for (unsigned i = 0; i < static_cast<unsigned>(sent); ++i) {
+      const std::size_t want = stage_[i].data().size();
+      stage_bytes_ -= want;
+      if (msgs[i].msg_len == want) {
+        stats_.on_sent(want);
+      } else {
+        stats_.add_frames_lost(1);
+      }
+    }
+    stage_.erase(stage_.begin(), stage_.begin() + sent);
+    // A short return means the next datagram would block; the retry either
+    // moves it or lands in the EAGAIN branch above.
+  }
+}
+
 void DgramConn::request_drain() {
-  // Nothing buffers; a datagram conn is always drained.
+  if (!open()) return;
+  flush_stage();
+  // Nothing else buffers; a datagram conn drains instantly.
   if (open() && on_drained_) on_drained_();
 }
 
 void DgramConn::read_some() {
+  if (!batch_) {
+    read_some_serial();
+    return;
+  }
+  for (int burst = 0; burst < 4; ++burst) {
+    std::array<mmsghdr, kDgramBatch> msgs{};
+    std::array<iovec, kDgramBatch> iovs;
+    std::array<sockaddr_in, kDgramBatch> addrs{};
+    for (std::size_t i = 0; i < kDgramBatch; ++i) {
+      iovs[i].iov_base = rx_slots_[i].data();
+      iovs[i].iov_len = rx_slots_[i].size();
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = &addrs[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+    }
+    const int n = ::recvmmsg(fd_.get(), msgs.data(), kDgramBatch, 0, nullptr);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN and transient ICMP errors alike: wait for the next event
+    }
+    if (n == 0) return;
+    stats_.rx_syscall();
+    last_rx_ms_ = loop_.now_ms();
+    if (!has_peer_) {
+      // Listener side: lock onto the first talker so sends have a target.
+      if (::connect(fd_.get(), reinterpret_cast<sockaddr*>(&addrs[0]),
+                    msgs[0].msg_hdr.msg_namelen) == 0) {
+        has_peer_ = true;
+        if (on_open_) on_open_();
+        if (!open()) return;
+      }
+    }
+    frame_views_.clear();
+    for (unsigned i = 0; i < static_cast<unsigned>(n); ++i) {
+      const std::size_t len = msgs[i].msg_len;
+      if (len == 0) continue;  // zero-length datagram carries nothing useful
+      stats_.on_received(len);
+      frame_views_.emplace_back(rx_slots_[i].data(), len);
+    }
+    if (!deliver_frames(frame_views_, /*batched=*/true)) return;
+    if (n < static_cast<int>(kDgramBatch)) return;
+  }
+}
+
+void DgramConn::read_some_serial() {
   for (int burst = 0; burst < 16; ++burst) {
     sockaddr_in peer{};
     socklen_t peer_len = sizeof(peer);
@@ -231,6 +483,7 @@ void DgramConn::read_some() {
       if (errno == EINTR) continue;
       return;  // EAGAIN and transient ICMP errors alike: wait for the next event
     }
+    stats_.rx_syscall();
     last_rx_ms_ = loop_.now_ms();
     if (!has_peer_) {
       // Listener side: lock onto the first talker so sends have a target.
@@ -242,9 +495,15 @@ void DgramConn::read_some() {
     }
     if (n == 0) continue;  // zero-length datagram carries nothing useful
     stats_.on_received(static_cast<std::size_t>(n));
-    if (on_frame_) on_frame_(BytesView(rx_buf_.data(), static_cast<std::size_t>(n)));
-    if (!open()) return;
+    const BytesView view(rx_buf_.data(), static_cast<std::size_t>(n));
+    if (!deliver_frames(std::span<const BytesView>(&view, 1), /*batched=*/false)) return;
   }
+}
+
+void DgramConn::update_interest() {
+  u32 interest = kReadable;
+  if (!stage_.empty()) interest |= kWritable;
+  loop_.modify_fd(fd_.get(), interest);
 }
 
 void DgramConn::close_internal(bool notify) {
@@ -256,6 +515,11 @@ void DgramConn::close_internal(bool notify) {
   }
   loop_.remove_fd(fd_.get());
   fd_.reset();
+  // Staged datagrams were accepted into frames_in; charge them lost so the
+  // ledger closes exactly.
+  stats_.add_frames_lost(stage_.size());
+  stage_.clear();
+  stage_bytes_ = 0;
   has_peer_ = false;
   if (notify && on_closed_) on_closed_();
   closing_ = false;

@@ -118,11 +118,13 @@ Fd udp_bind(const SocketAddr& addr) {
   if (!fill_sockaddr(addr, sa)) return Fd();
   Fd fd = make_socket(SOCK_DGRAM);
   if (!fd.valid()) return fd;
-  // A SONET chunk per datagram bursts well past the default budgets; a roomy
-  // receive buffer keeps loopback tests loss-free so observed drops are the
-  // injected ones.
+  // A SONET chunk per datagram bursts well past the default budgets; roomy
+  // buffers on both directions keep loopback tests loss-free so observed
+  // drops are the injected ones — the sendmmsg leg can put a whole staged
+  // batch on the wire in one call, which needs SO_SNDBUF headroom too.
   const int buf = 1 << 20;
   (void)::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) fd.reset();
   return fd;
 }
@@ -134,6 +136,7 @@ Fd udp_connect(const SocketAddr& addr) {
   if (!fd.valid()) return fd;
   const int buf = 1 << 20;
   (void)::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
   if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) fd.reset();
   return fd;
 }

@@ -19,6 +19,9 @@ TransportSnapshot& TransportSnapshot::operator+=(const TransportSnapshot& o) {
   backpressure_stalls += o.backpressure_stalls;
   send_queue_hwm = send_queue_hwm > o.send_queue_hwm ? send_queue_hwm : o.send_queue_hwm;
   proto_errors += o.proto_errors;
+  tx_syscalls += o.tx_syscalls;
+  rx_syscalls += o.rx_syscalls;
+  pool_recycled += o.pool_recycled;
   return *this;
 }
 
@@ -40,6 +43,9 @@ TransportSnapshot TransportTelemetry::read_once() const {
   s.backpressure_stalls = backpressure_stalls_.load(std::memory_order_relaxed);
   s.send_queue_hwm = send_queue_hwm_.load(std::memory_order_relaxed);
   s.proto_errors = proto_errors_.load(std::memory_order_relaxed);
+  s.tx_syscalls = tx_syscalls_.load(std::memory_order_relaxed);
+  s.rx_syscalls = rx_syscalls_.load(std::memory_order_relaxed);
+  s.pool_recycled = pool_recycled_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -46,6 +46,19 @@ struct TransportSnapshot {
   u64 send_queue_hwm = 0;       ///< peak queued send bytes observed
   u64 proto_errors = 0;         ///< bad length prefixes / unusable datagrams
 
+  // Batched-I/O amortisation (scatter-gather TX, recvmmsg RX, ChunkPool).
+  u64 tx_syscalls = 0;    ///< send/sendmsg/sendmmsg calls that reached the kernel
+  u64 rx_syscalls = 0;    ///< recv/recvmmsg calls that returned data
+  u64 pool_recycled = 0;  ///< chunk buffers served from the pool free list
+
+  /// Wire chunks moved per socket syscall, both directions — the figure the
+  /// batching exists to raise (1.0 is the old frame-at-a-time transport).
+  [[nodiscard]] double frames_per_syscall() const {
+    const u64 io = tx_syscalls + rx_syscalls;
+    const u64 frames = frames_out + frames_rcvd;
+    return io == 0 ? 0.0 : static_cast<double>(frames) / static_cast<double>(io);
+  }
+
   bool operator==(const TransportSnapshot&) const = default;
   TransportSnapshot& operator+=(const TransportSnapshot& o);
 };
@@ -79,6 +92,9 @@ class TransportTelemetry {
   void backpressure_stall() { backpressure_stalls_.fetch_add(1, std::memory_order_relaxed); }
   void note_queue_depth(std::size_t bytes) { raise(send_queue_hwm_, bytes); }
   void proto_error() { proto_errors_.fetch_add(1, std::memory_order_relaxed); }
+  void tx_syscall() { tx_syscalls_.fetch_add(1, std::memory_order_relaxed); }
+  void rx_syscall() { rx_syscalls_.fetch_add(1, std::memory_order_relaxed); }
+  void pool_recycled() { pool_recycled_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Consistent point-in-time copy: reads the block twice until two
   /// consecutive reads agree (bounded retries; the counters are monotonic,
@@ -109,6 +125,9 @@ class TransportTelemetry {
   std::atomic<u64> backpressure_stalls_{0};
   std::atomic<u64> send_queue_hwm_{0};
   std::atomic<u64> proto_errors_{0};
+  std::atomic<u64> tx_syscalls_{0};
+  std::atomic<u64> rx_syscalls_{0};
+  std::atomic<u64> pool_recycled_{0};
 };
 
 }  // namespace p5::transport

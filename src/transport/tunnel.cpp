@@ -33,6 +33,13 @@ TunnelBinding TunnelBinding::endpoint(core::SonetEndpoint& ep) {
     ep.push_line(v);
     return true;
   };
+  // One call per received burst: the line interface takes arbitrary octet
+  // runs, so a burst is just consecutive push_line calls — the batch-capable
+  // FastP5Endpoint deframes the whole run before the tunnel regains control.
+  b.push_batch = [&ep](std::span<const BytesView> burst) {
+    for (const BytesView& v : burst) ep.push_line(v);
+    return burst.size();
+  };
   return b;
 }
 
@@ -60,6 +67,13 @@ TunnelBinding TunnelBinding::channel(linecard::Channel& ch) {
     d.source_channel = v[3];
     d.payload.assign(v.begin() + 4, v.end());
     return ch.ingress_offer(std::move(d));
+  };
+  b.push_batch = [push = b.push](std::span<const BytesView> burst) {
+    std::size_t accepted = 0;
+    for (const BytesView& v : burst) {
+      if (push(v)) ++accepted;
+    }
+    return accepted;
   };
   b.step = [&ch] { (void)ch.step(); };
   return b;
@@ -110,7 +124,7 @@ void Tunnel::begin_listen() {
     bound_port_ = local_port(fd.get());
     state_ = TunnelState::kListening;
     adopt(std::make_unique<DgramConn>(loop_, tel_, cfg_.conn, std::move(fd),
-                                      /*learn_peer=*/true));
+                                      /*learn_peer=*/true, &pool_));
     return;
   }
   listen_fd_ = tcp_listen(addr);
@@ -122,7 +136,7 @@ void Tunnel::begin_listen() {
     if (!c.valid()) return;
     // Latest peer wins: a reconnecting far end replaces a stale connection.
     adopt(std::make_unique<StreamConn>(loop_, tel_, cfg_.conn, std::move(c),
-                                       /*connecting=*/false));
+                                       /*connecting=*/false, &pool_));
   });
 }
 
@@ -135,7 +149,7 @@ void Tunnel::begin_connect() {
       return;
     }
     adopt(std::make_unique<DgramConn>(loop_, tel_, cfg_.conn, std::move(fd),
-                                      /*learn_peer=*/false));
+                                      /*learn_peer=*/false, &pool_));
     return;
   }
   bool in_progress = false;
@@ -144,7 +158,7 @@ void Tunnel::begin_connect() {
     schedule_reconnect();
     return;
   }
-  adopt(std::make_unique<StreamConn>(loop_, tel_, cfg_.conn, std::move(fd), in_progress));
+  adopt(std::make_unique<StreamConn>(loop_, tel_, cfg_.conn, std::move(fd), in_progress, &pool_));
 }
 
 void Tunnel::adopt(std::unique_ptr<Conn> conn) {
@@ -164,7 +178,7 @@ void Tunnel::adopt(std::unique_ptr<Conn> conn) {
       if (*alive) finish_drain();
     });
   });
-  raw->set_on_frame([this](BytesView v) { deliver(v); });
+  raw->set_on_frames([this](std::span<const BytesView> burst) { deliver(burst); });
   conn_ = std::move(conn);
 }
 
@@ -268,18 +282,38 @@ std::size_t Tunnel::pump() {
     last_tx_ms_ = loop_.now_ms();
     ++sent;
   }
-  if (conn_) tel_.note_queue_depth(conn_->queued_bytes());
+  if (conn_) {
+    conn_->flush();  // the whole slice rides one scatter-gather syscall
+    tel_.note_queue_depth(conn_->queued_bytes());
+  }
   return sent;
 }
 
-void Tunnel::deliver(BytesView chunk) {
+void Tunnel::deliver(std::span<const BytesView> chunks) {
   if (rx_tap_) {
-    tap_scratch_.assign(chunk.begin(), chunk.end());
-    rx_tap_(tap_scratch_);
-    if (tap_scratch_.empty()) return;  // the tap ate it: injected loss
-    chunk = tap_scratch_;
+    // The tap mutates (and sometimes eats) chunks; materialise each into
+    // reusable scratch storage, preserving per-chunk tap order so seeded
+    // fault sequences are identical whether delivery is batched or not.
+    tap_scratch_.resize(std::max(tap_scratch_.size(), chunks.size()));
+    tap_survivors_.clear();
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      Bytes& copy = tap_scratch_[i];
+      copy.assign(chunks[i].begin(), chunks[i].end());
+      rx_tap_(copy);
+      if (copy.empty()) continue;  // the tap ate it: injected loss
+      tap_survivors_.emplace_back(copy.data(), copy.size());
+    }
+    chunks = tap_survivors_;
   }
-  if (binding_.push && !binding_.push(chunk)) tel_.rx_drop();
+  if (chunks.empty()) return;
+  if (binding_.push_batch) {
+    const std::size_t accepted = binding_.push_batch(chunks);
+    for (std::size_t i = accepted; i < chunks.size(); ++i) tel_.rx_drop();
+  } else if (binding_.push) {
+    for (const BytesView& v : chunks) {
+      if (!binding_.push(v)) tel_.rx_drop();
+    }
+  }
 }
 
 void Tunnel::request_drain() {

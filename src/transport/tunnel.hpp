@@ -29,7 +29,9 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -49,13 +51,17 @@ namespace p5::transport {
 /// (empty = nothing pending); `pull_raw`, when present, produces a chunk
 /// unconditionally (keepalive fill for carriers that can always emit, like a
 /// SONET transmitter); `ready` predicts whether pull would produce; `push`
-/// delivers a received chunk and reports refusal (ring full); `step`, when
-/// present, runs one housekeeping slice per pump.
+/// delivers a received chunk and reports refusal (ring full); `push_batch`,
+/// when present, takes a whole received burst in one call and returns how
+/// many chunks the bound object accepted (refusals are counted as rx drops
+/// regardless of position); `step`, when present, runs one housekeeping
+/// slice per pump.
 struct TunnelBinding {
   std::function<Bytes()> pull;
   std::function<Bytes()> pull_raw;
   std::function<bool()> ready;
   std::function<bool(BytesView)> push;
+  std::function<std::size_t(std::span<const BytesView>)> push_batch;
   std::function<void()> step;
 
   /// Bind either device tier: cycle-accurate P5SonetEndpoint or the batch
@@ -129,6 +135,9 @@ class Tunnel {
 
   [[nodiscard]] TransportSnapshot stats() const { return tel_.snapshot(); }
   [[nodiscard]] TransportTelemetry& telemetry() { return tel_; }
+  /// The chunk pool every connection of this tunnel draws from — reconnects
+  /// inherit the warmed free list.
+  [[nodiscard]] ChunkPool::Counters pool_counters() const { return pool_.counters(); }
 
   /// Mutate each received chunk before it reaches the binding — the hook a
   /// testing::FaultyLine plugs into (it is directly callable). A tap that
@@ -146,12 +155,15 @@ class Tunnel {
   void arm_idle_timer();
   void idle_check();
   void finish_drain();
-  void deliver(BytesView chunk);
+  void deliver(std::span<const BytesView> chunks);
 
   EventLoop& loop_;
   TunnelBinding binding_;
   TunnelConfig cfg_;
   TransportTelemetry tel_;
+  /// Shared by every conn this tunnel ever adopts; declared before conn_ so
+  /// queued ChunkRefs release into a live pool at destruction.
+  ChunkPool pool_{&tel_};
   Xoshiro256 rng_;
   /// Deferred-teardown timers capture this flag, not a bare `this`, so a
   /// timer that outlives the Tunnel fizzles instead of dangling.
@@ -168,7 +180,8 @@ class Tunnel {
   u64 last_tx_ms_ = 0;        ///< keepalive reference
   EventLoop::TimerId idle_timer_ = 0;
   std::function<void(Bytes&)> rx_tap_;
-  Bytes tap_scratch_;
+  std::vector<Bytes> tap_scratch_;       ///< tap-mutated copies, one per chunk
+  std::vector<BytesView> tap_survivors_; ///< the burst minus tap-eaten chunks
 };
 
 }  // namespace p5::transport
