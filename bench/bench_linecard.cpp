@@ -18,7 +18,12 @@
 // Results go to stdout and BENCH_linecard.json (same machine-readable shape
 // as BENCH_softpath.json).
 //
-// Usage: bench_linecard [--smoke] [--deterministic] [--frames N] [--out <path>]
+// --pcap appends trace-driven rows: the bundled deterministic TCP trace
+// (net/capture/trace_gen) as the per-channel workload, so the sweep also
+// covers real packet-size and header dynamics rather than synthetic mixes
+// alone.
+//
+// Usage: bench_linecard [--smoke] [--deterministic] [--pcap] [--frames N] [--out <path>]
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -30,6 +35,7 @@
 
 #include "bench_util.hpp"
 #include "linecard/linecard.hpp"
+#include "net/capture/trace_gen.hpp"
 #include "net/traffic.hpp"
 
 namespace p5::bench {
@@ -55,6 +61,14 @@ std::vector<Bytes> make_frames(const std::string& workload, std::size_t count, u
   if (workload == "imix") {
     net::ImixGenerator gen(seed);
     for (std::size_t i = 0; i < count; ++i) frames.push_back(gen.next_datagram());
+  } else if (workload == "pcap") {
+    // Trace-driven: the bundled deterministic TCP trace (real sequence/ack
+    // dynamics, real header entropy) instead of a synthetic mix.
+    net::capture::TraceGenConfig cfg;
+    cfg.packets = count;
+    cfg.seed = seed;
+    for (auto& rec : net::capture::synthesize_tcp_trace(cfg).records)
+      frames.push_back(std::move(rec.data));
   } else {  // flag-dense: every fourth octet is an escape candidate
     net::TrafficSpec spec;
     spec.pattern = net::PayloadPattern::kFlagDense;
@@ -180,12 +194,13 @@ bool write_json(const std::vector<Row>& rows, const std::string& path, bool dete
 }  // namespace
 
 int run(int argc, char** argv) {
-  bool smoke = false, deterministic = false;
+  bool smoke = false, deterministic = false, pcap = false;
   std::size_t frames = 48;
   std::string out_path = "BENCH_linecard.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--deterministic") == 0) deterministic = true;
+    if (std::strcmp(argv[i], "--pcap") == 0) pcap = true;
     if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc)
       frames = static_cast<std::size_t>(std::atol(argv[++i]));
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
@@ -199,7 +214,9 @@ int run(int argc, char** argv) {
               std::thread::hardware_concurrency());
 
   std::vector<Row> rows;
-  for (const std::string workload : {"imix", "flagdense"}) {
+  std::vector<std::string> workloads{"imix", "flagdense"};
+  if (pcap) workloads.push_back("pcap");
+  for (const std::string& workload : workloads) {
     double base = 0.0;
     for (const unsigned channels : {1u, 2u, 4u, 8u}) {
       Row r = run_config(workload, channels, frames, deterministic);

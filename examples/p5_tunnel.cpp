@@ -25,11 +25,13 @@
 // Usage:
 //   p5_tunnel (--listen PORT | --connect HOST:PORT)
 //             [--tier cycle|fast] [--channels N] [--frames N | --duration SEC]
-//             [--udp] [--echo] [--stats-ms MS] [--seed N]
+//             [--udp] [--echo] [--stats-ms MS] [--seed N] [--pcap-out PATH]
 //
 // --frames bounds the run by work, --duration by wall clock: after SEC
 // seconds the sender stops submitting and drains, so soak runs against a
-// live server don't need a frame-count guess.
+// live server don't need a frame-count guess. --pcap-out records every
+// delivered datagram (all channels) as a PPP-linktype pcap — ff 03 proto
+// payload per record — and prints the tap's exact ledger on exit.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -38,6 +40,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/capture/tap.hpp"
 #include "net/traffic.hpp"
 #include "p5/endpoint.hpp"
 #include "transport/event_loop.hpp"
@@ -68,6 +71,7 @@ struct Options {
   p5::u64 duration_s = 0;  // wall-clock bound; 0 = unbounded
   p5::u64 stats_ms = 1000;
   p5::u64 seed = 7;
+  std::string pcap_out;  // record delivered datagrams (all channels) here
   // Default-selection point: fast unless P5_DEVICE_TIER says otherwise.
   // An explicit --tier flag overwrites this (and so beats the env).
   p5::core::DeviceTier tier =
@@ -129,6 +133,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = need("--seed");
       if (!v) return false;
       opt.seed = static_cast<p5::u64>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--pcap-out") == 0) {
+      const char* v = need("--pcap-out");
+      if (!v) return false;
+      opt.pcap_out = v;
     } else if (std::strcmp(argv[i], "--udp") == 0) {
       opt.udp = true;
     } else if (std::strcmp(argv[i], "--echo") == 0) {
@@ -142,7 +150,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
     std::fprintf(stderr,
                  "usage: p5_tunnel (--listen PORT | --connect HOST:PORT) [--tier cycle|fast]\n"
                  "                 [--channels N] [--frames N | --duration SEC] [--udp]\n"
-                 "                 [--echo] [--stats-ms MS] [--seed N]\n");
+                 "                 [--echo] [--stats-ms MS] [--seed N] [--pcap-out PATH]\n");
     return false;
   }
   return true;
@@ -187,6 +195,29 @@ int main(int argc, char** argv) {
   for (unsigned i = 0; i < opt.channels; ++i) lanes.push_back(std::make_unique<Lane>(loop, opt, i));
   for (auto& l : lanes) l->tun->start();
 
+  // Delivered-datagram tap: PPP linktype, each record ff 03 proto payload —
+  // the framing TraceSource::classify() strips on replay.
+  net::capture::CaptureTap tap({.nsec = true, .linktype = net::capture::kLinkPpp});
+  const bool recording = !opt.pcap_out.empty();
+  if (recording) {
+    if (!tap.open(opt.pcap_out)) {
+      std::fprintf(stderr, "p5_tunnel: cannot create %s\n", opt.pcap_out.c_str());
+      return 1;
+    }
+    tap.use_wall_clock();
+  }
+  Bytes tap_buf;
+  const auto tap_record = [&](u16 protocol, BytesView payload) {
+    tap_buf.clear();
+    tap_buf.reserve(payload.size() + 4);
+    tap_buf.push_back(0xff);
+    tap_buf.push_back(0x03);
+    tap_buf.push_back(static_cast<u8>(protocol >> 8));
+    tap_buf.push_back(static_cast<u8>(protocol & 0xff));
+    tap_buf.insert(tap_buf.end(), payload.begin(), payload.end());
+    tap.record(tap_buf);
+  };
+
   std::printf("p5_tunnel: %s %s:%u, %u channel%s, %s, tier %s%s\n",
               opt.listen ? "listening on" : "connecting to", opt.host.c_str(), opt.port,
               opt.channels, opt.channels > 1 ? "s" : "", opt.udp ? "udp" : "tcp",
@@ -214,6 +245,7 @@ int main(int argc, char** argv) {
         l->hash_in ^= fnv1a(d->payload) * (l->reaped + 1);
         ++l->reaped;
         l->reaped_bytes += d->payload.size();
+        if (recording) tap_record(d->protocol, d->payload);
         if (opt.echo) (void)l->ep->submit_datagram(d->protocol, d->payload);
       }
     }
@@ -306,6 +338,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.frames_lost),
                 static_cast<unsigned long long>(l.ep->rx_counters().frames_bad));
     if (l.reaped == l.submitted && l.submitted > 0 && !hashes) ok = false;
+  }
+  if (recording) {
+    tap.close();
+    const auto t = tap.stats();
+    std::printf("pcap: %s — %llu records, %llu bytes, %llu drops at tap\n",
+                opt.pcap_out.c_str(), static_cast<unsigned long long>(t.records),
+                static_cast<unsigned long long>(t.bytes),
+                static_cast<unsigned long long>(t.drops));
   }
   return ok ? 0 : 1;
 }

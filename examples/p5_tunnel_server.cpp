@@ -28,12 +28,17 @@
 // ledgers and the summed per-shard chunk ledger, each with an exactness
 // verdict. Exit status 0 iff every ledger closes exactly.
 //
+// --pcap-out PATH records every datagram the server decodes — all tenants,
+// all shards — as one PPP-linktype pcap (records are ff 03 proto payload;
+// the CaptureTap serialises its own writes, so shard concurrency is safe)
+// and prints the tap's exact ledger with the final books.
+//
 // Usage:
 //   p5_tunnel_server --listen PORT[=TENANT|=hello] [--listen ...]
 //                    [--shards N] [--reuseport] [--tier cycle|fast]
 //                    [--mode echo|sink|uplink] [--max-per-tenant N]
 //                    [--rate-cap BYTES_PER_S] [--max-sessions N]
-//                    [--stats-ms MS]
+//                    [--stats-ms MS] [--pcap-out PATH]
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -41,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/capture/tap.hpp"
 #include "server/server.hpp"
 
 namespace {
@@ -57,6 +63,7 @@ struct Options {
   p5::u64 rate_cap = 0;
   std::size_t max_sessions = 0;
   p5::u64 stats_ms = 1000;
+  std::string pcap_out;  // record every delivered datagram (all shards) here
   p5::core::DeviceTier tier =
       p5::core::resolve_device_tier(p5::core::DeviceTier::kFast);
 };
@@ -136,6 +143,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = need("--stats-ms");
       if (!v) return false;
       opt.stats_ms = static_cast<p5::u64>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--pcap-out") == 0) {
+      const char* v = need("--pcap-out");
+      if (!v) return false;
+      opt.pcap_out = v;
     } else if (std::strcmp(argv[i], "--reuseport") == 0) {
       opt.reuseport = true;
     } else {
@@ -149,7 +160,7 @@ bool parse_args(int argc, char** argv, Options& opt) {
                  "                        [--shards N] [--reuseport] [--tier cycle|fast]\n"
                  "                        [--mode echo|sink|uplink] [--max-per-tenant N]\n"
                  "                        [--rate-cap BYTES_PER_S] [--max-sessions N]\n"
-                 "                        [--stats-ms MS]\n");
+                 "                        [--stats-ms MS] [--pcap-out PATH]\n");
     return false;
   }
   return true;
@@ -181,6 +192,30 @@ int main(int argc, char** argv) {
   cfg.max_sessions_total = opt.max_sessions;
   cfg.tenant_defaults.max_sessions = opt.max_per_tenant;
   cfg.tenant_defaults.rx_bytes_per_s = opt.rate_cap;
+
+  // Server-wide delivered tap: sessions on every shard thread funnel into
+  // one CaptureTap (internally mutexed), PPP linktype with wall-clock
+  // timestamps so captures from concurrent tenants interleave honestly.
+  net::capture::CaptureTap tap({.nsec = true, .linktype = net::capture::kLinkPpp});
+  const bool recording = !opt.pcap_out.empty();
+  if (recording) {
+    if (!tap.open(opt.pcap_out)) {
+      std::fprintf(stderr, "p5_tunnel_server: cannot create %s\n", opt.pcap_out.c_str());
+      return 1;
+    }
+    tap.use_wall_clock();
+    cfg.delivered_tap = [&tap](u32 /*tenant*/, u16 protocol, BytesView payload) {
+      Bytes rec;
+      rec.reserve(payload.size() + 4);
+      rec.push_back(0xff);
+      rec.push_back(0x03);
+      rec.push_back(static_cast<u8>(protocol >> 8));
+      rec.push_back(static_cast<u8>(protocol & 0xff));
+      rec.insert(rec.end(), payload.begin(), payload.end());
+      tap.record(rec);
+    };
+  }
+
   server::TunnelServer srv(cfg);
   if (!srv.start()) {
     std::fprintf(stderr, "p5_tunnel_server: %s\n", srv.last_error().c_str());
@@ -195,6 +230,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < opt.listeners.size(); ++i) {
     std::printf("%s %u", i == 0 ? ":" : ",", srv.port(i));
   }
+  if (recording) std::printf(", recording %s", opt.pcap_out.c_str());
   std::printf("\n");
 
   while (!g_interrupted) {
@@ -252,5 +288,13 @@ int main(int argc, char** argv) {
   std::printf("[io] %llu syscalls, %.1f chunks/syscall, pool recycled %llu\n",
               static_cast<unsigned long long>(xs.tx_syscalls + xs.rx_syscalls),
               xs.frames_per_syscall(), static_cast<unsigned long long>(xs.pool_recycled));
+  if (recording) {
+    tap.close();
+    const auto t = tap.stats();
+    std::printf("pcap: %s — %llu records, %llu bytes, %llu drops at tap\n",
+                opt.pcap_out.c_str(), static_cast<unsigned long long>(t.records),
+                static_cast<unsigned long long>(t.bytes),
+                static_cast<unsigned long long>(t.drops));
+  }
   return ok ? 0 : 1;
 }

@@ -17,8 +17,12 @@ comparisons where absolute throughput matters.
 
 Cells present in the baseline but missing from the fresh run are warnings by
 default (a host without AVX2 cannot produce avx2-pinned rows); --strict
-turns them into failures. Cells only in the fresh run are ignored (new
-kernels/tiers are not regressions).
+turns them into failures. Cells only in the fresh run warn but never fail —
+a new kernel, tier, or workload row is not a regression, but naming it keeps
+"the baseline needs regenerating" visible in CI logs. Likewise a bench-name
+mismatch between the two files (e.g. a fresh BENCH_capture.json gated
+against an older baseline that predates the bench) warns and compares
+whatever cells do line up rather than failing outright.
 
 Usage:
   scripts/bench_compare.py FRESH.json BASELINE.json [--tolerance 0.15]
@@ -37,6 +41,7 @@ PER_BENCH_TOLERANCE = {
     "tunnel": 0.80,
     "server": 0.80,
     "session": 0.80,
+    "capture": 0.80,
 }
 
 
@@ -102,8 +107,14 @@ def main():
 
     fresh_doc, fresh = load_results(args.fresh)
     base_doc, baseline = load_results(args.baseline)
+    fresh_bench = fresh_doc.get("bench")
+    base_bench = base_doc.get("bench")
+    if fresh_bench and base_bench and fresh_bench != base_bench:
+        print(f"bench_compare: warning: bench name mismatch: fresh is "
+              f"'{fresh_bench}', baseline is '{base_bench}' — comparing "
+              f"whatever cells line up; regenerate the baseline")
     if args.tolerance is None:
-        bench = base_doc.get("bench") or fresh_doc.get("bench")
+        bench = base_bench or fresh_bench
         args.tolerance = PER_BENCH_TOLERANCE.get(bench, 0.15)
 
     regressions = []
@@ -123,6 +134,14 @@ def main():
         if fresh_val < floor:
             regressions.append((key, base_val, fresh_val))
 
+    # Rows only the fresh run produced: warn, never fail — a new kernel or
+    # workload is not a regression, but it does mean the committed baseline
+    # no longer covers the bench.
+    extra = [key for key in sorted(fresh, key=fmt_key) if key not in baseline]
+    for key in extra:
+        print(f"bench_compare: warning: fresh cell absent from baseline "
+              f"(ungated): {fmt_key(key)}")
+
     for key in missing:
         level = "error" if args.strict else "warning"
         print(f"bench_compare: {level}: baseline cell missing from fresh run: {fmt_key(key)}")
@@ -134,7 +153,8 @@ def main():
 
     verdict_fail = bool(regressions) or (args.strict and missing)
     print(f"bench_compare: {compared} cells compared, {len(regressions)} regressions, "
-          f"{len(missing)} missing ({args.metric}, tolerance {100.0 * args.tolerance:.0f}%)"
+          f"{len(missing)} missing, {len(extra)} ungated "
+          f"({args.metric}, tolerance {100.0 * args.tolerance:.0f}%)"
           f" -> {'FAIL' if verdict_fail else 'OK'}")
     return 1 if verdict_fail else 0
 

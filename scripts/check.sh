@@ -8,6 +8,10 @@
 #             kill/reconnect test that tier-1 runs at its default
 #   session   the PPP session plane label               (build/, ctest -L session)
 #             auth FSMs, VJ compression, and the broker negotiation storms
+#   capture   the pcap capture/replay + TUN bridge label (build/, ctest -L capture)
+#             golden pcap vectors, replay equivalence, tap ledgers; TUN tests
+#             SKIP without /dev/net/tun privileges. Plus the bench_tunnel
+#             --pcap quick gate vs the committed BENCH_capture.json
 #   tier      device-tier matrix: transport+conformance suites re-run with
 #             P5_DEVICE_TIER forced to cycle, then fast, then fast with
 #             P5_ESCAPE_TIER=scalar (fast tier on the scalar escape engine)
@@ -26,7 +30,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault transport server session tier asan tsan bench)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(tier-1 fault transport server session capture tier asan tsan bench)
 
 want() {
   local s
@@ -82,6 +86,24 @@ if want session; then
   (cd build && ctest -L session --output-on-failure -j)
 fi
 
+if want capture; then
+  echo
+  echo "== capture: pcap capture/replay + TUN bridge suite (ctest -L capture) =="
+  cmake -B build -S .
+  cmake --build build -j
+  # TUN-dependent tests and the p5_tun probe SKIP (exit 77) when the host
+  # has no /dev/net/tun or no CAP_NET_ADMIN — a skip is green, a FAIL is not.
+  (cd build && ctest -L capture --output-on-failure -j)
+  echo
+  echo "== capture gate: quick pcap-replay tunnel sweep vs committed baseline =="
+  # Replay throughput is wall-clock like the tunnel gate (80% per-bench
+  # tolerance); the bench itself exits nonzero if any chunk ledger fails to
+  # close, so the gate only catches a collapsed replay path.
+  ./build/bench/bench_tunnel --pcap --quick --out build/BENCH_capture.fresh.json > /dev/null
+  python3 scripts/bench_compare.py build/BENCH_capture.fresh.json BENCH_capture.json \
+    --metric new_mb_s
+fi
+
 if want tier; then
   echo
   echo "== tier: device-tier matrix over the transport + conformance suites =="
@@ -113,7 +135,7 @@ if want tsan; then
   # TSan's value is the threaded runtime; run the suites that spin threads
   # (including the sharded broker storm) plus the whole fault label (cheap,
   # and proves the harness is race-free).
-  (cd build-tsan && ctest -R 'LineCard|SpscRing|SharedMemory|Transport|Server|Broker' --output-on-failure -j)
+  (cd build-tsan && ctest -R 'LineCard|SpscRing|SharedMemory|Transport|Server|Broker|Capture|Tun|Replay|Pcap|TraceGen' --output-on-failure -j)
   (cd build-tsan && ctest -L fault --output-on-failure -j)
 fi
 

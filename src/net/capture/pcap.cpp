@@ -1,0 +1,261 @@
+#include "net/capture/pcap.hpp"
+
+#include <cstring>
+
+namespace p5::net::capture {
+namespace {
+
+// The file's own endianness decides header scalar layout; records normalise
+// to host order in memory. 16-bit helpers are local — the shared packing
+// helpers in common/types.hpp only cover the widths the frame codecs use.
+void put_u16(Bytes& b, u16 v, bool be) {
+  if (be) {
+    put_be16(b, v);
+  } else {
+    b.push_back(static_cast<u8>(v));
+    b.push_back(static_cast<u8>(v >> 8));
+  }
+}
+
+void put_u32(Bytes& b, u32 v, bool be) {
+  if (be) {
+    put_be32(b, v);
+  } else {
+    put_le32(b, v);
+  }
+}
+
+[[nodiscard]] u16 get_u16(BytesView b, std::size_t off, bool be) {
+  return be ? get_be16(b, off)
+            : static_cast<u16>(b[off] | (b[off + 1] << 8));
+}
+
+[[nodiscard]] u32 get_u32(BytesView b, std::size_t off, bool be) {
+  return be ? get_be32(b, off) : get_le32(b, off);
+}
+
+/// Frac field as stored on disk: nanoseconds pass through, microsecond
+/// files quantise (the reader multiplies back, so usec round trips exactly).
+[[nodiscard]] u32 frac_on_disk(const PcapMeta& meta, u32 ts_nsec) {
+  return meta.nsec ? ts_nsec : ts_nsec / 1000u;
+}
+
+[[nodiscard]] u32 frac_to_nsec(const PcapMeta& meta, u32 frac) {
+  return meta.nsec ? frac : frac * 1000u;
+}
+
+/// Sanity ceiling on a record body when the file header's snaplen is
+/// implausibly small or zero: never trust incl_len to drive allocation.
+[[nodiscard]] u32 max_record_bytes(const PcapMeta& meta) {
+  u32 cap = meta.snaplen;
+  if (cap < kDefaultSnaplen) cap = kDefaultSnaplen;
+  return cap + 4096u;  // slack: some writers record snaplen loosely
+}
+
+}  // namespace
+
+std::optional<PcapMeta> parse_pcap_header(BytesView data) {
+  if (data.size() < kFileHeaderBytes) return std::nullopt;
+  const u32 magic_le = get_le32(data, 0);
+  const u32 magic_be = get_be32(data, 0);
+  PcapMeta meta;
+  if (magic_le == kMagicUsec || magic_le == kMagicNsec) {
+    meta.big_endian = false;
+    meta.nsec = (magic_le == kMagicNsec);
+  } else if (magic_be == kMagicUsec || magic_be == kMagicNsec) {
+    meta.big_endian = true;
+    meta.nsec = (magic_be == kMagicNsec);
+  } else {
+    return std::nullopt;
+  }
+  meta.version_major = get_u16(data, 4, meta.big_endian);
+  meta.version_minor = get_u16(data, 6, meta.big_endian);
+  // Octets 8..15 are thiszone/sigfigs — always written zero, ignored on read.
+  meta.snaplen = get_u32(data, 16, meta.big_endian);
+  meta.linktype = get_u32(data, 20, meta.big_endian);
+  return meta;
+}
+
+std::optional<PcapFile> parse_pcap(BytesView data) {
+  auto meta = parse_pcap_header(data);
+  if (!meta) return std::nullopt;
+  PcapFile file;
+  file.meta = *meta;
+  const u32 cap = max_record_bytes(*meta);
+  std::size_t off = kFileHeaderBytes;
+  while (off < data.size()) {
+    if (data.size() - off < kRecordHeaderBytes) {
+      file.truncated_tail = true;
+      break;
+    }
+    PcapRecord rec;
+    rec.ts_sec = get_u32(data, off, meta->big_endian);
+    rec.ts_nsec = frac_to_nsec(*meta, get_u32(data, off + 4, meta->big_endian));
+    const u32 incl = get_u32(data, off + 8, meta->big_endian);
+    rec.orig_len = get_u32(data, off + 12, meta->big_endian);
+    off += kRecordHeaderBytes;
+    if (incl > cap || data.size() - off < incl) {
+      file.truncated_tail = true;
+      break;
+    }
+    rec.data.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                    data.begin() + static_cast<std::ptrdiff_t>(off + incl));
+    off += incl;
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+Bytes serialize_pcap_header(const PcapMeta& meta) {
+  Bytes out;
+  out.reserve(kFileHeaderBytes);
+  put_u32(out, meta.nsec ? kMagicNsec : kMagicUsec, meta.big_endian);
+  put_u16(out, meta.version_major, meta.big_endian);
+  put_u16(out, meta.version_minor, meta.big_endian);
+  put_u32(out, 0, meta.big_endian);  // thiszone (GMT offset — always 0)
+  put_u32(out, 0, meta.big_endian);  // sigfigs (always 0 in practice)
+  put_u32(out, meta.snaplen, meta.big_endian);
+  put_u32(out, meta.linktype, meta.big_endian);
+  return out;
+}
+
+Bytes serialize_record(const PcapMeta& meta, const PcapRecord& rec) {
+  Bytes out;
+  out.reserve(kRecordHeaderBytes + rec.data.size());
+  put_u32(out, rec.ts_sec, meta.big_endian);
+  put_u32(out, frac_on_disk(meta, rec.ts_nsec), meta.big_endian);
+  put_u32(out, static_cast<u32>(rec.data.size()), meta.big_endian);
+  put_u32(out, rec.orig_len ? rec.orig_len : static_cast<u32>(rec.data.size()),
+          meta.big_endian);
+  append(out, rec.data);
+  return out;
+}
+
+Bytes serialize_pcap(const PcapMeta& meta, std::span<const PcapRecord> records) {
+  Bytes out = serialize_pcap_header(meta);
+  for (const PcapRecord& rec : records) {
+    Bytes r = serialize_record(meta, rec);
+    append(out, r);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- reader --
+
+PcapFileReader::~PcapFileReader() {
+  if (f_) std::fclose(f_);
+}
+
+bool PcapFileReader::open(const std::string& path) {
+  if (f_) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+  truncated_ = false;
+  records_ = 0;
+  error_.clear();
+  f_ = std::fopen(path.c_str(), "rb");
+  if (!f_) {
+    error_ = "cannot open " + path;
+    return false;
+  }
+  u8 hdr[kFileHeaderBytes];
+  if (std::fread(hdr, 1, sizeof hdr, f_) != sizeof hdr) {
+    error_ = path + ": shorter than a pcap file header";
+    std::fclose(f_);
+    f_ = nullptr;
+    return false;
+  }
+  auto meta = parse_pcap_header(BytesView{hdr, sizeof hdr});
+  if (!meta) {
+    error_ = path + ": not a classic pcap (bad magic)";
+    std::fclose(f_);
+    f_ = nullptr;
+    return false;
+  }
+  meta_ = *meta;
+  return true;
+}
+
+std::optional<PcapRecord> PcapFileReader::next() {
+  if (!f_) return std::nullopt;
+  u8 hdr[kRecordHeaderBytes];
+  const std::size_t got = std::fread(hdr, 1, sizeof hdr, f_);
+  if (got == 0) return std::nullopt;  // clean end of file
+  if (got != sizeof hdr) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  const BytesView hv{hdr, sizeof hdr};
+  PcapRecord rec;
+  rec.ts_sec = get_u32(hv, 0, meta_.big_endian);
+  rec.ts_nsec = frac_to_nsec(meta_, get_u32(hv, 4, meta_.big_endian));
+  const u32 incl = get_u32(hv, 8, meta_.big_endian);
+  rec.orig_len = get_u32(hv, 12, meta_.big_endian);
+  if (incl > max_record_bytes(meta_)) {
+    truncated_ = true;  // corrupt length — refuse to allocate for it
+    return std::nullopt;
+  }
+  rec.data.resize(incl);
+  if (incl && std::fread(rec.data.data(), 1, incl, f_) != incl) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  ++records_;
+  return rec;
+}
+
+// ---------------------------------------------------------------- writer --
+
+PcapWriter::~PcapWriter() { close(); }
+
+bool PcapWriter::create(const std::string& path, const PcapMeta& meta) {
+  close();
+  f_ = std::fopen(path.c_str(), "wb");
+  if (!f_) return false;
+  meta_ = meta;
+  records_ = 0;
+  bytes_ = 0;
+  const Bytes hdr = serialize_pcap_header(meta_);
+  if (std::fwrite(hdr.data(), 1, hdr.size(), f_) != hdr.size()) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool PcapWriter::append_to(const std::string& path) {
+  close();
+  // Read the existing header first so appended records keep the file's
+  // dialect, then reopen positioned at the tail.
+  PcapFileReader probe;
+  if (!probe.open(path)) return false;
+  meta_ = probe.meta();
+  f_ = std::fopen(path.c_str(), "ab");
+  if (!f_) return false;
+  records_ = 0;
+  bytes_ = 0;
+  return true;
+}
+
+bool PcapWriter::write(const PcapRecord& rec) {
+  if (!f_) return false;
+  const Bytes out = serialize_record(meta_, rec);
+  if (std::fwrite(out.data(), 1, out.size(), f_) != out.size()) return false;
+  ++records_;
+  bytes_ += rec.data.size();
+  return true;
+}
+
+void PcapWriter::flush() {
+  if (f_) std::fflush(f_);
+}
+
+void PcapWriter::close() {
+  if (f_) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+}  // namespace p5::net::capture

@@ -1,0 +1,152 @@
+// Classic pcap (libpcap "tcpdump" format) — the trace container that makes
+// the simulated links talk to the rest of the world: anything this repo
+// records opens in tcpdump/wireshark, and any classic pcap becomes a
+// replayable workload (capture/replay.hpp).
+//
+// Scope is deliberately the *classic* format, not pcapng: a 24-octet file
+// header (magic, version, snaplen, linktype) followed by flat records. All
+// four on-disk dialects are handled — little- and big-endian files, and
+// both timestamp magics (0xa1b2c3d4 microseconds, 0xa1b23c4d nanoseconds).
+// Records normalise to nanoseconds in memory; PcapMeta remembers the file's
+// own endianness/precision so a parse→serialize round trip is byte-exact
+// (the golden-vector tests pin this).
+//
+// Two reading shapes:
+//   * parse_pcap() — whole buffer in memory, returns every record. A file
+//     cut off mid-record (a capture that died with the disk) yields the
+//     records before the cut plus truncated_tail=true, never a hard error.
+//   * PcapFileReader — bounded-memory streaming: one record resident at a
+//     time, so a multi-gigabyte trace replays without loading it.
+// Writing mirrors that: serialize_pcap() for buffers, PcapWriter for
+// streaming append (create, or reopen an existing capture and continue it).
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace p5::net::capture {
+
+inline constexpr u32 kMagicUsec = 0xa1b2c3d4;  ///< timestamps in microseconds
+inline constexpr u32 kMagicNsec = 0xa1b23c4d;  ///< timestamps in nanoseconds
+
+// Linktypes this repo writes (the LINKTYPE_* registry values).
+inline constexpr u32 kLinkPpp = 9;      ///< PPP: [ff 03][proto be16][info]
+inline constexpr u32 kLinkRawIp = 101;  ///< raw IPv4/IPv6 datagrams
+inline constexpr u32 kLinkUser0 = 147;  ///< reserved-for-private-use: SONET chunks
+
+inline constexpr std::size_t kFileHeaderBytes = 24;
+inline constexpr std::size_t kRecordHeaderBytes = 16;
+inline constexpr u32 kDefaultSnaplen = 65535;
+
+/// The file-level facts a byte-exact round trip has to preserve.
+struct PcapMeta {
+  bool big_endian = false;  ///< file written with big-endian headers
+  bool nsec = false;        ///< nanosecond magic (else microsecond)
+  u16 version_major = 2;
+  u16 version_minor = 4;
+  u32 snaplen = kDefaultSnaplen;
+  u32 linktype = kLinkRawIp;
+};
+
+/// One captured packet. `ts_nsec` is always nanoseconds-within-second in
+/// memory regardless of the file dialect; usec files quantise on write.
+struct PcapRecord {
+  u32 ts_sec = 0;
+  u32 ts_nsec = 0;
+  u32 orig_len = 0;  ///< length on the wire (>= data.size() when snapped)
+  Bytes data;
+
+  [[nodiscard]] u64 timestamp_ns() const {
+    return static_cast<u64>(ts_sec) * 1'000'000'000ull + ts_nsec;
+  }
+};
+
+struct PcapFile {
+  PcapMeta meta;
+  std::vector<PcapRecord> records;
+  /// The byte stream ended inside a record header or body: everything
+  /// before the cut parsed fine, the partial tail was discarded.
+  bool truncated_tail = false;
+};
+
+/// Parse the 24-octet file header. nullopt: not a classic pcap.
+[[nodiscard]] std::optional<PcapMeta> parse_pcap_header(BytesView data);
+
+/// Whole-buffer parse. nullopt only for a bad file header; a truncated tail
+/// sets the flag instead of failing (see header comment).
+[[nodiscard]] std::optional<PcapFile> parse_pcap(BytesView data);
+
+[[nodiscard]] Bytes serialize_pcap_header(const PcapMeta& meta);
+[[nodiscard]] Bytes serialize_record(const PcapMeta& meta, const PcapRecord& rec);
+[[nodiscard]] Bytes serialize_pcap(const PcapMeta& meta,
+                                   std::span<const PcapRecord> records);
+
+/// Streaming reader: one record in memory at a time.
+class PcapFileReader {
+ public:
+  PcapFileReader() = default;
+  ~PcapFileReader();
+  PcapFileReader(const PcapFileReader&) = delete;
+  PcapFileReader& operator=(const PcapFileReader&) = delete;
+
+  /// False: unreadable file or not a classic pcap (see error()).
+  [[nodiscard]] bool open(const std::string& path);
+  /// Next record, nullopt at end of file (clean or truncated — check
+  /// truncated() afterwards). Record bodies larger than the file's snaplen
+  /// plus slack are treated as a truncation point, not an allocation.
+  [[nodiscard]] std::optional<PcapRecord> next();
+
+  [[nodiscard]] const PcapMeta& meta() const { return meta_; }
+  [[nodiscard]] bool truncated() const { return truncated_; }
+  [[nodiscard]] u64 records_read() const { return records_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  PcapMeta meta_;
+  bool truncated_ = false;
+  u64 records_ = 0;
+  std::string error_;
+};
+
+/// Streaming writer: header on create, records appended one by one (each
+/// write hits the stream, so a crashed process leaves a readable prefix —
+/// exactly the truncated-tail case the reader tolerates).
+class PcapWriter {
+ public:
+  PcapWriter() = default;
+  ~PcapWriter();
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  /// Create/truncate `path` and write the file header.
+  [[nodiscard]] bool create(const std::string& path, const PcapMeta& meta);
+  /// Reopen an existing capture for append: the on-disk header supplies the
+  /// meta (so appended records match the file's dialect). False when the
+  /// file is missing or not a classic pcap.
+  [[nodiscard]] bool append_to(const std::string& path);
+
+  /// Append one record. False once the stream has failed (drops are the
+  /// caller's ledger — see CaptureTap).
+  [[nodiscard]] bool write(const PcapRecord& rec);
+  void flush();
+  void close();
+
+  [[nodiscard]] bool is_open() const { return f_ != nullptr; }
+  [[nodiscard]] const PcapMeta& meta() const { return meta_; }
+  [[nodiscard]] u64 records_written() const { return records_; }
+  [[nodiscard]] u64 bytes_written() const { return bytes_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  PcapMeta meta_;
+  u64 records_ = 0;
+  u64 bytes_ = 0;  ///< record payload octets (not headers)
+};
+
+}  // namespace p5::net::capture

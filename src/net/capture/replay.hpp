@@ -1,0 +1,137 @@
+// TraceSource — a pcap as a workload.
+//
+// Replays the records of a classic pcap into any of the stack's submission
+// paths, so measured packet mixes (or this repo's own recorded runs) drive
+// the pipeline instead of synthetic IMIX. The sink is a plain callable
+// `bool(u16 protocol, BytesView payload)` returning false on backpressure;
+// adapters below wrap the three real submission surfaces:
+//
+//   * make_endpoint_sink — SonetEndpoint::submit_datagram (cycle P5 and
+//     FastP5Endpoint alike, and therefore Tunnel-bound endpoints: replaying
+//     into a tunnel IS replaying into its endpoint).
+//   * make_channel_sink — a standalone linecard::Channel's source ring.
+//
+// Two pacings: kAfap offers records as fast as the sink takes them (the
+// bench posture), kTimed replays the trace's own inter-packet gaps scaled
+// by time_scale (the interop posture — a 10s capture replays in 10s, or in
+// 1s at time_scale 10). A record the sink refuses parks in a one-record
+// pending slot and is re-offered first on the next pump, so backpressure
+// delays the trace rather than dropping from it — delivery stays exact and
+// in order, which the replay-vs-direct-injection equivalence test relies on.
+//
+// The trace can be an in-memory record vector or a streaming PcapFileReader
+// (bounded memory: one parked record plus one in flight, regardless of
+// trace size).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "linecard/frame_desc.hpp"
+#include "net/capture/pcap.hpp"
+
+namespace p5::net::capture {
+
+enum class Pacing {
+  kAfap,   ///< offer as fast as the sink accepts
+  kTimed,  ///< honour the trace's inter-record gaps (scaled)
+};
+
+struct ReplayStats {
+  u64 offered = 0;    ///< sink invocations (including re-offers)
+  u64 delivered = 0;  ///< records the sink accepted
+  u64 deferred = 0;   ///< refusals parked for re-offer (never dropped)
+  u64 malformed = 0;  ///< records too short for their linktype framing
+};
+
+class TraceSource {
+ public:
+  /// `bool(protocol, payload)` — false means "not now", the record is
+  /// re-offered on the next pump.
+  using Sink = std::function<bool(u16 protocol, BytesView payload)>;
+
+  /// Replay an in-memory trace (e.g. CaptureTap::take_records()).
+  TraceSource(PcapMeta meta, std::vector<PcapRecord> records);
+  TraceSource() = default;
+
+  /// Stream the trace from a file instead. False: unreadable / not a pcap.
+  [[nodiscard]] bool open(const std::string& path);
+
+  void set_pacing(Pacing p) { pacing_ = p; }
+  /// kTimed speed-up factor: 10.0 replays a 10 s capture in 1 s.
+  void set_time_scale(double s) { time_scale_ = s > 0.0 ? s : 1.0; }
+
+  /// Offer due records to `sink`, at most `budget` deliveries. `now_ns` is
+  /// the caller's clock (monotonic; only deltas matter — the first pump
+  /// anchors the trace's epoch). Returns records delivered this call.
+  std::size_t pump(u64 now_ns, std::size_t budget, const Sink& sink);
+
+  /// Trace exhausted and nothing parked.
+  [[nodiscard]] bool done() const { return exhausted_ && !pending_; }
+
+  [[nodiscard]] const ReplayStats& stats() const { return stats_; }
+  [[nodiscard]] const PcapMeta& meta() const { return meta_; }
+
+  /// How a record's bytes become (protocol, payload) for this linktype:
+  /// kLinkPpp strips the ff-03 address/control (if present) and the be16
+  /// protocol field; raw-IP and everything else pass through as IPv4/IPv6
+  /// by version nibble. Exposed so direct-injection tests share the exact
+  /// mapping replay uses.
+  [[nodiscard]] static std::optional<std::pair<u16, BytesView>> classify(
+      u32 linktype, BytesView data);
+
+ private:
+  struct Pending {
+    u16 protocol = 0;
+    u64 ts_ns = 0;
+    Bytes payload;
+  };
+
+  [[nodiscard]] bool load_next();  ///< fill pending_ from the trace
+
+  PcapMeta meta_;
+  std::vector<PcapRecord> records_;
+  std::size_t index_ = 0;
+  PcapFileReader reader_;
+  bool streaming_ = false;
+  bool exhausted_ = false;
+
+  Pacing pacing_ = Pacing::kAfap;
+  double time_scale_ = 1.0;
+  bool anchored_ = false;
+  u64 epoch_now_ns_ = 0;    ///< caller clock at first pump
+  u64 epoch_trace_ns_ = 0;  ///< first record's timestamp
+
+  std::optional<Pending> pending_;
+  ReplayStats stats_;
+};
+
+/// Sink adapter: any endpoint with `bool submit_datagram(u16, Bytes)` —
+/// the SonetEndpoint interface at either tier, bound to a Tunnel or not.
+template <class Endpoint>
+[[nodiscard]] inline TraceSource::Sink make_endpoint_sink(Endpoint& ep) {
+  return [&ep](u16 protocol, BytesView payload) {
+    return ep.submit_datagram(protocol, Bytes(payload.begin(), payload.end()));
+  };
+}
+
+/// Sink adapter: a standalone linecard::Channel's source ring. The ring
+/// refusing (full) is the backpressure signal TraceSource parks on.
+template <class Channel>
+[[nodiscard]] inline TraceSource::Sink make_channel_sink(Channel& ch, u8 fabric_dest = 0,
+                                                         u8 source_channel = 0) {
+  return [&ch, fabric_dest, source_channel](u16 protocol, BytesView payload) {
+    linecard::FrameDesc d;
+    d.protocol = protocol;
+    d.fabric_dest = fabric_dest;
+    d.source_channel = source_channel;
+    d.payload.assign(payload.begin(), payload.end());
+    return ch.source_ring().try_push(std::move(d));
+  };
+}
+
+}  // namespace p5::net::capture

@@ -1,0 +1,85 @@
+#include "net/capture/tap.hpp"
+
+#include <ctime>
+
+namespace p5::net::capture {
+
+CaptureTap::CaptureTap(PcapMeta meta) : meta_(meta) {}
+
+CaptureTap::~CaptureTap() { close(); }
+
+bool CaptureTap::open(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  file_mode_ = true;
+  return writer_.create(path, meta_);
+}
+
+void CaptureTap::record(BytesView frame) {
+  std::lock_guard<std::mutex> lk(mu_);
+  record_locked(now_ns_locked(), frame);
+}
+
+void CaptureTap::record_at(u64 ts_ns, BytesView frame) {
+  std::lock_guard<std::mutex> lk(mu_);
+  record_locked(ts_ns, frame);
+}
+
+std::function<void(Bytes&)> CaptureTap::line_tap() {
+  return [this](Bytes& frame) { record(frame); };
+}
+
+TapStats CaptureTap::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::vector<PcapRecord> CaptureTap::take_records() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<PcapRecord> out;
+  out.swap(records_);
+  return out;
+}
+
+void CaptureTap::close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  writer_.flush();
+  writer_.close();
+}
+
+void CaptureTap::record_locked(u64 ts_ns, BytesView frame) {
+  if (max_records_ && stats_.records >= max_records_) {
+    ++stats_.drops;
+    return;
+  }
+  PcapRecord rec;
+  rec.ts_sec = static_cast<u32>(ts_ns / 1'000'000'000ull);
+  rec.ts_nsec = static_cast<u32>(ts_ns % 1'000'000'000ull);
+  rec.orig_len = static_cast<u32>(frame.size());
+  rec.data.assign(frame.begin(), frame.end());
+  if (file_mode_) {
+    if (!writer_.write(rec)) {
+      ++stats_.drops;
+      return;
+    }
+  } else {
+    records_.push_back(std::move(rec));
+  }
+  ++stats_.records;
+  stats_.bytes += frame.size();
+}
+
+u64 CaptureTap::now_ns_locked() {
+  if (wall_clock_) {
+    std::timespec ts{};
+    std::timespec_get(&ts, TIME_UTC);
+    return static_cast<u64>(ts.tv_sec) * 1'000'000'000ull +
+           static_cast<u64>(ts.tv_nsec);
+  }
+  // Synthetic clock: strictly increasing, 1 µs apart, so usec-precision
+  // files keep distinct timestamps and runs are byte-reproducible.
+  const u64 now = synth_ns_;
+  synth_ns_ += 1000;
+  return now;
+}
+
+}  // namespace p5::net::capture

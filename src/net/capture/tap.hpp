@@ -1,0 +1,95 @@
+// CaptureTap — record any point of the pipeline to a pcap.
+//
+// The pipeline's observation hooks all share one shape: a callable fed the
+// bytes flowing past (`P5SonetLink::set_line_tap`, `Tunnel::set_rx_tap`,
+// the server's delivered tap — all `void(Bytes&)`-compatible). CaptureTap
+// turns that shape into a pcap: construct one, hand `line_tap()` to the
+// hook, and every frame that passes becomes a record. Because
+// testing::FaultyLine is itself such a callable, taps compose around it —
+// tap → fault → tap gives the pre/post pair that makes a fault scenario
+// diffable offline (`tcpdump -r` on each side of the corruption).
+//
+// The tap keeps an exact ledger: records + drops == frames seen, where a
+// drop is a frame the tap saw but did not keep (stream write failure or the
+// max_records bound). Tests pin this ledger against the pipeline's own
+// frame counters.
+//
+// Sinks: a streaming PcapWriter (file mode) or an in-memory record vector
+// (buffer mode — what the record→replay→record fixpoint test diffs).
+// Thread-safe: one mutex around the sink, because server sessions invoke
+// delivered taps from shard threads.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/capture/pcap.hpp"
+
+namespace p5::net::capture {
+
+struct TapStats {
+  u64 records = 0;  ///< frames kept
+  u64 bytes = 0;    ///< payload octets kept
+  u64 drops = 0;    ///< frames seen but not kept (bound hit or write failure)
+
+  [[nodiscard]] u64 frames_seen() const { return records + drops; }
+};
+
+class CaptureTap {
+ public:
+  /// Buffer mode: records accumulate in memory (take_records()).
+  explicit CaptureTap(PcapMeta meta = {});
+  ~CaptureTap();
+  CaptureTap(const CaptureTap&) = delete;
+  CaptureTap& operator=(const CaptureTap&) = delete;
+
+  /// Switch to file mode: stream records to `path` as they arrive.
+  /// False: the file could not be created (the tap then counts every
+  /// frame as a drop rather than silently losing the ledger).
+  [[nodiscard]] bool open(const std::string& path);
+
+  /// Record with the tap's own clock (monotonic 1 µs per frame from epoch 0
+  /// by default, or wall time after use_wall_clock()). Deterministic
+  /// timestamps keep test captures reproducible.
+  void record(BytesView frame);
+  /// Record with an explicit timestamp — what replay-side taps use so a
+  /// record→replay→record loop reproduces the original file byte-exactly.
+  void record_at(u64 ts_ns, BytesView frame);
+
+  /// Adapter matching the pipeline's `void(Bytes&)` observation hooks.
+  /// The returned callable borrows `this`; keep the tap alive while hooked.
+  [[nodiscard]] std::function<void(Bytes&)> line_tap();
+
+  /// Stamp records with CLOCK_REALTIME instead of the synthetic clock.
+  void use_wall_clock() { wall_clock_ = true; }
+  /// Stop keeping records past `n` (they still count as drops — the ledger
+  /// stays exact while the file stays bounded).
+  void set_max_records(u64 n) { max_records_ = n; }
+
+  [[nodiscard]] TapStats stats() const;
+  /// Buffer mode: move the accumulated records out (empty in file mode).
+  [[nodiscard]] std::vector<PcapRecord> take_records();
+  /// File mode: flush and close the stream (records afterwards drop).
+  void close();
+
+  [[nodiscard]] const PcapMeta& meta() const { return meta_; }
+
+ private:
+  void record_locked(u64 ts_ns, BytesView frame);
+  [[nodiscard]] u64 now_ns_locked();
+
+  mutable std::mutex mu_;
+  PcapMeta meta_;
+  PcapWriter writer_;        ///< file mode when open
+  bool file_mode_ = false;   ///< true once open() was attempted
+  std::vector<PcapRecord> records_;  ///< buffer mode
+  TapStats stats_;
+  u64 max_records_ = 0;  ///< 0 = unbounded
+  bool wall_clock_ = false;
+  u64 synth_ns_ = 0;  ///< synthetic clock: advances 1 µs per record
+};
+
+}  // namespace p5::net::capture

@@ -1,0 +1,175 @@
+#include "net/tunif/tun_device.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__linux__)
+#include <fcntl.h>
+#include <linux/if.h>
+#include <linux/if_tun.h>
+#include <netinet/in.h>
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+#endif
+
+namespace p5::net::tunif {
+
+#if defined(__linux__)
+
+namespace {
+
+constexpr char kTunNode[] = "/dev/net/tun";
+// An IP datagram from a TUN fd is bounded by the interface MTU; 64 KiB
+// covers any MTU this repo configures with room to detect oversize.
+constexpr std::size_t kReadBufBytes = 65536;
+
+/// Fill a sockaddr_in inside an ifreq field. False: not a dotted quad.
+bool set_addr(sockaddr* sa, const std::string& dotted) {
+  auto* sin = reinterpret_cast<sockaddr_in*>(sa);
+  std::memset(sin, 0, sizeof *sin);
+  sin->sin_family = AF_INET;
+  return ::inet_pton(AF_INET, dotted.c_str(), &sin->sin_addr) == 1;
+}
+
+}  // namespace
+
+TunDevice::~TunDevice() { close(); }
+
+TunDevice::TunDevice(TunDevice&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      name_(std::move(other.name_)),
+      error_(std::move(other.error_)) {}
+
+TunDevice& TunDevice::operator=(TunDevice&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    name_ = std::move(other.name_);
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+bool TunDevice::available() {
+  const int fd = ::open(kTunNode, O_RDWR | O_CLOEXEC);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+bool TunDevice::open(const std::string& ifname_hint) {
+  close();
+  error_.clear();
+  fd_ = ::open(kTunNode, O_RDWR | O_CLOEXEC);
+  if (fd_ < 0) {
+    error_ = std::string(kTunNode) + ": " + std::strerror(errno);
+    return false;
+  }
+  ifreq ifr{};
+  ifr.ifr_flags = IFF_TUN | IFF_NO_PI;
+  if (!ifname_hint.empty() && ifname_hint.size() < IFNAMSIZ)
+    std::strncpy(ifr.ifr_name, ifname_hint.c_str(), IFNAMSIZ - 1);
+  if (::ioctl(fd_, TUNSETIFF, &ifr) < 0) {
+    error_ = std::string("TUNSETIFF: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  name_ = ifr.ifr_name;
+  const int fl = ::fcntl(fd_, F_GETFL);
+  if (fl < 0 || ::fcntl(fd_, F_SETFL, fl | O_NONBLOCK) < 0) {
+    error_ = std::string("O_NONBLOCK: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool TunDevice::configure_ipv4(const std::string& local, const std::string& peer,
+                               u32 mtu) {
+  if (fd_ < 0) {
+    error_ = "configure before open";
+    return false;
+  }
+  // Interface ioctls go through an ordinary AF_INET socket, not the tun fd.
+  const int sk = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (sk < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  auto fail = [&](const char* what) {
+    error_ = std::string(what) + ": " + std::strerror(errno);
+    ::close(sk);
+    return false;
+  };
+  ifreq ifr{};
+  std::strncpy(ifr.ifr_name, name_.c_str(), IFNAMSIZ - 1);
+  if (!set_addr(&ifr.ifr_addr, local)) return fail("local address");
+  if (::ioctl(sk, SIOCSIFADDR, &ifr) < 0) return fail("SIOCSIFADDR");
+  if (!set_addr(&ifr.ifr_dstaddr, peer)) return fail("peer address");
+  if (::ioctl(sk, SIOCSIFDSTADDR, &ifr) < 0) return fail("SIOCSIFDSTADDR");
+  if (!set_addr(&ifr.ifr_netmask, "255.255.255.255")) return fail("netmask");
+  if (::ioctl(sk, SIOCSIFNETMASK, &ifr) < 0) return fail("SIOCSIFNETMASK");
+  if (mtu) {
+    ifr.ifr_mtu = static_cast<int>(mtu);
+    if (::ioctl(sk, SIOCSIFMTU, &ifr) < 0) return fail("SIOCSIFMTU");
+  }
+  if (::ioctl(sk, SIOCGIFFLAGS, &ifr) < 0) return fail("SIOCGIFFLAGS");
+  ifr.ifr_flags |= IFF_UP | IFF_RUNNING | IFF_POINTOPOINT;
+  if (::ioctl(sk, SIOCSIFFLAGS, &ifr) < 0) return fail("SIOCSIFFLAGS");
+  ::close(sk);
+  return true;
+}
+
+ReadStatus TunDevice::read_packet(Bytes& out) {
+  if (fd_ < 0) return ReadStatus::kError;
+  out.resize(kReadBufBytes);
+  const ssize_t n = ::read(fd_, out.data(), out.size());
+  if (n < 0) {
+    out.clear();
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+      return ReadStatus::kAgain;
+    error_ = std::string("read: ") + std::strerror(errno);
+    return ReadStatus::kError;
+  }
+  out.resize(static_cast<std::size_t>(n));
+  return ReadStatus::kPacket;
+}
+
+bool TunDevice::write_packet(BytesView packet) {
+  if (fd_ < 0) return false;
+  return ::write(fd_, packet.data(), packet.size()) ==
+         static_cast<ssize_t>(packet.size());
+}
+
+void TunDevice::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  name_.clear();
+}
+
+#else  // !__linux__ — every entry point reports unavailable.
+
+TunDevice::~TunDevice() = default;
+TunDevice::TunDevice(TunDevice&&) noexcept {}
+TunDevice& TunDevice::operator=(TunDevice&&) noexcept { return *this; }
+bool TunDevice::available() { return false; }
+bool TunDevice::open(const std::string&) {
+  error_ = "TUN devices are Linux-only";
+  return false;
+}
+bool TunDevice::configure_ipv4(const std::string&, const std::string&, u32) {
+  error_ = "TUN devices are Linux-only";
+  return false;
+}
+ReadStatus TunDevice::read_packet(Bytes&) { return ReadStatus::kError; }
+bool TunDevice::write_packet(BytesView) { return false; }
+void TunDevice::close() {}
+
+#endif
+
+}  // namespace p5::net::tunif

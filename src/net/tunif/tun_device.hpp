@@ -1,0 +1,88 @@
+// TunDevice — the kernel side of "carry real traffic".
+//
+// A thin RAII wrapper over a Linux TUN interface: open /dev/net/tun, claim
+// an interface name with TUNSETIFF (IFF_TUN | IFF_NO_PI, so reads and
+// writes are bare IP datagrams with no packet-information header), and
+// configure it point-to-point entirely through ioctls — address, peer,
+// netmask, MTU, IFF_UP — so no `ip`/`ifconfig` shell-outs are needed and
+// the example binaries work in a bare network namespace.
+//
+// The fd is switched to non-blocking before it is handed out: the bridge
+// registers it on the transport EventLoop and drains on readability, and a
+// read_packet() with nothing queued reports kAgain instead of blocking the
+// loop.
+//
+// Everything degrades to a clean "not available" rather than a crash:
+// available() probes /dev/net/tun for openability (absent node, or present
+// but unprivileged — both common in CI sandboxes), and the tests/examples
+// turn that into SKIP, never FAIL.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace p5::net::tunif {
+
+/// Compile-time gate: TUN support is Linux-only; elsewhere every entry
+/// point reports unavailable.
+#if defined(__linux__)
+inline constexpr bool kTunSupported = true;
+#else
+inline constexpr bool kTunSupported = false;
+#endif
+
+enum class ReadStatus : u8 {
+  kPacket,  ///< a datagram was read
+  kAgain,   ///< nothing queued (EAGAIN) — wait for readability
+  kError,   ///< the fd failed; the device is unusable
+};
+
+class TunDevice {
+ public:
+  TunDevice() = default;
+  ~TunDevice();
+  TunDevice(const TunDevice&) = delete;
+  TunDevice& operator=(const TunDevice&) = delete;
+  TunDevice(TunDevice&& other) noexcept;
+  TunDevice& operator=(TunDevice&& other) noexcept;
+
+  /// Can this process create a TUN interface at all? False when
+  /// /dev/net/tun is missing or opening it is not permitted — the callers'
+  /// SKIP signal.
+  [[nodiscard]] static bool available();
+
+  /// Create the interface. `ifname_hint` may be empty (kernel picks
+  /// "tunN") or a printf-style template like "p5tun%d". False: see error().
+  [[nodiscard]] bool open(const std::string& ifname_hint = "");
+
+  /// Point-to-point configuration, raw ioctls only: local/peer are dotted
+  /// quads, mtu 0 keeps the kernel default. Brings the interface up; the
+  /// kernel installs the peer host-route itself.
+  [[nodiscard]] bool configure_ipv4(const std::string& local, const std::string& peer,
+                                    u32 mtu = 0);
+
+  /// Non-blocking read of one IP datagram into `out` (replaced, not
+  /// appended).
+  [[nodiscard]] ReadStatus read_packet(Bytes& out);
+  /// Write one IP datagram to the kernel. False: the kernel refused it
+  /// (interface down, oversize, transient ENOBUFS) — TUN writes never
+  /// short-write, so false means the packet did not go in.
+  [[nodiscard]] bool write_packet(BytesView packet);
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  /// The name the kernel actually assigned (after %d expansion).
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string name_;
+  std::string error_;
+};
+
+}  // namespace p5::net::tunif

@@ -120,6 +120,7 @@ SessionEnv TunnelServer::make_env() {
   env.make_endpoint = [this] {
     return core::make_sonet_endpoint(cfg_.tier, cfg_.device, cfg_.sts);
   };
+  env.delivered_tap = cfg_.delivered_tap;
   if (cfg_.max_sessions_total != 0) {
     env.admit_global = [this] {
       std::size_t cur = global_active_.load(std::memory_order_relaxed);

@@ -74,6 +74,11 @@ struct ServerConfig {
   std::size_t uplink_stage_frames = 256;  ///< per-tenant DRR staging bound
   std::size_t uplink_budget_bytes = 0;    ///< DRR bytes per step; 0 = unlimited
   u32 drr_quantum_bytes = 4096;      ///< default tenant quantum
+
+  /// Post-delivery observation hook, invoked from shard threads for every
+  /// decoded datagram before routing (thread-safe callee required — see
+  /// SessionEnv::delivered_tap). Drives `--pcap-out` in p5_tunnel_server.
+  std::function<void(u32 tenant, u16 protocol, BytesView payload)> delivered_tap;
 };
 
 /// Shared-uplink egress: single consumer of every shard's handoff ring,

@@ -84,6 +84,7 @@ void Session::reap_and_route() {
   while (auto d = ep_->reap_datagram()) {
     const std::size_t bytes = d->payload.size();
     tel.on_dgram_in(bytes);
+    if (env_.delivered_tap) env_.delivered_tap(tenant_->id(), d->protocol, d->payload);
     switch (env_.route) {
       case RouteMode::kEcho:
         if (ep_->submit_datagram(d->protocol, std::move(d->payload))) {

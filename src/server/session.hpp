@@ -56,6 +56,11 @@ struct SessionEnv {
   std::function<bool(u32 tenant, u16 protocol, Bytes&& payload)> uplink_offer;
   /// Called once when a bound session closes (global slot release).
   std::function<void()> release_global;
+  /// Observation hook on every decoded datagram, before routing consumes
+  /// it — the server's post-delivery capture point (net/capture tap).
+  /// Sessions run on shard threads, so the callee MUST be thread-safe
+  /// (CaptureTap is; a bare PcapWriter is not).
+  std::function<void(u32 tenant, u16 protocol, BytesView payload)> delivered_tap;
 };
 
 class Session {

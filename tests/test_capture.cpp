@@ -1,0 +1,553 @@
+// net::capture + net::tunif — the subsystem that carries real traffic.
+//
+//  * Golden pcap vectors: all four classic-pcap dialects (little/big-endian
+//    × usec/nsec magic) parse to exact records and re-serialize byte-exact;
+//    a truncated last record yields the prefix plus a flag, never an error.
+//  * Streaming: PcapWriter → PcapFileReader round trip, reopen-append.
+//  * Replay: TraceSource into a standalone linecard::Channel delivers the
+//    byte-identical frame sequence direct injection delivers; backpressure
+//    parks, never drops or reorders. Timed pacing honours scaled gaps.
+//  * CaptureTap: ledger is exact (records + drops == frames seen), and a
+//    record→replay→record loop through a live endpoint pair is a fixpoint.
+//  * Fault smoke: pre/post-FaultyLine taps record diffable pcaps of a
+//    corrupted SONET line (the files double as the CI artifact).
+//  * TUN (root/CAP_NET_ADMIN only — GTEST_SKIP otherwise): kernel-routed
+//    datagrams cross the bridge and a P5 endpoint pair both ways.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "linecard/channel.hpp"
+#include "net/capture/pcap.hpp"
+#include "net/capture/replay.hpp"
+#include "net/capture/tap.hpp"
+#include "net/capture/trace_gen.hpp"
+#include "net/ipv4.hpp"
+#include "net/tunif/tun_bridge.hpp"
+#include "net/tunif/tun_device.hpp"
+#include "p5/endpoint.hpp"
+#include "testing/fault.hpp"
+#include "transport/event_loop.hpp"
+
+namespace p5::net::capture {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Golden vectors: the four on-disk dialects, hand-assembled octet by octet.
+// ---------------------------------------------------------------------------
+
+/// Hand-build a one-record file: header fields (2.4, snaplen 65535,
+/// linktype 101) + one record (ts 1s + frac, 4 data octets de ad be ef).
+Bytes golden_file(bool big_endian, bool nsec) {
+  const u32 magic = nsec ? kMagicNsec : kMagicUsec;
+  // frac on disk: 2 µs in a usec file, 2000 ns in a nsec file — the same
+  // instant, so parsed records must agree across dialects.
+  const u32 frac = nsec ? 2000 : 2;
+  Bytes f;
+  auto put32 = [&](u32 v) { big_endian ? put_be32(f, v) : put_le32(f, v); };
+  auto put16 = [&](u16 v) {
+    if (big_endian) {
+      put_be16(f, v);
+    } else {
+      f.push_back(static_cast<u8>(v));
+      f.push_back(static_cast<u8>(v >> 8));
+    }
+  };
+  put32(magic);
+  put16(2);
+  put16(4);
+  put32(0);  // thiszone
+  put32(0);  // sigfigs
+  put32(65535);
+  put32(kLinkRawIp);
+  put32(1);      // ts_sec
+  put32(frac);   // ts frac
+  put32(4);      // incl_len
+  put32(4);      // orig_len
+  f.insert(f.end(), {0xde, 0xad, 0xbe, 0xef});
+  return f;
+}
+
+TEST(PcapGolden, AllFourDialectsParseAndRoundTrip) {
+  for (const bool be : {false, true}) {
+    for (const bool nsec : {false, true}) {
+      SCOPED_TRACE(std::string(be ? "big" : "little") + "-endian " +
+                   (nsec ? "nsec" : "usec"));
+      const Bytes file = golden_file(be, nsec);
+      auto parsed = parse_pcap(file);
+      ASSERT_TRUE(parsed.has_value());
+      EXPECT_EQ(parsed->meta.big_endian, be);
+      EXPECT_EQ(parsed->meta.nsec, nsec);
+      EXPECT_EQ(parsed->meta.version_major, 2u);
+      EXPECT_EQ(parsed->meta.version_minor, 4u);
+      EXPECT_EQ(parsed->meta.snaplen, 65535u);
+      EXPECT_EQ(parsed->meta.linktype, kLinkRawIp);
+      EXPECT_FALSE(parsed->truncated_tail);
+      ASSERT_EQ(parsed->records.size(), 1u);
+      const PcapRecord& r = parsed->records[0];
+      EXPECT_EQ(r.ts_sec, 1u);
+      EXPECT_EQ(r.ts_nsec, 2000u);  // normalized: every dialect agrees
+      EXPECT_EQ(r.orig_len, 4u);
+      EXPECT_EQ(r.data, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+      // Byte-exact re-emission through the writer path.
+      EXPECT_EQ(serialize_pcap(parsed->meta, parsed->records), file);
+    }
+  }
+}
+
+TEST(PcapGolden, TruncatedLastRecordParsesPrefix) {
+  Bytes file = golden_file(false, false);
+  // Append a record header promising 100 octets but deliver only 10.
+  put_le32(file, 2);
+  put_le32(file, 0);
+  put_le32(file, 100);
+  put_le32(file, 100);
+  for (int i = 0; i < 10; ++i) file.push_back(static_cast<u8>(i));
+  auto parsed = parse_pcap(file);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->truncated_tail);
+  ASSERT_EQ(parsed->records.size(), 1u);  // the intact record survived
+  EXPECT_EQ(parsed->records[0].data, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+
+  // Cut inside the record *header* as well.
+  Bytes cut(file.begin(), file.begin() + static_cast<long>(golden_file(false, false).size() + 7));
+  auto parsed2 = parse_pcap(cut);
+  ASSERT_TRUE(parsed2.has_value());
+  EXPECT_TRUE(parsed2->truncated_tail);
+  EXPECT_EQ(parsed2->records.size(), 1u);
+}
+
+TEST(PcapGolden, RejectsNonPcap) {
+  EXPECT_FALSE(parse_pcap_header(Bytes{1, 2, 3}).has_value());
+  Bytes junk(64, 0x42);
+  EXPECT_FALSE(parse_pcap(junk).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader/writer.
+// ---------------------------------------------------------------------------
+
+TEST(PcapStream, WriteReadAppendRoundTrip) {
+  const std::string path = "test_capture_stream.pcap";
+  PcapMeta meta;
+  meta.nsec = true;
+  meta.linktype = kLinkUser0;
+  {
+    PcapWriter w;
+    ASSERT_TRUE(w.create(path, meta));
+    for (u32 i = 0; i < 5; ++i) {
+      PcapRecord r;
+      r.ts_sec = i;
+      r.ts_nsec = i * 7;
+      r.data = Bytes{static_cast<u8>(i), 0x7e, 0x7d};
+      r.orig_len = static_cast<u32>(r.data.size());
+      ASSERT_TRUE(w.write(r));
+    }
+    EXPECT_EQ(w.records_written(), 5u);
+  }
+  {
+    // Reopen for append: dialect comes from the on-disk header.
+    PcapWriter w;
+    ASSERT_TRUE(w.append_to(path));
+    EXPECT_TRUE(w.meta().nsec);
+    EXPECT_EQ(w.meta().linktype, kLinkUser0);
+    PcapRecord r;
+    r.ts_sec = 99;
+    r.data = Bytes{0xaa};
+    ASSERT_TRUE(w.write(r));
+  }
+  PcapFileReader rd;
+  ASSERT_TRUE(rd.open(path)) << rd.error();
+  std::vector<PcapRecord> got;
+  while (auto r = rd.next()) got.push_back(std::move(*r));
+  EXPECT_FALSE(rd.truncated());
+  ASSERT_EQ(got.size(), 6u);
+  EXPECT_EQ(got[3].ts_nsec, 21u);
+  EXPECT_EQ(got[5].ts_sec, 99u);
+  EXPECT_EQ(got[5].data, Bytes{0xaa});
+  std::remove(path.c_str());
+}
+
+TEST(TraceGen, DeterministicAcrossRuns) {
+  TraceGenConfig cfg;
+  cfg.flows = 3;
+  cfg.packets = 64;
+  cfg.seed = 20260808;
+  const PcapFile a = synthesize_tcp_trace(cfg);
+  const PcapFile b = synthesize_tcp_trace(cfg);
+  ASSERT_EQ(a.records.size(), 64u);
+  EXPECT_EQ(serialize_pcap(a.meta, a.records), serialize_pcap(b.meta, b.records));
+  // Real IP with real TCP inside: every record parses and is protocol 6.
+  for (const PcapRecord& r : a.records) {
+    auto d = net::parse_datagram(r.data);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->header.protocol, 6u);
+  }
+  // Timestamps strictly increase (the seeded gaps never collapse to zero).
+  for (std::size_t i = 1; i < a.records.size(); ++i)
+    EXPECT_GT(a.records[i].timestamp_ns(), a.records[i - 1].timestamp_ns());
+}
+
+// ---------------------------------------------------------------------------
+// Replay.
+// ---------------------------------------------------------------------------
+
+TEST(Replay, ChannelEquivalentToDirectInjection) {
+  // The acceptance gate: a trace replayed through TraceSource into a
+  // standalone Channel must emerge byte-identical to the same records
+  // pushed into a second Channel by hand.
+  TraceGenConfig cfg;
+  cfg.packets = 40;
+  cfg.seed = 7;
+  const PcapFile trace = synthesize_tcp_trace(cfg);
+
+  auto drive = [](linecard::Channel& ch, const std::function<bool()>& feed) {
+    std::vector<Bytes> out;
+    for (int guard = 0; guard < 200000; ++guard) {
+      const bool more = feed();
+      ch.step();
+      while (auto d = ch.egress_ring().try_pop()) out.push_back(std::move(d->payload));
+      if (!more && ch.idle()) break;
+    }
+    return out;
+  };
+
+  linecard::ChannelTelemetry tel_a, tel_b;
+  linecard::ChannelConfig cc;
+  linecard::Channel ch_a(0, cc, tel_a), ch_b(0, cc, tel_b);
+
+  TraceSource src(trace.meta, trace.records);
+  const auto sink = make_channel_sink(ch_a);
+  const auto replayed = drive(ch_a, [&] {
+    src.pump(0, 4, sink);
+    return !src.done();
+  });
+
+  std::size_t fed = 0;
+  const auto direct = drive(ch_b, [&] {
+    while (fed < trace.records.size()) {
+      const auto cls = TraceSource::classify(trace.meta.linktype,
+                                             trace.records[fed].data);
+      linecard::FrameDesc d;
+      d.protocol = cls->first;
+      d.payload.assign(cls->second.begin(), cls->second.end());
+      if (!ch_b.source_ring().try_push(std::move(d))) break;
+      ++fed;
+    }
+    return fed < trace.records.size();
+  });
+
+  ASSERT_EQ(replayed.size(), trace.records.size());
+  ASSERT_EQ(replayed, direct);
+  // Raw-IP linktype: the delivered frames ARE the trace records.
+  for (std::size_t i = 0; i < replayed.size(); ++i)
+    EXPECT_EQ(replayed[i], trace.records[i].data) << "record " << i;
+  // Backpressure engaged (the channel ring is smaller than the trace) and
+  // was absorbed by parking, not dropping.
+  EXPECT_EQ(src.stats().delivered, trace.records.size());
+  EXPECT_EQ(src.stats().offered - src.stats().delivered, src.stats().deferred);
+}
+
+TEST(Replay, TimedPacingHonoursScaledGaps) {
+  PcapMeta meta;
+  meta.nsec = true;
+  std::vector<PcapRecord> recs;
+  for (u32 i = 0; i < 3; ++i) {
+    PcapRecord r;
+    r.ts_sec = 0;
+    r.ts_nsec = i * 1'000'000;  // 0, 1 ms, 2 ms
+    r.data = Bytes{0x45, static_cast<u8>(i)};  // fake v4 nibble
+    recs.push_back(r);
+  }
+  TraceSource src(meta, recs);
+  src.set_pacing(Pacing::kTimed);
+  src.set_time_scale(2.0);  // twice realtime: due at 0, 0.5 ms, 1 ms
+  std::size_t taken = 0;
+  const auto sink = [&](u16, BytesView) {
+    ++taken;
+    return true;
+  };
+  EXPECT_EQ(src.pump(1'000'000'000ull, 10, sink), 1u);  // anchor: first plays now
+  EXPECT_EQ(src.pump(1'000'400'000ull, 10, sink), 0u);  // 0.4 ms: too early
+  EXPECT_EQ(src.pump(1'000'500'000ull, 10, sink), 1u);  // 0.5 ms: second due
+  EXPECT_EQ(src.pump(1'002'000'000ull, 10, sink), 1u);  // everything else
+  EXPECT_TRUE(src.done());
+  EXPECT_EQ(taken, 3u);
+}
+
+TEST(Replay, PppLinktypeStripsFraming) {
+  const Bytes with_acf{0xff, 0x03, 0x00, 0x21, 0x45, 0x01};
+  auto c1 = TraceSource::classify(kLinkPpp, with_acf);
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->first, 0x0021);
+  EXPECT_EQ(Bytes(c1->second.begin(), c1->second.end()), (Bytes{0x45, 0x01}));
+  const Bytes acfc{0x00, 0x2d, 0xaa};  // address/control compressed away
+  auto c2 = TraceSource::classify(kLinkPpp, acfc);
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(c2->first, 0x002d);
+  const Bytes v6{0x60, 0x00};
+  auto c3 = TraceSource::classify(kLinkRawIp, v6);
+  ASSERT_TRUE(c3.has_value());
+  EXPECT_EQ(c3->first, 0x0057);
+  EXPECT_FALSE(TraceSource::classify(kLinkPpp, Bytes{0xff}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// CaptureTap: the exact ledger, and record→replay→record as a fixpoint.
+// ---------------------------------------------------------------------------
+
+TEST(CaptureTap, LedgerIsExactUnderBound) {
+  CaptureTap tap;
+  tap.set_max_records(3);
+  const auto hook = tap.line_tap();
+  Bytes frame{1, 2, 3};
+  for (int i = 0; i < 10; ++i) hook(frame);
+  const TapStats s = tap.stats();
+  EXPECT_EQ(s.records, 3u);
+  EXPECT_EQ(s.drops, 7u);
+  EXPECT_EQ(s.frames_seen(), 10u);
+  EXPECT_EQ(s.bytes, 9u);
+  EXPECT_EQ(tap.take_records().size(), 3u);
+}
+
+TEST(CaptureTap, RecordReplayRecordIsAFixpoint) {
+  // Replay trace A through a live endpoint pair recording deliveries → C1;
+  // replay C1 through a fresh pair recording again → C2. The pipeline is
+  // byte-transparent and the tap clock deterministic, so C1 == C2 to the
+  // last serialized octet.
+  TraceGenConfig cfg;
+  cfg.packets = 32;
+  cfg.seed = 11;
+  const PcapFile trace_a = synthesize_tcp_trace(cfg);
+
+  auto run = [](const PcapMeta& meta, const std::vector<PcapRecord>& recs) {
+    auto ep_a = core::make_sonet_endpoint(core::DeviceTier::kFast, {}, sonet::kSts3c);
+    auto ep_b = core::make_sonet_endpoint(core::DeviceTier::kFast, {}, sonet::kSts3c);
+    TraceSource src(meta, recs);
+    const auto sink = make_endpoint_sink(*ep_a);
+    CaptureTap tap({.nsec = true, .linktype = kLinkRawIp});
+    std::vector<Bytes> delivered;
+    int quiet = 0;
+    for (int guard = 0; guard < 20000 && quiet < 8; ++guard) {
+      src.pump(0, 8, sink);
+      Bytes f = ep_a->pull_frame();
+      ep_b->push_line(f);
+      ep_b->drain_rx();
+      bool any = false;
+      while (auto d = ep_b->reap_datagram()) {
+        tap.record(d->payload);
+        any = true;
+      }
+      quiet = (src.done() && !ep_a->tx_pending() && !any) ? quiet + 1 : 0;
+    }
+    return std::make_pair(tap.take_records(), tap.stats());
+  };
+
+  auto [c1, s1] = run(trace_a.meta, trace_a.records);
+  ASSERT_EQ(c1.size(), trace_a.records.size());  // ledger: every record delivered
+  EXPECT_EQ(s1.records, trace_a.records.size());
+  EXPECT_EQ(s1.drops, 0u);
+
+  PcapMeta c1_meta;
+  c1_meta.nsec = true;
+  c1_meta.linktype = kLinkRawIp;
+  auto [c2, s2] = run(c1_meta, c1);
+  EXPECT_EQ(serialize_pcap(c1_meta, c1), serialize_pcap(c1_meta, c2));
+}
+
+TEST(CaptureTap, FaultLineSmokeWritesDiffablePcaps) {
+  // The CI artifact: an endpoint pair with a BER-degraded line, one tap on
+  // each side of the fault. Equal record counts, different bytes — the two
+  // files are the offline diff of what the line did.
+  auto ep_a = core::make_sonet_endpoint(core::DeviceTier::kFast, {}, sonet::kSts3c);
+  auto ep_b = core::make_sonet_endpoint(core::DeviceTier::kFast, {}, sonet::kSts3c);
+  testing::FaultyLine fault(testing::FaultSpec::ber(2e-5, 20260808));
+
+  CaptureTap pre({.nsec = true, .linktype = kLinkUser0});
+  CaptureTap post({.nsec = true, .linktype = kLinkUser0});
+  ASSERT_TRUE(pre.open("capture_fault_pre.pcap"));
+  ASSERT_TRUE(post.open("capture_fault_post.pcap"));
+
+  TraceGenConfig cfg;
+  cfg.packets = 48;
+  cfg.seed = 3;
+  const PcapFile trace = synthesize_tcp_trace(cfg);
+  TraceSource src(trace.meta, trace.records);
+  const auto sink = make_endpoint_sink(*ep_a);
+  const auto pre_hook = pre.line_tap();
+  const auto post_hook = post.line_tap();
+  std::size_t delivered = 0;
+  int quiet = 0;
+  for (int guard = 0; guard < 20000 && quiet < 8; ++guard) {
+    src.pump(0, 8, sink);
+    Bytes f = ep_a->pull_frame();
+    pre_hook(f);   // what the transmitter put on the line
+    fault(f);      // the line's damage
+    post_hook(f);  // what the receiver saw
+    if (!f.empty()) ep_b->push_line(f);
+    ep_b->drain_rx();
+    bool any = false;
+    while (ep_b->reap_datagram()) {
+      ++delivered;
+      any = true;
+    }
+    quiet = (src.done() && !ep_a->tx_pending() && !any) ? quiet + 1 : 0;
+  }
+  pre.close();
+  post.close();
+
+  // Ledger: both taps saw every line chunk.
+  EXPECT_EQ(pre.stats().frames_seen(), post.stats().frames_seen());
+  EXPECT_GT(fault.stats().faulted_chunks, 0u);
+  EXPECT_LE(delivered, trace.records.size());
+
+  // Both files are valid captures of the same length; the corruption shows.
+  PcapFileReader r_pre, r_post;
+  ASSERT_TRUE(r_pre.open("capture_fault_pre.pcap"));
+  ASSERT_TRUE(r_post.open("capture_fault_post.pcap"));
+  std::size_t n = 0, diff = 0;
+  while (true) {
+    auto a = r_pre.next();
+    auto b = r_post.next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a) break;
+    ++n;
+    if (a->data != b->data) ++diff;
+  }
+  EXPECT_EQ(n, pre.stats().records);
+  EXPECT_GT(diff, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TUN bridge — needs /dev/net/tun and privilege; SKIPs cleanly without.
+// ---------------------------------------------------------------------------
+
+#define SKIP_WITHOUT_TUN()                                                    \
+  do {                                                                        \
+    if (!tunif::TunDevice::available())                                       \
+      GTEST_SKIP() << "/dev/net/tun unavailable (needs root/CAP_NET_ADMIN)";  \
+  } while (0)
+
+TEST(Tun, DeviceOpensAndConfigures) {
+  SKIP_WITHOUT_TUN();
+  tunif::TunDevice tun;
+  ASSERT_TRUE(tun.open("p5t%d")) << tun.error();
+  EXPECT_FALSE(tun.name().empty());
+  ASSERT_TRUE(tun.configure_ipv4("10.98.0.1", "10.98.0.2", 1400)) << tun.error();
+  // A freshly-upped interface may already have kernel chatter queued (IPv6
+  // neighbour discovery); drain it — the non-blocking contract is that the
+  // fd reports kAgain once empty instead of blocking.
+  Bytes pkt;
+  tunif::ReadStatus st = tunif::ReadStatus::kPacket;
+  for (int guard = 0; guard < 64 && st == tunif::ReadStatus::kPacket; ++guard)
+    st = tun.read_packet(pkt);
+  EXPECT_EQ(st, tunif::ReadStatus::kAgain);
+}
+
+TEST(Tun, KernelTrafficCrossesTheBridgeBothWays) {
+  SKIP_WITHOUT_TUN();
+  // One process, one TUN: datagrams the kernel routes toward the peer
+  // address cross bridge → endpoint A → SONET line → endpoint B; a crafted
+  // reply submitted at B comes back through the bridge into the kernel and
+  // lands on a real UDP socket.
+  tunif::TunDevice tun;
+  ASSERT_TRUE(tun.open("p5t%d")) << tun.error();
+  ASSERT_TRUE(tun.configure_ipv4("10.98.1.1", "10.98.1.2", 1400)) << tun.error();
+
+  transport::EventLoop loop;
+  auto ep_a = core::make_sonet_endpoint(core::DeviceTier::kFast, {}, sonet::kSts3c);
+  auto ep_b = core::make_sonet_endpoint(core::DeviceTier::kFast, {}, sonet::kSts3c);
+  tunif::TunBridge bridge(loop, tun, *ep_a);
+
+  const int sk = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(sk, 0);
+  sockaddr_in local{};
+  local.sin_family = AF_INET;
+  ASSERT_EQ(::inet_pton(AF_INET, "10.98.1.1", &local.sin_addr), 1);
+  ASSERT_EQ(::bind(sk, reinterpret_cast<sockaddr*>(&local), sizeof local), 0);
+  socklen_t slen = sizeof local;
+  ASSERT_EQ(::getsockname(sk, reinterpret_cast<sockaddr*>(&local), &slen), 0);
+
+  sockaddr_in peer{};
+  peer.sin_family = AF_INET;
+  peer.sin_port = htons(7777);
+  ASSERT_EQ(::inet_pton(AF_INET, "10.98.1.2", &peer.sin_addr), 1);
+  const Bytes magic{0xc0, 0xff, 0xee, 0x42};
+  ASSERT_EQ(::sendto(sk, magic.data(), magic.size(), 0,
+                     reinterpret_cast<sockaddr*>(&peer), sizeof peer),
+            static_cast<ssize_t>(magic.size()));
+
+  // Drive loop + wire until the datagram emerges at endpoint B.
+  std::optional<net::ParsedDatagram> request;
+  for (int guard = 0; guard < 5000 && !request; ++guard) {
+    loop.run_once(1);  // readability → bridge.drain_tun()
+    bridge.pump();
+    Bytes f = ep_a->pull_frame();
+    ep_b->push_line(f);
+    ep_b->drain_rx();
+    while (auto d = ep_b->reap_datagram()) {
+      auto parsed = net::parse_datagram(d->payload);
+      // The kernel may also emit unrelated noise (IPv6 ND is dropped by
+      // classify at the far end; v4 noise is possible too) — match ours.
+      if (parsed && parsed->header.protocol == 17 &&
+          parsed->payload.size() >= 8 + magic.size() &&
+          Bytes(parsed->payload.end() - 4, parsed->payload.end()) == magic) {
+        request = std::move(parsed);
+      }
+    }
+  }
+  ASSERT_TRUE(request.has_value()) << "datagram never crossed the bridge";
+  char dst_str[INET_ADDRSTRLEN];
+  const u32 dst_be = htonl(request->header.dst);
+  ASSERT_NE(::inet_ntop(AF_INET, &dst_be, dst_str, sizeof dst_str), nullptr);
+  EXPECT_STREQ(dst_str, "10.98.1.2");
+
+  // Craft the reply: swap addresses and UDP ports, echo the payload.
+  const BytesView udp(request->payload);
+  Bytes reply_udp;
+  reply_udp.push_back(udp[2]);  // src port := request dst port (7777)
+  reply_udp.push_back(udp[3]);
+  reply_udp.push_back(udp[0]);  // dst port := request src port
+  reply_udp.push_back(udp[1]);
+  put_be16(reply_udp, static_cast<u16>(8 + magic.size()));
+  put_be16(reply_udp, 0);  // UDP checksum 0: legal for IPv4
+  append(reply_udp, magic);
+  net::Ipv4Header hdr;
+  hdr.protocol = 17;
+  hdr.src = request->header.dst;
+  hdr.dst = request->header.src;
+  const Bytes reply = net::build_datagram(hdr, reply_udp);
+  ASSERT_TRUE(ep_b->submit_datagram(0x0021, reply));
+
+  // Wire B → A, bridge writes into the kernel, socket receives.
+  bool got_reply = false;
+  for (int guard = 0; guard < 5000 && !got_reply; ++guard) {
+    Bytes f = ep_b->pull_frame();
+    ep_a->push_line(f);
+    ep_a->drain_rx();
+    bridge.pump();
+    loop.run_once(1);
+    u8 buf[64];
+    const ssize_t n = ::recv(sk, buf, sizeof buf, MSG_DONTWAIT);
+    if (n == static_cast<ssize_t>(magic.size()) &&
+        Bytes(buf, buf + n) == magic) {
+      got_reply = true;
+    }
+  }
+  EXPECT_TRUE(got_reply) << "reply never reached the kernel socket";
+  const auto& st = bridge.stats();
+  EXPECT_GE(st.tun_rx_packets, 1u);
+  EXPECT_GE(st.delivered_packets, 1u);
+  EXPECT_EQ(st.tun_write_failures, 0u);
+  ::close(sk);
+}
+
+}  // namespace
+}  // namespace p5::net::capture
